@@ -1,0 +1,555 @@
+//! Regular expressions with the Glushkov construction.
+//!
+//! Used to write DTD content models (Example 2.3) and test languages. The
+//! concrete syntax:
+//!
+//! * identifiers are symbols (resolved by a caller-supplied function),
+//! * juxtaposition or `,` is concatenation, `|` is union,
+//! * postfix `*` (Kleene star), `+` (one or more), `?` (optional),
+//! * `%eps` is the empty word, `%empty` the empty language,
+//! * parentheses group.
+//!
+//! The paper writes union as `+` (e.g. `(br + text)*`); this crate uses `|`
+//! to keep postfix `+` for "one or more", as in DTDs.
+
+use crate::nfa::Nfa;
+use std::fmt;
+use std::hash::Hash;
+
+/// A regular expression over symbols of type `A`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Regex<A> {
+    /// The empty language `∅`.
+    Empty,
+    /// The empty word `ε`.
+    Epsilon,
+    /// A single symbol.
+    Sym(A),
+    /// Concatenation.
+    Concat(Box<Regex<A>>, Box<Regex<A>>),
+    /// Union.
+    Alt(Box<Regex<A>>, Box<Regex<A>>),
+    /// Kleene star.
+    Star(Box<Regex<A>>),
+}
+
+impl<A: Clone + Eq + Hash> Regex<A> {
+    /// `r₁ · r₂`.
+    pub fn then(self, other: Regex<A>) -> Regex<A> {
+        Regex::Concat(Box::new(self), Box::new(other))
+    }
+
+    /// `r₁ | r₂`.
+    pub fn or(self, other: Regex<A>) -> Regex<A> {
+        Regex::Alt(Box::new(self), Box::new(other))
+    }
+
+    /// `r*`.
+    pub fn star(self) -> Regex<A> {
+        Regex::Star(Box::new(self))
+    }
+
+    /// `r⁺ = r · r*`.
+    pub fn plus(self) -> Regex<A> {
+        self.clone().then(self.star())
+    }
+
+    /// `r? = r | ε`.
+    pub fn opt(self) -> Regex<A> {
+        self.or(Regex::Epsilon)
+    }
+
+    /// Concatenation of many expressions (`ε` for none).
+    pub fn seq(items: impl IntoIterator<Item = Regex<A>>) -> Regex<A> {
+        items
+            .into_iter()
+            .reduce(Regex::then)
+            .unwrap_or(Regex::Epsilon)
+    }
+
+    /// Union of many expressions (`∅` for none).
+    pub fn any(items: impl IntoIterator<Item = Regex<A>>) -> Regex<A> {
+        items.into_iter().reduce(Regex::or).unwrap_or(Regex::Empty)
+    }
+
+    /// Whether `ε` is in the language.
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Sym(_) => false,
+            Regex::Epsilon | Regex::Star(_) => true,
+            Regex::Concat(a, b) => a.nullable() && b.nullable(),
+            Regex::Alt(a, b) => a.nullable() || b.nullable(),
+        }
+    }
+
+    /// Number of AST nodes (a size measure for benches).
+    pub fn size(&self) -> usize {
+        match self {
+            Regex::Empty | Regex::Epsilon | Regex::Sym(_) => 1,
+            Regex::Star(a) => 1 + a.size(),
+            Regex::Concat(a, b) | Regex::Alt(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// Compiles to an NFA via the Glushkov (position) construction: the NFA
+    /// has one state per symbol occurrence plus one initial state, and no
+    /// ε-transitions.
+    pub fn to_nfa(&self) -> Nfa<A> {
+        // Collect positions (symbol occurrences) left to right.
+        let mut symbols: Vec<A> = Vec::new();
+        let mut follow: Vec<Vec<usize>> = Vec::new();
+        let info = glushkov(self, &mut symbols, &mut follow);
+        let info = Glushkov {
+            follow,
+            ..info
+        };
+        let mut nfa = Nfa::new();
+        let q0 = nfa.add_state();
+        nfa.set_initial(q0);
+        nfa.set_final(q0, info.nullable);
+        // State i+1 = position i.
+        let first_pos = nfa.add_states(symbols.len());
+        let _ = first_pos;
+        for &p in &info.first {
+            nfa.add_transition(q0, symbols[p].clone(), crate::nfa::StateId(p as u32 + 1));
+        }
+        for (p, follows) in info.follow.iter().enumerate() {
+            for &f in follows {
+                nfa.add_transition(
+                    crate::nfa::StateId(p as u32 + 1),
+                    symbols[f].clone(),
+                    crate::nfa::StateId(f as u32 + 1),
+                );
+            }
+        }
+        for &p in &info.last {
+            nfa.set_final(crate::nfa::StateId(p as u32 + 1), true);
+        }
+        nfa
+    }
+}
+
+struct Glushkov {
+    nullable: bool,
+    first: Vec<usize>,
+    last: Vec<usize>,
+    /// `follow[p]` = positions that may follow position `p`.
+    follow: Vec<Vec<usize>>,
+}
+
+/// Recursive Glushkov pass. Positions are global indices into `symbols`;
+/// `follow` is the single global follow table (one row per position).
+/// The returned `Glushkov.follow` is unused (left empty) — the caller reads
+/// the shared table.
+fn glushkov<A: Clone>(
+    re: &Regex<A>,
+    symbols: &mut Vec<A>,
+    follow: &mut Vec<Vec<usize>>,
+) -> Glushkov {
+    let empty = |nullable| Glushkov {
+        nullable,
+        first: vec![],
+        last: vec![],
+        follow: vec![],
+    };
+    match re {
+        Regex::Empty => empty(false),
+        Regex::Epsilon => empty(true),
+        Regex::Sym(a) => {
+            let p = symbols.len();
+            symbols.push(a.clone());
+            follow.push(Vec::new());
+            Glushkov {
+                nullable: false,
+                first: vec![p],
+                last: vec![p],
+                follow: vec![],
+            }
+        }
+        Regex::Alt(a, b) => {
+            let mut ga = glushkov(a, symbols, follow);
+            let gb = glushkov(b, symbols, follow);
+            ga.first.extend(gb.first);
+            ga.last.extend(gb.last);
+            Glushkov {
+                nullable: ga.nullable || gb.nullable,
+                ..ga
+            }
+        }
+        Regex::Concat(a, b) => {
+            let ga = glushkov(a, symbols, follow);
+            let gb = glushkov(b, symbols, follow);
+            // last(a) × first(b) edges.
+            for &l in &ga.last {
+                for &f in &gb.first {
+                    if !follow[l].contains(&f) {
+                        follow[l].push(f);
+                    }
+                }
+            }
+            let nullable = ga.nullable && gb.nullable;
+            let first = if ga.nullable {
+                let mut f = ga.first.clone();
+                f.extend(gb.first.iter().copied());
+                f
+            } else {
+                ga.first
+            };
+            let last = if gb.nullable {
+                let mut l = gb.last.clone();
+                l.extend(ga.last.iter().copied());
+                l
+            } else {
+                gb.last
+            };
+            Glushkov {
+                nullable,
+                first,
+                last,
+                follow: vec![],
+            }
+        }
+        Regex::Star(a) => {
+            let ga = glushkov(a, symbols, follow);
+            for &l in &ga.last {
+                for &f in &ga.first {
+                    if !follow[l].contains(&f) {
+                        follow[l].push(f);
+                    }
+                }
+            }
+            Glushkov {
+                nullable: true,
+                ..ga
+            }
+        }
+    }
+}
+
+/// Error from [`parse_regex`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegexParseError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for RegexParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for RegexParseError {}
+
+/// Parses the concrete syntax described in the module docs; identifiers are
+/// turned into symbols by `resolve`.
+pub fn parse_regex<A: Clone + Eq + Hash>(
+    src: &str,
+    resolve: &mut dyn FnMut(&str) -> A,
+) -> Result<Regex<A>, RegexParseError> {
+    let mut p = ReParser { src, pos: 0 };
+    let re = p.alt(resolve)?;
+    p.skip_ws();
+    if p.pos != src.len() {
+        return p.err("trailing input");
+    }
+    Ok(re)
+}
+
+struct ReParser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> ReParser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, RegexParseError> {
+        Err(RegexParseError {
+            offset: self.pos,
+            message: msg.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) {
+        if let Some(c) = self.peek() {
+            self.pos += c.len_utf8();
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn alt<A: Clone + Eq + Hash>(
+        &mut self,
+        resolve: &mut dyn FnMut(&str) -> A,
+    ) -> Result<Regex<A>, RegexParseError> {
+        let mut lhs = self.cat(resolve)?;
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('|') {
+                self.bump();
+                let rhs = self.cat(resolve)?;
+                lhs = lhs.or(rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn cat<A: Clone + Eq + Hash>(
+        &mut self,
+        resolve: &mut dyn FnMut(&str) -> A,
+    ) -> Result<Regex<A>, RegexParseError> {
+        let mut parts = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => {
+                    self.bump();
+                    continue;
+                }
+                Some(')') | Some('|') | None => break,
+                _ => parts.push(self.postfix(resolve)?),
+            }
+        }
+        if parts.is_empty() {
+            return self.err("expected an expression");
+        }
+        Ok(Regex::seq(parts))
+    }
+
+    fn postfix<A: Clone + Eq + Hash>(
+        &mut self,
+        resolve: &mut dyn FnMut(&str) -> A,
+    ) -> Result<Regex<A>, RegexParseError> {
+        let mut base = self.atom(resolve)?;
+        loop {
+            match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    base = base.star();
+                }
+                Some('+') => {
+                    self.bump();
+                    base = base.plus();
+                }
+                Some('?') => {
+                    self.bump();
+                    base = base.opt();
+                }
+                _ => return Ok(base),
+            }
+        }
+    }
+
+    fn atom<A: Clone + Eq + Hash>(
+        &mut self,
+        resolve: &mut dyn FnMut(&str) -> A,
+    ) -> Result<Regex<A>, RegexParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                let inner = self.alt(resolve)?;
+                self.skip_ws();
+                if self.peek() != Some(')') {
+                    return self.err("expected ')'");
+                }
+                self.bump();
+                Ok(inner)
+            }
+            Some('%') => {
+                self.bump();
+                let name = self.ident()?;
+                match name {
+                    "eps" => Ok(Regex::Epsilon),
+                    "empty" => Ok(Regex::Empty),
+                    other => self.err(format!("unknown keyword %{other}")),
+                }
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' || c == '#' => {
+                let name = self.ident()?;
+                Ok(Regex::Sym(resolve(name)))
+            }
+            Some(c) => self.err(format!("unexpected character {c:?}")),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn ident(&mut self) -> Result<&'a str, RegexParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '#')
+        {
+            self.bump();
+        }
+        if self.pos == start {
+            return self.err("expected an identifier");
+        }
+        Ok(&self.src[start..self.pos])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn re(src: &str) -> Regex<char> {
+        parse_regex(src, &mut |s: &str| s.chars().next().unwrap()).unwrap()
+    }
+
+    fn lit(s: &str) -> Vec<char> {
+        s.chars().collect()
+    }
+
+    #[test]
+    fn parses_basic_forms() {
+        assert_eq!(re("a"), Regex::Sym('a'));
+        assert_eq!(re("%eps"), Regex::Epsilon);
+        assert_eq!(re("%empty"), Regex::Empty);
+        assert!(matches!(re("a b"), Regex::Concat(_, _)));
+        assert!(matches!(re("a, b"), Regex::Concat(_, _)));
+        assert!(matches!(re("a | b"), Regex::Alt(_, _)));
+        assert!(matches!(re("a*"), Regex::Star(_)));
+    }
+
+    #[test]
+    fn precedence_star_binds_tighter_than_concat_than_alt() {
+        // a b* | c  ==  (a · (b*)) | c
+        let r = re("a b* | c");
+        let n = r.to_nfa();
+        assert!(n.accepts(&lit("a")));
+        assert!(n.accepts(&lit("abbb")));
+        assert!(n.accepts(&lit("c")));
+        assert!(!n.accepts(&lit("ac")));
+    }
+
+    #[test]
+    fn glushkov_matches_semantics() {
+        let n = re("(a | b)* a").to_nfa();
+        assert!(n.accepts(&lit("a")));
+        assert!(n.accepts(&lit("bba")));
+        assert!(n.accepts(&lit("aba")));
+        assert!(!n.accepts(&[]));
+        assert!(!n.accepts(&lit("b")));
+    }
+
+    #[test]
+    fn plus_and_opt() {
+        let n = re("a+ b?").to_nfa();
+        assert!(n.accepts(&lit("a")));
+        assert!(n.accepts(&lit("aab")));
+        assert!(!n.accepts(&lit("b")));
+        assert!(!n.accepts(&[]));
+    }
+
+    #[test]
+    fn epsilon_and_empty() {
+        let e = re("%eps").to_nfa();
+        assert!(e.accepts(&[]));
+        assert!(!e.accepts(&lit("a")));
+        let z = re("%empty").to_nfa();
+        assert!(z.is_empty());
+        // empty absorbs concat.
+        let z2 = re("%empty a").to_nfa();
+        assert!(z2.is_empty());
+    }
+
+    #[test]
+    fn nested_groups() {
+        let n = re("((a b) | (b a))*").to_nfa();
+        assert!(n.accepts(&[]));
+        assert!(n.accepts(&lit("abba")));
+        assert!(n.accepts(&lit("baab")));
+        assert!(!n.accepts(&lit("aa")));
+    }
+
+    #[test]
+    fn paper_content_model_br_text() {
+        // Paper writes (br + text)*; our syntax: (br | text)*.
+        let mut names = Vec::new();
+        let r = parse_regex("(br | text)*", &mut |s: &str| {
+            if let Some(i) = names.iter().position(|n| n == s) {
+                i
+            } else {
+                names.push(s.to_owned());
+                names.len() - 1
+            }
+        })
+        .unwrap();
+        let n = r.to_nfa();
+        assert!(n.accepts(&[0, 1, 0]));
+        assert!(n.accepts(&[]));
+        assert_eq!(names, vec!["br", "text"]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_regex("a |", &mut |s: &str| s.to_owned()).is_err());
+        assert!(parse_regex("(a", &mut |s: &str| s.to_owned()).is_err());
+        assert!(parse_regex("a)", &mut |s: &str| s.to_owned()).is_err());
+        assert!(parse_regex("%bogus", &mut |s: &str| s.to_owned()).is_err());
+        assert!(parse_regex("", &mut |s: &str| s.to_owned()).is_err());
+    }
+
+    #[test]
+    fn nullable_agrees_with_nfa() {
+        for src in ["a*", "%eps", "a?", "a", "a b", "a* b*", "(a|%eps) b*"] {
+            let r = re(src);
+            assert_eq!(r.nullable(), r.to_nfa().accepts(&[]), "{src}");
+        }
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_regex() -> impl Strategy<Value = Regex<char>> {
+            let leaf = prop_oneof![
+                Just(Regex::Epsilon),
+                Just(Regex::Sym('a')),
+                Just(Regex::Sym('b')),
+            ];
+            leaf.prop_recursive(4, 24, 2, |inner| {
+                prop_oneof![
+                    (inner.clone(), inner.clone())
+                        .prop_map(|(a, b)| a.then(b)),
+                    (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+                    inner.prop_map(Regex::star),
+                ]
+            })
+        }
+
+        /// Naive regex matcher used as ground truth.
+        fn matches(re: &Regex<char>, w: &[char]) -> bool {
+            match re {
+                Regex::Empty => false,
+                Regex::Epsilon => w.is_empty(),
+                Regex::Sym(a) => w.len() == 1 && w[0] == *a,
+                Regex::Alt(a, b) => matches(a, w) || matches(b, w),
+                Regex::Concat(a, b) => (0..=w.len())
+                    .any(|i| matches(a, &w[..i]) && matches(b, &w[i..])),
+                Regex::Star(a) => {
+                    w.is_empty()
+                        || (1..=w.len()).any(|i| matches(a, &w[..i]) && matches(re, &w[i..]))
+                }
+            }
+        }
+
+        proptest! {
+            #[test]
+            fn glushkov_agrees_with_naive(re in arb_regex(),
+                                          w in proptest::collection::vec(prop_oneof![Just('a'), Just('b')], 0..5)) {
+                let nfa = re.to_nfa();
+                prop_assert_eq!(nfa.accepts(&w), matches(&re, &w));
+            }
+        }
+    }
+}

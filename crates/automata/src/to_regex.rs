@@ -1,0 +1,229 @@
+//! NFA → regular expression via state elimination (Kleene's construction),
+//! used to render computed automata — e.g. the content models of a maximal
+//! sub-schema — in human-readable form.
+
+use crate::nfa::{Nfa, StateId};
+use crate::regex::Regex;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Converts an NFA into an equivalent regular expression by eliminating
+/// states one at a time. The result can be large (state elimination is
+/// worst-case exponential) but is exact; light algebraic simplifications
+/// keep common cases readable.
+pub fn nfa_to_regex<A: Clone + Eq + Hash>(nfa: &Nfa<A>) -> Regex<A> {
+    let trimmed = nfa.trim();
+    if trimmed.state_count() == 0 {
+        return if nfa.accepts_empty() {
+            Regex::Epsilon
+        } else {
+            Regex::Empty
+        };
+    }
+    // Generalized NFA with a fresh initial (s) and final (f) state; edges
+    // labelled by regexes.
+    let n = trimmed.state_count();
+    let s = n;
+    let f = n + 1;
+    let mut edges: HashMap<(usize, usize), Regex<A>> = HashMap::new();
+    let add = |edges: &mut HashMap<(usize, usize), Regex<A>>, from: usize, to: usize, re: Regex<A>| {
+        edges
+            .entry((from, to))
+            .and_modify(|old| *old = simplify(old.clone().or(re.clone())))
+            .or_insert(re);
+    };
+    for &q in trimmed.initial_states() {
+        add(&mut edges, s, q.index(), Regex::Epsilon);
+    }
+    for q in trimmed.states() {
+        if trimmed.is_final(q) {
+            add(&mut edges, q.index(), f, Regex::Epsilon);
+        }
+        for (a, r) in trimmed.transitions_from(q) {
+            add(&mut edges, q.index(), r.index(), Regex::Sym(a.clone()));
+        }
+    }
+    let _ = StateId(0);
+    // Eliminate internal states.
+    for k in 0..n {
+        let self_loop = edges.remove(&(k, k));
+        let star = self_loop.map(|r| simplify(r.star()));
+        let incoming: Vec<(usize, Regex<A>)> = edges
+            .iter()
+            .filter(|((_, to), _)| *to == k)
+            .map(|((from, _), re)| (*from, re.clone()))
+            .collect();
+        let outgoing: Vec<(usize, Regex<A>)> = edges
+            .iter()
+            .filter(|((from, _), _)| *from == k)
+            .map(|((_, to), re)| (*to, re.clone()))
+            .collect();
+        edges.retain(|(from, to), _| *from != k && *to != k);
+        for (from, rin) in &incoming {
+            for (to, rout) in &outgoing {
+                let mut path = rin.clone();
+                if let Some(star) = &star {
+                    path = simplify(path.then(star.clone()));
+                }
+                path = simplify(path.then(rout.clone()));
+                add(&mut edges, *from, *to, path);
+            }
+        }
+    }
+    edges.remove(&(s, f)).map_or(Regex::Empty, simplify)
+}
+
+/// Light algebraic simplification (units, absorption, `ε|x·x* = x*`-free —
+/// kept simple on purpose).
+fn simplify<A: Clone + Eq + Hash>(re: Regex<A>) -> Regex<A> {
+    match re {
+        Regex::Concat(a, b) => match (simplify(*a), simplify(*b)) {
+            (Regex::Empty, _) | (_, Regex::Empty) => Regex::Empty,
+            (Regex::Epsilon, x) | (x, Regex::Epsilon) => x,
+            (x, y) => x.then(y),
+        },
+        Regex::Alt(a, b) => match (simplify(*a), simplify(*b)) {
+            (Regex::Empty, x) | (x, Regex::Empty) => x,
+            (x, y) if x == y => x,
+            (x, y) => x.or(y),
+        },
+        Regex::Star(a) => match simplify(*a) {
+            Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+            Regex::Star(inner) => Regex::Star(inner),
+            x => x.star(),
+        },
+        other => other,
+    }
+}
+
+/// Renders a regex with a caller-supplied symbol printer (concrete syntax
+/// of [`crate::regex`]: `|`, juxtaposition, postfix `*`, `%eps`, `%empty`).
+pub fn regex_to_string<A>(re: &Regex<A>, print: &impl Fn(&A) -> String) -> String {
+    fn go<A>(re: &Regex<A>, print: &impl Fn(&A) -> String, prec: u8, out: &mut String) {
+        match re {
+            Regex::Empty => out.push_str("%empty"),
+            Regex::Epsilon => out.push_str("%eps"),
+            Regex::Sym(a) => out.push_str(&print(a)),
+            Regex::Alt(a, b) => {
+                let wrap = prec > 0;
+                if wrap {
+                    out.push('(');
+                }
+                go(a, print, 0, out);
+                out.push_str(" | ");
+                go(b, print, 0, out);
+                if wrap {
+                    out.push(')');
+                }
+            }
+            Regex::Concat(a, b) => {
+                let wrap = prec > 1;
+                if wrap {
+                    out.push('(');
+                }
+                go(a, print, 1, out);
+                out.push(' ');
+                go(b, print, 1, out);
+                if wrap {
+                    out.push(')');
+                }
+            }
+            Regex::Star(a) => {
+                match a.as_ref() {
+                    Regex::Sym(_) => {
+                        go(a, print, 2, out);
+                    }
+                    _ => {
+                        out.push('(');
+                        go(a, print, 0, out);
+                        out.push(')');
+                    }
+                }
+                out.push('*');
+            }
+        }
+    }
+    let mut out = String::new();
+    go(re, print, 0, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::parse_regex;
+
+    fn round_trip(src: &str, words_yes: &[&str], words_no: &[&str]) {
+        let re = parse_regex(src, &mut |s: &str| s.chars().next().unwrap()).unwrap();
+        let nfa = re.to_nfa();
+        let back = nfa_to_regex(&nfa);
+        let nfa2 = back.to_nfa();
+        for w in words_yes {
+            let word: Vec<char> = w.chars().collect();
+            assert!(nfa.accepts(&word), "{src} should accept {w}");
+            assert!(nfa2.accepts(&word), "extracted regex for {src} must accept {w}");
+        }
+        for w in words_no {
+            let word: Vec<char> = w.chars().collect();
+            assert!(!nfa2.accepts(&word), "extracted regex for {src} must reject {w}");
+        }
+    }
+
+    #[test]
+    fn extraction_preserves_language() {
+        round_trip("a b*", &["a", "ab", "abbb"], &["", "b", "ba"]);
+        round_trip("(a | b)* a", &["a", "ba", "aba"], &["", "b", "ab"]);
+        round_trip("%eps", &[""], &["a"]);
+        round_trip("a? b+", &["b", "ab", "abb"], &["a", "", "ba"]);
+        round_trip("(a b)*", &["", "ab", "abab"], &["a", "aba"]);
+    }
+
+    #[test]
+    fn empty_language() {
+        let nfa: Nfa<char> = Nfa::new();
+        assert_eq!(nfa_to_regex(&nfa), Regex::Empty);
+    }
+
+    #[test]
+    fn rendering() {
+        let re = parse_regex("(a | b)* c", &mut |s: &str| s.chars().next().unwrap()).unwrap();
+        let printed = regex_to_string(&re, &|c: &char| c.to_string());
+        // Re-parse the rendering and compare languages on samples.
+        let re2 = parse_regex(&printed, &mut |s: &str| s.chars().next().unwrap()).unwrap();
+        for w in ["c", "abc", "bac", "", "ab"] {
+            let word: Vec<char> = w.chars().collect();
+            assert_eq!(re.to_nfa().accepts(&word), re2.to_nfa().accepts(&word), "{w}");
+        }
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_regex() -> impl Strategy<Value = Regex<char>> {
+            let leaf = prop_oneof![
+                Just(Regex::Epsilon),
+                Just(Regex::Sym('a')),
+                Just(Regex::Sym('b')),
+            ];
+            leaf.prop_recursive(3, 16, 2, |inner| {
+                prop_oneof![
+                    (inner.clone(), inner.clone()).prop_map(|(a, b)| a.then(b)),
+                    (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+                    inner.prop_map(Regex::star),
+                ]
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            #[test]
+            fn extract_round_trip(re in arb_regex(),
+                                  w in proptest::collection::vec(prop_oneof![Just('a'), Just('b')], 0..6)) {
+                let nfa = re.to_nfa();
+                let back = nfa_to_regex(&nfa);
+                prop_assert_eq!(back.to_nfa().accepts(&w), nfa.accepts(&w));
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! E1 — Theorem 4.11 (PTIME): text-preservation decision time for top-down
+//! uniform transducers, swept over transducer size `|T|` (deep selectors,
+//! copiers, swappers) and over schema size `|N|` (chain schemas).
+//!
+//! Paper claim: polynomial in `|T| + |N|`. Expected shape: low-degree
+//! polynomial growth along both axes, with all three transducer kinds in
+//! the same regime (the verdict does not change the complexity).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpx_bench::universal;
+use tpx_workload::transducers::{copier_at_depth, deep_selector, plain_alphabet, swapper_at_depth};
+
+fn sweep_transducer_size(c: &mut Criterion) {
+    let alpha = plain_alphabet(3);
+    let schema = universal(&alpha);
+    let mut g = c.benchmark_group("e1/decide_vs_transducer_size");
+    g.sample_size(10);
+    for n in [2usize, 4, 8, 16] {
+        let selector = deep_selector(&alpha, n);
+        eprintln!(
+            "e1: selector n={n}: |T|={}, |N|={}",
+            selector.size(),
+            schema.size()
+        );
+        g.bench_with_input(BenchmarkId::new("selector", n), &n, |b, _| {
+            b.iter(|| textpres::check_topdown(&selector, &schema).is_preserving())
+        });
+        let copier = copier_at_depth(&alpha, n, n / 2);
+        g.bench_with_input(BenchmarkId::new("copier", n), &n, |b, _| {
+            b.iter(|| textpres::check_topdown(&copier, &schema).is_preserving())
+        });
+        let swapper = swapper_at_depth(&alpha, n, n / 2);
+        g.bench_with_input(BenchmarkId::new("swapper", n), &n, |b, _| {
+            b.iter(|| textpres::check_topdown(&swapper, &schema).is_preserving())
+        });
+    }
+    g.finish();
+}
+
+fn sweep_schema_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1/decide_vs_schema_size");
+    g.sample_size(10);
+    for n in [4usize, 8, 16, 32, 64] {
+        let (alpha, schema) = tpx_workload::chain_schema(n);
+        let t = tpx_workload::identity_transducer(&alpha);
+        eprintln!("e1: chain n={n}: |T|={}, |N|={}", t.size(), schema.size());
+        g.bench_with_input(BenchmarkId::new("chain_identity", n), &n, |b, _| {
+            b.iter(|| textpres::check_topdown(&t, &schema).is_preserving())
+        });
+    }
+    for n in [4usize, 8, 16, 32] {
+        let (alpha, schema) = tpx_workload::comb_schema(n);
+        let t = tpx_workload::identity_transducer(&alpha);
+        g.bench_with_input(BenchmarkId::new("comb_identity", n), &n, |b, _| {
+            b.iter(|| textpres::check_topdown(&t, &schema).is_preserving())
+        });
+    }
+    g.finish();
+}
+
+fn sweep_copying_only(c: &mut Criterion) {
+    // The Lemma 4.9 half alone scales much further — the quadratic
+    // rearranging construction is what dominates the full decision.
+    let alpha = plain_alphabet(3);
+    let schema = universal(&alpha);
+    let mut g = c.benchmark_group("e1/copying_half_only");
+    g.sample_size(10);
+    for n in [8usize, 32, 128] {
+        let t = deep_selector(&alpha, n);
+        g.bench_with_input(BenchmarkId::new("selector", n), &n, |b, _| {
+            b.iter(|| textpres::topdown::decide::copying_witness(&t, &schema).is_some())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, sweep_transducer_size, sweep_schema_size, sweep_copying_only);
+criterion_main!(benches);

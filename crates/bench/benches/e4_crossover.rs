@@ -1,0 +1,41 @@
+//! E4 — crossover: the PTIME symbolic decider (Theorem 4.11) vs the
+//! bounded-enumeration baseline, as the search bound grows.
+//!
+//! Expected shape: the symbolic decider is flat (independent of any bound);
+//! the enumeration baseline grows exponentially with the bound and
+//! overtakes it almost immediately. This is the quantitative content of
+//! "deciding on the automaton beats testing on documents".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpx_bench::universal;
+use tpx_workload::transducers::{copier_at_depth, plain_alphabet};
+
+fn crossover(c: &mut Criterion) {
+    let alpha = plain_alphabet(2);
+    let schema = universal(&alpha);
+    // A copier whose counter-examples need ≥ 3 levels: the baseline must
+    // search genuinely deep.
+    let t = copier_at_depth(&alpha, 3, 2);
+    let dtl = textpres::dtl::from_topdown(&t);
+
+    let mut g = c.benchmark_group("e4/crossover");
+    g.sample_size(10);
+    g.bench_function("symbolic_decider", |b| {
+        b.iter(|| textpres::check_topdown(&t, &schema).is_preserving())
+    });
+    for bound in [3usize, 4, 5, 6, 7] {
+        g.bench_with_input(BenchmarkId::new("bounded_baseline", bound), &bound, |b, _| {
+            b.iter(|| {
+                textpres::dtl::bounded::bounded_counterexample(&dtl, &schema, bound, 100_000)
+                    .unwrap()
+                    .is_some()
+            })
+        });
+        let trees = textpres::dtl::bounded::enumerate_schema_trees(&schema, bound, 100_000);
+        eprintln!("e4: bound {bound}: {} schema trees enumerated", trees.len());
+    }
+    g.finish();
+}
+
+criterion_group!(benches, crossover);
+criterion_main!(benches);

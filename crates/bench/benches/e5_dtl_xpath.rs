@@ -1,0 +1,101 @@
+//! E5 — Theorem 5.18 (EXPTIME-complete): decision time for DTL with Core
+//! XPath patterns, swept over the number of states and the pattern size.
+//!
+//! Expected shape: super-polynomial growth, orders of magnitude above the
+//! PTIME top-down decider on comparable sizes (compare with E1) — the
+//! qualitative gap between Theorem 4.11 and Theorem 5.18. Absolute numbers
+//! depend on the MSO compilation route (DESIGN.md substitution 2); the
+//! growth shape is the claim under test.
+//!
+//! Hand-rolled timing (single-shot, multi-second operations — Criterion's
+//! sampling model does not fit).
+
+use std::time::Instant;
+use textpres::prelude::*;
+use tpx_bench::universal;
+
+/// An identity-style DTL transducer with `n` states cycling via `child`.
+fn dtl_chain(alpha: &Alphabet, n: usize) -> DtlTransducer<XPathPatterns> {
+    let mut b = DtlBuilder::new(alpha, "q0");
+    for i in 0..n {
+        let next = format!("q{}", (i + 1) % n);
+        b.rule_simple(&format!("q{i}"), "a", "a", &next, "child");
+        b.rule_simple(&format!("q{i}"), "b", "b", &next, "child");
+    }
+    b.text_rule(&format!("q{}", n - 1));
+    b.finish()
+}
+
+/// Identity DTL whose call pattern carries a filter chain of length `k`.
+fn dtl_pattern(alpha: &Alphabet, k: usize) -> DtlTransducer<XPathPatterns> {
+    let filter = "child[a]/".repeat(k);
+    let pattern = format!("{filter}child");
+    let mut b = DtlBuilder::new(alpha, "q0");
+    b.rule_simple("q0", "a", "a", "q0", &pattern);
+    b.rule_simple("q0", "b", "b", "q0", "child");
+    b.text_rule("q0");
+    b.finish()
+}
+
+fn time_decide(t: &DtlTransducer<XPathPatterns>, schema: &Nta) -> (f64, bool) {
+    let start = Instant::now();
+    let verdict = textpres::check_dtl(t, schema).is_preserving();
+    (start.elapsed().as_secs_f64(), verdict)
+}
+
+fn flush() {
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+}
+
+fn main() {
+    // Keep `cargo bench -- --test` and filter flags harmless.
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--test" || a == "--list") {
+        println!("e5_dtl_xpath: manual harness (no #[test] entries)");
+        return;
+    }
+    let alpha = Alphabet::from_labels(["a", "b"]);
+    let schema = universal(&alpha);
+
+    println!("e5/dtl_xpath_vs_states (DTL_XPath decision, Theorem 5.18)");
+    // The 2-state instance already exceeds a sensible bench budget (tens of
+    // minutes): the per-state set variable in the reachability encoding
+    // doubles the marked alphabet and the determinizations blow up — the
+    // EXPTIME lower bound making itself felt. We report the 1-state point
+    // and the growth axes below.
+    for n in [1usize] {
+        let t = dtl_chain(&alpha, n);
+        let (secs, verdict) = time_decide(&t, &schema);
+        println!("  chain states={n}: {secs:.2} s (preserving={verdict})");
+        flush();
+    }
+
+    println!("e5/dtl_xpath_vs_pattern (filter-chain length in the call pattern)");
+    // k = 2 runs for many minutes (each filter step adds an existential
+    // variable inside the step relation, compounding the determinizations):
+    // we sweep k ∈ {0, 1} to keep the bench budget.
+    for k in [0usize, 1] {
+        let t = dtl_pattern(&alpha, k);
+        let (secs, verdict) = time_decide(&t, &schema);
+        println!("  filter_chain k={k}: {secs:.2} s (preserving={verdict})");
+        flush();
+    }
+
+    // Reference point from E1's regime for the comparison table: the PTIME
+    // decider on a comparable 2-state top-down transducer.
+    let mut tb = TransducerBuilder::new(&alpha, "q0");
+    tb.state("q1");
+    tb.rule("q0", "a", "a(q1)");
+    tb.rule("q0", "b", "b(q1)");
+    tb.rule("q1", "a", "a(q0)");
+    tb.rule("q1", "b", "b(q0)");
+    tb.text_rule("q1");
+    let td = tb.finish();
+    let start = Instant::now();
+    let v = textpres::check_topdown(&td, &schema).is_preserving();
+    println!(
+        "reference: PTIME top-down decider, 2 states: {:.6} s (preserving={v})",
+        start.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,55 @@
+//! E7 — evaluation throughput on the Figure 1 / Figure 2 workload scaled
+//! up: transforming recipe documents of growing size with the Example 4.2
+//! uniform transducer and the Example 5.15 DTL transducer.
+//!
+//! Expected shape: linear in document size for the top-down transducer
+//! (single pass); the DTL evaluator pays for pattern-table construction
+//! (quadratic in the worst case for jumping patterns).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn topdown_throughput(c: &mut Criterion) {
+    let mut alpha = textpres::trees::samples::recipe_alphabet();
+    let t = textpres::topdown::samples::example_4_2(&alpha);
+    let mut g = c.benchmark_group("e7/topdown_transform");
+    for recipes in [10usize, 100, 1000] {
+        let doc = textpres::trees::samples::recipe_tree_sized(&mut alpha, recipes, 5, 5);
+        g.throughput(Throughput::Elements(doc.node_count() as u64));
+        eprintln!("e7: topdown, {recipes} recipes = {} nodes", doc.node_count());
+        g.bench_with_input(BenchmarkId::new("recipes", recipes), &recipes, |b, _| {
+            b.iter(|| t.transform(&doc).node_count())
+        });
+    }
+    g.finish();
+}
+
+fn dtl_throughput(c: &mut Criterion) {
+    let mut alpha = textpres::trees::samples::recipe_alphabet();
+    let t = textpres::dtl::samples::example_5_15(&alpha);
+    let mut g = c.benchmark_group("e7/dtl_transform");
+    g.sample_size(10);
+    for recipes in [5usize, 20, 80] {
+        let doc = textpres::trees::samples::recipe_tree_sized(&mut alpha, recipes, 3, 3);
+        g.throughput(Throughput::Elements(doc.node_count() as u64));
+        eprintln!("e7: dtl, {recipes} recipes = {} nodes", doc.node_count());
+        g.bench_with_input(BenchmarkId::new("recipes", recipes), &recipes, |b, _| {
+            b.iter(|| t.transform(&doc).unwrap().node_count())
+        });
+    }
+    g.finish();
+}
+
+fn runtime_subsequence_check(c: &mut Criterion) {
+    let mut alpha = textpres::trees::samples::recipe_alphabet();
+    let t = textpres::topdown::samples::example_4_2(&alpha);
+    let doc = textpres::trees::samples::recipe_tree_sized(&mut alpha, 200, 5, 5);
+    let out = t.transform(&doc);
+    let mut g = c.benchmark_group("e7/runtime_check");
+    g.bench_function("is_text_preserving_run", |b| {
+        b.iter(|| textpres::is_text_preserving_run(&doc, &out))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, topdown_throughput, dtl_throughput, runtime_subsequence_check);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E9 — Table 1 in action: Core XPath evaluation cost over document size
+//! and expression size.
+//!
+//! Expected shape: the relation-table evaluator is polynomial (roughly
+//! `O(|expr| · |doc|²)` for closure-heavy expressions, near-linear for
+//! step expressions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use textpres::prelude::*;
+
+fn docs(recipes: usize) -> (Alphabet, Tree) {
+    let mut alpha = textpres::trees::samples::recipe_alphabet();
+    let t = textpres::trees::samples::recipe_tree_sized(&mut alpha, recipes, 4, 4);
+    (alpha, t)
+}
+
+fn sweep_document_size(c: &mut Criterion) {
+    let expr_src =
+        "child[recipe]/child[comments]/child[positive]/child[comment]/child[text()]";
+    let mut g = c.benchmark_group("e9/xpath_vs_doc_size");
+    for recipes in [10usize, 50, 250] {
+        let (mut alpha, doc) = docs(recipes);
+        let expr = textpres::xpath::parse_path(expr_src, &mut alpha).unwrap();
+        g.throughput(Throughput::Elements(doc.node_count() as u64));
+        g.bench_with_input(BenchmarkId::new("steps", recipes), &recipes, |b, _| {
+            b.iter(|| textpres::xpath::select(&doc, &expr, doc.root()).len())
+        });
+        let desc = textpres::xpath::parse_path("(child)*[comment]", &mut alpha).unwrap();
+        g.bench_with_input(BenchmarkId::new("closure", recipes), &recipes, |b, _| {
+            b.iter(|| textpres::xpath::select(&doc, &desc, doc.root()).len())
+        });
+    }
+    g.finish();
+}
+
+fn sweep_expression_size(c: &mut Criterion) {
+    let (mut alpha, doc) = docs(50);
+    let mut g = c.benchmark_group("e9/xpath_vs_expr_size");
+    for k in [1usize, 3, 6, 10] {
+        let src = format!(
+            "(child)*[recipe]{}",
+            "/child[true]".repeat(k)
+        );
+        let expr = textpres::xpath::parse_path(&src, &mut alpha).unwrap();
+        eprintln!("e9: expr size {} for k={k}", expr.size());
+        g.bench_with_input(BenchmarkId::new("chain", k), &k, |b, _| {
+            b.iter(|| textpres::xpath::all_pairs(&doc, &expr).pair_count())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, sweep_document_size, sweep_expression_size);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Shared helpers for the benchmark harness (see `benches/`).
+
+use textpres::prelude::*;
+
+/// The universal schema over a plain alphabet: any tree, text anywhere.
+pub fn universal(alpha: &Alphabet) -> Nta {
+    let mut b = NtaBuilder::new(alpha);
+    b.root("u");
+    for (_, name) in alpha.entries() {
+        b.rule("u", name, "(u | ut)*");
+    }
+    b.text_rule("ut");
+    b.finish()
+}

@@ -1,0 +1,130 @@
+//! `textpres` — verify that an XML transformation is text-preserving.
+//!
+//! ```text
+//! textpres check <schema-file> <transducer-file> [document.xml]
+//! textpres subschema <schema-file> <transducer-file>
+//! ```
+//!
+//! `check` decides (in PTIME, Theorem 4.11 of the paper) whether the
+//! transformation never copies or reorders text on ANY document valid
+//! under the schema; with a document argument it also runs the
+//! transformation. `subschema` prints a witness from the maximal
+//! sub-schema on which the transformation IS text-preserving.
+//!
+//! File formats are documented in `textpres::format`.
+
+use std::process::ExitCode;
+use textpres::format::{parse_schema, parse_transducer};
+use textpres::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [cmd, schema, transducer] if cmd == "check" => check(schema, transducer, None),
+        [cmd, schema, transducer, doc] if cmd == "check" => {
+            check(schema, transducer, Some(doc))
+        }
+        [cmd, schema, transducer] if cmd == "subschema" => subschema(schema, transducer),
+        _ => {
+            eprintln!("usage: textpres check <schema> <transducer> [document.xml]");
+            eprintln!("       textpres subschema <schema> <transducer>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn load(schema_path: &str, transducer_path: &str) -> Result<(Alphabet, Nta, Transducer), String> {
+    let schema_src = std::fs::read_to_string(schema_path)
+        .map_err(|e| format!("cannot read {schema_path}: {e}"))?;
+    let transducer_src = std::fs::read_to_string(transducer_path)
+        .map_err(|e| format!("cannot read {transducer_path}: {e}"))?;
+    let mut alpha = Alphabet::new();
+    let dtd = parse_schema(&schema_src, &mut alpha)
+        .map_err(|e| format!("{schema_path}: {e}"))?;
+    let t = parse_transducer(&transducer_src, &alpha)
+        .map_err(|e| format!("{transducer_path}: {e}"))?;
+    Ok((alpha, dtd.to_nta(), t))
+}
+
+fn check(schema_path: &str, transducer_path: &str, doc: Option<&str>) -> ExitCode {
+    let (mut alpha, schema, t) = match load(schema_path, transducer_path) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(doc_path) = doc {
+        match std::fs::read_to_string(doc_path) {
+            Ok(xml) => match textpres::trees::xml::parse_document(&xml, &mut alpha) {
+                Ok(tree) => {
+                    let out = t.transform(&tree);
+                    println!("transformed {doc_path}:");
+                    println!("{}", textpres::trees::xml::to_xml(&out, &alpha));
+                    let ok = textpres::is_text_preserving_run(&tree, &out);
+                    println!("this run is text-preserving: {ok}\n");
+                }
+                Err(e) => {
+                    eprintln!("error: {doc_path}: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("error: cannot read {doc_path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match textpres::check_topdown(&t, &schema) {
+        CheckReport::TextPreserving => {
+            println!("✓ text-preserving over every document valid under {schema_path}");
+            ExitCode::SUCCESS
+        }
+        CheckReport::Copying { path } => {
+            let rendered: Vec<String> = path
+                .iter()
+                .map(|p| match p {
+                    textpres::topdown::PathSym::Elem(s) => alpha.name(*s).to_owned(),
+                    textpres::topdown::PathSym::Text => "text()".to_owned(),
+                })
+                .collect();
+            println!("✗ COPIES text reached via: {}", rendered.join("/"));
+            ExitCode::FAILURE
+        }
+        CheckReport::Rearranging { witness } => {
+            println!("✗ REORDERS text, e.g. on this valid document:");
+            println!("  {}", witness.display(&alpha));
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn subschema(schema_path: &str, transducer_path: &str) -> ExitCode {
+    let (alpha, schema, t) = match load(schema_path, transducer_path) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let max = textpres::topdown_maximal_subschema(&t, &schema);
+    if max.is_empty() {
+        println!("the transformation is text-preserving on NO document of the schema");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "maximal text-preserving sub-schema: NTA with {} states (size {})",
+        max.state_count(),
+        max.size()
+    );
+    println!("{}", max.display(&alpha));
+    if let Some(w) = max.witness() {
+        println!("sample document inside:  {}", w.display(&alpha));
+    }
+    let carved = textpres::treeauto::difference_nta(&schema, &max);
+    match carved.witness() {
+        Some(w) => println!("sample document outside: {}", w.display(&alpha)),
+        None => println!("(the transformation is text-preserving on the whole schema)"),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,263 @@
+//! Plain-text formats for schemas and transducers, so the checker works as
+//! a standalone tool (see `src/bin/textpres.rs`).
+//!
+//! ## Schema files
+//!
+//! ```text
+//! # comments start with '#'
+//! start doc
+//! elem doc  = (keep | drop)*
+//! elem keep = text
+//! elem drop = text
+//! ```
+//!
+//! `start` declares a start symbol (repeatable); `elem σ = regex` defines a
+//! content model in the syntax of [`tpx_automata::parse_regex`] with the
+//! reserved word `text` for text nodes.
+//!
+//! ## Transducer files
+//!
+//! ```text
+//! initial q0
+//! rule q0 doc -> doc(q)
+//! rule q  keep -> keep(qt)
+//! text qt
+//! ```
+//!
+//! `rule q σ -> rhs` uses the term syntax of [`tpx_trees::term`], where
+//! identifiers naming declared states are state leaves (states are declared
+//! by appearing as a rule source, in `initial`, or in `state` lines).
+
+use std::fmt;
+use tpx_schema::{Dtd, DtdBuilder};
+use tpx_topdown::{Transducer, TransducerBuilder};
+use tpx_trees::Alphabet;
+
+/// Error from the file parsers, with a line number.
+#[derive(Clone, Debug)]
+pub struct FormatError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, FormatError> {
+    Err(FormatError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn meaningful(src: &str) -> impl Iterator<Item = (usize, &str)> {
+    src.lines().enumerate().filter_map(|(i, raw)| {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        (!line.is_empty()).then_some((i + 1, line))
+    })
+}
+
+/// Parses a schema file, interning labels into `alpha`.
+pub fn parse_schema(src: &str, alpha: &mut Alphabet) -> Result<Dtd, FormatError> {
+    // First pass: intern all element names so the builder sees a complete
+    // alphabet.
+    let mut decls: Vec<(usize, String, String)> = Vec::new();
+    let mut starts: Vec<(usize, String)> = Vec::new();
+    for (line, text) in meaningful(src) {
+        if let Some(rest) = text.strip_prefix("start ") {
+            let name = rest.trim();
+            alpha.intern(name);
+            starts.push((line, name.to_owned()));
+        } else if let Some(rest) = text.strip_prefix("elem ") {
+            let Some((name, content)) = rest.split_once('=') else {
+                return err(line, "expected `elem name = content-model`");
+            };
+            let name = name.trim();
+            if name == "text" {
+                return err(line, "`text` is reserved for text nodes");
+            }
+            alpha.intern(name);
+            decls.push((line, name.to_owned(), content.trim().to_owned()));
+        } else {
+            return err(line, format!("unrecognized directive {text:?}"));
+        }
+    }
+    // Intern labels mentioned only inside content models.
+    for (_, _, content) in &decls {
+        for token in content.split(|c: char| !(c.is_alphanumeric() || c == '_' || c == '-')) {
+            if !token.is_empty() && token != "text" && !token.starts_with('%') {
+                alpha.intern(token);
+            }
+        }
+    }
+    let mut b = DtdBuilder::new(alpha);
+    if starts.is_empty() {
+        return err(1, "schema needs at least one `start` symbol");
+    }
+    for (_, name) in &starts {
+        b.start(name);
+    }
+    for (line, name, content) in &decls {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.elem(name, content);
+        }));
+        if result.is_err() {
+            return err(*line, format!("bad content model for {name:?}: {content}"));
+        }
+    }
+    Ok(b.finish())
+}
+
+/// Parses a transducer file against a (complete) alphabet.
+pub fn parse_transducer(src: &str, alpha: &Alphabet) -> Result<Transducer, FormatError> {
+    let mut initial: Option<(usize, String)> = None;
+    let mut states: Vec<String> = Vec::new();
+    let mut rules: Vec<(usize, String, String, String)> = Vec::new();
+    let mut text_rules: Vec<(usize, String)> = Vec::new();
+    for (line, text) in meaningful(src) {
+        if let Some(rest) = text.strip_prefix("initial ") {
+            if initial.is_some() {
+                return err(line, "duplicate `initial`");
+            }
+            initial = Some((line, rest.trim().to_owned()));
+        } else if let Some(rest) = text.strip_prefix("state ") {
+            states.push(rest.trim().to_owned());
+        } else if let Some(rest) = text.strip_prefix("rule ") {
+            let Some((head, rhs)) = rest.split_once("->") else {
+                return err(line, "expected `rule state label -> rhs`");
+            };
+            let parts: Vec<&str> = head.split_whitespace().collect();
+            let [state, label] = parts.as_slice() else {
+                return err(line, "expected `rule state label -> rhs`");
+            };
+            rules.push((
+                line,
+                (*state).to_owned(),
+                (*label).to_owned(),
+                rhs.trim().to_owned(),
+            ));
+        } else if let Some(rest) = text.strip_prefix("text ") {
+            text_rules.push((line, rest.trim().to_owned()));
+        } else {
+            return err(line, format!("unrecognized directive {text:?}"));
+        }
+    }
+    let Some((_, initial)) = initial else {
+        return err(1, "transducer needs an `initial` state");
+    };
+    let mut b = TransducerBuilder::new(alpha, &initial);
+    for s in &states {
+        b.state(s);
+    }
+    // Declare all rule-source and text states before parsing right-hand
+    // sides (state names shadow labels in rhs terms).
+    for (_, state, _, _) in &rules {
+        b.state(state);
+    }
+    for (_, state) in &text_rules {
+        b.state(state);
+    }
+    for (line, state, label, rhs) in &rules {
+        if alpha.get(label).is_none() {
+            return err(*line, format!("label {label:?} not in the schema alphabet"));
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.rule(state, label, rhs);
+        }));
+        if result.is_err() {
+            return err(*line, format!("bad rule rhs: {rhs}"));
+        }
+    }
+    for (_, state) in &text_rules {
+        b.text_rule(state);
+    }
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.finish()));
+    result.map_err(|_| FormatError {
+        line: 1,
+        message: "transducer construction failed (see rule errors above)".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCHEMA: &str = "
+# a tiny document schema
+start doc
+elem doc  = (keep | drop)*
+elem keep = text
+elem drop = text
+";
+
+    const TRANSDUCER: &str = "
+initial q0
+rule q0 doc -> doc(q)
+rule q  keep -> keep(qt)
+text qt
+";
+
+    #[test]
+    fn schema_round_trip() {
+        let mut alpha = Alphabet::new();
+        let dtd = parse_schema(SCHEMA, &mut alpha).unwrap();
+        assert!(dtd.is_reduced());
+        let mut scratch = alpha.clone();
+        let t = tpx_trees::term::parse_tree(r#"doc(keep("x") drop("y"))"#, &mut scratch)
+            .unwrap();
+        assert!(dtd.validates(&t));
+    }
+
+    #[test]
+    fn transducer_round_trip_and_check() {
+        let mut alpha = Alphabet::new();
+        let dtd = parse_schema(SCHEMA, &mut alpha).unwrap();
+        let t = parse_transducer(TRANSDUCER, &alpha).unwrap();
+        assert!(crate::check_topdown(&t, &dtd.to_nta()).is_preserving());
+    }
+
+    #[test]
+    fn copying_transducer_file_detected() {
+        let mut alpha = Alphabet::new();
+        let dtd = parse_schema(SCHEMA, &mut alpha).unwrap();
+        let t = parse_transducer(
+            "initial q0\nrule q0 doc -> doc(q q)\nrule q keep -> keep(qt)\ntext qt\n",
+            &alpha,
+        )
+        .unwrap();
+        assert!(!crate::check_topdown(&t, &dtd.to_nta()).is_preserving());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let mut alpha = Alphabet::new();
+        let e = parse_schema("start doc\nbogus line", &mut alpha).unwrap_err();
+        assert_eq!(e.line, 2);
+        let e2 = parse_schema("elem doc = keep*", &mut alpha).unwrap_err();
+        assert_eq!(e2.line, 1); // no start symbol
+        let dtd_alpha = {
+            let mut a = Alphabet::new();
+            parse_schema(SCHEMA, &mut a).unwrap();
+            a
+        };
+        let e3 = parse_transducer("rule q0 doc -> doc(q)", &dtd_alpha).unwrap_err();
+        assert!(e3.message.contains("initial"));
+        let e4 =
+            parse_transducer("initial q0\nrule q0 nosuch -> doc(q)", &dtd_alpha).unwrap_err();
+        assert_eq!(e4.line, 2);
+    }
+
+    #[test]
+    fn reserved_text_label_rejected() {
+        let mut alpha = Alphabet::new();
+        let e = parse_schema("start text\nelem text = %eps", &mut alpha);
+        assert!(e.is_err());
+    }
+}

@@ -1,0 +1,710 @@
+//! Two-way alternating tree-walking automata (2ATWA) and the translation
+//! from tree-jumping automata with XPath transitions (Lemma 5.16).
+//!
+//! The model here is the *weak* stratified variant: every state carries a
+//! stratum `level` and within one level the semantics is a pure least
+//! fixpoint (existential / reachability, even negation depth) or greatest
+//! fixpoint (universal / safety, odd negation depth). This is exactly what
+//! the Core-XPath translation produces: negation of a node expression
+//! dualizes the walker and descends one stratum.
+//!
+//! Per-tree acceptance is computed by solving the induced fixpoints on the
+//! finite configuration space `states × nodes` — the alternating
+//! reachability game of the paper's Section 5.4. (Worst-case-optimal
+//! *emptiness* of 2ATWA is not implemented; the decision procedures route
+//! through the MSO pipeline instead — see DESIGN.md, substitution 2.)
+
+use std::collections::HashMap;
+use tpx_trees::{Hedge, NodeId, NodeLabel, Symbol, Tree};
+use tpx_xpath::{Axis, NodeExpr, PathExpr};
+
+/// A walking move.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Move {
+    /// Stay at the current node.
+    Stay,
+    /// To the first child.
+    FirstChild,
+    /// To the parent.
+    Parent,
+    /// To the next sibling.
+    NextSib,
+    /// To the previous sibling.
+    PrevSib,
+}
+
+impl Move {
+    fn apply(self, h: &Hedge, v: NodeId) -> Option<NodeId> {
+        match self {
+            Move::Stay => Some(v),
+            Move::FirstChild => h.first_child(v),
+            Move::Parent => h.parent(v),
+            Move::NextSib => h.next_sibling(v),
+            Move::PrevSib => h.prev_sibling(v),
+        }
+    }
+}
+
+/// A local node test.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeTest {
+    /// Always true.
+    True,
+    /// The node is labelled `σ`.
+    Label(Symbol),
+    /// The node is not labelled `σ` (text nodes pass).
+    NotLabel(Symbol),
+    /// The node is a text node.
+    IsText,
+    /// The node is not a text node.
+    NotText,
+}
+
+impl NodeTest {
+    fn holds(self, h: &Hedge, v: NodeId) -> bool {
+        match self {
+            NodeTest::True => true,
+            NodeTest::Label(s) => matches!(h.label(v), NodeLabel::Elem(l) if *l == s),
+            NodeTest::NotLabel(s) => !matches!(h.label(v), NodeLabel::Elem(l) if *l == s),
+            NodeTest::IsText => h.is_text(v),
+            NodeTest::NotText => !h.is_text(v),
+        }
+    }
+}
+
+/// A positive boolean formula over moves.
+#[derive(Clone, Debug)]
+pub enum Bf {
+    /// Accept.
+    True,
+    /// Reject.
+    False,
+    /// Existential atom: the move must be possible and the target
+    /// configuration accepting.
+    Atom(Move, usize),
+    /// Universal atom: if the move is possible, the target configuration
+    /// must be accepting (vacuously true otherwise).
+    UAtom(Move, usize),
+    /// Conjunction.
+    And(Box<Bf>, Box<Bf>),
+    /// Disjunction.
+    Or(Box<Bf>, Box<Bf>),
+}
+
+impl Bf {
+    fn and(self, other: Bf) -> Bf {
+        Bf::And(Box::new(self), Box::new(other))
+    }
+    fn or(self, other: Bf) -> Bf {
+        Bf::Or(Box::new(self), Box::new(other))
+    }
+}
+
+/// The fixpoint kind of a stratum.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Stratum {
+    /// Least fixpoint: runs must terminate (existential polarity).
+    Least,
+    /// Greatest fixpoint: runs may loop forever (universal polarity).
+    Greatest,
+}
+
+struct StateInfo {
+    /// `(test, formula)` alternatives; a configuration is accepting when
+    /// some alternative's test holds and its formula evaluates true.
+    transitions: Vec<(NodeTest, Bf)>,
+    level: usize,
+    kind: Stratum,
+}
+
+/// A weak two-way alternating tree-walking automaton over unranked trees.
+pub struct Atwa {
+    states: Vec<StateInfo>,
+    initial: usize,
+}
+
+impl Atwa {
+    /// An automaton with no states yet.
+    pub fn new() -> Self {
+        Atwa {
+            states: Vec::new(),
+            initial: 0,
+        }
+    }
+
+    /// Adds a state in the given stratum.
+    pub fn add_state(&mut self, level: usize, kind: Stratum) -> usize {
+        self.states.push(StateInfo {
+            transitions: Vec::new(),
+            level,
+            kind,
+        });
+        self.states.len() - 1
+    }
+
+    /// Adds a transition alternative to `state`.
+    pub fn add_transition(&mut self, state: usize, test: NodeTest, bf: Bf) {
+        self.states[state].transitions.push((test, bf));
+    }
+
+    /// Sets the initial state.
+    pub fn set_initial(&mut self, q: usize) {
+        self.initial = q;
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the automaton accepts `t` (run started at the root).
+    pub fn accepts(&self, t: &Tree) -> bool {
+        self.accepting_table(t)[(self.initial, t.root().index())]
+    }
+
+    /// Whether a run started at node `v` in state `q` accepts.
+    pub fn accepts_from(&self, t: &Tree, q: usize, v: NodeId) -> bool {
+        self.accepting_table(t)[(q, v.index())]
+    }
+
+    /// Solves the stratified fixpoints on `states × nodes`.
+    fn accepting_table(&self, t: &Tree) -> AcceptTable {
+        let h: &Hedge = t;
+        let nodes = h.dfs();
+        let n_nodes = h.node_count();
+        let mut acc = vec![false; self.states.len() * n_nodes];
+        let idx = |q: usize, v: usize| q * n_nodes + v;
+        // Strata from innermost (highest level) outwards.
+        let mut levels: Vec<usize> = self.states.iter().map(|s| s.level).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        for &level in levels.iter().rev() {
+            let members: Vec<usize> = (0..self.states.len())
+                .filter(|&q| self.states[q].level == level)
+                .collect();
+            // Initialize per kind.
+            for &q in &members {
+                let init = self.states[q].kind == Stratum::Greatest;
+                for v in 0..n_nodes {
+                    acc[idx(q, v)] = init;
+                }
+            }
+            // Fixpoint iteration within the stratum.
+            loop {
+                let mut changed = false;
+                for &q in &members {
+                    for &v in &nodes {
+                        let val = self.states[q].transitions.iter().any(|(test, bf)| {
+                            test.holds(h, v) && self.eval(bf, h, v, &acc, n_nodes)
+                        });
+                        let slot = idx(q, v.index());
+                        if acc[slot] != val {
+                            // Monotone in the right direction by weakness:
+                            // Least strata only gain, Greatest only lose.
+                            acc[slot] = val;
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+        AcceptTable { acc, n_nodes }
+    }
+
+    fn eval(&self, bf: &Bf, h: &Hedge, v: NodeId, acc: &[bool], n_nodes: usize) -> bool {
+        match bf {
+            Bf::True => true,
+            Bf::False => false,
+            Bf::Atom(m, q) => m
+                .apply(h, v)
+                .is_some_and(|u| acc[*q * n_nodes + u.index()]),
+            Bf::UAtom(m, q) => m
+                .apply(h, v)
+                .map_or(true, |u| acc[*q * n_nodes + u.index()]),
+            Bf::And(a, b) => {
+                self.eval(a, h, v, acc, n_nodes) && self.eval(b, h, v, acc, n_nodes)
+            }
+            Bf::Or(a, b) => {
+                self.eval(a, h, v, acc, n_nodes) || self.eval(b, h, v, acc, n_nodes)
+            }
+        }
+    }
+}
+
+impl Default for Atwa {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct AcceptTable {
+    acc: Vec<bool>,
+    n_nodes: usize,
+}
+
+impl std::ops::Index<(usize, usize)> for AcceptTable {
+    type Output = bool;
+    fn index(&self, (q, v): (usize, usize)) -> &bool {
+        &self.acc[q * self.n_nodes + v]
+    }
+}
+
+/// Compiles Core XPath machinery into an [`Atwa`] (the constructive content
+/// of Lemma 5.16). `level` is the current negation depth; `pos` its parity.
+pub struct XPathCompiler<'a> {
+    atwa: &'a mut Atwa,
+}
+
+impl<'a> XPathCompiler<'a> {
+    /// Wraps an automaton under construction.
+    pub fn new(atwa: &'a mut Atwa) -> Self {
+        XPathCompiler { atwa }
+    }
+
+    fn kind(level: usize) -> Stratum {
+        if level % 2 == 0 {
+            Stratum::Least
+        } else {
+            Stratum::Greatest
+        }
+    }
+
+    /// A state accepting iff `∃u α(v, u) ∧ acc(cont, u)` holds at the
+    /// current node `v`.
+    pub fn walk(&mut self, alpha: &PathExpr, cont: usize, level: usize) -> usize {
+        match alpha {
+            PathExpr::Dot => cont,
+            PathExpr::Axis(ax) => {
+                let s = self.atwa.add_state(level, Self::kind(level));
+                // A step to the axis target, plus sweeping further siblings
+                // for the child axis (child = first-child then next-sib*).
+                match ax {
+                    Axis::Child => {
+                        let sweep = self.atwa.add_state(level, Self::kind(level));
+                        self.atwa.add_transition(
+                            sweep,
+                            NodeTest::True,
+                            Bf::Atom(Move::Stay, cont).or(Bf::Atom(Move::NextSib, sweep)),
+                        );
+                        self.atwa
+                            .add_transition(s, NodeTest::True, Bf::Atom(Move::FirstChild, sweep));
+                    }
+                    Axis::Parent => {
+                        // Parent of v: walk up over preceding siblings? No —
+                        // the unranked parent is reached by prev-sib* then
+                        // parent; but our Move::Parent is the unranked
+                        // parent already.
+                        self.atwa
+                            .add_transition(s, NodeTest::True, Bf::Atom(Move::Parent, cont));
+                    }
+                    Axis::NextSibling => {
+                        self.atwa
+                            .add_transition(s, NodeTest::True, Bf::Atom(Move::NextSib, cont));
+                    }
+                    Axis::PrevSibling => {
+                        self.atwa
+                            .add_transition(s, NodeTest::True, Bf::Atom(Move::PrevSib, cont));
+                    }
+                }
+                s
+            }
+            PathExpr::Seq(a, b) => {
+                let mid = self.walk(b, cont, level);
+                self.walk(a, mid, level)
+            }
+            PathExpr::Union(a, b) => {
+                let sa = self.walk(a, cont, level);
+                let sb = self.walk(b, cont, level);
+                let s = self.atwa.add_state(level, Self::kind(level));
+                self.atwa.add_transition(
+                    s,
+                    NodeTest::True,
+                    Bf::Atom(Move::Stay, sa).or(Bf::Atom(Move::Stay, sb)),
+                );
+                s
+            }
+            PathExpr::Filter(a, phi) => {
+                let gate = self.atwa.add_state(level, Self::kind(level));
+                let check = self.check(phi, level);
+                self.atwa.add_transition(
+                    gate,
+                    NodeTest::True,
+                    Bf::Atom(Move::Stay, check).and(Bf::Atom(Move::Stay, cont)),
+                );
+                self.walk(a, gate, level)
+            }
+            PathExpr::Star(a) => {
+                let s = self.atwa.add_state(level, Self::kind(level));
+                let body = self.walk(a, s, level);
+                self.atwa.add_transition(
+                    s,
+                    NodeTest::True,
+                    Bf::Atom(Move::Stay, cont).or(Bf::Atom(Move::Stay, body)),
+                );
+                s
+            }
+        }
+    }
+
+    /// The dual walker: accepting iff `∀u α(v, u) → acc(cont, u)`.
+    fn dwalk(&mut self, alpha: &PathExpr, cont: usize, level: usize) -> usize {
+        match alpha {
+            PathExpr::Dot => cont,
+            PathExpr::Axis(ax) => {
+                let s = self.atwa.add_state(level, Self::kind(level));
+                match ax {
+                    Axis::Child => {
+                        let sweep = self.atwa.add_state(level, Self::kind(level));
+                        self.atwa.add_transition(
+                            sweep,
+                            NodeTest::True,
+                            Bf::UAtom(Move::Stay, cont).and(Bf::UAtom(Move::NextSib, sweep)),
+                        );
+                        self.atwa
+                            .add_transition(s, NodeTest::True, Bf::UAtom(Move::FirstChild, sweep));
+                    }
+                    Axis::Parent => {
+                        self.atwa
+                            .add_transition(s, NodeTest::True, Bf::UAtom(Move::Parent, cont));
+                    }
+                    Axis::NextSibling => {
+                        self.atwa
+                            .add_transition(s, NodeTest::True, Bf::UAtom(Move::NextSib, cont));
+                    }
+                    Axis::PrevSibling => {
+                        self.atwa
+                            .add_transition(s, NodeTest::True, Bf::UAtom(Move::PrevSib, cont));
+                    }
+                }
+                s
+            }
+            PathExpr::Seq(a, b) => {
+                let mid = self.dwalk(b, cont, level);
+                self.dwalk(a, mid, level)
+            }
+            PathExpr::Union(a, b) => {
+                let sa = self.dwalk(a, cont, level);
+                let sb = self.dwalk(b, cont, level);
+                let s = self.atwa.add_state(level, Self::kind(level));
+                self.atwa.add_transition(
+                    s,
+                    NodeTest::True,
+                    Bf::Atom(Move::Stay, sa).and(Bf::Atom(Move::Stay, sb)),
+                );
+                s
+            }
+            PathExpr::Filter(a, phi) => {
+                // ∀u a(v,u) → (φ(u) → cont(u)) = ∀u a(v,u) → (¬φ(u) ∨ cont).
+                let gate = self.atwa.add_state(level, Self::kind(level));
+                let notphi = self.check(&NodeExpr::Not(Box::new(phi.as_ref().clone())), level);
+                self.atwa.add_transition(
+                    gate,
+                    NodeTest::True,
+                    Bf::Atom(Move::Stay, notphi).or(Bf::Atom(Move::Stay, cont)),
+                );
+                self.dwalk(a, gate, level)
+            }
+            PathExpr::Star(a) => {
+                let s = self.atwa.add_state(level, Self::kind(level));
+                let body = self.dwalk(a, s, level);
+                self.atwa.add_transition(
+                    s,
+                    NodeTest::True,
+                    Bf::Atom(Move::Stay, cont).and(Bf::Atom(Move::Stay, body)),
+                );
+                s
+            }
+        }
+    }
+
+    /// A state accepting iff the node expression holds at the current node.
+    pub fn check(&mut self, phi: &NodeExpr, level: usize) -> usize {
+        match phi {
+            NodeExpr::True => {
+                let s = self.atwa.add_state(level, Self::kind(level));
+                self.atwa.add_transition(s, NodeTest::True, Bf::True);
+                s
+            }
+            NodeExpr::Label(sym) => {
+                let s = self.atwa.add_state(level, Self::kind(level));
+                self.atwa.add_transition(s, NodeTest::Label(*sym), Bf::True);
+                s
+            }
+            NodeExpr::IsText => {
+                let s = self.atwa.add_state(level, Self::kind(level));
+                self.atwa.add_transition(s, NodeTest::IsText, Bf::True);
+                s
+            }
+            NodeExpr::And(a, b) => {
+                let sa = self.check(a, level);
+                let sb = self.check(b, level);
+                let s = self.atwa.add_state(level, Self::kind(level));
+                self.atwa.add_transition(
+                    s,
+                    NodeTest::True,
+                    Bf::Atom(Move::Stay, sa).and(Bf::Atom(Move::Stay, sb)),
+                );
+                s
+            }
+            NodeExpr::Has(alpha) => {
+                let acc = self.check(&NodeExpr::True, level);
+                self.walk(alpha, acc, level)
+            }
+            NodeExpr::Not(inner) => self.check_neg(inner, level + 1),
+        }
+    }
+
+    /// A state accepting iff the node expression does *not* hold.
+    fn check_neg(&mut self, phi: &NodeExpr, level: usize) -> usize {
+        match phi {
+            NodeExpr::True => {
+                // Never accepts.
+                self.atwa.add_state(level, Self::kind(level))
+            }
+            NodeExpr::Label(sym) => {
+                let s = self.atwa.add_state(level, Self::kind(level));
+                self.atwa
+                    .add_transition(s, NodeTest::NotLabel(*sym), Bf::True);
+                s
+            }
+            NodeExpr::IsText => {
+                let s = self.atwa.add_state(level, Self::kind(level));
+                self.atwa.add_transition(s, NodeTest::NotText, Bf::True);
+                s
+            }
+            NodeExpr::And(a, b) => {
+                let sa = self.check_neg(a, level);
+                let sb = self.check_neg(b, level);
+                let s = self.atwa.add_state(level, Self::kind(level));
+                self.atwa.add_transition(
+                    s,
+                    NodeTest::True,
+                    Bf::Atom(Move::Stay, sa).or(Bf::Atom(Move::Stay, sb)),
+                );
+                s
+            }
+            NodeExpr::Has(alpha) => {
+                // ¬∃u α(v,u): the dual walk into a never-accepting cont…
+                // i.e. ∀u α(v,u) → ⊥.
+                let never = self.atwa.add_state(level, Self::kind(level));
+                self.dwalk(alpha, never, level)
+            }
+            NodeExpr::Not(inner) => self.check(inner, level + 1),
+        }
+    }
+}
+
+/// A tree-jumping automaton with Core XPath transitions (Section 5.4).
+#[derive(Clone, Debug)]
+pub struct TjaXPath {
+    /// Number of states.
+    pub n_states: usize,
+    /// The initial state.
+    pub initial: usize,
+    /// Final states.
+    pub finals: Vec<usize>,
+    /// Transitions `(q, φ, α) → q'`.
+    pub transitions: Vec<(usize, NodeExpr, PathExpr, usize)>,
+}
+
+impl TjaXPath {
+    /// Semantic acceptance via jumping runs (fixpoint over
+    /// `(state, node)`).
+    pub fn accepts(&self, t: &Tree) -> bool {
+        let mut reached = std::collections::HashSet::new();
+        let mut stack = vec![(self.initial, t.root())];
+        reached.insert((self.initial, t.root()));
+        // Precompute pattern tables.
+        let tables: Vec<(Vec<bool>, tpx_xpath::Relation)> = self
+            .transitions
+            .iter()
+            .map(|(_, phi, alpha, _)| {
+                (tpx_xpath::eval_node_expr(t, phi), tpx_xpath::all_pairs(t, alpha))
+            })
+            .collect();
+        while let Some((q, v)) = stack.pop() {
+            if self.finals.contains(&q) {
+                return true;
+            }
+            for (i, (from, _, _, to)) in self.transitions.iter().enumerate() {
+                if *from != q || !tables[i].0[v.index()] {
+                    continue;
+                }
+                for &u in tables[i].1.targets(v) {
+                    if reached.insert((*to, u)) {
+                        stack.push((*to, u));
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Lemma 5.16: an equivalent 2ATWA (polynomial construction — one
+    /// walker per transition pattern, alternation only from filters and
+    /// negation).
+    pub fn to_atwa(&self) -> Atwa {
+        let mut atwa = Atwa::new();
+        // One ATWA state per TJA state, allocated first.
+        let mut tja_states: HashMap<usize, usize> = HashMap::new();
+        for q in 0..self.n_states {
+            let s = atwa.add_state(0, Stratum::Least);
+            tja_states.insert(q, s);
+        }
+        for &f in &self.finals {
+            let s = tja_states[&f];
+            atwa.add_transition(s, NodeTest::True, Bf::True);
+        }
+        for (from, phi, alpha, to) in &self.transitions {
+            let target = tja_states[to];
+            let mut c = XPathCompiler::new(&mut atwa);
+            let walker = c.walk(alpha, target, 0);
+            let checker = c.check(phi, 0);
+            let s = tja_states[from];
+            atwa.add_transition(
+                s,
+                NodeTest::True,
+                Bf::Atom(Move::Stay, checker).and(Bf::Atom(Move::Stay, walker)),
+            );
+        }
+        atwa.set_initial(tja_states[&self.initial]);
+        atwa
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpx_trees::term::parse_tree;
+    use tpx_trees::Alphabet;
+
+    fn al() -> Alphabet {
+        Alphabet::from_labels(["a", "b", "c"])
+    }
+
+    /// Checks a node expression against the XPath evaluator on all nodes of
+    /// all sample trees.
+    fn check_expr(src: &str) {
+        let mut alpha = al();
+        let phi = tpx_xpath::parse_node_expr(src, &mut alpha).unwrap();
+        for tsrc in [
+            r#"a(b("x") c b(c "y"))"#,
+            "a",
+            "a(a(a))",
+            r#"c(b b("z") a)"#,
+        ] {
+            let mut al2 = alpha.clone();
+            let t = parse_tree(tsrc, &mut al2).unwrap();
+            let table = tpx_xpath::eval_node_expr(&t, &phi);
+            let mut atwa = Atwa::new();
+            let mut c = XPathCompiler::new(&mut atwa);
+            let s = c.check(&phi, 0);
+            for &v in &t.dfs() {
+                assert_eq!(
+                    atwa.accepts_from(&t, s, v),
+                    table[v.index()],
+                    "{src} on {tsrc} at {v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checkers_match_evaluator() {
+        for src in [
+            "a",
+            "true",
+            "text()",
+            "!a",
+            "a & <child[b]>",
+            "<child[b]/next[c]>",
+            "!<child>",
+            "!(b & <child[text()]>)",
+            "<(child)*[c]>",
+            "!<(child)*[c]>",
+            "<parent/next>",
+            "!<(next)*[b & !<child>]>",
+        ] {
+            check_expr(src);
+        }
+    }
+
+    #[test]
+    fn universal_star_terminates_on_cycles() {
+        // (next/prev)* cycles between two siblings; the greatest-fixpoint
+        // stratum must accept the safe loop: ¬⟨(next/prev)*[c]⟩ on a tree
+        // without c.
+        check_expr("!<(next/prev)*[c]>");
+    }
+
+    #[test]
+    fn lemma_5_16_translation_agrees_with_tja() {
+        let mut alpha = al();
+        // Jump to any b-descendant, then require a text child.
+        let tja = TjaXPath {
+            n_states: 2,
+            initial: 0,
+            finals: vec![1],
+            transitions: vec![(
+                0,
+                tpx_xpath::parse_node_expr("true", &mut alpha).unwrap(),
+                tpx_xpath::parse_path("(child)*[b & <child[text()]>]", &mut alpha).unwrap(),
+                1,
+            )],
+        };
+        let atwa = tja.to_atwa();
+        for tsrc in [
+            r#"a(b("x"))"#,
+            "a(b)",
+            r#"a(c(b("y")))"#,
+            r#"a("t")"#,
+            r#"b("x")"#,
+            "a",
+        ] {
+            let mut al2 = alpha.clone();
+            let t = parse_tree(tsrc, &mut al2).unwrap();
+            assert_eq!(atwa.accepts(&t), tja.accepts(&t), "{tsrc}");
+        }
+    }
+
+    #[test]
+    fn multi_hop_tja_translation() {
+        let mut alpha = al();
+        // Hop 1: root to some c node (anywhere below); hop 2: from the c to
+        // its parent's next sibling labelled b.
+        let tja = TjaXPath {
+            n_states: 3,
+            initial: 0,
+            finals: vec![2],
+            transitions: vec![
+                (
+                    0,
+                    tpx_xpath::parse_node_expr("true", &mut alpha).unwrap(),
+                    tpx_xpath::parse_path("(child)*[c]", &mut alpha).unwrap(),
+                    1,
+                ),
+                (
+                    1,
+                    tpx_xpath::parse_node_expr("c", &mut alpha).unwrap(),
+                    tpx_xpath::parse_path("parent/next[b]", &mut alpha).unwrap(),
+                    2,
+                ),
+            ],
+        };
+        let atwa = tja.to_atwa();
+        for tsrc in [
+            "a(a(c) b)",   // yes
+            "a(a(c) c)",   // no (next is c)
+            "a(c b)",      // c's parent is the root; root has no next
+            "a(b a(c))",   // no b after
+            "a(a(c) a b)", // next of c's parent is a, not b
+        ] {
+            let mut al2 = alpha.clone();
+            let t = parse_tree(tsrc, &mut al2).unwrap();
+            assert_eq!(atwa.accepts(&t), tja.accepts(&t), "{tsrc}");
+        }
+    }
+}

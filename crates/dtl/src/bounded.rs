@@ -1,0 +1,251 @@
+//! The bounded-enumeration baseline: enumerate schema trees up to a size
+//! bound and check the Lemma 5.4/5.5 conditions on each.
+//!
+//! Sound but incomplete (a counter-example may be larger than the bound) —
+//! the exponential comparator for the crossover experiments (E4/E5) and a
+//! cross-validation harness for the symbolic deciders.
+
+use crate::config;
+use crate::pattern::PatternLanguage;
+use crate::transducer::{DtlError, DtlTransducer};
+use tpx_treeauto::{Nta, State};
+use tpx_trees::{Hedge, HedgeBuilder, Symbol, Tree};
+
+/// Enumerates trees of `L(nta)` with at most `max_nodes` nodes (text leaves
+/// carry a placeholder value). Stops after `limit` trees.
+pub fn enumerate_schema_trees(nta: &Nta, max_nodes: usize, limit: usize) -> Vec<Tree> {
+    let mut out = Vec::new();
+    // trees_for(q, budget): all hedges consisting of a single tree rooted in
+    // state q with ≤ budget nodes. Memoized per (state, budget).
+    let mut memo: std::collections::HashMap<(State, usize), Vec<Hedge>> =
+        std::collections::HashMap::new();
+    for &root in nta.roots() {
+        for h in trees_for(nta, root, max_nodes, &mut memo, limit) {
+            if out.len() >= limit {
+                return out;
+            }
+            if let Some(t) = Tree::from_hedge(h.clone()) {
+                out.push(t);
+            }
+        }
+    }
+    out
+}
+
+fn trees_for(
+    nta: &Nta,
+    q: State,
+    budget: usize,
+    memo: &mut std::collections::HashMap<(State, usize), Vec<Hedge>>,
+    limit: usize,
+) -> Vec<Hedge> {
+    if budget == 0 {
+        return Vec::new();
+    }
+    if let Some(hit) = memo.get(&(q, budget)) {
+        return hit.clone();
+    }
+    // Avoid infinite recursion through unproductive cycles: seed the memo
+    // with the empty result.
+    memo.insert((q, budget), Vec::new());
+    let mut result = Vec::new();
+    if nta.text_ok(q) {
+        let mut b = HedgeBuilder::new();
+        b.text("τ");
+        result.push(b.finish());
+    }
+    for sym in 0..nta.symbol_count() {
+        let s = Symbol(sym as u32);
+        let Some(nfa) = nta.content(q, s) else { continue };
+        // Enumerate accepted child-state words with total size ≤ budget - 1,
+        // then all combinations of child trees.
+        let words = accepted_words(nfa, budget - 1);
+        for word in words {
+            let combos = child_combos(nta, &word, budget - 1, memo, limit);
+            for combo in combos {
+                if result.len() >= limit {
+                    break;
+                }
+                let mut b = HedgeBuilder::new();
+                b.open(s);
+                for child in &combo {
+                    b.hedge(child);
+                }
+                b.close();
+                result.push(b.finish());
+            }
+        }
+    }
+    result.truncate(limit);
+    memo.insert((q, budget), result.clone());
+    result
+}
+
+/// Words accepted by the content NFA with length ≤ max_len.
+fn accepted_words(nfa: &tpx_automata::Nfa<State>, max_len: usize) -> Vec<Vec<State>> {
+    let mut out = Vec::new();
+    let mut frontier: Vec<(tpx_automata::StateId, Vec<State>)> = nfa
+        .initial_states()
+        .iter()
+        .map(|&p| (p, Vec::new()))
+        .collect();
+    for _ in 0..=max_len {
+        let mut next = Vec::new();
+        for (p, w) in frontier {
+            if nfa.is_final(p) {
+                out.push(w.clone());
+            }
+            if w.len() < max_len {
+                for (a, r) in nfa.transitions_from(p) {
+                    let mut w2 = w.clone();
+                    w2.push(*a);
+                    next.push((*r, w2));
+                }
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// All combinations of child hedges for a state word within the budget.
+fn child_combos(
+    nta: &Nta,
+    word: &[State],
+    budget: usize,
+    memo: &mut std::collections::HashMap<(State, usize), Vec<Hedge>>,
+    limit: usize,
+) -> Vec<Vec<Hedge>> {
+    if word.is_empty() {
+        return vec![Vec::new()];
+    }
+    let (first, rest) = word.split_first().map(|(f, r)| (*f, r)).unwrap();
+    let mut out = Vec::new();
+    // Reserve at least one node for each remaining sibling.
+    let reserve = rest.len();
+    if budget <= reserve {
+        return out;
+    }
+    for first_tree in trees_for(nta, first, budget - reserve, memo, limit) {
+        let used = first_tree.node_count();
+        for mut tail in child_combos(nta, rest, budget - used, memo, limit) {
+            if out.len() >= limit {
+                return out;
+            }
+            let mut combo = vec![first_tree.clone()];
+            combo.append(&mut tail);
+            out.push(combo);
+        }
+    }
+    out
+}
+
+/// The bounded decider: searches schema trees up to `max_nodes` nodes for a
+/// copying or rearranging witness. `Ok(Some(tree))` is a genuine
+/// counter-example; `Ok(None)` means none exists *within the bound*.
+pub fn bounded_counterexample<P: PatternLanguage>(
+    t: &DtlTransducer<P>,
+    nta: &Nta,
+    max_nodes: usize,
+    limit: usize,
+) -> Result<Option<Tree>, DtlError> {
+    for tree in enumerate_schema_trees(nta, max_nodes, limit) {
+        if config::copying_lemma_5_4(t, &tree)? || config::rearranging_lemma_5_5(t, &tree)? {
+            return Ok(Some(tree));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpx_treeauto::NtaBuilder;
+    use tpx_trees::Alphabet;
+
+    fn alpha() -> Alphabet {
+        Alphabet::from_labels(["a", "b"])
+    }
+
+    fn universal(al: &Alphabet) -> Nta {
+        let mut b = NtaBuilder::new(al);
+        b.root("u");
+        b.rule("u", "a", "(u | ut)*");
+        b.rule("u", "b", "(u | ut)*");
+        b.text_rule("ut");
+        b.finish()
+    }
+
+    #[test]
+    fn enumeration_yields_valid_trees() {
+        let al = alpha();
+        let nta = universal(&al);
+        let trees = enumerate_schema_trees(&nta, 4, 200);
+        assert!(!trees.is_empty());
+        for t in &trees {
+            assert!(nta.accepts(t), "{t:?}");
+            assert!(t.node_count() <= 4);
+        }
+        // All distinct.
+        for (i, a) in trees.iter().enumerate() {
+            for b in trees.iter().skip(i + 1) {
+                assert!(a.as_hedge() != b.as_hedge());
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_respects_content_models() {
+        // Schema: root a with exactly two b-leaf children.
+        let al = alpha();
+        let mut b = NtaBuilder::new(&al);
+        b.root("s");
+        b.rule("s", "a", "sb sb");
+        b.rule("sb", "b", "%eps");
+        let nta = b.finish();
+        let trees = enumerate_schema_trees(&nta, 10, 100);
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].node_count(), 3);
+    }
+
+    #[test]
+    fn bounded_decider_finds_doubling() {
+        use crate::transducer::{DtlState, DtlTransducer, Rhs};
+        use crate::pattern::XPathPatterns;
+        let al = alpha();
+        let mut t = DtlTransducer::new(XPathPatterns, 1, DtlState(0));
+        let c1 = t.add_binary_pattern(tpx_xpath::PathExpr::Axis(tpx_xpath::Axis::Child));
+        let c2 = t.add_binary_pattern(tpx_xpath::PathExpr::Axis(tpx_xpath::Axis::Child));
+        t.add_rule(
+            DtlState(0),
+            tpx_xpath::NodeExpr::Label(al.sym("a")),
+            vec![Rhs::Elem(
+                al.sym("a"),
+                vec![Rhs::Call(DtlState(0), c1), Rhs::Call(DtlState(0), c2)],
+            )],
+        );
+        t.set_text_rule(DtlState(0), true);
+        let nta = universal(&al);
+        let w = bounded_counterexample(&t, &nta, 3, 500).unwrap();
+        let w = w.expect("doubling witness within 3 nodes");
+        assert!(crate::config::copying_on(&t, &w).unwrap());
+    }
+
+    #[test]
+    fn bounded_decider_clears_identity() {
+        use crate::transducer::DtlBuilder;
+        let al = alpha();
+        let mut b = DtlBuilder::new(&al, "q0");
+        b.rule_simple("q0", "a", "a", "q0", "child");
+        b.rule_simple("q0", "b", "b", "q0", "child");
+        b.text_rule("q0");
+        let t = b.finish();
+        let nta = universal(&al);
+        assert!(bounded_counterexample(&t, &nta, 4, 300).unwrap().is_none());
+    }
+}

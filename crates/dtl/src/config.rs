@@ -1,0 +1,363 @@
+//! Per-tree configuration analysis: the relation `;`, path runs, and the
+//! operational characterizations of copying (Lemma 5.4) and rearranging
+//! (Lemma 5.5), checked directly on one tree. Also the semantic oracles of
+//! Definition 3.1 (evaluate on a value-unique copy and inspect the output).
+//!
+//! These are the ground truth against which the symbolic deciders of
+//! [`crate::decide`] are validated, and the engine of the
+//! bounded-enumeration baseline ([`crate::bounded`]).
+
+use crate::pattern::PatternLanguage;
+use crate::transducer::{frontier_calls, DtlError, DtlState, DtlTransducer, PatternTables};
+use std::collections::{HashMap, HashSet};
+
+use tpx_trees::{is_subsequence, make_value_unique, NodeId, Tree};
+
+/// A configuration `(q, v)`.
+pub type Config = (DtlState, NodeId);
+
+/// The configuration graph of `T` on one tree: reachable configurations,
+/// one-step successors (the relation `;`), and for each configuration the
+/// text nodes its runs can output.
+pub struct ConfigGraph {
+    /// Configurations reachable from `(q₀, root)`.
+    pub reachable: HashSet<Config>,
+    /// One-step successors per configuration, with the frontier-call
+    /// position each edge came from: `(position, successor)`.
+    pub successors: HashMap<Config, Vec<(usize, Config)>>,
+    /// Per configuration: the text *nodes* reachable as ends of text path
+    /// runs from it (including itself for accepting text configurations).
+    pub text_ends: HashMap<Config, Vec<NodeId>>,
+}
+
+impl ConfigGraph {
+    /// Builds the configuration graph of `t` on `tree`.
+    pub fn build<P: PatternLanguage>(t: &DtlTransducer<P>, tree: &Tree) -> Result<Self, DtlError> {
+        let h = tree.as_hedge();
+        let tables: PatternTables = t.tables(h);
+        let root_cfg: Config = (t.initial(), tree.root());
+        let mut reachable: HashSet<Config> = HashSet::new();
+        let mut successors: HashMap<Config, Vec<(usize, Config)>> = HashMap::new();
+        let mut stack = vec![root_cfg];
+        reachable.insert(root_cfg);
+        while let Some((q, v)) = stack.pop() {
+            if h.is_text(v) {
+                continue;
+            }
+            let Some(rule_idx) = t.matching_rule(&tables, q, v)? else {
+                continue;
+            };
+            let calls = frontier_calls(&t.rules()[rule_idx].rhs);
+            let mut succ = Vec::new();
+            for (pos, (q2, alpha)) in calls.iter().enumerate() {
+                for &u in &tables.binaries[*alpha][v.index()] {
+                    let c2 = (*q2, u);
+                    succ.push((pos, c2));
+                    if reachable.insert(c2) {
+                        stack.push(c2);
+                    }
+                }
+            }
+            successors.insert((q, v), succ);
+        }
+        // Text-run ends: reverse reachability from accepting text configs.
+        let mut rev: HashMap<Config, Vec<Config>> = HashMap::new();
+        for (&c, succ) in &successors {
+            for (_, c2) in succ {
+                rev.entry(*c2).or_default().push(c);
+            }
+        }
+        let mut text_ends: HashMap<Config, Vec<NodeId>> = HashMap::new();
+        let accepting: Vec<Config> = reachable
+            .iter()
+            .copied()
+            .filter(|&(q, v)| h.is_text(v) && t.text_rule(q))
+            .collect();
+        for end in accepting {
+            // All configs that reach `end` get `end.1` in their text_ends.
+            let mut seen: HashSet<Config> = HashSet::new();
+            let mut st = vec![end];
+            seen.insert(end);
+            while let Some(c) = st.pop() {
+                text_ends.entry(c).or_default().push(end.1);
+                if let Some(preds) = rev.get(&c) {
+                    for &p in preds {
+                        if seen.insert(p) {
+                            st.push(p);
+                        }
+                    }
+                }
+            }
+        }
+        for ends in text_ends.values_mut() {
+            ends.sort_unstable();
+            ends.dedup();
+        }
+        Ok(ConfigGraph {
+            reachable,
+            successors,
+            text_ends,
+        })
+    }
+
+    fn ends(&self, c: Config) -> &[NodeId] {
+        self.text_ends.get(&c).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// Lemma 5.4, per tree: does `T` copy on (the `Text`-closure of) `tree`?
+///
+/// Condition (1): two different text path runs ending in the same node;
+/// condition (2): a text path run through a doubled configuration.
+pub fn copying_lemma_5_4<P: PatternLanguage>(
+    t: &DtlTransducer<P>,
+    tree: &Tree,
+) -> Result<bool, DtlError> {
+    let g = ConfigGraph::build(t, tree)?;
+    for (c, succ) in &g.successors {
+        if !g.reachable.contains(c) {
+            continue;
+        }
+        for (i, &(pos1, c1)) in succ.iter().enumerate() {
+            for &(pos2, c2) in succ.iter().skip(i + 1) {
+                if c1 == c2 {
+                    // Same successor from two different frontier positions
+                    // with the same state: a doubling (condition 2).
+                    if pos1 != pos2 && g.ends(c1).first().is_some() {
+                        return Ok(true);
+                    }
+                } else {
+                    // Two diverging runs (condition 1): need a common end
+                    // node.
+                    let (e1, e2) = (g.ends(c1), g.ends(c2));
+                    if e1.iter().any(|x| e2.contains(x)) {
+                        return Ok(true);
+                    }
+                }
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// Lemma 5.5, per tree: does `T` rearrange on (the `Text`-closure of)
+/// `tree`?
+pub fn rearranging_lemma_5_5<P: PatternLanguage>(
+    t: &DtlTransducer<P>,
+    tree: &Tree,
+) -> Result<bool, DtlError> {
+    let g = ConfigGraph::build(t, tree)?;
+    let h = tree.as_hedge();
+    for (c, succ) in &g.successors {
+        if !g.reachable.contains(c) {
+            continue;
+        }
+        for (i, &(pos_b, cb)) in succ.iter().enumerate() {
+            for &(pos_a, ca) in succ.iter() {
+                // cb from the earlier frontier position (outputs first),
+                // ca from the later one (outputs second).
+                if pos_b < pos_a {
+                    // Condition (1): the later-output run reaches a text
+                    // node strictly before (in document order) one reached
+                    // by the earlier-output run.
+                    if swap_possible(h, g.ends(ca), g.ends(cb)) {
+                        return Ok(true);
+                    }
+                }
+            }
+            // Condition (2): one frontier position, two targets; the
+            // doc-later target's run can end before the doc-earlier
+            // target's run.
+            for &(pos2, c2) in succ.iter().skip(i + 1) {
+                if pos_b == pos2 && cb.0 == c2.0 && cb.1 != c2.1 {
+                    let (first, second) = if h.doc_cmp(cb.1, c2.1) == std::cmp::Ordering::Less
+                    {
+                        (cb, c2)
+                    } else {
+                        (c2, cb)
+                    };
+                    // `second` (doc-later target) outputs before `first`?
+                    // No: same position means output order = target order
+                    // (document order), so a swap needs the run from the
+                    // later target to end before the run from the earlier.
+                    if swap_possible(h, g.ends(second), g.ends(first)) {
+                        return Ok(true);
+                    }
+                }
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// Whether some end `x` of the later-output run precedes some end `y` of
+/// the earlier-output run in document order (`x <lex y` — the swap).
+fn swap_possible(h: &tpx_trees::Hedge, later_output: &[NodeId], earlier_output: &[NodeId]) -> bool {
+    later_output.iter().any(|&x| {
+        earlier_output
+            .iter()
+            .any(|&y| h.doc_cmp(x, y) == std::cmp::Ordering::Less)
+    })
+}
+
+/// Semantic oracle: whether `T` is text-preserving on this tree
+/// (Definition 2.2).
+pub fn text_preserving_on<P: PatternLanguage>(
+    t: &DtlTransducer<P>,
+    input: &Tree,
+) -> Result<bool, DtlError> {
+    let out = t.transform(input)?;
+    Ok(is_subsequence(&out.text_content(), &input.text_content()))
+}
+
+/// Semantic oracle: copying on the value-unique version (Definition 3.1).
+pub fn copying_on<P: PatternLanguage>(
+    t: &DtlTransducer<P>,
+    input: &Tree,
+) -> Result<bool, DtlError> {
+    let unique = Tree::from_hedge(make_value_unique(input.as_hedge())).expect("shape kept");
+    let out = t.transform(&unique)?;
+    let mut seen = HashSet::new();
+    Ok(out.text_content().into_iter().any(|v| !seen.insert(v)))
+}
+
+/// Semantic oracle: rearranging on the value-unique version
+/// (Definition 3.1).
+pub fn rearranging_on<P: PatternLanguage>(
+    t: &DtlTransducer<P>,
+    input: &Tree,
+) -> Result<bool, DtlError> {
+    let unique = Tree::from_hedge(make_value_unique(input.as_hedge())).expect("shape kept");
+    let out = t.transform(&unique)?;
+    let input_content = unique.text_content();
+    let pos: HashMap<&str, usize> = input_content
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i))
+        .collect();
+    let output = out.text_content();
+    for i in 0..output.len() {
+        for j in (i + 1)..output.len() {
+            if let (Some(&pb), Some(&pa)) = (pos.get(output[i]), pos.get(output[j])) {
+                if pa < pb {
+                    return Ok(true);
+                }
+            }
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples;
+    use crate::transducer::DtlBuilder;
+    use tpx_trees::samples::{recipe_alphabet, recipe_tree, recipe_tree_sized};
+    use tpx_trees::Alphabet;
+
+    #[test]
+    fn example_5_15_is_preserving_on_samples() {
+        let mut al = recipe_alphabet();
+        let t = samples::example_5_15(&al);
+        for tree in [
+            recipe_tree(&mut al),
+            recipe_tree_sized(&mut al, 2, 2, 3),
+            recipe_tree_sized(&mut al, 1, 1, 0),
+        ] {
+            assert!(text_preserving_on(&t, &tree).unwrap());
+            assert!(!copying_lemma_5_4(&t, &tree).unwrap());
+            assert!(!rearranging_lemma_5_5(&t, &tree).unwrap());
+            assert!(!copying_on(&t, &tree).unwrap());
+            assert!(!rearranging_on(&t, &tree).unwrap());
+        }
+    }
+
+    #[test]
+    fn copying_jump_detected_by_lemma_and_semantics() {
+        let mut al = recipe_alphabet();
+        let t = samples::copying_jump(&al);
+        let tree = recipe_tree(&mut al);
+        assert!(copying_on(&t, &tree).unwrap());
+        assert!(copying_lemma_5_4(&t, &tree).unwrap());
+        assert!(!text_preserving_on(
+            &t,
+            &Tree::from_hedge(make_value_unique(tree.as_hedge())).unwrap()
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn rearranging_via_swapped_calls() {
+        // (q0, a) → a((q, child[c]), (q, child[b])): c-content before
+        // b-content, but b precedes c in the input.
+        let al = Alphabet::from_labels(["a", "b", "c"]);
+        use crate::transducer::{DtlState, DtlTransducer, Rhs};
+        use crate::pattern::XPathPatterns;
+        let mut scratch = al.clone();
+        let mut t = DtlTransducer::new(XPathPatterns, 2, DtlState(0));
+        let pc = t.add_binary_pattern(tpx_xpath::parse_path("child[c]/child", &mut scratch).unwrap());
+        let pb = t.add_binary_pattern(tpx_xpath::parse_path("child[b]/child", &mut scratch).unwrap());
+        t.add_rule(
+            DtlState(0),
+            tpx_xpath::NodeExpr::Label(al.sym("a")),
+            vec![Rhs::Elem(
+                al.sym("a"),
+                vec![Rhs::Call(DtlState(1), pc), Rhs::Call(DtlState(1), pb)],
+            )],
+        );
+        t.set_text_rule(DtlState(1), true);
+        let mut al2 = al.clone();
+        let tree = tpx_trees::term::parse_tree(r#"a(b("x") c("y"))"#, &mut al2).unwrap();
+        assert!(rearranging_on(&t, &tree).unwrap());
+        assert!(rearranging_lemma_5_5(&t, &tree).unwrap());
+        assert!(!copying_lemma_5_4(&t, &tree).unwrap());
+        assert!(!copying_on(&t, &tree).unwrap());
+        // On a tree with only a b-child there is nothing to swap.
+        let tree2 = tpx_trees::term::parse_tree(r#"a(b("x"))"#, &mut al2).unwrap();
+        assert!(!rearranging_lemma_5_5(&t, &tree2).unwrap());
+        assert!(!rearranging_on(&t, &tree2).unwrap());
+    }
+
+    #[test]
+    fn rearranging_via_reverse_selecting_pattern() {
+        // One call whose pattern selects text nodes; output order follows
+        // document order of targets, so this is NOT rearranging…
+        let al = Alphabet::from_labels(["a"]);
+        let mut b = DtlBuilder::new(&al, "q0");
+        b.rule_simple("q0", "a", "a", "qt", "child");
+        b.text_rule("qt");
+        let t = b.finish();
+        let mut al2 = al.clone();
+        let tree = tpx_trees::term::parse_tree(r#"a("x" "y")"#, &mut al2).unwrap();
+        assert!(!rearranging_lemma_5_5(&t, &tree).unwrap());
+        assert!(!rearranging_on(&t, &tree).unwrap());
+        assert!(text_preserving_on(&t, &tree).unwrap());
+    }
+
+    #[test]
+    fn lemma_checks_agree_with_semantics_on_recipe_suite() {
+        let mut al = recipe_alphabet();
+        let transducers = [samples::example_5_15(&al), samples::copying_jump(&al)];
+        let trees = [
+            recipe_tree(&mut al),
+            recipe_tree_sized(&mut al, 1, 2, 3),
+            recipe_tree_sized(&mut al, 3, 1, 1),
+        ];
+        for t in &transducers {
+            for tree in &trees {
+                let sem_copy = copying_on(t, tree).unwrap();
+                let lem_copy = copying_lemma_5_4(t, tree).unwrap();
+                assert_eq!(sem_copy, lem_copy);
+                let sem_re = rearranging_on(t, tree).unwrap();
+                let lem_re = rearranging_lemma_5_5(t, tree).unwrap();
+                assert_eq!(sem_re, lem_re);
+                // Theorem 3.3 on this tree.
+                let unique =
+                    Tree::from_hedge(make_value_unique(tree.as_hedge())).unwrap();
+                let preserving = text_preserving_on(t, &unique).unwrap();
+                assert_eq!(preserving, !sem_copy && !sem_re);
+            }
+        }
+    }
+}

@@ -1,0 +1,745 @@
+//! The symbolic deciders of Section 5.3 / 5.4: text-preservation for
+//! `DTL_MSO` (Theorem 5.12) and `DTL_XPath` (Theorem 5.18), and the maximal
+//! sub-schema (paper conclusion).
+//!
+//! The construction mirrors the paper's `Σ_mark` recipe very closely. Each
+//! building block — `A^{q,q'}_T` (configuration reachability, via the MSO
+//! encoding of [`crate::reach`]), the pattern automata `A^φ_•`, `A^α_{•,•1}`
+//! and the marker-relation automata `A_{<,◦}` — is compiled *separately* at
+//! a narrow context of at most two marking bits, then cylindrified into the
+//! common marker alphabet, intersected per condition tuple (`G`, `H`, `I`,
+//! `J` in the paper), united, and finally the markers are projected away
+//! with singleton guards. Everything after the narrow compiles is
+//! complement-free, which keeps the pipeline tractable.
+//!
+//! Marker conventions (paper → bit position):
+//!
+//! * copying: `• = 0, •1 = 1, •2 = 2, ◦ = 3`;
+//! * rearranging: `• = 0, •1 = 1, •2 = 2, ◦1 = 3, ◦2 = 4`.
+
+use crate::pattern::{MsoDefinable, MsoPatterns};
+use crate::reach::ReachSystem;
+use crate::transducer::{frontier_calls, DtlState, DtlTransducer};
+use std::collections::HashMap;
+
+use tpx_mso::formula::derived;
+use tpx_mso::{
+    compile_cached, lift, project_bit, strip_bits, CompileCache, Formula, MSym, Var, VarGen,
+    VarKey,
+};
+use tpx_treeauto::{nbta_to_nta, nta_to_nbta, EncSym, Nbta, Nta};
+use tpx_trees::Tree;
+
+/// The outcome of [`dtl_text_preserving`].
+#[derive(Clone, Debug)]
+pub enum DtlCheckReport {
+    /// Text-preserving over the schema.
+    Preserving,
+    /// Not text-preserving; a schema tree on which `T` copies or
+    /// rearranges (text values are placeholders).
+    NotPreserving {
+        /// The witness tree.
+        witness: Tree,
+    },
+}
+
+impl DtlCheckReport {
+    /// Whether the transduction is text-preserving.
+    pub fn is_preserving(&self) -> bool {
+        matches!(self, DtlCheckReport::Preserving)
+    }
+}
+
+/// Shared state for building the component automata.
+struct AutoBuilder {
+    n_symbols: usize,
+    cache: CompileCache,
+    gen: VarGen,
+    sys: ReachSystem,
+    /// Per rule: (state, guard formula at HOLE_X, calls as (state, step
+    /// formula at HOLE_X/HOLE_Y)).
+    rules: Vec<(usize, Formula, Vec<(usize, Formula)>)>,
+    text_states: Vec<usize>,
+    initial: usize,
+    /// Canonical variables for the narrow (≤ 2 bit) compiles.
+    vx: Var,
+    vy: Var,
+    rooted_memo: HashMap<usize, Nbta<MSym>>,
+    reach_text_memo: HashMap<usize, Nbta<MSym>>,
+}
+
+impl AutoBuilder {
+    fn new<P: MsoDefinable>(t: &DtlTransducer<P>, n_symbols: usize) -> Self {
+        let mut gen = VarGen::new();
+        gen.reserve(Var(MsoPatterns::HOLE_Y.0 + 1));
+        let mut rules = Vec::new();
+        for rule in t.rules() {
+            let guard = t
+                .patterns()
+                .unary_formula(&rule.guard, MsoPatterns::HOLE_X, &mut gen);
+            let calls: Vec<(usize, Formula)> = frontier_calls(&rule.rhs)
+                .into_iter()
+                .map(|(q2, alpha)| {
+                    let step = t.patterns().binary_formula(
+                        t.binary_pattern(alpha),
+                        MsoPatterns::HOLE_X,
+                        MsoPatterns::HOLE_Y,
+                        &mut gen,
+                    );
+                    (q2.index(), step)
+                })
+                .collect();
+            rules.push((rule.state.index(), guard, calls));
+        }
+        let mut sys = ReachSystem::new(t.state_count(), &mut gen);
+        for (state, guard, calls) in &rules {
+            for (to, step) in calls {
+                sys.add_edge(*state, guard.clone(), step.clone(), *to);
+            }
+        }
+        let text_states = t
+            .states()
+            .filter(|&q| t.text_rule(q))
+            .map(DtlState::index)
+            .collect();
+        let vx = gen.var();
+        let vy = gen.var();
+        AutoBuilder {
+            n_symbols,
+            cache: CompileCache::new(),
+            gen,
+            sys,
+            rules,
+            text_states,
+            initial: t.initial().index(),
+            vx,
+            vy,
+            rooted_memo: HashMap::new(),
+            reach_text_memo: HashMap::new(),
+        }
+    }
+
+    /// Compiles a formula with free variable `vx` at width 1.
+    fn compile1(&mut self, phi: &Formula) -> Nbta<MSym> {
+        compile_cached(phi, &[VarKey::Fo(self.vx)], self.n_symbols, &mut self.cache)
+    }
+
+    /// Compiles a formula with free variables `vx, vy` at width 2.
+    fn compile2(&mut self, phi: &Formula) -> Nbta<MSym> {
+        compile_cached(
+            phi,
+            &[VarKey::Fo(self.vx), VarKey::Fo(self.vy)],
+            self.n_symbols,
+            &mut self.cache,
+        )
+    }
+
+    /// `A^{q0,q}_{root,•}`: some root-anchored run reaches `(q, vx)`.
+    fn rooted(&mut self, q: usize) -> Nbta<MSym> {
+        if let Some(hit) = self.rooted_memo.get(&q) {
+            return hit.clone();
+        }
+        let r = self.gen.var();
+        let phi = Formula::exists(
+            r,
+            Formula::Root(r).and(self.sys.reach(self.initial, q, r, self.vx)),
+        );
+        let a = self.compile1(&phi);
+        self.rooted_memo.insert(q, a.clone());
+        a
+    }
+
+    /// A text path run from `(p, vx)` ending at the text node `vy`.
+    fn reach_text(&mut self, p: usize) -> Nbta<MSym> {
+        if let Some(hit) = self.reach_text_memo.get(&p) {
+            return hit.clone();
+        }
+        let ends = self.text_states.clone();
+        let phi = Formula::IsText(self.vy).and(Formula::any(
+            ends.into_iter()
+                .map(|e| self.sys.reach(p, e, self.vx, self.vy)),
+        ));
+        let a = self.compile2(&phi);
+        self.reach_text_memo.insert(p, a.clone());
+        a
+    }
+
+    /// Guard formula instantiated at `vx` and compiled (width 1).
+    fn guard_auto(&mut self, guard: &Formula) -> Nbta<MSym> {
+        let phi = guard.rename_fo(MsoPatterns::HOLE_X, self.vx);
+        self.compile1(&phi)
+    }
+
+    /// Step formula instantiated at `(vx, vy)` and compiled (width 2).
+    fn step_auto(&mut self, step: &Formula) -> Nbta<MSym> {
+        let phi = step
+            .rename_fo(MsoPatterns::HOLE_X, self.vx)
+            .rename_fo(MsoPatterns::HOLE_Y, self.vy);
+        self.compile2(&phi)
+    }
+
+    /// `vx <lex vy` (document order), width 2.
+    fn doc_before_auto(&mut self) -> Nbta<MSym> {
+        let phi = derived::doc_before(self.vx, self.vy, &mut self.gen);
+        self.compile2(&phi)
+    }
+
+    /// `vx ≠ vy`, width 2.
+    fn neq_auto(&mut self) -> Nbta<MSym> {
+        let phi = Formula::Eq(self.vx, self.vy).not();
+        self.compile2(&phi)
+    }
+
+    /// The copying counter-example automaton (markers `•, •1, •2, ◦`),
+    /// with the markers already projected away (a sentence automaton).
+    fn copy_auto(&mut self) -> Nbta<EncSym> {
+        let mut disjuncts: Vec<Nbta<EncSym>> = Vec::new();
+        let rules = self.rules.clone();
+        for (state, guard, calls) in &rules {
+            let rooted = self.rooted(*state);
+            let guard_a = self.guard_auto(guard);
+            for (i, (qi, step_i)) in calls.iter().enumerate() {
+                for (j, (qj, step_j)) in calls.iter().enumerate() {
+                    if i >= j {
+                        continue;
+                    }
+                    // Markers: • = 0, •1 = 1, •2 = 2, ◦ = 3.
+                    // Doubling (Lemma 5.4 condition 2): same state, same
+                    // target node, two frontier positions.
+                    if qi == qj {
+                        let factors = vec![
+                            Factor::new(rooted.clone(), vec![0]),
+                            Factor::new(guard_a.clone(), vec![0]),
+                            Factor::new(self.step_auto(step_i), vec![0, 1]),
+                            Factor::new(self.step_auto(step_j), vec![0, 1]),
+                            Factor::new(self.reach_text(*qi), vec![1, 3]),
+                        ];
+                        disjuncts.push(join_eliminate(factors, self.n_symbols));
+                    }
+                    // Two different runs (condition 1): distinct successor
+                    // configurations, common end node.
+                    let mut factors = vec![
+                        Factor::new(rooted.clone(), vec![0]),
+                        Factor::new(guard_a.clone(), vec![0]),
+                        Factor::new(self.step_auto(step_i), vec![0, 1]),
+                        Factor::new(self.step_auto(step_j), vec![0, 2]),
+                        Factor::new(self.reach_text(*qi), vec![1, 3]),
+                        Factor::new(self.reach_text(*qj), vec![2, 3]),
+                    ];
+                    if qi == qj {
+                        factors.push(Factor::new(self.neq_auto(), vec![1, 2]));
+                    }
+                    disjuncts.push(join_eliminate(factors, self.n_symbols));
+                }
+            }
+        }
+        union_sentences(disjuncts, self.n_symbols)
+    }
+
+    /// The rearranging counter-example automaton (markers
+    /// `• = 0, •1 = 1, •2 = 2, ◦1 = 3, ◦2 = 4`), markers projected.
+    fn rearrange_auto(&mut self) -> Nbta<EncSym> {
+        let mut disjuncts: Vec<Nbta<EncSym>> = Vec::new();
+        let rules = self.rules.clone();
+        for (state, guard, calls) in &rules {
+            let rooted = self.rooted(*state);
+            let guard_a = self.guard_auto(guard);
+            for (e, (p1, step_e)) in calls.iter().enumerate() {
+                for (l, (q1, step_l)) in calls.iter().enumerate() {
+                    if e > l {
+                        continue;
+                    }
+                    // α from the later position targets •1; β from the
+                    // earlier position targets •2; the later-output run
+                    // must end doc-earlier: ◦1 <lex ◦2.
+                    let mut factors = vec![
+                        Factor::new(rooted.clone(), vec![0]),
+                        Factor::new(guard_a.clone(), vec![0]),
+                        Factor::new(self.step_auto(step_l), vec![0, 1]),
+                        Factor::new(self.step_auto(step_e), vec![0, 2]),
+                        Factor::new(self.reach_text(*q1), vec![1, 3]),
+                        Factor::new(self.reach_text(*p1), vec![2, 4]),
+                        Factor::new(self.doc_before_auto(), vec![3, 4]),
+                    ];
+                    if e == l {
+                        // Condition (2): one position, two targets with the
+                        // doc-earlier target's run ending doc-later:
+                        // •2 <lex •1.
+                        factors.push(Factor::new(self.doc_before_auto(), vec![2, 1]));
+                    }
+                    disjuncts.push(join_eliminate(factors, self.n_symbols));
+                }
+            }
+        }
+        union_sentences(disjuncts, self.n_symbols)
+    }
+}
+
+/// A relation over marker variables: an automaton whose bit `i` marks the
+/// variable `vars[i]`.
+struct Factor {
+    auto: Nbta<MSym>,
+    vars: Vec<usize>,
+}
+
+impl Factor {
+    fn new(auto: Nbta<MSym>, vars: Vec<usize>) -> Self {
+        Factor { auto, vars }
+    }
+}
+
+/// Joins the factors and existentially eliminates every marker variable,
+/// one at a time in increasing order (the condition graphs of Lemmas
+/// 5.4/5.5 have treewidth 2, so at most three variables are ever live —
+/// keeping every intermediate product over a tiny alphabet).
+fn join_eliminate(mut factors: Vec<Factor>, n_symbols: usize) -> Nbta<EncSym> {
+    let mut all_vars: Vec<usize> = factors.iter().flat_map(|f| f.vars.clone()).collect();
+    all_vars.sort_unstable();
+    all_vars.dedup();
+    for &v in &all_vars {
+        // Factors mentioning v join; the rest pass through.
+        let (touch, rest): (Vec<Factor>, Vec<Factor>) =
+            factors.into_iter().partition(|f| f.vars.contains(&v));
+        factors = rest;
+        let mut scope: Vec<usize> = touch.iter().flat_map(|f| f.vars.clone()).collect();
+        scope.sort_unstable();
+        scope.dedup();
+        // Put v last so project_bit can drop it.
+        scope.retain(|&x| x != v);
+        scope.push(v);
+        let width = scope.len();
+        let joined = touch
+            .into_iter()
+            .map(|f| {
+                let positions: Vec<usize> = f
+                    .vars
+                    .iter()
+                    .map(|x| scope.iter().position(|y| y == x).unwrap())
+                    .collect();
+                lift(&f.auto, n_symbols, &positions, width)
+            })
+            .reduce(|a, b| a.intersect(&b).trim())
+            .expect("v came from some factor");
+        let projected = project_bit(&joined, n_symbols, width - 1, true);
+        scope.pop();
+        factors.push(Factor {
+            auto: projected,
+            vars: scope,
+        });
+    }
+    // All variables eliminated: remaining factors are sentences.
+    let sentence = factors
+        .into_iter()
+        .map(|f| {
+            debug_assert!(f.vars.is_empty());
+            f.auto
+        })
+        .reduce(|a, b| a.intersect(&b).trim())
+        .unwrap_or_else(|| tpx_mso::atomic::true_auto(n_symbols, 0));
+    strip_bits(&sentence, n_symbols)
+}
+
+fn union_sentences(items: Vec<Nbta<EncSym>>, n_symbols: usize) -> Nbta<EncSym> {
+    items
+        .into_iter()
+        .reduce(|a, b| a.union(&b).trim())
+        .unwrap_or_else(|| {
+            strip_bits(&tpx_mso::atomic::false_auto(n_symbols, 0), n_symbols)
+        })
+}
+
+
+/// The regular language of counter-example trees over `Trees_Σ(Text)`: the
+/// compiled `A^copy ∪ A^rearrange` of Section 5.3.
+pub fn counterexample_nbta<P: MsoDefinable>(
+    t: &DtlTransducer<P>,
+    n_symbols: usize,
+) -> Nbta<EncSym> {
+    let mut b = AutoBuilder::new(t, n_symbols);
+    let copy = b.copy_auto();
+    let rearrange = b.rearrange_auto();
+    copy.union(&rearrange).trim()
+}
+
+/// Theorems 5.12 / 5.18: decides whether `t` is text-preserving over
+/// `L(nta)`, with a witness tree when it is not.
+pub fn dtl_text_preserving<P: MsoDefinable>(
+    t: &DtlTransducer<P>,
+    nta: &Nta,
+) -> DtlCheckReport {
+    let ce = counterexample_nbta(t, nta.symbol_count());
+    let schema = nta_to_nbta(nta).trim();
+    let product = ce.intersect(&schema).trim();
+    match product.witness() {
+        None => DtlCheckReport::Preserving,
+        Some(w) => {
+            let witness = tpx_treeauto::convert::decode_witness(&w)
+                .expect("schema trees decode to valid unranked trees");
+            DtlCheckReport::NotPreserving { witness }
+        }
+    }
+}
+
+/// The conclusion's stronger test for DTL: does `t` delete some text value
+/// below a node labelled with one of `labels`, on some tree of `L(nta)`?
+/// Returns a witness tree, or `None` when every such text value is output.
+///
+/// A text value at node `w` is output iff some text path run ends at `w`,
+/// i.e. `∃p (q₀, root) ;* (p, w)` with `(p, text) → text`; deletion below
+/// `σ` is the complement of that, intersected with "w is a text node below
+/// a σ-node".
+pub fn dtl_deleted_text_under<P: MsoDefinable>(
+    t: &DtlTransducer<P>,
+    nta: &Nta,
+    labels: &[tpx_trees::Symbol],
+) -> Option<Tree> {
+    let n_symbols = nta.symbol_count();
+    let mut b = AutoBuilder::new(t, n_symbols);
+    // "Some run outputs the value at vx" at width 1 (vx = the text node).
+    let text_states = b.text_states.clone();
+    let r = b.gen.var();
+    let reached = Formula::exists(
+        r,
+        Formula::Root(r).and(Formula::any(
+            text_states
+                .iter()
+                .map(|&p| b.sys.reach(b.initial, p, r, b.vx)),
+        )),
+    );
+    let vx = b.vx;
+    let under = {
+        let s_var = b.gen.var();
+        Formula::IsText(vx).and(Formula::exists(
+            s_var,
+            Formula::any(
+                labels
+                    .iter()
+                    .map(|&l| Formula::Lab(l, s_var)),
+            )
+            .and(Formula::Descendant(s_var, vx)),
+        ))
+    };
+    let phi = under.and(reached.not());
+    let deleted = compile_cached(
+        &phi,
+        &[VarKey::Fo(vx)],
+        n_symbols,
+        &mut b.cache,
+    );
+    let sentence = project_bit(&deleted, n_symbols, 0, true);
+    let schema = nta_to_nbta(nta).trim();
+    let product = strip_bits(&sentence, n_symbols).intersect(&schema).trim();
+    product.witness().map(|w| {
+        tpx_treeauto::convert::decode_witness(&w).expect("schema trees decode")
+    })
+}
+
+/// Definition 5.1's determinism restriction, decided statically over a
+/// schema: two rules of the same state must never both match a node of a
+/// schema tree. Returns the first offending rule pair with a witness tree,
+/// or `None` when the transducer is deterministic over `L(nta)`.
+pub fn check_determinism<P: MsoDefinable>(
+    t: &DtlTransducer<P>,
+    nta: &Nta,
+) -> Option<(usize, usize, Tree)> {
+    let n_symbols = nta.symbol_count();
+    let mut gen = VarGen::new();
+    gen.reserve(Var(MsoPatterns::HOLE_Y.0 + 1));
+    let mut cache = CompileCache::new();
+    let x = gen.var();
+    let schema = nta_to_nbta(nta).trim();
+    let guards: Vec<(DtlState, Formula)> = t
+        .rules()
+        .iter()
+        .map(|r| {
+            (
+                r.state,
+                t.patterns().unary_formula(&r.guard, MsoPatterns::HOLE_X, &mut gen),
+            )
+        })
+        .collect();
+    for (i, (qi, gi)) in guards.iter().enumerate() {
+        for (j, (qj, gj)) in guards.iter().enumerate().skip(i + 1) {
+            if qi != qj {
+                continue;
+            }
+            let both = Formula::exists(
+                x,
+                gi.rename_fo(MsoPatterns::HOLE_X, x)
+                    .and(gj.rename_fo(MsoPatterns::HOLE_X, x)),
+            );
+            let a = compile_cached(&both, &[], n_symbols, &mut cache);
+            let overlap = strip_bits(&a, n_symbols).intersect(&schema).trim();
+            if let Some(w) = overlap.witness() {
+                let witness = tpx_treeauto::convert::decode_witness(&w)
+                    .expect("schema trees decode");
+                return Some((i, j, witness));
+            }
+        }
+    }
+    None
+}
+
+/// The maximal sub-schema on which `t` is text-preserving (conclusion):
+/// `L(nta) ∖ counterexamples(t)`, as an NTA.
+pub fn dtl_maximal_subschema<P: MsoDefinable>(t: &DtlTransducer<P>, nta: &Nta) -> Nta {
+    let ce = counterexample_nbta(t, nta.symbol_count());
+    let not_ce = ce.determinize().complement().to_nbta().trim();
+    let schema = nta_to_nbta(nta).trim();
+    nbta_to_nta(&schema.intersect(&not_ce).trim(), nta.symbol_count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config;
+    use crate::pattern::XPathPatterns;
+    use crate::transducer::{DtlBuilder, Rhs};
+    use tpx_treeauto::NtaBuilder;
+    use tpx_trees::Alphabet;
+
+    fn alpha() -> Alphabet {
+        Alphabet::from_labels(["a", "b"])
+    }
+
+    /// Universal schema over {a, b} with text anywhere.
+    fn universal(al: &Alphabet) -> Nta {
+        let mut b = NtaBuilder::new(al);
+        b.root("u");
+        b.rule("u", "a", "(u | ut)*");
+        b.rule("u", "b", "(u | ut)*");
+        b.text_rule("ut");
+        b.finish()
+    }
+
+    #[test]
+    fn identity_dtl_is_preserving() {
+        let al = alpha();
+        let mut b = DtlBuilder::new(&al, "q0");
+        b.rule_simple("q0", "a", "a", "q0", "child");
+        b.rule_simple("q0", "b", "b", "q0", "child");
+        b.text_rule("q0");
+        let t = b.finish();
+        let nta = universal(&al);
+        let report = dtl_text_preserving(&t, &nta);
+        assert!(report.is_preserving(), "{report:?}");
+    }
+
+    #[test]
+    fn doubling_dtl_detected_with_valid_witness() {
+        // (q0, a) → a((q0, child), (q0, child)): a doubling.
+        let al = alpha();
+        use tpx_xpath::{Axis, PathExpr};
+        let mut t = DtlTransducer::new(XPathPatterns, 1, DtlState(0));
+        let c1 = t.add_binary_pattern(PathExpr::Axis(Axis::Child));
+        let c2 = t.add_binary_pattern(PathExpr::Axis(Axis::Child));
+        t.add_rule(
+            DtlState(0),
+            tpx_xpath::NodeExpr::Label(al.sym("a")),
+            vec![Rhs::Elem(
+                al.sym("a"),
+                vec![Rhs::Call(DtlState(0), c1), Rhs::Call(DtlState(0), c2)],
+            )],
+        );
+        t.set_text_rule(DtlState(0), true);
+        let nta = universal(&al);
+        let report = dtl_text_preserving(&t, &nta);
+        let DtlCheckReport::NotPreserving { witness } = report else {
+            panic!("doubling must be detected");
+        };
+        assert!(nta.accepts(&witness));
+        assert!(config::copying_on(&t, &witness).unwrap());
+    }
+
+    #[test]
+    fn swap_dtl_detected_with_valid_witness() {
+        // (q0, a) → a((qt, child[text()]), (qt, child[b]/child)):
+        // direct text children first, then text inside b-children —
+        // rearranging when a b-child precedes a text child.
+        let al = alpha();
+        let mut scratch = al.clone();
+        let mut t = DtlTransducer::new(XPathPatterns, 2, DtlState(0));
+        let direct = t.add_binary_pattern(
+            tpx_xpath::parse_path("child[text()]", &mut scratch).unwrap(),
+        );
+        let inner = t.add_binary_pattern(
+            tpx_xpath::parse_path("child[b]/child", &mut scratch).unwrap(),
+        );
+        t.add_rule(
+            DtlState(0),
+            tpx_xpath::NodeExpr::Label(al.sym("a")),
+            vec![Rhs::Elem(
+                al.sym("a"),
+                vec![Rhs::Call(DtlState(1), direct), Rhs::Call(DtlState(1), inner)],
+            )],
+        );
+        t.set_text_rule(DtlState(1), true);
+        let nta = universal(&al);
+        let report = dtl_text_preserving(&t, &nta);
+        let DtlCheckReport::NotPreserving { witness } = report else {
+            panic!("swap must be detected");
+        };
+        assert!(nta.accepts(&witness));
+        assert!(config::rearranging_on(&t, &witness).unwrap());
+    }
+
+    #[test]
+    fn deleting_dtl_is_preserving() {
+        let al = alpha();
+        let mut b = DtlBuilder::new(&al, "q0");
+        b.rule_simple("q0", "a", "a", "q0", "child[b]");
+        b.rule_simple("q0", "b", "b", "qt", "child[text()]");
+        b.text_rule("qt");
+        let t = b.finish();
+        let nta = universal(&al);
+        assert!(dtl_text_preserving(&t, &nta).is_preserving());
+    }
+
+    #[test]
+    fn copying_outside_schema_is_ignored() {
+        // Doubling fires below b-nodes only; one schema forbids b.
+        let al = alpha();
+        let mut scratch = al.clone();
+        let mut t = DtlTransducer::new(XPathPatterns, 2, DtlState(0));
+        let child = t.add_binary_pattern(tpx_xpath::parse_path("child", &mut scratch).unwrap());
+        let c1 = t.add_binary_pattern(tpx_xpath::parse_path("child", &mut scratch).unwrap());
+        let c2 = t.add_binary_pattern(tpx_xpath::parse_path("child", &mut scratch).unwrap());
+        t.add_rule(
+            DtlState(0),
+            tpx_xpath::NodeExpr::Label(al.sym("a")),
+            vec![Rhs::Elem(al.sym("a"), vec![Rhs::Call(DtlState(0), child)])],
+        );
+        t.add_rule(
+            DtlState(0),
+            tpx_xpath::NodeExpr::Label(al.sym("b")),
+            vec![Rhs::Elem(
+                al.sym("b"),
+                vec![Rhs::Call(DtlState(1), c1), Rhs::Call(DtlState(1), c2)],
+            )],
+        );
+        t.set_text_rule(DtlState(0), true);
+        t.set_text_rule(DtlState(1), true);
+        let mut nb = NtaBuilder::new(&al);
+        nb.root("s");
+        nb.rule("s", "a", "(s | st)*");
+        nb.text_rule("st");
+        let only_a = nb.finish();
+        assert!(dtl_text_preserving(&t, &only_a).is_preserving());
+        let report = dtl_text_preserving(&t, &universal(&al));
+        assert!(!report.is_preserving());
+    }
+
+    #[test]
+    fn dtl_deleted_text_under_matches_topdown_extension() {
+        // Keep a-subtrees, drop b-subtrees entirely.
+        let al = alpha();
+        let mut tb = tpx_topdown::TransducerBuilder::new(&al, "q0");
+        tb.rule("q0", "a", "a(q0)");
+        tb.text_rule("q0");
+        let td = tb.finish();
+        let dtl = crate::from_topdown(&td);
+        let nta = universal(&al);
+        // Deletes text under b…
+        let w = dtl_deleted_text_under(&dtl, &nta, &[al.sym("b")])
+            .expect("text under b is deleted");
+        assert!(nta.accepts(&w));
+        // …which the top-down extension also reports.
+        assert!(
+            tpx_topdown::extensions::deleted_text_under(&td, &nta, &[al.sym("b")]).is_some()
+        );
+        // The witness really loses text: some value under a b-node is gone.
+        let out = dtl.transform(&w).unwrap();
+        assert!(out.text_content().len() < w.text_content().len());
+        // But never under a (when not nested below b): restrict the schema
+        // to b-free trees and the test passes.
+        let mut nb = NtaBuilder::new(&al);
+        nb.root("s");
+        nb.rule("s", "a", "(s | st)*");
+        nb.text_rule("st");
+        let only_a = nb.finish();
+        assert!(dtl_deleted_text_under(&dtl, &only_a, &[al.sym("a")]).is_none());
+    }
+
+    #[test]
+    fn determinism_check_accepts_disjoint_guards() {
+        let al = alpha();
+        let mut b = DtlBuilder::new(&al, "q0");
+        b.rule_simple("q0", "a", "a", "q0", "child");
+        b.rule_simple("q0", "b", "b", "q0", "child");
+        b.text_rule("q0");
+        let t = b.finish();
+        assert!(check_determinism(&t, &universal(&al)).is_none());
+    }
+
+    #[test]
+    fn determinism_check_finds_overlap_with_witness() {
+        let al = alpha();
+        let mut b = DtlBuilder::new(&al, "q0");
+        b.rule_simple("q0", "a", "a", "q0", "child");
+        // Overlaps with the rule above on any a-node with a b-child.
+        b.rule_simple("q0", "a & <child[b]>", "b", "q0", "child");
+        let t = b.finish();
+        let (i, j, w) = check_determinism(&t, &universal(&al)).expect("overlap");
+        assert_ne!(i, j);
+        // The witness really triggers both rules.
+        assert!(matches!(
+            t.transform(&w),
+            Err(crate::transducer::DtlError::Nondeterministic { .. })
+        ));
+    }
+
+    #[test]
+    fn determinism_overlap_outside_schema_is_fine() {
+        let al = alpha();
+        let mut b = DtlBuilder::new(&al, "q0");
+        b.rule_simple("q0", "a", "a", "q0", "child");
+        b.rule_simple("q0", "a & <child[b]>", "b", "q0", "child");
+        let t = b.finish();
+        // Schema without b-nodes: the overlap never materializes.
+        let mut nb = NtaBuilder::new(&al);
+        nb.root("s");
+        nb.rule("s", "a", "(s | st)*");
+        nb.text_rule("st");
+        let only_a = nb.finish();
+        assert!(check_determinism(&t, &only_a).is_none());
+    }
+
+    #[test]
+    fn maximal_subschema_for_doubling_below_b() {
+        let al = alpha();
+        let mut scratch = al.clone();
+        let mut t = DtlTransducer::new(XPathPatterns, 2, DtlState(0));
+        let child = t.add_binary_pattern(tpx_xpath::parse_path("child", &mut scratch).unwrap());
+        let c1 = t.add_binary_pattern(tpx_xpath::parse_path("child", &mut scratch).unwrap());
+        let c2 = t.add_binary_pattern(tpx_xpath::parse_path("child", &mut scratch).unwrap());
+        t.add_rule(
+            DtlState(0),
+            tpx_xpath::NodeExpr::Label(al.sym("a")),
+            vec![Rhs::Elem(al.sym("a"), vec![Rhs::Call(DtlState(0), child)])],
+        );
+        t.add_rule(
+            DtlState(0),
+            tpx_xpath::NodeExpr::Label(al.sym("b")),
+            vec![Rhs::Elem(
+                al.sym("b"),
+                vec![Rhs::Call(DtlState(1), c1), Rhs::Call(DtlState(1), c2)],
+            )],
+        );
+        t.set_text_rule(DtlState(0), true);
+        t.set_text_rule(DtlState(1), true);
+        let nta = universal(&al);
+        let max = dtl_maximal_subschema(&t, &nta);
+        assert!(!max.is_empty());
+        let mut al2 = al.clone();
+        let inside = tpx_trees::term::parse_tree(r#"a("x" b)"#, &mut al2).unwrap();
+        assert!(max.accepts(&inside));
+        let outside = tpx_trees::term::parse_tree(r#"a(b("y"))"#, &mut al2).unwrap();
+        assert!(!max.accepts(&outside));
+        let w = max.witness().unwrap();
+        assert!(config::text_preserving_on(
+            &t,
+            &Tree::from_hedge(tpx_trees::make_value_unique(w.as_hedge())).unwrap()
+        )
+        .unwrap());
+    }
+}

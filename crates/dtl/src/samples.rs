@@ -1,0 +1,76 @@
+//! Example 5.15: the DTL_XPath transducer selecting descriptions,
+//! ingredients and instructions from recipes with ≥ 3 positive comments.
+
+use crate::pattern::XPathPatterns;
+use crate::transducer::{DtlBuilder, DtlTransducer};
+use tpx_trees::Alphabet;
+
+/// Example 5.15.
+///
+/// ```text
+/// (q0, recipes) → recipes((q, ↓))
+/// (q,  φ)       → recipe((q, ↓))
+/// (q,  σ)       → σ((q, ↓))   σ ∈ {description, ingredients, br, instructions}
+/// (q,  item)    → (q, ↓)
+/// (q,  text)    → text
+/// φ = recipe ∧ ⟨↓[comments]/↓[positive]/↓[comment]/→[comment]/→[comment]⟩
+/// ```
+pub fn example_5_15(alpha: &Alphabet) -> DtlTransducer<XPathPatterns> {
+    let phi = "recipe & <child[comments]/child[positive]/child[comment]\
+               /next[comment]/next[comment]>";
+    let mut b = DtlBuilder::new(alpha, "q0");
+    b.rule_simple("q0", "recipes", "recipes", "q", "child");
+    b.rule_simple("q", phi, "recipe", "q", "child");
+    for s in ["description", "ingredients", "br", "instructions"] {
+        b.rule_simple("q", s, s, "q", "child");
+    }
+    b.rule_bare("q", "item", "q", "child");
+    b.text_rule("q");
+    b.finish()
+}
+
+/// A copying DTL_XPath transducer: re-emits every description's text twice
+/// (two call occurrences in one rhs — a doubling in the sense of
+/// Lemma 5.4). Used by decider tests.
+pub fn copying_jump(alpha: &Alphabet) -> DtlTransducer<XPathPatterns> {
+    use crate::transducer::{DtlState, Rhs};
+    let mut scratch = alpha.clone();
+    let mut t = DtlTransducer::new(XPathPatterns, 2, DtlState(0));
+    let child = t.add_binary_pattern(tpx_xpath::parse_path("child", &mut scratch).unwrap());
+    let desc_text = t.add_binary_pattern(
+        tpx_xpath::parse_path("child[description]/child", &mut scratch).unwrap(),
+    );
+    let desc_text2 = t.add_binary_pattern(
+        tpx_xpath::parse_path("child[description]/child", &mut scratch).unwrap(),
+    );
+    let recipes = tpx_xpath::NodeExpr::Label(alpha.sym("recipes"));
+    let recipe = tpx_xpath::NodeExpr::Label(alpha.sym("recipe"));
+    t.add_rule(
+        DtlState(0),
+        recipes,
+        vec![Rhs::Elem(alpha.sym("recipes"), vec![Rhs::Call(DtlState(1), child)])],
+    );
+    t.add_rule(
+        DtlState(1),
+        recipe,
+        vec![Rhs::Elem(
+            alpha.sym("recipe"),
+            vec![Rhs::Call(DtlState(1), desc_text), Rhs::Call(DtlState(1), desc_text2)],
+        )],
+    );
+    t.set_text_rule(DtlState(1), true);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_5_15_builds() {
+        let al = tpx_trees::samples::recipe_alphabet();
+        let t = example_5_15(&al);
+        assert_eq!(t.state_count(), 2);
+        assert!(t.rules().len() >= 6);
+    }
+}

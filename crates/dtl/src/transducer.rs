@@ -1,0 +1,634 @@
+//! DTL transducers (Definition 5.1) and their evaluation `⇒_{T,t}`.
+
+use crate::pattern::{PatternLanguage, XPathPatterns};
+use std::collections::HashMap;
+use std::fmt;
+
+use tpx_trees::{Alphabet, Hedge, HedgeBuilder, NodeId, NodeLabel, Symbol, Tree};
+
+/// A DTL state.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DtlState(pub u32);
+
+impl DtlState {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for DtlState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// Index of an interned binary pattern within a transducer.
+pub type BinId = usize;
+
+/// A node of a rule's right-hand side: output element or a call
+/// `(q, α)` (state × binary pattern), allowed at leaves only.
+#[derive(Clone, Debug)]
+pub enum Rhs {
+    /// Output element `δ(...)`.
+    Elem(Symbol, Vec<Rhs>),
+    /// A call `(q, α)`, expanded to `(q, v₁)⋯(q, vₘ)` over the nodes
+    /// selected by pattern `α`.
+    Call(DtlState, BinId),
+}
+
+impl Rhs {
+    /// Size (number of template nodes).
+    pub fn size(&self) -> usize {
+        match self {
+            Rhs::Call(_, _) => 1,
+            Rhs::Elem(_, kids) => 1 + kids.iter().map(Rhs::size).sum::<usize>(),
+        }
+    }
+
+    fn frontier_calls_into(&self, out: &mut Vec<(DtlState, BinId)>) {
+        match self {
+            Rhs::Call(q, a) => out.push((*q, *a)),
+            Rhs::Elem(_, kids) => {
+                for k in kids {
+                    k.frontier_calls_into(out);
+                }
+            }
+        }
+    }
+}
+
+/// The calls on the frontier of a template hedge, in document order —
+/// the paper's `frontier(h)` restricted to `Q × BP(Σ)` labels.
+pub fn frontier_calls(rhs: &[Rhs]) -> Vec<(DtlState, BinId)> {
+    let mut out = Vec::new();
+    for n in rhs {
+        n.frontier_calls_into(&mut out);
+    }
+    out
+}
+
+/// A rule `(q, φ) → h` of `R_Σ`.
+#[derive(Clone, Debug)]
+pub struct DtlRule<U> {
+    /// The state.
+    pub state: DtlState,
+    /// The unary pattern `φ`.
+    pub guard: U,
+    /// The right-hand-side template hedge.
+    pub rhs: Vec<Rhs>,
+}
+
+/// Errors during evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DtlError {
+    /// Two rules of the same state matched one node — the determinism
+    /// restriction of Definition 5.1 is violated on this input.
+    Nondeterministic {
+        /// The state whose rules overlap.
+        state: DtlState,
+        /// The node where two guards held.
+        node: NodeId,
+    },
+    /// The rewriting does not terminate (a configuration depends on
+    /// itself); `T(t)` is undefined.
+    NonTerminating {
+        /// A configuration on the cycle.
+        state: DtlState,
+        /// Its node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for DtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DtlError::Nondeterministic { state, node } => {
+                write!(f, "two rules of {state:?} match node {node:?}")
+            }
+            DtlError::NonTerminating { state, node } => {
+                write!(f, "configuration ({state:?}, {node:?}) rewrites into itself")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DtlError {}
+
+/// A DTL transducer over pattern language `P`.
+#[derive(Clone, Debug)]
+pub struct DtlTransducer<P: PatternLanguage> {
+    pattern_lang: P,
+    n_states: usize,
+    initial: DtlState,
+    rules: Vec<DtlRule<P::Unary>>,
+    /// `(q, text) → text ∈ R_Text`.
+    text_rules: Vec<bool>,
+    /// Interned binary patterns, addressed by [`BinId`].
+    binary_patterns: Vec<P::Binary>,
+}
+
+impl<P: PatternLanguage> DtlTransducer<P> {
+    /// A transducer with `n_states` states and initial state `initial`.
+    pub fn new(pattern_lang: P, n_states: usize, initial: DtlState) -> Self {
+        assert!(initial.index() < n_states);
+        DtlTransducer {
+            pattern_lang,
+            n_states,
+            initial,
+            rules: Vec::new(),
+            text_rules: vec![false; n_states],
+            binary_patterns: Vec::new(),
+        }
+    }
+
+    /// The pattern language instance.
+    pub fn patterns(&self) -> &P {
+        &self.pattern_lang
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.n_states
+    }
+
+    /// The initial state `q₀`.
+    pub fn initial(&self) -> DtlState {
+        self.initial
+    }
+
+    /// All states.
+    pub fn states(&self) -> impl Iterator<Item = DtlState> {
+        (0..self.n_states as u32).map(DtlState)
+    }
+
+    /// Interns a binary pattern, returning its id.
+    pub fn add_binary_pattern(&mut self, alpha: P::Binary) -> BinId {
+        self.binary_patterns.push(alpha);
+        self.binary_patterns.len() - 1
+    }
+
+    /// The binary pattern with id `id`.
+    pub fn binary_pattern(&self, id: BinId) -> &P::Binary {
+        &self.binary_patterns[id]
+    }
+
+    /// All interned binary patterns.
+    pub fn binary_patterns(&self) -> &[P::Binary] {
+        &self.binary_patterns
+    }
+
+    /// Adds a rule `(q, φ) → rhs`.
+    pub fn add_rule(&mut self, state: DtlState, guard: P::Unary, rhs: Vec<Rhs>) {
+        self.rules.push(DtlRule { state, guard, rhs });
+    }
+
+    /// Adds (or removes) `(q, text) → text`.
+    pub fn set_text_rule(&mut self, q: DtlState, enabled: bool) {
+        self.text_rules[q.index()] = enabled;
+    }
+
+    /// Whether `(q, text) → text ∈ R_Text`.
+    pub fn text_rule(&self, q: DtlState) -> bool {
+        self.text_rules[q.index()]
+    }
+
+    /// The rules, in insertion order.
+    pub fn rules(&self) -> &[DtlRule<P::Unary>] {
+        &self.rules
+    }
+
+    /// A size measure: states + total rhs template size + patterns.
+    pub fn size(&self) -> usize {
+        self.n_states
+            + self
+                .rules
+                .iter()
+                .map(|r| r.rhs.iter().map(Rhs::size).sum::<usize>() + 1)
+                .sum::<usize>()
+            + self.binary_patterns.len()
+    }
+
+    /// Precomputes all pattern tables for one tree (the evaluation and the
+    /// per-tree analyses share this).
+    pub fn tables(&self, h: &Hedge) -> PatternTables {
+        let rule_guards = self
+            .rules
+            .iter()
+            .map(|r| self.pattern_lang.unary_table(h, &r.guard))
+            .collect();
+        let binaries = self
+            .binary_patterns
+            .iter()
+            .map(|a| self.pattern_lang.binary_table(h, a))
+            .collect();
+        PatternTables {
+            rule_guards,
+            binaries,
+        }
+    }
+
+    /// The matching rule for `(q, v)`, if exactly one exists.
+    pub fn matching_rule(
+        &self,
+        tables: &PatternTables,
+        q: DtlState,
+        v: NodeId,
+    ) -> Result<Option<usize>, DtlError> {
+        let mut found = None;
+        for (i, rule) in self.rules.iter().enumerate() {
+            if rule.state == q && tables.rule_guards[i][v.index()] {
+                if found.is_some() {
+                    return Err(DtlError::Nondeterministic { state: q, node: v });
+                }
+                found = Some(i);
+            }
+        }
+        Ok(found)
+    }
+
+    /// The transformation `T(t)`, or an error if nondeterministic or
+    /// non-terminating on `t`. Returns the output as a hedge (`ε` when no
+    /// rule applies at the root).
+    pub fn transform(&self, t: &Tree) -> Result<Hedge, DtlError> {
+        let tables = self.tables(t.as_hedge());
+        let mut b = HedgeBuilder::new();
+        let mut on_stack: HashMap<(DtlState, NodeId), bool> = HashMap::new();
+        self.eval_config(
+            t.as_hedge(),
+            &tables,
+            self.initial,
+            t.root(),
+            &mut b,
+            &mut on_stack,
+        )?;
+        Ok(b.finish())
+    }
+
+    fn eval_config(
+        &self,
+        h: &Hedge,
+        tables: &PatternTables,
+        q: DtlState,
+        v: NodeId,
+        b: &mut HedgeBuilder,
+        on_stack: &mut HashMap<(DtlState, NodeId), bool>,
+    ) -> Result<(), DtlError> {
+        match h.label(v) {
+            NodeLabel::Text(val) => {
+                if self.text_rules[q.index()] {
+                    b.text(val);
+                }
+                Ok(())
+            }
+            NodeLabel::Elem(_) => {
+                let Some(rule_idx) = self.matching_rule(tables, q, v)? else {
+                    return Ok(()); // ξ[u ← ε]
+                };
+                if on_stack.insert((q, v), true).is_some() {
+                    return Err(DtlError::NonTerminating { state: q, node: v });
+                }
+                let rhs = self.rules[rule_idx].rhs.clone();
+                for node in &rhs {
+                    self.eval_rhs(h, tables, v, node, b, on_stack)?;
+                }
+                on_stack.remove(&(q, v));
+                Ok(())
+            }
+        }
+    }
+
+    fn eval_rhs(
+        &self,
+        h: &Hedge,
+        tables: &PatternTables,
+        v: NodeId,
+        node: &Rhs,
+        b: &mut HedgeBuilder,
+        on_stack: &mut HashMap<(DtlState, NodeId), bool>,
+    ) -> Result<(), DtlError> {
+        match node {
+            Rhs::Elem(s, kids) => {
+                b.open(*s);
+                for k in kids {
+                    self.eval_rhs(h, tables, v, k, b, on_stack)?;
+                }
+                b.close();
+                Ok(())
+            }
+            Rhs::Call(q2, alpha) => {
+                for &u in &tables.binaries[*alpha][v.index()] {
+                    self.eval_config(h, tables, *q2, u, b, on_stack)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Precomputed pattern truth/selection tables for one tree.
+pub struct PatternTables {
+    /// One truth table per rule (indexed like `rules`).
+    pub rule_guards: Vec<Vec<bool>>,
+    /// One selection table per interned binary pattern.
+    pub binaries: Vec<Vec<Vec<NodeId>>>,
+}
+
+/// Convenience builder for `DTL_XPath` transducers with named states and
+/// textual patterns/templates.
+///
+/// Template syntax: term syntax where a leaf `ident:pattern` is not used;
+/// instead calls are written as `@state(binary-pattern)` is unwieldy in the
+/// term grammar — so templates are built programmatically; see
+/// [`DtlBuilder::rule_simple`], which takes the rhs as a closure-built [`Rhs`]
+/// list, and [`DtlBuilder::rule_simple`] for the common `δ((q, α))` shape.
+pub struct DtlBuilder {
+    alpha: Alphabet,
+    state_names: Vec<String>,
+    state_ids: HashMap<String, DtlState>,
+    initial: String,
+    pending: Vec<(String, String, PendingRhs)>,
+    text_rules: Vec<String>,
+}
+
+enum PendingRhs {
+    /// `out(call-state, call-pattern)`: output element wrapping one call.
+    Wrap(String, String, String),
+    /// A bare call `(state, pattern)`.
+    Bare(String, String),
+}
+
+impl DtlBuilder {
+    /// Starts building over `alpha` with the given initial state.
+    pub fn new(alpha: &Alphabet, initial: &str) -> Self {
+        let mut b = DtlBuilder {
+            alpha: alpha.clone(),
+            state_names: Vec::new(),
+            state_ids: HashMap::new(),
+            initial: initial.to_owned(),
+            pending: Vec::new(),
+            text_rules: Vec::new(),
+        };
+        b.state(initial);
+        b
+    }
+
+    /// Declares a state (idempotent).
+    pub fn state(&mut self, name: &str) -> DtlState {
+        if let Some(&q) = self.state_ids.get(name) {
+            return q;
+        }
+        let q = DtlState(self.state_names.len() as u32);
+        self.state_names.push(name.to_owned());
+        self.state_ids.insert(name.to_owned(), q);
+        q
+    }
+
+    /// Adds `(state, guard) → label((call_state, call_pattern))` — the
+    /// common one-element-wrapping-one-call rule shape of the paper's
+    /// examples. `guard` and `call_pattern` are XPath concrete syntax.
+    pub fn rule_simple(
+        &mut self,
+        state: &str,
+        guard: &str,
+        out_label: &str,
+        call_state: &str,
+        call_pattern: &str,
+    ) -> &mut Self {
+        self.state(state);
+        self.state(call_state);
+        self.pending.push((
+            state.to_owned(),
+            guard.to_owned(),
+            PendingRhs::Wrap(
+                out_label.to_owned(),
+                call_state.to_owned(),
+                call_pattern.to_owned(),
+            ),
+        ));
+        self
+    }
+
+    /// Adds `(state, guard) → (call_state, call_pattern)` — a bare call
+    /// (deleting the element's markup).
+    pub fn rule_bare(
+        &mut self,
+        state: &str,
+        guard: &str,
+        call_state: &str,
+        call_pattern: &str,
+    ) -> &mut Self {
+        self.state(state);
+        self.state(call_state);
+        self.pending.push((
+            state.to_owned(),
+            guard.to_owned(),
+            PendingRhs::Bare(call_state.to_owned(), call_pattern.to_owned()),
+        ));
+        self
+    }
+
+    /// Adds `(state, text) → text`.
+    pub fn text_rule(&mut self, state: &str) -> &mut Self {
+        self.state(state);
+        self.text_rules.push(state.to_owned());
+        self
+    }
+
+    /// Finishes building.
+    pub fn finish(&mut self) -> DtlTransducer<XPathPatterns> {
+        let initial = self.state_ids[&self.initial];
+        let mut t = DtlTransducer::new(XPathPatterns, self.state_names.len(), initial);
+        let mut scratch = self.alpha.clone();
+        for (state, guard, rhs) in &self.pending {
+            let q = self.state_ids[state];
+            let phi = tpx_xpath::parse_node_expr(guard, &mut scratch)
+                .unwrap_or_else(|e| panic!("bad guard {guard:?}: {e}"));
+            let rhs = match rhs {
+                PendingRhs::Wrap(out, cs, cp) => {
+                    let sym = self
+                        .alpha
+                        .get(out)
+                        .unwrap_or_else(|| panic!("label {out:?} not in alphabet"));
+                    let pat = tpx_xpath::parse_path(cp, &mut scratch)
+                        .unwrap_or_else(|e| panic!("bad pattern {cp:?}: {e}"));
+                    let id = t.add_binary_pattern(pat);
+                    vec![Rhs::Elem(sym, vec![Rhs::Call(self.state_ids[cs], id)])]
+                }
+                PendingRhs::Bare(cs, cp) => {
+                    let pat = tpx_xpath::parse_path(cp, &mut scratch)
+                        .unwrap_or_else(|e| panic!("bad pattern {cp:?}: {e}"));
+                    let id = t.add_binary_pattern(pat);
+                    vec![Rhs::Call(self.state_ids[cs], id)]
+                }
+            };
+            t.add_rule(q, phi, rhs);
+        }
+        for name in &self.text_rules {
+            let q = self.state_ids[name];
+            t.set_text_rule(q, true);
+        }
+        t
+    }
+}
+
+/// Translates a top-down uniform tree transducer into an equivalent
+/// `DTL_XPath` transducer (end of Section 5.1): each rule `(q, a) → h`
+/// becomes `(q, lab = a) → h'` where state leaves turn into calls
+/// `(q', child)`.
+pub fn from_topdown(t: &tpx_topdown::Transducer) -> DtlTransducer<XPathPatterns> {
+    let mut out = DtlTransducer::new(
+        XPathPatterns,
+        t.state_count(),
+        DtlState(t.initial().0),
+    );
+    let children = out.add_binary_pattern(tpx_xpath::PathExpr::Axis(tpx_xpath::Axis::Child));
+    for q in t.states() {
+        for sym in 0..t.symbol_count() {
+            let s = Symbol(sym as u32);
+            if let Some(rhs) = t.rhs(q, s) {
+                let guard = tpx_xpath::NodeExpr::Label(s);
+                let converted: Vec<Rhs> =
+                    rhs.iter().map(|n| convert_rhs(n, children)).collect();
+                out.add_rule(DtlState(q.0), guard, converted);
+            }
+        }
+        out.set_text_rule(DtlState(q.0), t.text_rule(q));
+    }
+    out
+}
+
+fn convert_rhs(node: &tpx_topdown::RhsNode, children: BinId) -> Rhs {
+    match node {
+        tpx_topdown::RhsNode::State(p) => Rhs::Call(DtlState(p.0), children),
+        tpx_topdown::RhsNode::Elem(s, kids) => Rhs::Elem(
+            *s,
+            kids.iter().map(|k| convert_rhs(k, children)).collect(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpx_trees::term::parse_tree;
+
+    fn alpha() -> Alphabet {
+        Alphabet::from_labels(["a", "b", "c"])
+    }
+
+    #[test]
+    fn identity_dtl() {
+        let al = alpha();
+        let mut b = DtlBuilder::new(&al, "q0");
+        b.rule_simple("q0", "a", "a", "q0", "child");
+        b.rule_simple("q0", "b", "b", "q0", "child");
+        b.text_rule("q0");
+        let t = b.finish();
+        let mut al2 = alpha();
+        let input = parse_tree(r#"a("x" b("y"))"#, &mut al2).unwrap();
+        let out = t.transform(&input).unwrap();
+        assert_eq!(out, *input.as_hedge());
+    }
+
+    #[test]
+    fn guard_selects_rules() {
+        // Keep only b-nodes that have a text child.
+        let al = alpha();
+        let mut b = DtlBuilder::new(&al, "q0");
+        b.rule_simple("q0", "a", "a", "q", "child[b & <child[text()]>]");
+        b.rule_simple("q", "b", "b", "qt", "child");
+        b.text_rule("qt");
+        let t = b.finish();
+        let mut al2 = alpha();
+        let input = parse_tree(r#"a(b("x") b c)"#, &mut al2).unwrap();
+        let out = t.transform(&input).unwrap();
+        let expect = parse_tree(r#"a(b("x"))"#, &mut al2).unwrap();
+        assert_eq!(out, *expect.as_hedge());
+    }
+
+    #[test]
+    fn nondeterminism_detected() {
+        let al = alpha();
+        let mut b = DtlBuilder::new(&al, "q0");
+        b.rule_simple("q0", "a", "a", "q", "child");
+        b.rule_simple("q0", "true", "b", "q", "child");
+        let t = b.finish();
+        let mut al2 = alpha();
+        let input = parse_tree("a", &mut al2).unwrap();
+        assert!(matches!(
+            t.transform(&input),
+            Err(DtlError::Nondeterministic { .. })
+        ));
+    }
+
+    #[test]
+    fn nontermination_detected() {
+        // (q0, a) → a((q0, .)): the self pattern loops forever.
+        let al = alpha();
+        let mut b = DtlBuilder::new(&al, "q0");
+        b.rule_simple("q0", "a", "a", "q0", ".");
+        let t = b.finish();
+        let mut al2 = alpha();
+        let input = parse_tree("a", &mut al2).unwrap();
+        assert!(matches!(
+            t.transform(&input),
+            Err(DtlError::NonTerminating { .. })
+        ));
+    }
+
+    #[test]
+    fn upward_and_jumping_patterns_work() {
+        // At each b, re-emit the root's direct text children (a "header").
+        let al = alpha();
+        let mut b = DtlBuilder::new(&al, "q0");
+        b.rule_simple("q0", "a", "a", "qb", "child[b]");
+        b.rule_simple("qb", "b", "b", "qt", "(parent)*[a & !<parent>]/child[text()]");
+        b.text_rule("qt");
+        let t = b.finish();
+        let mut al2 = alpha();
+        let input = parse_tree(r#"a("h" b b)"#, &mut al2).unwrap();
+        let out = t.transform(&input).unwrap();
+        let expect = parse_tree(r#"a(b("h") b("h"))"#, &mut al2).unwrap();
+        assert_eq!(out, *expect.as_hedge());
+    }
+
+    #[test]
+    fn from_topdown_is_equivalent() {
+        let mut al = tpx_trees::samples::recipe_alphabet();
+        let td = tpx_topdown::samples::example_4_2(&al);
+        let dtl = from_topdown(&td);
+        let input = tpx_trees::samples::recipe_tree(&mut al);
+        let out_td = td.transform(&input);
+        let out_dtl = dtl.transform(&input).unwrap();
+        assert_eq!(out_td, out_dtl);
+        // Also on a tree outside the schema shape.
+        let mut al2 = tpx_trees::samples::recipe_alphabet();
+        let odd = parse_tree(r#"recipes(recipe(description("d") br))"#, &mut al2).unwrap();
+        assert_eq!(td.transform(&odd), dtl.transform(&odd).unwrap());
+    }
+
+    #[test]
+    fn example_5_15_selects_recipes_with_three_positive_comments() {
+        let mut al = tpx_trees::samples::recipe_alphabet();
+        let t = crate::samples::example_5_15(&al);
+        // One recipe with 3 positive comments, kept; one with 2, dropped.
+        let yes = tpx_trees::samples::recipe_tree_sized(&mut al, 1, 1, 3);
+        let out = t.transform(&yes).unwrap();
+        let out_tree = Tree::from_hedge(out).unwrap();
+        assert!(out_tree
+            .dfs()
+            .iter()
+            .any(|&v| out_tree.label(v).elem() == Some(al.sym("recipe"))));
+        // Comment text never survives.
+        assert!(out_tree.text_content().iter().all(|s| !s.contains("comment")));
+        let no = tpx_trees::samples::recipe_tree_sized(&mut al, 1, 1, 2);
+        let out2 = t.transform(&no).unwrap();
+        let out_tree2 = Tree::from_hedge(out2).unwrap();
+        assert!(out_tree2
+            .dfs()
+            .iter()
+            .all(|&v| out_tree2.label(v).elem() != Some(al.sym("recipe"))));
+    }
+}

@@ -1,0 +1,287 @@
+//! Hand-coded deterministic bottom-up automata for the atomic relations,
+//! over first-child/next-sibling encodings with variable-marking bits.
+//!
+//! Key facts about the encoding used below:
+//!
+//! * the *right* child of an encoded node is its next sibling,
+//! * the *left* child encodes its children hedge, so the unranked children
+//!   of `u` are exactly the right spine of `left(u)`,
+//! * the binary subtree of `left(u)` is exactly the set of unranked proper
+//!   descendants of `u`.
+//!
+//! All automata here are written with "∃ a marked node such that …"
+//! semantics; the compiler guards first-order variables with singleton
+//! automata at quantifier introduction, which makes the combination exact.
+
+#![allow(clippy::if_same_then_else)] // found-state branches are spelt out per case
+
+use tpx_treeauto::{EncSym, Nbta, State};
+use tpx_trees::Symbol;
+
+/// A marked encoding symbol: an [`EncSym`] plus one bit per in-scope
+/// variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MSym {
+    /// The underlying encoding symbol.
+    pub label: EncSym,
+    /// Variable-marking bits (bit `i` = variable at context position `i`).
+    pub bits: u64,
+}
+
+impl MSym {
+    /// Whether bit `i` is set.
+    #[inline]
+    pub fn bit(&self, i: usize) -> bool {
+        self.bits & (1 << i) != 0
+    }
+}
+
+/// The leaf alphabet: the unmarked `⊥` symbol (variables never mark
+/// padding nodes).
+pub fn leaf_alphabet() -> Vec<MSym> {
+    vec![MSym {
+        label: EncSym::Nil,
+        bits: 0,
+    }]
+}
+
+/// The internal alphabet: `(Σ ⊎ {text}) × 2^width` marked symbols.
+pub fn internal_alphabet(n_symbols: usize, width: usize) -> Vec<MSym> {
+    assert!(width <= 32, "too many free variables in one scope");
+    let mut out = Vec::with_capacity((n_symbols + 1) << width);
+    for bits in 0..(1u64 << width) {
+        for s in 0..n_symbols {
+            out.push(MSym {
+                label: EncSym::Elem(Symbol(s as u32)),
+                bits,
+            });
+        }
+        out.push(MSym {
+            label: EncSym::Text,
+            bits,
+        });
+    }
+    out
+}
+
+/// Builds a deterministic bottom-up automaton from a transition table:
+/// `leaf_state` at `⊥`, `f(label, bits, left, right)` at internal nodes.
+fn table_automaton(
+    n_symbols: usize,
+    width: usize,
+    n_states: usize,
+    leaf_state: usize,
+    finals: &[usize],
+    f: impl Fn(&EncSym, u64, usize, usize) -> usize,
+) -> Nbta<MSym> {
+    let mut b = Nbta::new(leaf_alphabet(), internal_alphabet(n_symbols, width));
+    for _ in 0..n_states {
+        b.add_state();
+    }
+    for &q in finals {
+        b.set_final(State(q as u32), true);
+    }
+    b.add_leaf_rule(
+        MSym {
+            label: EncSym::Nil,
+            bits: 0,
+        },
+        State(leaf_state as u32),
+    );
+    let internal = b.internal_alphabet().to_vec();
+    for sym in internal {
+        for l in 0..n_states {
+            for r in 0..n_states {
+                let q = f(&sym.label, sym.bits, l, r);
+                b.add_rule(sym, State(l as u32), State(r as u32), State(q as u32));
+            }
+        }
+    }
+    b
+}
+
+#[inline]
+fn bit(bits: u64, i: usize) -> bool {
+    bits & (1 << i) != 0
+}
+
+/// `⊤`: accepts every marked tree.
+pub fn true_auto(n_symbols: usize, width: usize) -> Nbta<MSym> {
+    table_automaton(n_symbols, width, 1, 0, &[0], |_, _, _, _| 0)
+}
+
+/// `⊥`: accepts nothing.
+pub fn false_auto(n_symbols: usize, width: usize) -> Nbta<MSym> {
+    table_automaton(n_symbols, width, 1, 0, &[], |_, _, _, _| 0)
+}
+
+/// `Sing(i)`: exactly one node carries bit `i`.
+pub fn singleton(n_symbols: usize, width: usize, i: usize) -> Nbta<MSym> {
+    // States: number of bit-i nodes seen, capped at 2.
+    table_automaton(n_symbols, width, 3, 0, &[1], move |_, bits, l, r| {
+        (l + r + usize::from(bit(bits, i))).min(2)
+    })
+}
+
+/// `x ∈ X` (bits `i = x`, `j = X`): every bit-`i` node also has bit `j`.
+pub fn in_set(n_symbols: usize, width: usize, i: usize, j: usize) -> Nbta<MSym> {
+    // States: 0 ok, 1 violated.
+    table_automaton(n_symbols, width, 2, 0, &[0], move |_, bits, l, r| {
+        if l == 1 || r == 1 || (bit(bits, i) && !bit(bits, j)) {
+            1
+        } else {
+            0
+        }
+    })
+}
+
+/// `lab_σ(x)`: every bit-`i` node is labelled `σ`.
+pub fn label_is(n_symbols: usize, width: usize, i: usize, sigma: Symbol) -> Nbta<MSym> {
+    table_automaton(n_symbols, width, 2, 0, &[0], move |lab, bits, l, r| {
+        let ok = !bit(bits, i) || *lab == EncSym::Elem(sigma);
+        if l == 1 || r == 1 || !ok {
+            1
+        } else {
+            0
+        }
+    })
+}
+
+/// `x` is a text node.
+pub fn is_text(n_symbols: usize, width: usize, i: usize) -> Nbta<MSym> {
+    table_automaton(n_symbols, width, 2, 0, &[0], move |lab, bits, l, r| {
+        let ok = !bit(bits, i) || *lab == EncSym::Text;
+        if l == 1 || r == 1 || !ok {
+            1
+        } else {
+            0
+        }
+    })
+}
+
+/// `x = y`: bits `i` and `j` agree on every node.
+pub fn eq(n_symbols: usize, width: usize, i: usize, j: usize) -> Nbta<MSym> {
+    table_automaton(n_symbols, width, 2, 0, &[0], move |_, bits, l, r| {
+        if l == 1 || r == 1 || (bit(bits, i) != bit(bits, j)) {
+            1
+        } else {
+            0
+        }
+    })
+}
+
+/// `Root(x)`: the bit-`i` node is the root of the (single-tree) encoding.
+pub fn root_marked(n_symbols: usize, width: usize, i: usize) -> Nbta<MSym> {
+    // States: 0 = no bit anywhere, 1 = bit at subtree root, 2 = bit inside.
+    table_automaton(n_symbols, width, 3, 0, &[1], move |_, bits, l, r| {
+        if bit(bits, i) {
+            1
+        } else if l != 0 || r != 0 {
+            2
+        } else {
+            0
+        }
+    })
+}
+
+/// `E(x, y)`: the bit-`j` node is an unranked child of the bit-`i` node —
+/// i.e. `j` lies on the right spine of `left(i)`.
+pub fn child(n_symbols: usize, width: usize, i: usize, j: usize) -> Nbta<MSym> {
+    // States: 0 nothing, 1 = j on the right spine of this subtree's root,
+    // 2 = pair found.
+    table_automaton(n_symbols, width, 3, 0, &[2], move |_, bits, l, r| {
+        if l == 2 || r == 2 {
+            2
+        } else if bit(bits, i) && l == 1 {
+            2
+        } else if bit(bits, j) || r == 1 {
+            1
+        } else {
+            0
+        }
+    })
+}
+
+/// `NextSib(x, y)`: `y = right(x)` in the encoding.
+pub fn next_sib(n_symbols: usize, width: usize, i: usize, j: usize) -> Nbta<MSym> {
+    // States: 0 nothing, 1 = subtree root has bit j, 2 = found.
+    table_automaton(n_symbols, width, 3, 0, &[2], move |_, bits, l, r| {
+        if l == 2 || r == 2 {
+            2
+        } else if bit(bits, i) && r == 1 {
+            2
+        } else if bit(bits, j) {
+            1
+        } else {
+            0
+        }
+    })
+}
+
+/// `x < y` (transitive sibling order): `y ∈ right⁺(x)`.
+pub fn sib_less(n_symbols: usize, width: usize, i: usize, j: usize) -> Nbta<MSym> {
+    // States: 0 nothing, 1 = j on right spine (incl. root), 2 = found.
+    table_automaton(n_symbols, width, 3, 0, &[2], move |_, bits, l, r| {
+        if l == 2 || r == 2 {
+            2
+        } else if bit(bits, i) && r == 1 {
+            2
+        } else if bit(bits, j) || r == 1 {
+            1
+        } else {
+            0
+        }
+    })
+}
+
+/// `Descendant(x, y)`: `y` is a proper unranked descendant of `x` — i.e.
+/// `j` is anywhere in the binary subtree of `left(i)`.
+pub fn descendant(n_symbols: usize, width: usize, i: usize, j: usize) -> Nbta<MSym> {
+    // States: 0 nothing, 1 = subtree contains j, 2 = found.
+    table_automaton(n_symbols, width, 3, 0, &[2], move |_, bits, l, r| {
+        if l == 2 || r == 2 {
+            2
+        } else if bit(bits, i) && l == 1 {
+            2
+        } else if bit(bits, j) || l == 1 || r == 1 {
+            1
+        } else {
+            0
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alphabets_have_expected_sizes() {
+        assert_eq!(leaf_alphabet().len(), 1);
+        assert_eq!(internal_alphabet(2, 0).len(), 3);
+        assert_eq!(internal_alphabet(2, 3).len(), 3 * 8);
+    }
+
+    #[test]
+    fn true_false() {
+        use tpx_treeauto::RankedTree;
+        let t = RankedTree::node(
+            MSym {
+                label: EncSym::Text,
+                bits: 0,
+            },
+            RankedTree::Leaf(MSym {
+                label: EncSym::Nil,
+                bits: 0,
+            }),
+            RankedTree::Leaf(MSym {
+                label: EncSym::Nil,
+                bits: 0,
+            }),
+        );
+        assert!(true_auto(1, 0).accepts(&t));
+        assert!(!false_auto(1, 0).accepts(&t));
+    }
+    // Exhaustive semantic agreement with the naive evaluator is tested in
+    // `compile::tests` (the automata are exercised through the compiler).
+}

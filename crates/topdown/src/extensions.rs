@@ -1,0 +1,94 @@
+//! The conclusion's stronger tests: beyond text-preservation, require that
+//! the transformation *never deletes* text values below nodes with selected
+//! labels (the paper's example: never delete text under `instructions`).
+//!
+//! A text value at node `v` is output by `T` iff `T` has a path run on
+//! `anc-str(v)` — i.e. iff `anc-str(v) ∈ L(A_T)`. So "`T` deletes some text
+//! under a `σ`-node on some schema tree" reduces to non-emptiness of
+//! `L(A_N) ∩ through-σ ∩ complement(L(A_T))`, entirely within the path
+//! automata of Lemma 4.8.
+
+use crate::paths::{path_automaton_nta, path_automaton_transducer, PathSym};
+use crate::transducer::Transducer;
+use tpx_automata::Nfa;
+use tpx_treeauto::Nta;
+use tpx_trees::Symbol;
+
+/// If some schema tree has a text node below a node labelled with one of
+/// `labels` whose value `t` deletes, returns that text path as a witness.
+/// `None` means `t` never deletes text under those labels, over `L(nta)`.
+pub fn deleted_text_under(
+    t: &Transducer,
+    nta: &Nta,
+    labels: &[Symbol],
+) -> Option<Vec<PathSym>> {
+    let a_n = path_automaton_nta(nta);
+    let a_t = path_automaton_transducer(t);
+    // Alphabet of path symbols for determinizing A_T.
+    let mut alphabet: Vec<PathSym> = (0..nta.symbol_count() as u32)
+        .map(|i| PathSym::Elem(Symbol(i)))
+        .collect();
+    alphabet.push(PathSym::Text);
+    let not_a_t = a_t.determinize(&alphabet).complement().to_nfa();
+    let through = through_labels(labels, &alphabet);
+    a_n.intersect(&through).intersect(&not_a_t).shortest_word()
+}
+
+/// Whether `t` both is text-preserving over `L(nta)` and never deletes text
+/// under the given labels — the paper's combined "more flexible test".
+pub fn text_preserving_and_keeps(t: &Transducer, nta: &Nta, labels: &[Symbol]) -> bool {
+    crate::decide::is_text_preserving(t, nta).is_preserving()
+        && deleted_text_under(t, nta, labels).is_none()
+}
+
+/// NFA accepting path words that pass through one of `labels`.
+fn through_labels(labels: &[Symbol], alphabet: &[PathSym]) -> Nfa<PathSym> {
+    let mut nfa: Nfa<PathSym> = Nfa::new();
+    let s0 = nfa.add_state();
+    let s1 = nfa.add_state();
+    nfa.set_initial(s0);
+    nfa.set_final(s1, true);
+    for a in alphabet {
+        nfa.add_transition(s0, *a, s0);
+        nfa.add_transition(s1, *a, s1);
+    }
+    for &l in labels {
+        nfa.add_transition(s0, PathSym::Elem(l), s1);
+    }
+    nfa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples;
+    use tpx_schema::samples::recipe_dtd;
+    use tpx_trees::samples::recipe_alphabet;
+
+    #[test]
+    fn example_4_2_keeps_instructions_but_deletes_comments() {
+        let al = recipe_alphabet();
+        let nta = recipe_dtd(&al).to_nta();
+        let t = samples::example_4_2(&al);
+        // Never deletes under instructions (it only strips item markup).
+        assert!(deleted_text_under(&t, &nta, &[al.sym("instructions")]).is_none());
+        assert!(deleted_text_under(&t, &nta, &[al.sym("ingredients")]).is_none());
+        // But deletes everything under comments.
+        let w = deleted_text_under(&t, &nta, &[al.sym("comments")]).unwrap();
+        assert_eq!(*w.last().unwrap(), PathSym::Text);
+        assert!(w.contains(&PathSym::Elem(al.sym("comments"))));
+        // Combined test.
+        assert!(text_preserving_and_keeps(&t, &nta, &[al.sym("instructions")]));
+        assert!(!text_preserving_and_keeps(&t, &nta, &[al.sym("comments")]));
+    }
+
+    #[test]
+    fn witness_is_a_real_schema_path() {
+        let al = recipe_alphabet();
+        let nta = recipe_dtd(&al).to_nta();
+        let t = samples::example_4_2(&al);
+        let w = deleted_text_under(&t, &nta, &[al.sym("comments")]).unwrap();
+        assert!(path_automaton_nta(&nta).accepts(&w));
+        assert!(!path_automaton_transducer(&t).accepts(&w));
+    }
+}

@@ -1,0 +1,100 @@
+//! Paper examples: the uniform transducer of Example 4.2 and some
+//! deliberately copying / rearranging variants used in tests and benches.
+
+use crate::transducer::{Transducer, TransducerBuilder};
+use tpx_trees::Alphabet;
+
+/// Example 4.2: selects all recipes with their descriptions, ingredient
+/// lists and instructions; deletes comments; keeps `br` markup but strips
+/// `item` element nodes (keeping their text).
+///
+/// ```text
+/// (q0,   recipes)      → recipes(q0)
+/// (q0,   recipe)       → recipe(qsel)
+/// (qsel, σ)            → σ(q)       σ ∈ {description, ingredients, instructions}
+/// (q,    item)         → q
+/// (q,    br)           → br(q)
+/// (q,    text)         → text
+/// ```
+pub fn example_4_2(alpha: &Alphabet) -> Transducer {
+    let mut b = TransducerBuilder::new(alpha, "q0");
+    b.state("qsel");
+    b.state("q");
+    b.rule("q0", "recipes", "recipes(q0)");
+    b.rule("q0", "recipe", "recipe(qsel)");
+    b.rule("qsel", "description", "description(q)");
+    b.rule("qsel", "ingredients", "ingredients(q)");
+    b.rule("qsel", "instructions", "instructions(q)");
+    b.rule("q", "item", "q");
+    b.rule("q", "br", "br(q)");
+    b.text_rule("q");
+    b.finish()
+}
+
+/// A copying variant: duplicates every description.
+pub fn copying_example(alpha: &Alphabet) -> Transducer {
+    let mut b = TransducerBuilder::new(alpha, "q0");
+    b.state("q");
+    b.rule("q0", "recipes", "recipes(q0)");
+    b.rule("q0", "recipe", "recipe(q q)");
+    b.rule("q", "description", "description(q)");
+    b.text_rule("q");
+    b.finish()
+}
+
+/// A rearranging variant: swaps the output order of `negative` and
+/// `positive` comment sections (negative text ends up after positive text
+/// even though it precedes it in the input).
+pub fn rearranging_example(alpha: &Alphabet) -> Transducer {
+    let mut b = TransducerBuilder::new(alpha, "q0");
+    b.state("qr");
+    b.state("qc");
+    b.state("qpos");
+    b.state("qneg");
+    b.state("q");
+    b.rule("q0", "recipes", "recipes(q0)");
+    b.rule("q0", "recipe", "recipe(qr)");
+    b.rule("qr", "comments", "comments(qpos qneg)");
+    b.rule("qpos", "positive", "positive(qc)");
+    b.rule("qneg", "negative", "negative(qc)");
+    b.rule("qc", "comment", "comment(q)");
+    b.text_rule("q");
+    b.finish()
+}
+
+/// A deep selector with `n` chained states, text-preserving by
+/// construction; used to scale `|T|` in the benches (E1).
+pub fn chain_selector(alpha: &Alphabet, label: &str, n: usize) -> Transducer {
+    assert!(n >= 1);
+    let mut b = TransducerBuilder::new(alpha, "q0");
+    for i in 1..n {
+        b.state(&format!("q{i}"));
+    }
+    for i in 0..n {
+        let next = format!("q{}", (i + 1) % n);
+        b.rule(&format!("q{i}"), label, &format!("{label}({next})"));
+    }
+    b.text_rule(&format!("q{}", n - 1));
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_4_2_is_reduced() {
+        let al = tpx_trees::samples::recipe_alphabet();
+        let t = example_4_2(&al);
+        assert!(t.is_reduced());
+        assert!(t.initial_rules_output_trees());
+    }
+
+    #[test]
+    fn chain_selector_scales() {
+        let al = Alphabet::from_labels(["a"]);
+        let t = chain_selector(&al, "a", 5);
+        assert_eq!(t.state_count(), 5);
+        assert!(t.is_reduced());
+    }
+}

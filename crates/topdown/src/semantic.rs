@@ -1,0 +1,170 @@
+//! Per-tree semantic oracles for the notions of Section 2 and 3:
+//! text-preservation (Definition 2.2), copying and rearranging
+//! (Definition 3.1), and the characterization of Theorem 3.3.
+//!
+//! These are *ground truth* used to cross-validate the symbolic deciders:
+//! they evaluate the transducer on concrete (value-unique) trees and inspect
+//! the output directly.
+
+use crate::transducer::Transducer;
+use tpx_trees::{is_subsequence, make_value_unique, Hedge, Tree};
+
+/// Whether `text-content(T(t)) ≺ text-content(t)` for this particular tree.
+pub fn text_preserving_on(t: &Transducer, input: &Tree) -> bool {
+    let out = t.transform(input);
+    is_subsequence(&out.text_content(), &input.text_content())
+}
+
+/// Whether `T` is copying on (the value-unique version of) `input`:
+/// the output contains multiple occurrences of the same `Text` value.
+pub fn copying_on(t: &Transducer, input: &Tree) -> bool {
+    let unique = value_unique_version(input);
+    let out = t.transform(&unique);
+    has_duplicates(&out.text_content())
+}
+
+/// Whether `T` is rearranging on (the value-unique version of) `input`:
+/// some pair of values appears in one order in the input and the opposite
+/// order in the output.
+pub fn rearranging_on(t: &Transducer, input: &Tree) -> bool {
+    let unique = value_unique_version(input);
+    let out = t.transform(&unique);
+    is_rearrangement(&unique.text_content(), &out.text_content())
+}
+
+/// Checks Theorem 3.3 on a single tree: text-preserving on the value-unique
+/// version iff neither copying nor rearranging. Used by property tests.
+pub fn theorem_3_3_holds_on(t: &Transducer, input: &Tree) -> bool {
+    let unique = value_unique_version(input);
+    let preserving = text_preserving_on(t, &unique);
+    preserving == (!copying_on(t, input) && !rearranging_on(t, input))
+}
+
+fn value_unique_version(input: &Tree) -> Tree {
+    Tree::from_hedge(make_value_unique(input.as_hedge()))
+        .expect("substitution preserves tree shape")
+}
+
+fn has_duplicates(values: &[&str]) -> bool {
+    let mut seen = std::collections::HashSet::new();
+    values.iter().any(|v| !seen.insert(*v))
+}
+
+/// For value-unique input content `input`, whether `output` swaps some pair:
+/// ∃ γ₁ before γ₂ in the input with γ₂ before γ₁ in the output.
+fn is_rearrangement(input: &[&str], output: &[&str]) -> bool {
+    let pos: std::collections::HashMap<&str, usize> = input
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i))
+        .collect();
+    // For each pair of output positions i < j: values b = out[i], a = out[j]
+    // with input position of a strictly before b witness γ₁ = a, γ₂ = b.
+    for i in 0..output.len() {
+        for j in (i + 1)..output.len() {
+            let (b, a) = (output[i], output[j]);
+            if let (Some(&pb), Some(&pa)) = (pos.get(b), pos.get(a)) {
+                if pa < pb {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Admissibility spot-check (Lemma 4.3): verifies `Text`-independence and
+/// `Text`-functionality of `T` on one tree by comparing the transformation
+/// before and after a `Text`-substitution.
+pub fn admissible_on(t: &Transducer, input: &Tree) -> bool {
+    use tpx_trees::subst::constant_substitution;
+    let out_orig = t.transform(input);
+    // Text-independence: relabelling all text to "z" then transforming
+    // equals transforming then relabelling all text to "z".
+    let rho = constant_substitution(input.as_hedge(), "z");
+    let relabelled = Tree::from_hedge(rho.apply(input.as_hedge())).expect("shape preserved");
+    let out_after = t.transform(&relabelled);
+    let z_out_after = constant_substitution(&out_after, "z").apply(&out_after);
+    let z_out_orig = constant_substitution(&out_orig, "z").apply(&out_orig);
+    if z_out_after != z_out_orig {
+        return false;
+    }
+    // Text-functionality: every output text value appears in the input.
+    let in_vals: std::collections::HashSet<&str> =
+        input.text_content().into_iter().collect();
+    output_values_subset(&out_orig, &in_vals)
+}
+
+fn output_values_subset(out: &Hedge, in_vals: &std::collections::HashSet<&str>) -> bool {
+    out.text_content().iter().all(|v| in_vals.contains(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples;
+    use tpx_trees::samples::{recipe_alphabet, recipe_tree};
+    use tpx_trees::term::parse_tree;
+    use tpx_trees::Alphabet;
+
+    #[test]
+    fn example_4_2_preserves_on_figure_1() {
+        let mut al = recipe_alphabet();
+        let t = samples::example_4_2(&al);
+        let input = recipe_tree(&mut al);
+        assert!(text_preserving_on(&t, &input));
+        assert!(!copying_on(&t, &input));
+        assert!(!rearranging_on(&t, &input));
+        assert!(theorem_3_3_holds_on(&t, &input));
+        assert!(admissible_on(&t, &input));
+    }
+
+    #[test]
+    fn copying_example_detected() {
+        let mut al = recipe_alphabet();
+        let t = samples::copying_example(&al);
+        let input = recipe_tree(&mut al);
+        assert!(copying_on(&t, &input));
+        assert!(!text_preserving_on(&t, &Tree::from_hedge(
+            tpx_trees::make_value_unique(input.as_hedge())).unwrap()));
+        assert!(theorem_3_3_holds_on(&t, &input));
+    }
+
+    #[test]
+    fn rearranging_example_detected() {
+        let mut al = recipe_alphabet();
+        let t = samples::rearranging_example(&al);
+        let input = recipe_tree(&mut al);
+        assert!(rearranging_on(&t, &input));
+        assert!(!copying_on(&t, &input));
+        assert!(theorem_3_3_holds_on(&t, &input));
+    }
+
+    #[test]
+    fn rearrangement_needs_two_swapped_values() {
+        // Deleting everything is fine.
+        let al = Alphabet::from_labels(["a"]);
+        let mut b = crate::transducer::TransducerBuilder::new(&al, "q0");
+        b.rule("q0", "a", "a");
+        let t = b.finish();
+        let mut al2 = al.clone();
+        let input = parse_tree(r#"a("x" "y")"#, &mut al2).unwrap();
+        assert!(text_preserving_on(&t, &input));
+        assert!(!rearranging_on(&t, &input));
+    }
+
+    #[test]
+    fn duplicate_input_values_handled_via_value_uniqueness() {
+        // Input has the same value twice; a transducer keeping both is NOT
+        // copying (Definition 3.1 quantifies over value-unique trees).
+        let al = Alphabet::from_labels(["a"]);
+        let mut b = crate::transducer::TransducerBuilder::new(&al, "q0");
+        b.rule("q0", "a", "a(q0)");
+        b.text_rule("q0");
+        let t = b.finish();
+        let mut al2 = al.clone();
+        let input = parse_tree(r#"a("x" "x")"#, &mut al2).unwrap();
+        assert!(!copying_on(&t, &input));
+        assert!(text_preserving_on(&t, &input));
+    }
+}

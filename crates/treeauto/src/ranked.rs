@@ -1,0 +1,120 @@
+//! Ranked trees (arities 0 and 2) — the value type NBTAs run on and produce
+//! as witnesses.
+
+use std::fmt;
+
+/// A binary ranked tree: leaves (arity 0) and internal nodes (arity 2), all
+/// labelled with `L`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum RankedTree<L> {
+    /// A leaf.
+    Leaf(L),
+    /// An internal node with exactly two children.
+    Node(L, Box<RankedTree<L>>, Box<RankedTree<L>>),
+}
+
+impl<L> RankedTree<L> {
+    /// Convenience constructor for internal nodes.
+    pub fn node(label: L, left: RankedTree<L>, right: RankedTree<L>) -> Self {
+        RankedTree::Node(label, Box::new(left), Box::new(right))
+    }
+
+    /// The label at the root.
+    pub fn label(&self) -> &L {
+        match self {
+            RankedTree::Leaf(l) | RankedTree::Node(l, _, _) => l,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            RankedTree::Leaf(_) => 1,
+            RankedTree::Node(_, a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// Height (a leaf has height 1).
+    pub fn height(&self) -> usize {
+        match self {
+            RankedTree::Leaf(_) => 1,
+            RankedTree::Node(_, a, b) => 1 + a.height().max(b.height()),
+        }
+    }
+
+    /// Maps labels through `f`.
+    pub fn map<M>(&self, f: &mut impl FnMut(&L) -> M) -> RankedTree<M> {
+        match self {
+            RankedTree::Leaf(l) => RankedTree::Leaf(f(l)),
+            RankedTree::Node(l, a, b) => RankedTree::node(f(l), a.map(f), b.map(f)),
+        }
+    }
+}
+
+impl<L: fmt::Debug> fmt::Debug for RankedTree<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RankedTree::Leaf(l) => write!(f, "{l:?}"),
+            RankedTree::Node(l, a, b) => write!(f, "{l:?}({a:?}, {b:?})"),
+        }
+    }
+}
+
+/// Converts a [`tpx_trees::BinTree`] into a `RankedTree`, relabelling through
+/// `f` (typically erasing text values to a single `text` symbol).
+pub fn from_bintree<L>(
+    bt: &tpx_trees::BinTree,
+    f: &mut impl FnMut(&tpx_trees::BinLabel) -> L,
+) -> RankedTree<L> {
+    build(bt, bt.root(), f)
+}
+
+fn build<L>(
+    bt: &tpx_trees::BinTree,
+    v: tpx_trees::BinNodeId,
+    f: &mut impl FnMut(&tpx_trees::BinLabel) -> L,
+) -> RankedTree<L> {
+    match bt.kids(v) {
+        None => RankedTree::Leaf(f(bt.label(v))),
+        Some((l, r)) => RankedTree::node(f(bt.label(v)), build(bt, l, f), build(bt, r, f)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_and_height() {
+        let t = RankedTree::node(
+            "a",
+            RankedTree::Leaf("x"),
+            RankedTree::node("b", RankedTree::Leaf("y"), RankedTree::Leaf("z")),
+        );
+        assert_eq!(t.size(), 5);
+        assert_eq!(t.height(), 3);
+        assert_eq!(*t.label(), "a");
+    }
+
+    #[test]
+    fn map_relabels() {
+        let t = RankedTree::node("a", RankedTree::Leaf("x"), RankedTree::Leaf("y"));
+        let m = t.map(&mut |l: &&str| l.len());
+        assert_eq!(m, RankedTree::node(1, RankedTree::Leaf(1), RankedTree::Leaf(1)));
+    }
+
+    #[test]
+    fn from_bintree_mirrors_encoding() {
+        let mut al = tpx_trees::Alphabet::new();
+        let h = tpx_trees::term::parse_hedge("a(b)", &mut al).unwrap();
+        let bt = tpx_trees::encode_hedge(&h);
+        let rt = from_bintree(&bt, &mut |l| match l {
+            tpx_trees::BinLabel::Elem(s) => format!("e{}", s.index()),
+            tpx_trees::BinLabel::Text(_) => "t".into(),
+            tpx_trees::BinLabel::Nil => "#".into(),
+        });
+        // a(b(#,#),#) — 5 nodes total.
+        assert_eq!(rt.size(), 5);
+        assert_eq!(rt.label(), "e0");
+    }
+}

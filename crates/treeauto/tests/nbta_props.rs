@@ -1,0 +1,112 @@
+//! Property-based validation of the NBTA Boolean operations on random
+//! automata and random ranked trees — the operations every decider in the
+//! workspace leans on.
+
+use proptest::prelude::*;
+use tpx_treeauto::{Nbta, RankedTree, State};
+
+type T = RankedTree<char>;
+
+fn leaf() -> T {
+    RankedTree::Leaf('#')
+}
+
+/// Random binary tree over internal symbols {a, b}.
+fn arb_tree() -> impl Strategy<Value = T> {
+    let leaf = Just(leaf());
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        (prop_oneof![Just('a'), Just('b')], inner.clone(), inner)
+            .prop_map(|(l, x, y)| RankedTree::node(l, x, y))
+    })
+}
+
+/// Random NBTA over leaf {#} and internal {a, b} with ≤ 4 states.
+fn arb_nbta() -> impl Strategy<Value = Nbta<char>> {
+    (
+        1usize..5,
+        proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<bool>()), 0..14),
+        proptest::collection::vec(any::<bool>(), 4),
+        proptest::collection::vec(any::<bool>(), 4),
+    )
+        .prop_map(|(n, rules, leaves, finals)| {
+            let mut b = Nbta::new(vec!['#'], vec!['a', 'b']);
+            for _ in 0..n {
+                b.add_state();
+            }
+            for (i, &put) in leaves.iter().take(n).enumerate() {
+                if put {
+                    b.add_leaf_rule('#', State(i as u32));
+                }
+            }
+            for (q1, q2, q, which) in rules {
+                let l = if which { 'a' } else { 'b' };
+                b.add_rule(
+                    l,
+                    State((q1 % n as u8) as u32),
+                    State((q2 % n as u8) as u32),
+                    State((q % n as u8) as u32),
+                );
+            }
+            for (i, &f) in finals.iter().take(n).enumerate() {
+                b.set_final(State(i as u32), f);
+            }
+            b
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Determinization preserves the language; the complement flips it.
+    #[test]
+    fn determinize_and_complement(m in arb_nbta(), t in arb_tree()) {
+        let d = m.determinize();
+        prop_assert_eq!(d.accepts(&t), m.accepts(&t));
+        prop_assert_eq!(d.complement().accepts(&t), !m.accepts(&t));
+        // Round trip through NBTA.
+        prop_assert_eq!(d.to_nbta().accepts(&t), m.accepts(&t));
+    }
+
+    /// Minimization preserves the language and never grows.
+    #[test]
+    fn minimize_preserves(m in arb_nbta(), t in arb_tree()) {
+        let d = m.determinize();
+        let mini = d.minimize();
+        prop_assert!(mini.state_count() <= d.state_count());
+        prop_assert_eq!(mini.accepts(&t), d.accepts(&t));
+    }
+
+    /// Products and unions have Boolean semantics; trim is invisible.
+    #[test]
+    fn boolean_ops(m1 in arb_nbta(), m2 in arb_nbta(), t in arb_tree()) {
+        let i = m1.intersect(&m2);
+        prop_assert_eq!(i.accepts(&t), m1.accepts(&t) && m2.accepts(&t));
+        let u = m1.union(&m2);
+        prop_assert_eq!(u.accepts(&t), m1.accepts(&t) || m2.accepts(&t));
+        prop_assert_eq!(m1.trim().accepts(&t), m1.accepts(&t));
+    }
+
+    /// Emptiness agrees with witness extraction, and witnesses are members.
+    #[test]
+    fn emptiness_and_witness(m in arb_nbta()) {
+        match m.witness() {
+            Some(w) => {
+                prop_assert!(!m.is_empty());
+                prop_assert!(m.accepts(&w));
+            }
+            None => prop_assert!(m.is_empty()),
+        }
+    }
+
+    /// De Morgan: ¬(A ∪ B) = ¬A ∩ ¬B on random inputs.
+    #[test]
+    fn de_morgan(m1 in arb_nbta(), m2 in arb_nbta(), t in arb_tree()) {
+        let lhs = m1.union(&m2).determinize().complement();
+        let rhs = m1
+            .determinize()
+            .complement()
+            .to_nbta()
+            .intersect(&m2.determinize().complement().to_nbta());
+        prop_assert_eq!(lhs.accepts(&t), rhs.accepts(&t));
+    }
+}

@@ -1,0 +1,166 @@
+//! Interned finite alphabets.
+//!
+//! The paper distinguishes a *finite* alphabet `Σ` of element labels from the
+//! *infinite* set `Text` of text values. Element labels are interned into
+//! cheap copyable [`Symbol`]s; text values stay plain strings (see
+//! [`crate::hedge::NodeLabel`]).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned element label from a finite alphabet `Σ`.
+///
+/// Symbols are only meaningful relative to the [`Alphabet`] that produced
+/// them. They are dense indices starting at `0`, which the automata crates
+/// exploit for array-indexed transition tables.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The dense index of this symbol within its alphabet.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "σ{}", self.0)
+    }
+}
+
+/// A finite alphabet `Σ` of element labels, interning strings to [`Symbol`]s.
+///
+/// ```
+/// use tpx_trees::Alphabet;
+/// let mut sigma = Alphabet::new();
+/// let a = sigma.intern("recipes");
+/// let b = sigma.intern("recipe");
+/// assert_ne!(a, b);
+/// assert_eq!(sigma.intern("recipes"), a);
+/// assert_eq!(sigma.name(a), "recipes");
+/// assert_eq!(sigma.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Alphabet {
+    names: Vec<String>,
+    map: HashMap<String, u32>,
+}
+
+impl Alphabet {
+    /// Creates an empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an alphabet from a list of labels, in order.
+    pub fn from_labels<I, S>(labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut alpha = Self::new();
+        for l in labels {
+            alpha.intern(l.as_ref());
+        }
+        alpha
+    }
+
+    /// Interns `name`, returning its symbol (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&i) = self.map.get(name) {
+            return Symbol(i);
+        }
+        let i = u32::try_from(self.names.len()).expect("alphabet too large");
+        self.names.push(name.to_owned());
+        self.map.insert(name.to_owned(), i);
+        Symbol(i)
+    }
+
+    /// Looks up an already-interned label.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.map.get(name).copied().map(Symbol)
+    }
+
+    /// Looks up a label, panicking with a helpful message if absent.
+    ///
+    /// Convenient in tests and examples where the label is known to exist.
+    pub fn sym(&self, name: &str) -> Symbol {
+        self.get(name)
+            .unwrap_or_else(|| panic!("label {name:?} not in alphabet"))
+    }
+
+    /// The textual name of `s`.
+    pub fn name(&self, s: Symbol) -> &str {
+        &self.names[s.index()]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the alphabet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all symbols in index order.
+    pub fn symbols(&self) -> impl Iterator<Item = Symbol> + '_ {
+        (0..self.names.len() as u32).map(Symbol)
+    }
+
+    /// Iterates over `(Symbol, name)` pairs in index order.
+    pub fn entries(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Symbol(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut a = Alphabet::new();
+        let x = a.intern("x");
+        let y = a.intern("y");
+        assert_eq!(a.intern("x"), x);
+        assert_eq!(a.intern("y"), y);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn from_labels_preserves_order() {
+        let a = Alphabet::from_labels(["p", "q", "r"]);
+        assert_eq!(a.sym("p").index(), 0);
+        assert_eq!(a.sym("q").index(), 1);
+        assert_eq!(a.sym("r").index(), 2);
+    }
+
+    #[test]
+    fn get_absent_is_none() {
+        let a = Alphabet::from_labels(["p"]);
+        assert!(a.get("zz").is_none());
+    }
+
+    #[test]
+    fn symbols_iterates_all() {
+        let a = Alphabet::from_labels(["p", "q"]);
+        let all: Vec<_> = a.symbols().collect();
+        assert_eq!(all, vec![Symbol(0), Symbol(1)]);
+        let names: Vec<_> = a.entries().map(|(_, n)| n.to_owned()).collect();
+        assert_eq!(names, vec!["p", "q"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in alphabet")]
+    fn sym_panics_on_missing() {
+        let a = Alphabet::new();
+        let _ = a.sym("missing");
+    }
+}

@@ -1,0 +1,342 @@
+//! First-child / next-sibling binary encoding of unranked hedges.
+//!
+//! The encoding `enc(·)` maps a hedge to a *binary* tree over the alphabet
+//! `Σ ⊎ {text} ⊎ {⊥}`:
+//!
+//! * `enc(ε) = ⊥` (a nullary padding symbol),
+//! * `enc(σ(h) · rest) = σ(enc(h), enc(rest))`.
+//!
+//! Every element/text node of the original hedge becomes a binary node whose
+//! left child encodes its children hedge and whose right child encodes its
+//! following siblings; `⊥` leaves pad the frontier. Text nodes keep their
+//! value but always have `⊥` children.
+//!
+//! This encoding is MSO-definable in both directions and is the standard
+//! bridge between unranked tree languages and classical (binary) tree
+//! automata; the [`tpx-treeauto`](../../treeauto) and [`tpx-mso`](../../mso)
+//! crates run on encoded trees.
+
+use crate::alphabet::Symbol;
+use crate::hedge::{Hedge, HedgeBuilder, NodeId, NodeLabel};
+use std::fmt;
+
+/// Identifier of a node within a [`BinTree`] arena.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BinNodeId(pub u32);
+
+impl BinNodeId {
+    /// Arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for BinNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// Label of a binary-encoded node.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BinLabel {
+    /// An element node from the original hedge.
+    Elem(Symbol),
+    /// A text node from the original hedge (value retained).
+    Text(String),
+    /// The `⊥` padding leaf.
+    Nil,
+}
+
+impl BinLabel {
+    /// Whether this is the `⊥` padding leaf.
+    pub fn is_nil(&self) -> bool {
+        matches!(self, BinLabel::Nil)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct BinNode {
+    label: BinLabel,
+    /// `(left, right)` for non-`Nil` nodes; `None` for `Nil` leaves.
+    kids: Option<(BinNodeId, BinNodeId)>,
+    parent: Option<(BinNodeId, bool)>, // (parent, is_right_child)
+    /// The original hedge node this binary node encodes (`None` for `⊥`).
+    source: Option<NodeId>,
+}
+
+/// A binary tree over `Σ ⊎ {text} ⊎ {⊥}`: every non-`⊥` node has exactly two
+/// children, every `⊥` node is a leaf.
+#[derive(Clone)]
+pub struct BinTree {
+    nodes: Vec<BinNode>,
+    root: BinNodeId,
+}
+
+impl BinTree {
+    /// The root node.
+    pub fn root(&self) -> BinNodeId {
+        self.root
+    }
+
+    /// Number of nodes, including `⊥` padding.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The label of `v`.
+    pub fn label(&self, v: BinNodeId) -> &BinLabel {
+        &self.nodes[v.index()].label
+    }
+
+    /// The two children of a non-`⊥` node.
+    pub fn kids(&self, v: BinNodeId) -> Option<(BinNodeId, BinNodeId)> {
+        self.nodes[v.index()].kids
+    }
+
+    /// The left child (first-child encoding).
+    pub fn left(&self, v: BinNodeId) -> Option<BinNodeId> {
+        self.kids(v).map(|(l, _)| l)
+    }
+
+    /// The right child (next-sibling encoding).
+    pub fn right(&self, v: BinNodeId) -> Option<BinNodeId> {
+        self.kids(v).map(|(_, r)| r)
+    }
+
+    /// Parent plus whether `v` is its right child.
+    pub fn parent(&self, v: BinNodeId) -> Option<(BinNodeId, bool)> {
+        self.nodes[v.index()].parent
+    }
+
+    /// The original hedge node encoded by `v` (`None` for `⊥` padding).
+    pub fn source(&self, v: BinNodeId) -> Option<NodeId> {
+        self.nodes[v.index()].source
+    }
+
+    /// All nodes in a deterministic pre-order (node, left, right).
+    pub fn preorder(&self) -> Vec<BinNodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root];
+        while let Some(v) = stack.pop() {
+            out.push(v);
+            if let Some((l, r)) = self.kids(v) {
+                stack.push(r);
+                stack.push(l);
+            }
+        }
+        out
+    }
+
+    /// All nodes in post-order (left, right, node) — the evaluation order of
+    /// bottom-up tree automata.
+    pub fn postorder(&self) -> Vec<BinNodeId> {
+        // Compute by reversing a (node, right, left) pre-order.
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root];
+        while let Some(v) = stack.pop() {
+            out.push(v);
+            if let Some((l, r)) = self.kids(v) {
+                stack.push(l);
+                stack.push(r);
+            }
+        }
+        out.reverse();
+        out
+    }
+
+    fn add(&mut self, label: BinLabel, source: Option<NodeId>) -> BinNodeId {
+        let id = BinNodeId(u32::try_from(self.nodes.len()).expect("tree too large"));
+        self.nodes.push(BinNode {
+            label,
+            kids: None,
+            parent: None,
+            source,
+        });
+        id
+    }
+}
+
+/// Encodes a hedge into its first-child/next-sibling binary tree.
+pub fn encode_hedge(h: &Hedge) -> BinTree {
+    let mut bt = BinTree {
+        nodes: Vec::with_capacity(2 * h.node_count() + 1),
+        root: BinNodeId(0),
+    };
+    let root = enc_seq(h, h.roots(), &mut bt);
+    bt.root = root;
+    bt
+}
+
+/// Encodes a tree (as the one-tree hedge `t`).
+pub fn encode_tree(t: &crate::hedge::Tree) -> BinTree {
+    encode_hedge(t.as_hedge())
+}
+
+fn enc_seq(h: &Hedge, seq: &[NodeId], bt: &mut BinTree) -> BinNodeId {
+    match seq.split_first() {
+        None => bt.add(BinLabel::Nil, None),
+        Some((&first, rest)) => {
+            let label = match h.label(first) {
+                NodeLabel::Elem(s) => BinLabel::Elem(*s),
+                NodeLabel::Text(t) => BinLabel::Text(t.clone()),
+            };
+            let me = bt.add(label, Some(first));
+            let l = enc_seq(h, h.children(first), bt);
+            let r = enc_seq(h, rest, bt);
+            bt.nodes[me.index()].kids = Some((l, r));
+            bt.nodes[l.index()].parent = Some((me, false));
+            bt.nodes[r.index()].parent = Some((me, true));
+            me
+        }
+    }
+}
+
+/// Decodes a binary-encoded tree back into the original hedge.
+///
+/// Panics if the input is not a valid encoding (e.g. a text node with a
+/// non-`⊥` left child).
+pub fn decode_hedge(bt: &BinTree) -> Hedge {
+    let mut b = HedgeBuilder::new();
+    dec_seq(bt, bt.root(), &mut b);
+    b.finish()
+}
+
+fn dec_seq(bt: &BinTree, v: BinNodeId, b: &mut HedgeBuilder) {
+    match bt.label(v) {
+        BinLabel::Nil => {}
+        BinLabel::Text(t) => {
+            let (l, r) = bt.kids(v).expect("text node must have padding children");
+            assert!(
+                bt.label(l).is_nil(),
+                "invalid encoding: text node with children"
+            );
+            b.text(t);
+            dec_seq(bt, r, b);
+        }
+        BinLabel::Elem(s) => {
+            let (l, r) = bt.kids(v).expect("element node must have two children");
+            b.open(*s);
+            dec_seq(bt, l, b);
+            b.close();
+            dec_seq(bt, r, b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::term::parse_hedge;
+
+    fn enc(src: &str) -> (Hedge, BinTree) {
+        let mut al = Alphabet::new();
+        let h = parse_hedge(src, &mut al).unwrap();
+        let bt = encode_hedge(&h);
+        (h, bt)
+    }
+
+    #[test]
+    fn empty_hedge_encodes_to_nil() {
+        let (_, bt) = enc("");
+        assert_eq!(bt.node_count(), 1);
+        assert!(bt.label(bt.root()).is_nil());
+    }
+
+    #[test]
+    fn single_leaf() {
+        let (h, bt) = enc("a");
+        // a(⊥, ⊥)
+        assert_eq!(bt.node_count(), 3);
+        let (l, r) = bt.kids(bt.root()).unwrap();
+        assert!(bt.label(l).is_nil());
+        assert!(bt.label(r).is_nil());
+        assert_eq!(decode_hedge(&bt), h);
+    }
+
+    #[test]
+    fn structure_of_encoding() {
+        let (_, bt) = enc(r#"a(b c) d"#);
+        // root = a, left = enc(b c), right = enc(d)
+        let root = bt.root();
+        assert!(matches!(bt.label(root), BinLabel::Elem(_)));
+        let (l, r) = bt.kids(root).unwrap();
+        assert!(matches!(bt.label(l), BinLabel::Elem(_))); // b
+        assert!(matches!(bt.label(r), BinLabel::Elem(_))); // d
+        let (_, bsib) = bt.kids(l).unwrap();
+        assert!(matches!(bt.label(bsib), BinLabel::Elem(_))); // c
+        // node count = original nodes + (original + 1) nils
+        assert_eq!(bt.node_count(), 4 + 5);
+    }
+
+    #[test]
+    fn text_nodes_round_trip() {
+        let (h, bt) = enc(r#"a("x" b("y") "z")"#);
+        assert_eq!(decode_hedge(&bt), h);
+    }
+
+    #[test]
+    fn parent_links_consistent() {
+        let (_, bt) = enc(r#"a(b c)"#);
+        for v in bt.preorder() {
+            if let Some((l, r)) = bt.kids(v) {
+                assert_eq!(bt.parent(l), Some((v, false)));
+                assert_eq!(bt.parent(r), Some((v, true)));
+            }
+        }
+        assert_eq!(bt.parent(bt.root()), None);
+    }
+
+    #[test]
+    fn postorder_ends_at_root_and_visits_children_first() {
+        let (_, bt) = enc(r#"a(b c) d"#);
+        let post = bt.postorder();
+        assert_eq!(post.len(), bt.node_count());
+        assert_eq!(*post.last().unwrap(), bt.root());
+        let pos: std::collections::HashMap<_, _> =
+            post.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        for v in bt.preorder() {
+            if let Some((l, r)) = bt.kids(v) {
+                assert!(pos[&l] < pos[&v]);
+                assert!(pos[&r] < pos[&v]);
+            }
+        }
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A small random term-syntax string over {a,b} with text leaves.
+        fn arb_term(depth: u32) -> impl Strategy<Value = String> {
+            let leaf = prop_oneof![
+                Just("a".to_owned()),
+                Just("b".to_owned()),
+                "[xyz]{1,2}".prop_map(|t| format!("\"{t}\"")),
+            ];
+            leaf.prop_recursive(depth, 24, 3, |inner| {
+                (
+                    prop_oneof![Just("a"), Just("b")],
+                    proptest::collection::vec(inner, 0..3),
+                )
+                    .prop_map(|(l, kids)| format!("{l}({})", kids.join(" ")))
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn round_trip(src in arb_term(4)) {
+                let mut al = Alphabet::new();
+                let h = parse_hedge(&src, &mut al).unwrap();
+                let bt = encode_hedge(&h);
+                prop_assert_eq!(decode_hedge(&bt), h.clone());
+                // Nil count is original node count + 1.
+                let nils = bt.preorder().iter()
+                    .filter(|&&v| bt.label(v).is_nil()).count();
+                prop_assert_eq!(nils, h.node_count() + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # `tpx-trees`: text trees and hedges
+//!
+//! The foundational substrate of the `textpres` workspace: unranked trees and
+//! hedges over a finite alphabet `Σ` whose leaves may carry values from an
+//! infinite set `Text`, exactly as defined in Section 2 of
+//! *"The Complexity of Text-Preserving XML Transformations"* (PODS 2011).
+//!
+//! The crate provides:
+//!
+//! * interned alphabets ([`Alphabet`], [`Symbol`]),
+//! * arena-based [`Hedge`]s and [`Tree`]s with document-order navigation,
+//!   ancestor strings, lowest common ancestors and subtree replacement,
+//! * the *text content* and *frontier* of a hedge,
+//! * the subsequence relation `≺` of Definition 2.2 ([`subseq`]),
+//! * `Text`-substitutions and value-uniqueness ([`subst`]),
+//! * a term syntax (`a(b "text")`) and a small XML reader/writer ([`term`],
+//!   [`xml`]),
+//! * the first-child/next-sibling binary encoding used by the tree-automata
+//!   and MSO substrates ([`encode`]),
+//! * the paper's running example, the recipe document of Figure 1
+//!   ([`samples`]).
+
+pub mod alphabet;
+pub mod encode;
+pub mod hedge;
+pub mod samples;
+pub mod subseq;
+pub mod subst;
+pub mod term;
+pub mod xml;
+
+pub use alphabet::{Alphabet, Symbol};
+pub use encode::{decode_hedge, encode_hedge, encode_tree, BinLabel, BinNodeId, BinTree};
+pub use hedge::{Hedge, HedgeBuilder, NodeId, NodeLabel, Tree};
+pub use subseq::{is_subsequence, subsequence_witness};
+pub use subst::{canonical_substitution, is_value_unique, make_value_unique, TextSubstitution};

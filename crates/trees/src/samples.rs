@@ -1,0 +1,177 @@
+//! The paper's running example: the recipe document of Figure 1.
+
+use crate::alphabet::Alphabet;
+use crate::hedge::{HedgeBuilder, Tree};
+
+/// Labels used by the recipe example, in a fixed order.
+pub const RECIPE_LABELS: [&str; 11] = [
+    "recipes",
+    "recipe",
+    "description",
+    "ingredients",
+    "item",
+    "instructions",
+    "br",
+    "comments",
+    "negative",
+    "positive",
+    "comment",
+];
+
+/// An alphabet containing exactly the recipe labels.
+pub fn recipe_alphabet() -> Alphabet {
+    Alphabet::from_labels(RECIPE_LABELS)
+}
+
+/// Builds the text tree of Figure 1 (one fully populated recipe plus a
+/// second, smaller one), interning labels into `alpha`.
+pub fn recipe_tree(alpha: &mut Alphabet) -> Tree {
+    recipe_tree_sized(alpha, 2, 2, 2)
+}
+
+/// A scalable variant of Figure 1: `recipes` recipes, each with `items`
+/// ingredients and `comments` positive and negative comments. Used by the
+/// throughput experiments (E7).
+pub fn recipe_tree_sized(
+    alpha: &mut Alphabet,
+    recipes: usize,
+    items: usize,
+    comments: usize,
+) -> Tree {
+    let recipes_s = alpha.intern("recipes");
+    let recipe_s = alpha.intern("recipe");
+    let description = alpha.intern("description");
+    let ingredients = alpha.intern("ingredients");
+    let item = alpha.intern("item");
+    let instructions = alpha.intern("instructions");
+    let br = alpha.intern("br");
+    let comments_s = alpha.intern("comments");
+    let negative = alpha.intern("negative");
+    let positive = alpha.intern("positive");
+    let comment = alpha.intern("comment");
+
+    let mut b = HedgeBuilder::new();
+    b.open(recipes_s);
+    for r in 0..recipes {
+        b.open(recipe_s);
+        b.open(description);
+        if r == 0 {
+            b.text(
+                "This is the best chocolate mousse in the world. It tastes \
+                 fantastic and has only finitely many calories.",
+            );
+        } else {
+            b.text(&format!("Description of recipe {r}."));
+        }
+        b.close();
+        b.open(ingredients);
+        for i in 0..items {
+            b.open(item);
+            if r == 0 && i == 0 {
+                b.text("100 g of butter");
+            } else if r == 0 && i == 1 {
+                b.text("100 g of Belgian chocolate");
+            } else {
+                b.text(&format!("ingredient {i} of recipe {r}"));
+            }
+            b.close();
+        }
+        b.close();
+        b.open(instructions);
+        if r == 0 {
+            b.text("We start by melting the butter on a low fire.");
+            b.leaf(br);
+            b.text("Then, melt the chocolate au bain-marie.");
+        } else {
+            for s in 0..items {
+                if s > 0 {
+                    b.leaf(br);
+                }
+                b.text(&format!("step {s} of recipe {r}"));
+            }
+        }
+        b.close();
+        b.open(comments_s);
+        b.open(negative);
+        for c in 0..comments {
+            b.open(comment);
+            b.text(&format!("negative comment {c} on recipe {r}"));
+            b.close();
+        }
+        b.close();
+        b.open(positive);
+        for c in 0..comments {
+            b.open(comment);
+            if r == 0 && c == 0 {
+                b.text("It's true! It's great! Especially with Greek coffee afterwards!");
+            } else {
+                b.text(&format!("positive comment {c} on recipe {r}"));
+            }
+            b.close();
+        }
+        b.close();
+        b.close(); // comments
+        b.close(); // recipe
+    }
+    b.close();
+    b.finish_tree().expect("recipes tree has a single root")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_shape() {
+        let mut al = Alphabet::new();
+        let t = recipe_tree(&mut al);
+        let root = t.root();
+        assert_eq!(t.label(root).elem(), Some(al.sym("recipes")));
+        assert_eq!(t.children(root).len(), 2);
+        let recipe = t.children(root)[0];
+        // description, ingredients, instructions, comments — paper node (11).
+        let kids: Vec<_> = t
+            .children(recipe)
+            .iter()
+            .map(|&c| al.name(t.label(c).elem().unwrap()).to_owned())
+            .collect();
+        assert_eq!(
+            kids,
+            vec!["description", "ingredients", "instructions", "comments"]
+        );
+        // The paper's example text appears first in the text content.
+        let tc = t.text_content();
+        assert!(tc[0].starts_with("This is the best chocolate mousse"));
+        assert!(tc.contains(&"100 g of butter"));
+    }
+
+    #[test]
+    fn ancestor_path_of_positive_matches_paper() {
+        let mut al = Alphabet::new();
+        let t = recipe_tree(&mut al);
+        let positive = t
+            .dfs()
+            .into_iter()
+            .find(|&v| t.label(v).elem() == Some(al.sym("positive")))
+            .unwrap();
+        let path: Vec<_> = t
+            .ancestor_string(positive)
+            .iter()
+            .map(|l| al.name(l.elem().unwrap()).to_owned())
+            .collect();
+        assert_eq!(path, vec!["recipes", "recipe", "comments", "positive"]);
+    }
+
+    #[test]
+    fn sized_tree_scales() {
+        let mut al = Alphabet::new();
+        let small = recipe_tree_sized(&mut al, 1, 1, 1);
+        let big = recipe_tree_sized(&mut al, 10, 5, 5);
+        assert!(big.node_count() > 10 * small.node_count() / 2);
+        assert_eq!(
+            big.children(big.root()).len(),
+            10,
+            "one child per recipe under the root"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! The subsequence relation `≺` of Definition 2.2.
+//!
+//! A string `s₁ = σ₁⋯σₙ` is a subsequence of `s₂` (written `s₁ ≺ s₂`) when
+//! `s₂ = w₀σ₁w₁⋯σₙwₙ`. Text-preservation (Definition 2.2 of the paper) asks
+//! `text-content(T(t)) ≺ text-content(t)`.
+
+/// Whether `needle ≺ haystack` (greedy linear scan).
+///
+/// ```
+/// use tpx_trees::is_subsequence;
+/// assert!(is_subsequence(&["a", "c"], &["a", "b", "c"]));
+/// assert!(!is_subsequence(&["c", "a"], &["a", "b", "c"]));
+/// assert!(is_subsequence::<&str>(&[], &[]));
+/// ```
+pub fn is_subsequence<T: PartialEq>(needle: &[T], haystack: &[T]) -> bool {
+    subsequence_witness(needle, haystack).is_some()
+}
+
+/// If `needle ≺ haystack`, returns for each needle position the index of the
+/// matched haystack position (the leftmost witness, strictly increasing).
+///
+/// The witness is the function `g` used in the proof of Theorem 3.3: it maps
+/// output text occurrences to the input occurrences they came from.
+pub fn subsequence_witness<T: PartialEq>(needle: &[T], haystack: &[T]) -> Option<Vec<usize>> {
+    let mut witness = Vec::with_capacity(needle.len());
+    let mut j = 0usize;
+    for item in needle {
+        loop {
+            if j >= haystack.len() {
+                return None;
+            }
+            if haystack[j] == *item {
+                witness.push(j);
+                j += 1;
+                break;
+            }
+            j += 1;
+        }
+    }
+    Some(witness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_subsequence_of_everything() {
+        assert!(is_subsequence::<u32>(&[], &[]));
+        assert!(is_subsequence(&[], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn nothing_nonempty_fits_in_empty() {
+        assert!(!is_subsequence(&[1], &[]));
+    }
+
+    #[test]
+    fn equal_strings_are_subsequences() {
+        assert!(is_subsequence(&[1, 2, 3], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn order_matters() {
+        assert!(is_subsequence(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subsequence(&[3, 1], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn multiplicity_matters() {
+        assert!(!is_subsequence(&[2, 2], &[1, 2, 3]));
+        assert!(is_subsequence(&[2, 2], &[2, 1, 2]));
+    }
+
+    #[test]
+    fn witness_is_strictly_increasing_and_correct() {
+        let w = subsequence_witness(&["b", "b", "d"], &["a", "b", "b", "c", "d"]).unwrap();
+        assert_eq!(w, vec![1, 2, 4]);
+        for pair in w.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn witness_absent_when_not_subsequence() {
+        assert!(subsequence_witness(&["z"], &["a", "b"]).is_none());
+    }
+
+    #[cfg(test)]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Deleting arbitrary positions from a string yields a subsequence.
+            #[test]
+            fn deletion_yields_subsequence(s in proptest::collection::vec(0u8..4, 0..30),
+                                           mask in proptest::collection::vec(any::<bool>(), 0..30)) {
+                let kept: Vec<u8> = s.iter().zip(mask.iter().chain(std::iter::repeat(&true)))
+                    .filter(|(_, &keep)| keep).map(|(&x, _)| x).collect();
+                prop_assert!(is_subsequence(&kept, &s));
+            }
+
+            /// Subsequence-ness is transitive.
+            #[test]
+            fn transitive(s in proptest::collection::vec(0u8..3, 0..20),
+                          m1 in proptest::collection::vec(any::<bool>(), 20),
+                          m2 in proptest::collection::vec(any::<bool>(), 20)) {
+                let a: Vec<u8> = s.iter().zip(&m1).filter(|(_, &k)| k).map(|(&x, _)| x).collect();
+                let b: Vec<u8> = a.iter().zip(&m2).filter(|(_, &k)| k).map(|(&x, _)| x).collect();
+                prop_assert!(is_subsequence(&a, &s));
+                prop_assert!(is_subsequence(&b, &a));
+                prop_assert!(is_subsequence(&b, &s));
+            }
+
+            /// The witness indexes match the needle contents.
+            #[test]
+            fn witness_sound(n in proptest::collection::vec(0u8..3, 0..10),
+                             h in proptest::collection::vec(0u8..3, 0..30)) {
+                if let Some(w) = subsequence_witness(&n, &h) {
+                    prop_assert_eq!(w.len(), n.len());
+                    for (i, &j) in w.iter().enumerate() {
+                        prop_assert_eq!(h[j], n[i]);
+                    }
+                    for pair in w.windows(2) {
+                        prop_assert!(pair[0] < pair[1]);
+                    }
+                }
+            }
+        }
+    }
+}

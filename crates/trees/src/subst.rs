@@ -1,0 +1,156 @@
+//! `Text`-substitutions and value-uniqueness (Section 2 / Section 3).
+//!
+//! A `Text`-substitution relabels zero or more text nodes to other `Text`
+//! values, leaving the tree structure and element labels untouched. All tree
+//! languages in the paper are closed under `Text`-substitutions; because this
+//! crate treats text values opaquely, every language expressible here is
+//! closed by construction.
+//!
+//! A tree is *value-unique* when all its text values are pairwise different —
+//! the key device in the characterization of Theorem 3.3.
+
+use crate::hedge::{Hedge, NodeId};
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+/// A `Text`-substitution `ρ`: a partial map from text nodes to new values.
+/// Nodes not in the map keep their value.
+#[derive(Clone, Debug, Default)]
+pub struct TextSubstitution {
+    map: HashMap<NodeId, String>,
+}
+
+impl TextSubstitution {
+    /// The identity substitution.
+    pub fn identity() -> Self {
+        Self::default()
+    }
+
+    /// Adds a relabelling `v ↦ value`.
+    pub fn set(&mut self, v: NodeId, value: impl Into<String>) -> &mut Self {
+        self.map.insert(v, value.into());
+        self
+    }
+
+    /// Applies the substitution, returning `ρ(h)`. Panics if a mapped node is
+    /// not a text node of `h`.
+    pub fn apply(&self, h: &Hedge) -> Hedge {
+        let mut out = h.clone();
+        for (&v, val) in &self.map {
+            out.set_text(v, val);
+        }
+        out
+    }
+
+    /// Number of relabelled nodes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether this is the identity substitution.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Whether all text values in `h` are pairwise distinct.
+pub fn is_value_unique(h: &Hedge) -> bool {
+    let mut seen = HashSet::new();
+    h.text_content().into_iter().all(|t| seen.insert(t))
+}
+
+/// The substitution `ρ` that makes `h` value-unique by relabelling every text
+/// node with a canonical fresh value `τ0, τ1, …` (in document order).
+///
+/// This is the substitution used in the proof of Theorem 3.3 to reduce
+/// non-text-preservation to copying/rearranging on value-unique trees.
+pub fn canonical_substitution(h: &Hedge) -> TextSubstitution {
+    let mut rho = TextSubstitution::identity();
+    for (i, v) in h.text_nodes().into_iter().enumerate() {
+        rho.set(v, format!("τ{i}"));
+    }
+    rho
+}
+
+/// Applies [`canonical_substitution`], returning a value-unique copy of `h`.
+pub fn make_value_unique(h: &Hedge) -> Hedge {
+    canonical_substitution(h).apply(h)
+}
+
+/// The substitution `ρ_γ` relabelling *every* text node of `h` to the single
+/// value `γ` (used in the definition of `Text`-independence, Section 3).
+pub fn constant_substitution(h: &Hedge, gamma: &str) -> TextSubstitution {
+    let mut rho = TextSubstitution::identity();
+    for v in h.text_nodes() {
+        rho.set(v, gamma);
+    }
+    rho
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::hedge::HedgeBuilder;
+
+    fn sample() -> Hedge {
+        let mut al = Alphabet::new();
+        let a = al.intern("a");
+        let mut b = HedgeBuilder::new();
+        b.open(a);
+        b.text("x");
+        b.text("x");
+        b.text("y");
+        b.close();
+        b.finish()
+    }
+
+    #[test]
+    fn value_uniqueness_detects_duplicates() {
+        let h = sample();
+        assert!(!is_value_unique(&h));
+        let u = make_value_unique(&h);
+        assert!(is_value_unique(&u));
+        assert_eq!(u.text_content(), vec!["τ0", "τ1", "τ2"]);
+    }
+
+    #[test]
+    fn substitution_preserves_structure() {
+        let h = sample();
+        let u = make_value_unique(&h);
+        assert_eq!(h.node_count(), u.node_count());
+        assert_eq!(h.text_nodes(), u.text_nodes());
+        for v in h.dfs() {
+            assert_eq!(h.label(v).is_text(), u.label(v).is_text());
+            if !h.is_text(v) {
+                assert_eq!(h.label(v), u.label(v));
+            }
+        }
+    }
+
+    #[test]
+    fn identity_substitution_is_noop() {
+        let h = sample();
+        let same = TextSubstitution::identity().apply(&h);
+        assert_eq!(h, same);
+        assert!(TextSubstitution::identity().is_empty());
+    }
+
+    #[test]
+    fn constant_substitution_relabels_all() {
+        let h = sample();
+        let z = constant_substitution(&h, "z").apply(&h);
+        assert_eq!(z.text_content(), vec!["z", "z", "z"]);
+    }
+
+    #[test]
+    fn partial_substitution() {
+        let h = sample();
+        let first = h.text_nodes()[0];
+        let mut rho = TextSubstitution::identity();
+        rho.set(first, "q");
+        assert_eq!(rho.len(), 1);
+        let out = rho.apply(&h);
+        assert_eq!(out.text_content(), vec!["q", "x", "y"]);
+    }
+}

@@ -1,0 +1,280 @@
+//! The paper's term syntax for trees and hedges.
+//!
+//! Trees are written `σ(w)` where `w` is a whitespace-separated sequence of
+//! trees; `σ()` may be abbreviated `σ`; text leaves are double-quoted
+//! strings. Example: `a("x" b("y" c) "z")`.
+//!
+//! Parsing interns element labels into a caller-supplied [`Alphabet`].
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::hedge::{Hedge, HedgeBuilder, NodeId, NodeLabel, Tree};
+use std::fmt;
+
+/// Error from [`parse_hedge`] / [`parse_tree`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.pos,
+            message: msg.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn ident(&mut self) -> Result<&'a str, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-') {
+            self.bump();
+        }
+        if self.pos == start {
+            return self.err("expected a label identifier");
+        }
+        Ok(&self.src[start..self.pos])
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        debug_assert_eq!(self.peek(), Some('"'));
+        self.bump();
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return self.err("unterminated string literal"),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some(c) => return self.err(format!("bad escape \\{c}")),
+                    None => return self.err("unterminated escape"),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn tree(&mut self, b: &mut HedgeBuilder, alpha: &mut Alphabet) -> Result<(), ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('"') => {
+                let s = self.string()?;
+                b.text(&s);
+                Ok(())
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                let name = self.ident()?;
+                let sym = alpha.intern(name);
+                b.open(sym);
+                self.skip_ws();
+                if self.peek() == Some('(') {
+                    self.bump();
+                    self.hedge_items(b, alpha)?;
+                    self.skip_ws();
+                    if self.bump() != Some(')') {
+                        return self.err("expected ')'");
+                    }
+                }
+                b.close();
+                Ok(())
+            }
+            Some(c) => self.err(format!("unexpected character {c:?}")),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn hedge_items(&mut self, b: &mut HedgeBuilder, alpha: &mut Alphabet) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None | Some(')') => return Ok(()),
+                _ => self.tree(b, alpha)?,
+            }
+        }
+    }
+}
+
+/// Parses a hedge in term syntax, interning labels into `alpha`.
+pub fn parse_hedge(src: &str, alpha: &mut Alphabet) -> Result<Hedge, ParseError> {
+    let mut p = Parser { src, pos: 0 };
+    let mut b = HedgeBuilder::new();
+    p.hedge_items(&mut b, alpha)?;
+    p.skip_ws();
+    if p.pos != src.len() {
+        return p.err("trailing input");
+    }
+    Ok(b.finish())
+}
+
+/// Parses a single tree in term syntax.
+pub fn parse_tree(src: &str, alpha: &mut Alphabet) -> Result<Tree, ParseError> {
+    let h = parse_hedge(src, alpha)?;
+    let n = h.roots().len();
+    Tree::from_hedge(h).ok_or(ParseError {
+        offset: 0,
+        message: format!("expected exactly one tree, found {n}"),
+    })
+}
+
+/// Display adapter rendering a hedge in term syntax (see
+/// [`Hedge::display`](crate::hedge::Hedge::display)).
+pub struct DisplayHedge<'a> {
+    pub(crate) hedge: &'a Hedge,
+    pub(crate) alpha: &'a Alphabet,
+}
+
+impl fmt::Display for DisplayHedge<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, &r) in self.hedge.roots().iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write_node(self.hedge, self.alpha, r, f)?;
+        }
+        Ok(())
+    }
+}
+
+fn write_node(h: &Hedge, alpha: &Alphabet, v: NodeId, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match h.label(v) {
+        NodeLabel::Text(t) => write_text(t, f),
+        NodeLabel::Elem(s) => {
+            write_label(*s, alpha, f)?;
+            if !h.children(v).is_empty() {
+                write!(f, "(")?;
+                for (i, &c) in h.children(v).iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write_node(h, alpha, c, f)?;
+                }
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn write_label(s: Symbol, alpha: &Alphabet, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "{}", alpha.name(s))
+}
+
+fn write_text(t: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in t.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_tree() {
+        let mut al = Alphabet::new();
+        let t = parse_tree(r#"a("x" b("y" c) "z")"#, &mut al).unwrap();
+        assert_eq!(t.node_count(), 6);
+        assert_eq!(t.text_content(), vec!["x", "y", "z"]);
+        assert_eq!(t.label(t.root()).elem(), Some(al.sym("a")));
+    }
+
+    #[test]
+    fn leaf_abbreviation() {
+        let mut al = Alphabet::new();
+        let t1 = parse_tree("c", &mut al).unwrap();
+        let t2 = parse_tree("c()", &mut al).unwrap();
+        assert_eq!(*t1.as_hedge(), *t2.as_hedge());
+    }
+
+    #[test]
+    fn parses_hedge_of_several_trees() {
+        let mut al = Alphabet::new();
+        let h = parse_hedge(r#"a b "x""#, &mut al).unwrap();
+        assert_eq!(h.roots().len(), 3);
+    }
+
+    #[test]
+    fn empty_input_is_empty_hedge() {
+        let mut al = Alphabet::new();
+        let h = parse_hedge("  ", &mut al).unwrap();
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut al = Alphabet::new();
+        let t = parse_tree(r#"a("say \"hi\"\\")"#, &mut al).unwrap();
+        assert_eq!(t.text_content(), vec![r#"say "hi"\"#]);
+        let printed = format!("{}", t.display(&al));
+        let back = parse_tree(&printed, &mut al).unwrap();
+        assert_eq!(*t.as_hedge(), *back.as_hedge());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let mut al = Alphabet::new();
+        let src = r#"recipes(recipe(description("d") ingredients(item("i1") item("i2"))))"#;
+        let t = parse_tree(src, &mut al).unwrap();
+        let printed = format!("{}", t.display(&al));
+        assert_eq!(printed, src);
+        let back = parse_tree(&printed, &mut al).unwrap();
+        assert_eq!(*t.as_hedge(), *back.as_hedge());
+    }
+
+    #[test]
+    fn errors_report_offsets() {
+        let mut al = Alphabet::new();
+        let e = parse_tree("a(", &mut al).unwrap_err();
+        assert!(e.offset >= 2);
+        assert!(parse_tree("a) ", &mut al).is_err());
+        assert!(parse_tree(r#"a("unterminated)"#, &mut al).is_err());
+        assert!(parse_hedge("a(b))", &mut al).is_err());
+    }
+
+    #[test]
+    fn tree_requires_single_root() {
+        let mut al = Alphabet::new();
+        assert!(parse_tree("a b", &mut al).is_err());
+        assert!(parse_tree("", &mut al).is_err());
+    }
+}

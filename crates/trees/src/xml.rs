@@ -1,0 +1,418 @@
+//! A small reader/writer for the text-centric XML subset used by the paper.
+//!
+//! Supported: elements, text content, self-closing tags, comments, an
+//! optional XML declaration, character entities (`&lt; &gt; &amp; &quot;
+//! &apos;`), and attributes (parsed and *ignored*, since the paper's model
+//! has none). Whitespace-only text between elements is dropped; other text
+//! is kept verbatim (leading/trailing whitespace trimmed).
+
+use crate::alphabet::Alphabet;
+use crate::hedge::{Hedge, HedgeBuilder, NodeId, NodeLabel, Tree};
+use std::fmt;
+
+/// Error from [`parse_document`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+struct Reader<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, XmlError> {
+        Err(XmlError {
+            offset: self.pos,
+            message: msg.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn skip_until(&mut self, end: &str) -> Result<(), XmlError> {
+        match self.src[self.pos..]
+            .windows(end.len())
+            .position(|w| w == end.as_bytes())
+        {
+            Some(i) => {
+                self.pos += i + end.len();
+                Ok(())
+            }
+            None => self.err(format!("missing {end:?}")),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn name(&mut self) -> Result<&'a str, XmlError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'.' || c == b':')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected a name");
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| XmlError {
+                offset: start,
+                message: "invalid UTF-8 in name".into(),
+            })
+    }
+
+    /// Skips attributes up to (but not including) `>` or `/>`.
+    fn skip_attributes(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') | Some(b'/') | None => return Ok(()),
+                _ => {
+                    self.name()?;
+                    self.skip_ws();
+                    if self.peek() == Some(b'=') {
+                        self.skip(1);
+                        self.skip_ws();
+                        let quote = match self.peek() {
+                            Some(q @ (b'"' | b'\'')) => q,
+                            _ => return self.err("expected quoted attribute value"),
+                        };
+                        self.skip(1);
+                        while self.peek().is_some_and(|c| c != quote) {
+                            self.skip(1);
+                        }
+                        if self.peek().is_none() {
+                            return self.err("unterminated attribute value");
+                        }
+                        self.skip(1);
+                    }
+                }
+            }
+        }
+    }
+
+    fn text_run(&mut self) -> Result<String, XmlError> {
+        let mut out = String::new();
+        while let Some(c) = self.peek() {
+            match c {
+                b'<' => break,
+                b'&' => out.push(self.entity()?),
+                _ => {
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(c) if c != b'<' && c != b'&') {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.src[start..self.pos]).map_err(
+                        |_| XmlError {
+                            offset: start,
+                            message: "invalid UTF-8 in text".into(),
+                        },
+                    )?);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn entity(&mut self) -> Result<char, XmlError> {
+        debug_assert_eq!(self.peek(), Some(b'&'));
+        let start = self.pos;
+        self.skip(1);
+        let end = self.src[self.pos..]
+            .iter()
+            .position(|&c| c == b';')
+            .ok_or(XmlError {
+                offset: start,
+                message: "unterminated entity".into(),
+            })?;
+        let name = std::str::from_utf8(&self.src[self.pos..self.pos + end]).unwrap_or("");
+        self.pos += end + 1;
+        match name {
+            "lt" => Ok('<'),
+            "gt" => Ok('>'),
+            "amp" => Ok('&'),
+            "quot" => Ok('"'),
+            "apos" => Ok('\''),
+            _ => {
+                if let Some(hex) = name.strip_prefix("#x") {
+                    u32::from_str_radix(hex, 16)
+                        .ok()
+                        .and_then(char::from_u32)
+                        .ok_or(XmlError {
+                            offset: start,
+                            message: format!("bad character reference &{name};"),
+                        })
+                } else if let Some(dec) = name.strip_prefix('#') {
+                    dec.parse::<u32>().ok().and_then(char::from_u32).ok_or(XmlError {
+                        offset: start,
+                        message: format!("bad character reference &{name};"),
+                    })
+                } else {
+                    Err(XmlError {
+                        offset: start,
+                        message: format!("unknown entity &{name};"),
+                    })
+                }
+            }
+        }
+    }
+
+    fn element(&mut self, b: &mut HedgeBuilder, alpha: &mut Alphabet) -> Result<(), XmlError> {
+        debug_assert_eq!(self.peek(), Some(b'<'));
+        self.skip(1);
+        let name = self.name()?.to_owned();
+        let sym = alpha.intern(&name);
+        self.skip_attributes()?;
+        if self.starts_with("/>") {
+            self.skip(2);
+            b.leaf(sym);
+            return Ok(());
+        }
+        if self.peek() != Some(b'>') {
+            return self.err("expected '>'");
+        }
+        self.skip(1);
+        b.open(sym);
+        self.content(b, alpha)?;
+        if !self.starts_with("</") {
+            return self.err(format!("missing closing tag for <{name}>"));
+        }
+        self.skip(2);
+        let close = self.name()?;
+        if close != name {
+            return self.err(format!("mismatched closing tag </{close}> for <{name}>"));
+        }
+        self.skip_ws();
+        if self.peek() != Some(b'>') {
+            return self.err("expected '>' after closing tag name");
+        }
+        self.skip(1);
+        b.close();
+        Ok(())
+    }
+
+    fn content(&mut self, b: &mut HedgeBuilder, alpha: &mut Alphabet) -> Result<(), XmlError> {
+        loop {
+            if self.starts_with("</") || self.peek().is_none() {
+                return Ok(());
+            }
+            if self.starts_with("<!--") {
+                self.skip(4);
+                self.skip_until("-->")?;
+                continue;
+            }
+            if self.starts_with("<![CDATA[") {
+                self.skip(9);
+                let start = self.pos;
+                self.skip_until("]]>")?;
+                let raw = std::str::from_utf8(&self.src[start..self.pos - 3]).map_err(|_| {
+                    XmlError {
+                        offset: start,
+                        message: "invalid UTF-8 in CDATA".into(),
+                    }
+                })?;
+                if !raw.is_empty() {
+                    b.text(raw);
+                }
+                continue;
+            }
+            if self.peek() == Some(b'<') {
+                self.element(b, alpha)?;
+            } else {
+                let text = self.text_run()?;
+                let trimmed = text.trim();
+                if !trimmed.is_empty() {
+                    b.text(trimmed);
+                }
+            }
+        }
+    }
+}
+
+/// Parses an XML document into a [`Tree`], interning element names into
+/// `alpha`.
+///
+/// ```
+/// use tpx_trees::{xml, Alphabet};
+/// let mut sigma = Alphabet::new();
+/// let t = xml::parse_document("<a><b>hello</b><c/></a>", &mut sigma).unwrap();
+/// assert_eq!(t.text_content(), vec!["hello"]);
+/// assert_eq!(t.node_count(), 4);
+/// ```
+pub fn parse_document(src: &str, alpha: &mut Alphabet) -> Result<Tree, XmlError> {
+    let mut r = Reader {
+        src: src.as_bytes(),
+        pos: 0,
+    };
+    r.skip_ws();
+    if r.starts_with("<?") {
+        r.skip(2);
+        r.skip_until("?>")?;
+        r.skip_ws();
+    }
+    while r.starts_with("<!--") {
+        r.skip(4);
+        r.skip_until("-->")?;
+        r.skip_ws();
+    }
+    if r.starts_with("<!DOCTYPE") {
+        r.skip_until(">")?;
+        r.skip_ws();
+    }
+    if r.peek() != Some(b'<') {
+        return r.err("expected root element");
+    }
+    let mut b = HedgeBuilder::new();
+    r.element(&mut b, alpha)?;
+    r.skip_ws();
+    if r.pos != r.src.len() {
+        return r.err("trailing content after root element");
+    }
+    Tree::from_hedge(b.finish()).ok_or(XmlError {
+        offset: 0,
+        message: "document is not a single tree".into(),
+    })
+}
+
+/// Serializes a hedge as XML (text nodes escaped; no declaration).
+pub fn to_xml(h: &Hedge, alpha: &Alphabet) -> String {
+    let mut out = String::new();
+    for &r in h.roots() {
+        write_xml(h, alpha, r, &mut out);
+    }
+    out
+}
+
+fn write_xml(h: &Hedge, alpha: &Alphabet, v: NodeId, out: &mut String) {
+    match h.label(v) {
+        NodeLabel::Text(t) => escape_into(t, out),
+        NodeLabel::Elem(s) => {
+            let name = alpha.name(*s);
+            if h.children(v).is_empty() {
+                out.push('<');
+                out.push_str(name);
+                out.push_str("/>");
+            } else {
+                out.push('<');
+                out.push_str(name);
+                out.push('>');
+                for &c in h.children(v) {
+                    write_xml(h, alpha, c, out);
+                }
+                out.push_str("</");
+                out.push_str(name);
+                out.push('>');
+            }
+        }
+    }
+}
+
+fn escape_into(t: &str, out: &mut String) {
+    for c in t.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let mut al = Alphabet::new();
+        let t = parse_document("<a><b>x</b><b>y<c/></b></a>", &mut al).unwrap();
+        assert_eq!(t.text_content(), vec!["x", "y"]);
+        assert_eq!(t.node_count(), 6);
+    }
+
+    #[test]
+    fn handles_declaration_comments_and_doctype() {
+        let mut al = Alphabet::new();
+        let t = parse_document(
+            "<?xml version=\"1.0\"?><!-- top --><!DOCTYPE a><a><!-- in -->t</a>",
+            &mut al,
+        )
+        .unwrap();
+        assert_eq!(t.text_content(), vec!["t"]);
+    }
+
+    #[test]
+    fn ignores_attributes() {
+        let mut al = Alphabet::new();
+        let t = parse_document(r#"<a id="1" class='x'><b checked/></a>"#, &mut al).unwrap();
+        assert_eq!(t.node_count(), 2);
+    }
+
+    #[test]
+    fn entities_decode() {
+        let mut al = Alphabet::new();
+        let t = parse_document("<a>&lt;x&gt; &amp; &#65;&#x42;</a>", &mut al).unwrap();
+        assert_eq!(t.text_content(), vec!["<x> & AB"]);
+    }
+
+    #[test]
+    fn cdata_is_verbatim() {
+        let mut al = Alphabet::new();
+        let t = parse_document("<a><![CDATA[ <raw> & stuff ]]></a>", &mut al).unwrap();
+        assert_eq!(t.text_content(), vec![" <raw> & stuff "]);
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let mut al = Alphabet::new();
+        let t = parse_document("<a>\n  <b>x</b>\n  <c/>\n</a>", &mut al).unwrap();
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.text_content(), vec!["x"]);
+    }
+
+    #[test]
+    fn round_trip_through_serializer() {
+        let mut al = Alphabet::new();
+        let src = "<a><b>x &amp; y</b><c/><d>z</d></a>";
+        let t = parse_document(src, &mut al).unwrap();
+        let ser = to_xml(t.as_hedge(), &al);
+        let back = parse_document(&ser, &mut al).unwrap();
+        assert_eq!(*t.as_hedge(), *back.as_hedge());
+    }
+
+    #[test]
+    fn errors_on_mismatched_tags() {
+        let mut al = Alphabet::new();
+        assert!(parse_document("<a></b>", &mut al).is_err());
+        assert!(parse_document("<a>", &mut al).is_err());
+        assert!(parse_document("<a></a><b></b>", &mut al).is_err());
+        assert!(parse_document("text only", &mut al).is_err());
+        assert!(parse_document("<a>&bogus;</a>", &mut al).is_err());
+    }
+}

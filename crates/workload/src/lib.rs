@@ -1,0 +1,20 @@
+//! # `tpx-workload`: workload generators for tests and benchmarks
+//!
+//! Deterministic (seeded) generators for:
+//!
+//! * random text trees, free-form or sampled from an NTA schema,
+//! * scalable schema families (chains, combs, recipe-like),
+//! * scalable transducer families (selectors, copiers, swappers) with known
+//!   ground truth for the text-preservation question.
+//!
+//! Everything is seeded so experiments are reproducible run to run.
+
+pub mod schemas;
+pub mod transducers;
+pub mod trees;
+
+pub use schemas::{chain_schema, comb_schema, recipe_schema};
+pub use transducers::{
+    copier_at_depth, deep_selector, identity_transducer, swapper_at_depth, TransducerKind,
+};
+pub use trees::{random_schema_tree, random_tree, TreeGenConfig};

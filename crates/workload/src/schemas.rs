@@ -1,0 +1,97 @@
+//! Scalable schema families for the experiments.
+
+use tpx_treeauto::Nta;
+use tpx_trees::Alphabet;
+
+/// A chain schema of depth `n`: `root(l1(l2(… (text) …)))` — exactly one
+/// path, used to scale `|N|` linearly (E1/E2).
+///
+/// Returns the alphabet (labels `l0..l(n-1)`) and the NTA.
+pub fn chain_schema(n: usize) -> (Alphabet, Nta) {
+    assert!(n >= 1);
+    let alpha = Alphabet::from_labels((0..n).map(|i| format!("l{i}")));
+    let mut b = tpx_treeauto::NtaBuilder::new(&alpha);
+    b.root("q0");
+    for i in 0..n {
+        let content = if i + 1 < n {
+            format!("q{}", i + 1)
+        } else {
+            "qt".to_owned()
+        };
+        b.rule(&format!("q{i}"), &format!("l{i}"), &content);
+    }
+    b.text_rule("qt");
+    (alpha, b.finish())
+}
+
+/// A comb schema over `width` sibling labels: the root has any number of
+/// children from `width` kinds, each holding optional text — scales content
+/// model width (E1/E2).
+pub fn comb_schema(width: usize) -> (Alphabet, Nta) {
+    assert!(width >= 1);
+    let mut labels = vec!["root".to_owned()];
+    labels.extend((0..width).map(|i| format!("c{i}")));
+    let alpha = Alphabet::from_labels(labels.iter().map(String::as_str));
+    let mut b = tpx_treeauto::NtaBuilder::new(&alpha);
+    b.root("q0");
+    let union = (0..width)
+        .map(|i| format!("p{i}"))
+        .collect::<Vec<_>>()
+        .join(" | ");
+    b.rule("q0", "root", &format!("({union})*"));
+    for i in 0..width {
+        b.rule(&format!("p{i}"), &format!("c{i}"), "qt?");
+    }
+    b.text_rule("qt");
+    (alpha, b.finish())
+}
+
+/// The recipe schema (Example 2.3) as an NTA, with its alphabet.
+pub fn recipe_schema() -> (Alphabet, Nta) {
+    let alpha = tpx_trees::samples::recipe_alphabet();
+    let nta = tpx_schema::samples::recipe_dtd(&alpha).to_nta();
+    (alpha, nta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trees::random_schema_tree;
+
+    #[test]
+    fn chain_schema_has_single_witness_shape() {
+        let (_, nta) = chain_schema(5);
+        assert!(!nta.is_empty());
+        let w = nta.witness().unwrap();
+        assert_eq!(w.node_count(), 6); // 5 elements + text leaf
+    }
+
+    #[test]
+    fn comb_schema_accepts_any_mix() {
+        let (mut alpha, nta) = comb_schema(3);
+        let t = tpx_trees::term::parse_tree(r#"root(c0("x") c2 c1("y") c0)"#, &mut alpha)
+            .unwrap();
+        assert!(nta.accepts(&t));
+        let bad = tpx_trees::term::parse_tree(r#"c0("x")"#, &mut alpha).unwrap();
+        assert!(!nta.accepts(&bad));
+    }
+
+    #[test]
+    fn schemas_are_samplable() {
+        for (name, (_, nta)) in [
+            ("chain", chain_schema(4)),
+            ("comb", comb_schema(4)),
+            ("recipe", recipe_schema()),
+        ] {
+            let t = random_schema_tree(&nta, 20, 1).unwrap_or_else(|| panic!("{name}"));
+            assert!(nta.accepts(&t), "{name}");
+        }
+    }
+
+    #[test]
+    fn sizes_scale() {
+        let (_, small) = chain_schema(4);
+        let (_, big) = chain_schema(64);
+        assert!(big.size() > 10 * small.size() / 2);
+    }
+}

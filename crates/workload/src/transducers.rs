@@ -1,0 +1,273 @@
+//! Scalable top-down transducer families with known ground truth.
+
+use tpx_topdown::{TdState, Transducer};
+use tpx_trees::{Alphabet, Symbol};
+
+/// What a generated transducer is known to do (the experiments' ground
+/// truth).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TransducerKind {
+    /// Text-preserving everywhere.
+    Preserving,
+    /// Copies somewhere in the schema.
+    Copying,
+    /// Rearranges somewhere in the schema.
+    Rearranging,
+}
+
+/// The identity transducer over the whole alphabet (text kept).
+pub fn identity_transducer(alpha: &Alphabet) -> Transducer {
+    let mut t = Transducer::new(alpha.len(), 1, TdState(0));
+    for s in alpha.symbols() {
+        t.set_rule(
+            TdState(0),
+            s,
+            vec![tpx_topdown::RhsNode::Elem(s, vec![tpx_topdown::RhsNode::State(TdState(0))])],
+        );
+    }
+    t.set_text_rule(TdState(0), true);
+    t
+}
+
+/// A selector with `n` states cycling through the alphabet: each state
+/// copies structure and hands off to the next state; only the last state
+/// keeps text. Text-preserving; scales `|T|` linearly (E1).
+pub fn deep_selector(alpha: &Alphabet, n: usize) -> Transducer {
+    assert!(n >= 1);
+    let mut t = Transducer::new(alpha.len(), n, TdState(0));
+    for i in 0..n {
+        let next = TdState(((i + 1) % n) as u32);
+        for s in alpha.symbols() {
+            t.set_rule(
+                TdState(i as u32),
+                s,
+                vec![tpx_topdown::RhsNode::Elem(
+                    s,
+                    vec![tpx_topdown::RhsNode::State(next)],
+                )],
+            );
+        }
+    }
+    t.set_text_rule(TdState((n - 1) as u32), true);
+    t
+}
+
+/// Like [`deep_selector`] but the state reached after `depth` steps
+/// duplicates its children (`σ(q q)`) — copying iff text is reachable below
+/// that depth.
+pub fn copier_at_depth(alpha: &Alphabet, n: usize, depth: usize) -> Transducer {
+    assert!(depth < n);
+    let mut t = deep_selector(alpha, n);
+    let q = TdState(depth as u32);
+    let next = TdState(((depth + 1) % n) as u32);
+    for s in alpha.symbols() {
+        t.set_rule(
+            q,
+            s,
+            vec![tpx_topdown::RhsNode::Elem(
+                s,
+                vec![
+                    tpx_topdown::RhsNode::State(next),
+                    tpx_topdown::RhsNode::State(next),
+                ],
+            )],
+        );
+    }
+    // Keep text in every state so the copy materializes.
+    for i in 0..n {
+        t.set_text_rule(TdState(i as u32), true);
+    }
+    t
+}
+
+/// Like [`deep_selector`] but the state at `depth` emits two sibling
+/// continuation states in swapped output order (second subtree's text
+/// before the first's): rearranging iff two text-bearing siblings occur at
+/// that depth.
+///
+/// The swap is done with two distinct states `qa`, `qb` appended after the
+/// selector states: `σ → σ(qb qa)` where `qa` keeps text of odd labels and
+/// `qb` of even labels — on a node with an even-label child before an
+/// odd-label child, outputs swap.
+pub fn swapper_at_depth(alpha: &Alphabet, n: usize, depth: usize) -> Transducer {
+    assert!(depth < n);
+    assert!(alpha.len() >= 2, "swapper needs at least two labels");
+    let total = n + 2;
+    let mut t = Transducer::new(alpha.len(), total, TdState(0));
+    let qa = TdState(n as u32);
+    let qb = TdState((n + 1) as u32);
+    for i in 0..n {
+        let next = TdState(((i + 1) % n) as u32);
+        for s in alpha.symbols() {
+            let rhs = if i == depth {
+                vec![tpx_topdown::RhsNode::Elem(
+                    s,
+                    vec![
+                        tpx_topdown::RhsNode::State(qb),
+                        tpx_topdown::RhsNode::State(qa),
+                    ],
+                )]
+            } else {
+                vec![tpx_topdown::RhsNode::Elem(
+                    s,
+                    vec![tpx_topdown::RhsNode::State(next)],
+                )]
+            };
+            t.set_rule(TdState(i as u32), s, rhs);
+        }
+    }
+    for s in alpha.symbols() {
+        let rhs_elem =
+            |st: TdState| vec![tpx_topdown::RhsNode::Elem(s, vec![tpx_topdown::RhsNode::State(st)])];
+        if s.index() % 2 == 0 {
+            t.set_rule(qb, s, rhs_elem(qb));
+        } else {
+            t.set_rule(qa, s, rhs_elem(qa));
+        }
+    }
+    t.set_text_rule(qa, true);
+    t.set_text_rule(qb, true);
+    t
+}
+
+/// A labelled suite of transducers over `alpha` with ground truth — handy
+/// for randomized experiment sweeps.
+pub fn suite(alpha: &Alphabet, n: usize) -> Vec<(TransducerKind, Transducer)> {
+    vec![
+        (TransducerKind::Preserving, identity_transducer(alpha)),
+        (TransducerKind::Preserving, deep_selector(alpha, n)),
+        (TransducerKind::Copying, copier_at_depth(alpha, n, n / 2)),
+        (
+            TransducerKind::Rearranging,
+            swapper_at_depth(alpha, n, n / 2),
+        ),
+    ]
+}
+
+/// A random top-down transducer: every `(state, symbol)` pair gets a rule
+/// with probability `rule_prob`; right-hand sides are small random
+/// templates (depth ≤ 2, ≤ 2 state leaves); text rules are random too.
+/// Deterministic in `seed`. No ground truth — pair with the semantic
+/// oracles for cross-validation.
+pub fn random_transducer(alpha: &Alphabet, n_states: usize, rule_prob: f64, seed: u64) -> Transducer {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Transducer::new(alpha.len(), n_states, TdState(0));
+    for q in 0..n_states {
+        for s in alpha.symbols() {
+            if !rng.gen_bool(rule_prob) {
+                continue;
+            }
+            let rhs = random_rhs(alpha, n_states, &mut rng, 2);
+            t.set_rule(TdState(q as u32), s, vec![rhs]);
+        }
+        t.set_text_rule(TdState(q as u32), rng.gen_bool(0.6));
+    }
+    t
+}
+
+fn random_rhs(
+    alpha: &Alphabet,
+    n_states: usize,
+    rng: &mut rand::rngs::StdRng,
+    depth: usize,
+) -> tpx_topdown::RhsNode {
+    use rand::Rng;
+    let s = Symbol(rng.gen_range(0..alpha.len()) as u32);
+    let n_kids = if depth == 0 { 0 } else { rng.gen_range(0..=2) };
+    let kids = (0..n_kids)
+        .map(|_| {
+            if rng.gen_bool(0.6) {
+                tpx_topdown::RhsNode::State(TdState(rng.gen_range(0..n_states) as u32))
+            } else {
+                random_rhs(alpha, n_states, rng, depth - 1)
+            }
+        })
+        .collect();
+    tpx_topdown::RhsNode::Elem(s, kids)
+}
+
+/// A symbol-indexed alphabet `a0..a(n-1)` for free-form experiments.
+pub fn plain_alphabet(n: usize) -> Alphabet {
+    Alphabet::from_labels((0..n).map(|i| format!("a{i}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpx_topdown::decide::is_text_preserving;
+    use tpx_topdown::semantic;
+    use tpx_treeauto::Nta;
+
+    fn universal(alpha: &Alphabet) -> Nta {
+        let mut b = tpx_treeauto::NtaBuilder::new(alpha);
+        b.root("u");
+        let mut content = String::from("(u | ut)*");
+        let _ = &mut content;
+        for (_, name) in alpha.entries() {
+            b.rule("u", name, "(u | ut)*");
+        }
+        b.text_rule("ut");
+        b.finish()
+    }
+
+    #[test]
+    fn ground_truth_matches_decider() {
+        let alpha = plain_alphabet(2);
+        let nta = universal(&alpha);
+        for (kind, t) in suite(&alpha, 3) {
+            let report = is_text_preserving(&t, &nta);
+            assert_eq!(
+                report.is_preserving(),
+                kind == TransducerKind::Preserving,
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn copier_copies_semantically() {
+        let alpha = plain_alphabet(2);
+        let t = copier_at_depth(&alpha, 3, 1);
+        // A deep-enough tree with text below depth 2.
+        let tree = crate::trees::random_tree(
+            &crate::trees::TreeGenConfig {
+                n_symbols: 2,
+                max_depth: 5,
+                max_children: 2,
+                text_prob: 0.6,
+            },
+            11,
+        );
+        // Semantic copy iff the decider's witness logic says so on this
+        // particular tree — at minimum the transformation runs.
+        let _ = semantic::copying_on(&t, &tree);
+    }
+
+    #[test]
+    fn swapper_rearranges_semantically() {
+        let alpha = plain_alphabet(2);
+        let t = swapper_at_depth(&alpha, 1, 0);
+        let mut al = alpha.clone();
+        // qb (first in the rhs) keeps even-label text, qa keeps odd-label
+        // text; with the odd-labelled child first in the input, the
+        // even-labelled child's text jumps ahead in the output.
+        let tree =
+            tpx_trees::term::parse_tree(r#"a0(a1("y") a0("x"))"#, &mut al).unwrap();
+        assert!(semantic::rearranging_on(&t, &tree));
+        // With the even child first the order is already preserved.
+        let tree2 =
+            tpx_trees::term::parse_tree(r#"a0(a0("x") a1("y"))"#, &mut al).unwrap();
+        assert!(!semantic::rearranging_on(&t, &tree2));
+    }
+
+    #[test]
+    fn sizes_scale_linearly() {
+        let alpha = plain_alphabet(2);
+        let small = deep_selector(&alpha, 4);
+        let big = deep_selector(&alpha, 64);
+        assert!(big.size() > 10 * small.size());
+        assert!(big.is_reduced());
+    }
+}

@@ -1,0 +1,312 @@
+//! Random text-tree generation: free-form and schema-guided.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tpx_treeauto::{Nta, State};
+use tpx_trees::{Hedge, HedgeBuilder, Symbol, Tree};
+
+/// Shape parameters for free-form random trees.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeGenConfig {
+    /// Number of element labels to draw from (`Symbol(0..n)`).
+    pub n_symbols: usize,
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Maximum children per node.
+    pub max_children: usize,
+    /// Probability that a leaf position becomes a text node.
+    pub text_prob: f64,
+}
+
+impl Default for TreeGenConfig {
+    fn default() -> Self {
+        TreeGenConfig {
+            n_symbols: 3,
+            max_depth: 4,
+            max_children: 3,
+            text_prob: 0.4,
+        }
+    }
+}
+
+/// A random tree with the given shape, deterministic in `seed`.
+pub fn random_tree(cfg: &TreeGenConfig, seed: u64) -> Tree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = HedgeBuilder::new();
+    let mut counter = 0usize;
+    gen_node(cfg, &mut rng, &mut b, cfg.max_depth, &mut counter);
+    b.finish_tree().expect("generator emits a single root")
+}
+
+fn gen_node(
+    cfg: &TreeGenConfig,
+    rng: &mut StdRng,
+    b: &mut HedgeBuilder,
+    depth: usize,
+    counter: &mut usize,
+) {
+    let sym = Symbol(rng.gen_range(0..cfg.n_symbols) as u32);
+    b.open(sym);
+    if depth > 0 {
+        let n_children = rng.gen_range(0..=cfg.max_children);
+        for _ in 0..n_children {
+            if rng.gen_bool(cfg.text_prob) {
+                b.text(&format!("t{}", *counter));
+                *counter += 1;
+            } else {
+                gen_node(cfg, rng, b, depth - 1, counter);
+            }
+        }
+    }
+    b.close();
+}
+
+/// Samples a random tree from `L(nta)` with a soft node budget (the result
+/// may exceed it slightly when content models force more children).
+/// `None` if the language is empty.
+///
+/// Sampling walks top-down: at each node it picks a random accepting child
+/// word over inhabited states, biased toward short words as the budget
+/// shrinks.
+pub fn random_schema_tree(nta: &Nta, budget: usize, seed: u64) -> Option<Tree> {
+    let inhabited = nta.inhabited_states();
+    let roots: Vec<State> = nta
+        .roots()
+        .iter()
+        .copied()
+        .filter(|q| inhabited[q.index()])
+        .collect();
+    if roots.is_empty() {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let root = roots[rng.gen_range(0..roots.len())];
+    let mut b = HedgeBuilder::new();
+    let mut counter = 0usize;
+    let mut remaining = budget as i64;
+    sample_state(nta, &inhabited, root, &mut rng, &mut b, &mut counter, &mut remaining)?;
+    b.finish_tree()
+}
+
+fn sample_state(
+    nta: &Nta,
+    inhabited: &[bool],
+    q: State,
+    rng: &mut StdRng,
+    b: &mut HedgeBuilder,
+    counter: &mut usize,
+    remaining: &mut i64,
+) -> Option<()> {
+    *remaining -= 1;
+    // Prefer a text leaf when allowed and the budget is tight.
+    let tight = *remaining <= 0;
+    if nta.text_ok(q) && (tight || rng.gen_bool(0.3)) {
+        b.text(&format!("t{}", *counter));
+        *counter += 1;
+        return Some(());
+    }
+    // Candidate (symbol, word) choices.
+    let mut choices: Vec<(Symbol, Vec<State>)> = Vec::new();
+    for sym in 0..nta.symbol_count() {
+        let s = Symbol(sym as u32);
+        // Aim for wider nodes while plenty of budget remains.
+        let target = ((*remaining).max(0) as usize / 4).clamp(1, 16);
+        if let Some(word) = sample_word(nta, inhabited, q, s, rng, tight, target) {
+            choices.push((s, word));
+        }
+    }
+    if choices.is_empty() {
+        if nta.text_ok(q) {
+            b.text(&format!("t{}", *counter));
+            *counter += 1;
+            return Some(());
+        }
+        return None;
+    }
+    // Prefer the shortest word under pressure, random otherwise.
+    let pick = if tight {
+        choices
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, w))| w.len())
+            .map(|(i, _)| i)
+            .unwrap()
+    } else {
+        rng.gen_range(0..choices.len())
+    };
+    let (s, word) = choices.swap_remove(pick);
+    b.open(s);
+    for qc in word {
+        sample_state(nta, inhabited, qc, rng, b, counter, remaining)?;
+    }
+    b.close();
+    Some(())
+}
+
+/// A random accepting word of `δ(q, s)` over inhabited states; shortest
+/// word when `tight`.
+fn sample_word(
+    nta: &Nta,
+    inhabited: &[bool],
+    q: State,
+    s: Symbol,
+    rng: &mut StdRng,
+    tight: bool,
+    target: usize,
+) -> Option<Vec<State>> {
+    let nfa = nta.content(q, s)?;
+    // Random walk with fuel; fall back to BFS-shortest when tight or stuck.
+    if !tight {
+        for _ in 0..4 {
+            if let Some(w) = random_walk_word(nfa, inhabited, rng, target) {
+                return Some(w);
+            }
+        }
+    }
+    shortest_word_over(nfa, inhabited)
+}
+
+fn random_walk_word(
+    nfa: &tpx_automata::Nfa<State>,
+    inhabited: &[bool],
+    rng: &mut StdRng,
+    target: usize,
+) -> Option<Vec<State>> {
+    let inits = nfa.initial_states();
+    if inits.is_empty() {
+        return None;
+    }
+    let mut cur = inits[rng.gen_range(0..inits.len())];
+    let mut word = Vec::new();
+    for _ in 0..(target + 8) {
+        let stop_prob = if word.len() >= target {
+            0.8
+        } else if word.is_empty() && target > 1 {
+            0.0 // avoid degenerate ε-words while budget remains
+        } else {
+            0.15
+        };
+        if nfa.is_final(cur) && rng.gen_bool(stop_prob) {
+            return Some(word);
+        }
+        let edges: Vec<&(State, tpx_automata::StateId)> = nfa
+            .transitions_from(cur)
+            .iter()
+            .filter(|(a, _)| inhabited[a.index()])
+            .collect();
+        if edges.is_empty() {
+            return nfa.is_final(cur).then_some(word);
+        }
+        let (a, r) = edges[rng.gen_range(0..edges.len())];
+        word.push(*a);
+        cur = *r;
+    }
+    None
+}
+
+fn shortest_word_over(
+    nfa: &tpx_automata::Nfa<State>,
+    inhabited: &[bool],
+) -> Option<Vec<State>> {
+    use std::collections::VecDeque;
+    let mut pred: Vec<Option<(tpx_automata::StateId, State)>> = vec![None; nfa.state_count()];
+    let mut visited = vec![false; nfa.state_count()];
+    let mut queue = VecDeque::new();
+    for &p in nfa.initial_states() {
+        if !visited[p.index()] {
+            visited[p.index()] = true;
+            queue.push_back(p);
+        }
+    }
+    while let Some(p) = queue.pop_front() {
+        if nfa.is_final(p) {
+            let mut w = Vec::new();
+            let mut cur = p;
+            while let Some((prev, a)) = pred[cur.index()] {
+                w.push(a);
+                cur = prev;
+            }
+            w.reverse();
+            return Some(w);
+        }
+        for (a, r) in nfa.transitions_from(p) {
+            if inhabited[a.index()] && !visited[r.index()] {
+                visited[r.index()] = true;
+                pred[r.index()] = Some((p, *a));
+                queue.push_back(*r);
+            }
+        }
+    }
+    None
+}
+
+/// Relabels all text values to be unique (`t0, t1, …` in document order) —
+/// handy after generation when value-uniqueness matters.
+pub fn uniquify(h: &Hedge) -> Hedge {
+    tpx_trees::make_value_unique(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_tree_is_deterministic_in_seed() {
+        let cfg = TreeGenConfig::default();
+        let a = random_tree(&cfg, 42);
+        let b = random_tree(&cfg, 42);
+        let c = random_tree(&cfg, 43);
+        assert_eq!(*a.as_hedge(), *b.as_hedge());
+        // Different seeds almost surely differ (fixed seeds chosen so).
+        assert_ne!(*a.as_hedge(), *c.as_hedge());
+    }
+
+    #[test]
+    fn random_tree_respects_shape() {
+        let cfg = TreeGenConfig {
+            n_symbols: 2,
+            max_depth: 3,
+            max_children: 2,
+            text_prob: 0.5,
+        };
+        for seed in 0..20 {
+            let t = random_tree(&cfg, seed);
+            for v in t.dfs() {
+                assert!(t.depth(v) <= 4); // max_depth + 1 for text leaves
+                assert!(t.children(v).len() <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn schema_sampling_yields_valid_trees() {
+        let al = tpx_trees::samples::recipe_alphabet();
+        let dtd = tpx_schema::samples::recipe_dtd(&al);
+        let nta = dtd.to_nta();
+        for seed in 0..20 {
+            let t = random_schema_tree(&nta, 30, seed).expect("non-empty schema");
+            assert!(nta.accepts(&t), "seed {seed}: {t:?}");
+            assert!(dtd.validates(&t), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn schema_sampling_of_empty_language_is_none() {
+        let al = tpx_trees::Alphabet::from_labels(["a"]);
+        let mut b = tpx_treeauto::NtaBuilder::new(&al);
+        b.root("q");
+        b.rule("q", "a", "qdead");
+        b.rule("qdead", "a", "qdead");
+        let nta = b.finish();
+        assert!(random_schema_tree(&nta, 10, 0).is_none());
+    }
+
+    #[test]
+    fn schema_sampling_scales_with_budget() {
+        let al = tpx_trees::samples::recipe_alphabet();
+        let nta = tpx_schema::samples::recipe_dtd(&al).to_nta();
+        let small = random_schema_tree(&nta, 10, 7).unwrap();
+        let large = random_schema_tree(&nta, 300, 7).unwrap();
+        assert!(large.node_count() > small.node_count());
+    }
+}

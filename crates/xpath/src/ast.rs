@@ -1,0 +1,219 @@
+//! The Core XPath AST (Definition 5.13).
+
+use std::fmt;
+use tpx_trees::{Alphabet, Symbol};
+
+/// The four navigational axes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Axis {
+    /// `↓` — child.
+    Child,
+    /// `↑` — parent.
+    Parent,
+    /// `→` — next sibling.
+    NextSibling,
+    /// `←` — previous sibling.
+    PrevSibling,
+}
+
+/// A path expression denoting a binary relation on nodes.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum PathExpr {
+    /// An axis step `R`.
+    Axis(Axis),
+    /// Reflexive-transitive closure `α*`.
+    Star(Box<PathExpr>),
+    /// The identity relation `·`.
+    Dot,
+    /// Composition `α/β`.
+    Seq(Box<PathExpr>, Box<PathExpr>),
+    /// Union `α ∪ β`.
+    Union(Box<PathExpr>, Box<PathExpr>),
+    /// Filter `α[φ]` (targets must satisfy `φ`).
+    Filter(Box<PathExpr>, Box<NodeExpr>),
+}
+
+/// A node expression denoting a set of nodes.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum NodeExpr {
+    /// A label test `σ`.
+    Label(Symbol),
+    /// Path existence `⟨α⟩`.
+    Has(Box<PathExpr>),
+    /// `⊤`.
+    True,
+    /// Negation `¬φ`.
+    Not(Box<NodeExpr>),
+    /// Conjunction `φ ∧ ψ`.
+    And(Box<NodeExpr>, Box<NodeExpr>),
+    /// Text-node test (extension; see crate docs).
+    IsText,
+}
+
+impl PathExpr {
+    /// `α/β`.
+    pub fn then(self, other: PathExpr) -> PathExpr {
+        PathExpr::Seq(Box::new(self), Box::new(other))
+    }
+
+    /// `α ∪ β`.
+    pub fn or(self, other: PathExpr) -> PathExpr {
+        PathExpr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// `α*`.
+    pub fn star(self) -> PathExpr {
+        PathExpr::Star(Box::new(self))
+    }
+
+    /// `α[φ]`.
+    pub fn filter(self, phi: NodeExpr) -> PathExpr {
+        PathExpr::Filter(Box::new(self), Box::new(phi))
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            PathExpr::Axis(_) | PathExpr::Dot => 1,
+            PathExpr::Star(a) => 1 + a.size(),
+            PathExpr::Seq(a, b) | PathExpr::Union(a, b) => 1 + a.size() + b.size(),
+            PathExpr::Filter(a, p) => 1 + a.size() + p.size(),
+        }
+    }
+
+    /// Renders in the concrete syntax with label names from `alpha`.
+    pub fn display<'a>(&'a self, alpha: &'a Alphabet) -> impl fmt::Display + 'a {
+        DisplayPath { e: self, alpha }
+    }
+}
+
+impl NodeExpr {
+    /// `φ ∧ ψ`.
+    pub fn and(self, other: NodeExpr) -> NodeExpr {
+        NodeExpr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `¬φ`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> NodeExpr {
+        NodeExpr::Not(Box::new(self))
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            NodeExpr::Label(_) | NodeExpr::True | NodeExpr::IsText => 1,
+            NodeExpr::Has(a) => 1 + a.size(),
+            NodeExpr::Not(a) => 1 + a.size(),
+            NodeExpr::And(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// Renders in the concrete syntax with label names from `alpha`.
+    pub fn display<'a>(&'a self, alpha: &'a Alphabet) -> impl fmt::Display + 'a {
+        DisplayNode { e: self, alpha }
+    }
+}
+
+struct DisplayPath<'a> {
+    e: &'a PathExpr,
+    alpha: &'a Alphabet,
+}
+
+impl fmt::Display for DisplayPath<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_path(self.e, self.alpha, f)
+    }
+}
+
+struct DisplayNode<'a> {
+    e: &'a NodeExpr,
+    alpha: &'a Alphabet,
+}
+
+impl fmt::Display for DisplayNode<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_node(self.e, self.alpha, f)
+    }
+}
+
+fn write_path(e: &PathExpr, alpha: &Alphabet, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match e {
+        PathExpr::Axis(Axis::Child) => write!(f, "child"),
+        PathExpr::Axis(Axis::Parent) => write!(f, "parent"),
+        PathExpr::Axis(Axis::NextSibling) => write!(f, "next"),
+        PathExpr::Axis(Axis::PrevSibling) => write!(f, "prev"),
+        PathExpr::Dot => write!(f, "."),
+        PathExpr::Star(a) => {
+            write!(f, "(")?;
+            write_path(a, alpha, f)?;
+            write!(f, ")*")
+        }
+        PathExpr::Seq(a, b) => {
+            write_path(a, alpha, f)?;
+            write!(f, "/")?;
+            write_path(b, alpha, f)
+        }
+        PathExpr::Union(a, b) => {
+            write!(f, "(")?;
+            write_path(a, alpha, f)?;
+            write!(f, " | ")?;
+            write_path(b, alpha, f)?;
+            write!(f, ")")
+        }
+        PathExpr::Filter(a, p) => {
+            write_path(a, alpha, f)?;
+            write!(f, "[")?;
+            write_node(p, alpha, f)?;
+            write!(f, "]")
+        }
+    }
+}
+
+fn write_node(e: &NodeExpr, alpha: &Alphabet, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match e {
+        NodeExpr::Label(s) => write!(f, "{}", alpha.name(*s)),
+        NodeExpr::True => write!(f, "true"),
+        NodeExpr::IsText => write!(f, "text()"),
+        NodeExpr::Has(a) => {
+            write!(f, "<")?;
+            write_path(a, alpha, f)?;
+            write!(f, ">")
+        }
+        NodeExpr::Not(a) => {
+            write!(f, "!(")?;
+            write_node(a, alpha, f)?;
+            write!(f, ")")
+        }
+        NodeExpr::And(a, b) => {
+            write!(f, "(")?;
+            write_node(a, alpha, f)?;
+            write!(f, " & ")?;
+            write_node(b, alpha, f)?;
+            write!(f, ")")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        let a = PathExpr::Axis(Axis::Child)
+            .filter(NodeExpr::True)
+            .then(PathExpr::Axis(Axis::NextSibling).star());
+        assert_eq!(a.size(), 6);
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let mut al = Alphabet::from_labels(["a", "b"]);
+        let src = "child[a & <next[b]>]/(next)*";
+        let e = crate::parser::parse_path(src, &mut al).unwrap();
+        let printed = format!("{}", e.display(&al));
+        let back = crate::parser::parse_path(&printed, &mut al).unwrap();
+        assert_eq!(e, back);
+    }
+}

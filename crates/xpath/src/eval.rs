@@ -1,0 +1,335 @@
+//! The Table 1 semantics: `⟦α⟧_PExpr ⊆ Nodes × Nodes` and
+//! `⟦φ⟧_NExpr ⊆ Nodes`, computed bottom-up over the expression.
+//!
+//! Relations are adjacency lists indexed by source node, with targets kept
+//! in document order (the DTL rewriting of Section 5.1 substitutes selected
+//! nodes `v₁ <lex ⋯ <lex vₘ` in that order).
+
+use crate::ast::{Axis, NodeExpr, PathExpr};
+use tpx_trees::{Hedge, NodeId, NodeLabel};
+
+/// A binary relation on the nodes of one hedge: `targets[v] = {u : (v, u)}`,
+/// each target list sorted in document order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relation {
+    /// Indexed by the dense node id (`NodeId::index`).
+    targets: Vec<Vec<NodeId>>,
+}
+
+impl Relation {
+    fn empty(n: usize) -> Relation {
+        Relation {
+            targets: vec![Vec::new(); n],
+        }
+    }
+
+    /// The targets of `v`, in document order.
+    pub fn targets(&self, v: NodeId) -> &[NodeId] {
+        &self.targets[v.index()]
+    }
+
+    /// Whether `(v, u)` is in the relation.
+    pub fn contains(&self, v: NodeId, u: NodeId) -> bool {
+        self.targets[v.index()].contains(&u)
+    }
+
+    /// Total number of pairs.
+    pub fn pair_count(&self) -> usize {
+        self.targets.iter().map(Vec::len).sum()
+    }
+}
+
+/// Document-order positions for sorting target lists.
+fn doc_positions(h: &Hedge) -> Vec<usize> {
+    let mut pos = vec![0usize; h.node_count()];
+    for (i, v) in h.dfs().into_iter().enumerate() {
+        pos[v.index()] = i;
+    }
+    pos
+}
+
+fn sort_doc(targets: &mut Vec<NodeId>, pos: &[usize]) {
+    targets.sort_by_key(|v| pos[v.index()]);
+    targets.dedup();
+}
+
+/// Computes `⟦α⟧` on the hedge as a full relation.
+pub fn all_pairs(h: &Hedge, alpha: &PathExpr) -> Relation {
+    let pos = doc_positions(h);
+    eval_path(h, alpha, &pos)
+}
+
+fn eval_path(h: &Hedge, alpha: &PathExpr, pos: &[usize]) -> Relation {
+    let n = h.node_count();
+    match alpha {
+        PathExpr::Axis(axis) => {
+            let mut rel = Relation::empty(n);
+            for v in h.dfs() {
+                let row = &mut rel.targets[v.index()];
+                match axis {
+                    Axis::Child => row.extend(h.children(v).iter().copied()),
+                    Axis::Parent => row.extend(h.parent(v)),
+                    Axis::NextSibling => row.extend(h.next_sibling(v)),
+                    Axis::PrevSibling => row.extend(h.prev_sibling(v)),
+                }
+            }
+            rel
+        }
+        PathExpr::Dot => {
+            let mut rel = Relation::empty(n);
+            for v in h.dfs() {
+                rel.targets[v.index()].push(v);
+            }
+            rel
+        }
+        PathExpr::Star(a) => {
+            let base = eval_path(h, a, pos);
+            let mut rel = Relation::empty(n);
+            // BFS closure from each node.
+            for v in h.dfs() {
+                let mut seen = vec![false; n];
+                let mut stack = vec![v];
+                seen[v.index()] = true;
+                let mut out = vec![v];
+                while let Some(u) = stack.pop() {
+                    for &w in base.targets(u) {
+                        if !seen[w.index()] {
+                            seen[w.index()] = true;
+                            out.push(w);
+                            stack.push(w);
+                        }
+                    }
+                }
+                sort_doc(&mut out, pos);
+                rel.targets[v.index()] = out;
+            }
+            rel
+        }
+        PathExpr::Seq(a, b) => {
+            let ra = eval_path(h, a, pos);
+            let rb = eval_path(h, b, pos);
+            let mut rel = Relation::empty(n);
+            for v in h.dfs() {
+                let mut out = Vec::new();
+                for &mid in ra.targets(v) {
+                    out.extend(rb.targets(mid).iter().copied());
+                }
+                sort_doc(&mut out, pos);
+                rel.targets[v.index()] = out;
+            }
+            rel
+        }
+        PathExpr::Union(a, b) => {
+            let ra = eval_path(h, a, pos);
+            let rb = eval_path(h, b, pos);
+            let mut rel = Relation::empty(n);
+            for v in h.dfs() {
+                let mut out = ra.targets(v).to_vec();
+                out.extend(rb.targets(v).iter().copied());
+                sort_doc(&mut out, pos);
+                rel.targets[v.index()] = out;
+            }
+            rel
+        }
+        PathExpr::Filter(a, phi) => {
+            let ra = eval_path(h, a, pos);
+            let sat = eval_node(h, phi, pos);
+            let mut rel = Relation::empty(n);
+            for v in h.dfs() {
+                rel.targets[v.index()] = ra
+                    .targets(v)
+                    .iter()
+                    .copied()
+                    .filter(|u| sat[u.index()])
+                    .collect();
+            }
+            rel
+        }
+    }
+}
+
+/// Computes `⟦φ⟧` on the hedge as a boolean per node (dense by node index).
+pub fn eval_node_expr(h: &Hedge, phi: &NodeExpr) -> Vec<bool> {
+    let pos = doc_positions(h);
+    eval_node(h, phi, &pos)
+}
+
+fn eval_node(h: &Hedge, phi: &NodeExpr, pos: &[usize]) -> Vec<bool> {
+    let n = h.node_count();
+    match phi {
+        NodeExpr::True => vec![true; n],
+        NodeExpr::IsText => {
+            let mut out = vec![false; n];
+            for v in h.dfs() {
+                out[v.index()] = h.is_text(v);
+            }
+            out
+        }
+        NodeExpr::Label(s) => {
+            let mut out = vec![false; n];
+            for v in h.dfs() {
+                out[v.index()] = matches!(h.label(v), NodeLabel::Elem(l) if l == s);
+            }
+            out
+        }
+        NodeExpr::Has(a) => {
+            let ra = eval_path(h, a, pos);
+            let mut out = vec![false; n];
+            for v in h.dfs() {
+                out[v.index()] = !ra.targets(v).is_empty();
+            }
+            out
+        }
+        NodeExpr::Not(a) => eval_node(h, a, pos).into_iter().map(|b| !b).collect(),
+        NodeExpr::And(a, b) => {
+            let ra = eval_node(h, a, pos);
+            let rb = eval_node(h, b, pos);
+            ra.into_iter().zip(rb).map(|(x, y)| x && y).collect()
+        }
+    }
+}
+
+/// Whether `t ⊨ φ(v)`.
+pub fn holds(h: &Hedge, phi: &NodeExpr, v: NodeId) -> bool {
+    eval_node_expr(h, phi)[v.index()]
+}
+
+/// The nodes `u` with `t ⊨ α(v, u)`, in document order.
+pub fn select(h: &Hedge, alpha: &PathExpr, v: NodeId) -> Vec<NodeId> {
+    all_pairs(h, alpha).targets(v).to_vec()
+}
+
+/// Whether `t ⊨ α(v, u)`.
+pub fn selects_pair(h: &Hedge, alpha: &PathExpr, v: NodeId, u: NodeId) -> bool {
+    all_pairs(h, alpha).contains(v, u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_node_expr, parse_path};
+    use tpx_trees::term::parse_tree;
+    use tpx_trees::{Alphabet, Tree};
+
+    fn sample() -> (Alphabet, Tree) {
+        let mut al = Alphabet::from_labels(["a", "b", "c"]);
+        let t = parse_tree(r#"a(b("x") c b(c "y"))"#, &mut al).unwrap();
+        (al, t)
+    }
+
+    #[test]
+    fn axes() {
+        let (mut al, t) = sample();
+        let root = t.root();
+        let kids = t.children(root).to_vec();
+        let child = parse_path("child", &mut al).unwrap();
+        assert_eq!(select(&t, &child, root), kids);
+        let parent = parse_path("parent", &mut al).unwrap();
+        assert_eq!(select(&t, &parent, kids[0]), vec![root]);
+        let next = parse_path("next", &mut al).unwrap();
+        assert_eq!(select(&t, &next, kids[0]), vec![kids[1]]);
+        let prev = parse_path("prev", &mut al).unwrap();
+        assert_eq!(select(&t, &prev, kids[1]), vec![kids[0]]);
+        assert!(select(&t, &prev, kids[0]).is_empty());
+    }
+
+    #[test]
+    fn descendant_via_star() {
+        let (mut al, t) = sample();
+        let desc = parse_path("(child)*", &mut al).unwrap();
+        let from_root = select(&t, &desc, t.root());
+        assert_eq!(from_root.len(), t.node_count()); // includes self
+        // Document order.
+        let dfs = t.dfs();
+        assert_eq!(from_root, dfs);
+    }
+
+    #[test]
+    fn composition_and_filters() {
+        let (mut al, t) = sample();
+        // Children labelled b.
+        let bkids = parse_path("child[b]", &mut al).unwrap();
+        let res = select(&t, &bkids, t.root());
+        assert_eq!(res.len(), 2);
+        for v in &res {
+            assert_eq!(t.label(*v).elem(), Some(al.sym("b")));
+        }
+        // b-children that have a c-child.
+        let with_c = parse_path("child[b & <child[c]>]", &mut al).unwrap();
+        let res2 = select(&t, &with_c, t.root());
+        assert_eq!(res2.len(), 1);
+        // Grandchildren.
+        let gc = parse_path("child/child", &mut al).unwrap();
+        assert_eq!(select(&t, &gc, t.root()).len(), 3);
+    }
+
+    #[test]
+    fn union_and_dot() {
+        let (mut al, t) = sample();
+        let self_or_kids = parse_path(". | child", &mut al).unwrap();
+        let res = select(&t, &self_or_kids, t.root());
+        assert_eq!(res.len(), 4);
+        assert_eq!(res[0], t.root()); // doc order puts self first
+    }
+
+    #[test]
+    fn node_expressions() {
+        let (mut al, t) = sample();
+        let phi = parse_node_expr("b & <child[text()]>", &mut al).unwrap();
+        let sat = eval_node_expr(&t, &phi);
+        let holds_on: Vec<_> = t.dfs().into_iter().filter(|v| sat[v.index()]).collect();
+        assert_eq!(holds_on.len(), 2); // both b's have a text child
+        let not_b = parse_node_expr("!b & !text()", &mut al).unwrap();
+        let sat2 = eval_node_expr(&t, &not_b);
+        let count = t.dfs().into_iter().filter(|v| sat2[v.index()]).count();
+        assert_eq!(count, 3); // a, c, c
+    }
+
+    #[test]
+    fn example_5_15_pattern() {
+        // recipe ∧ ⟨↓[comments]/↓[positive]/↓[comment]/→[comment]/→[comment]⟩
+        let mut al = tpx_trees::samples::recipe_alphabet();
+        let phi = parse_node_expr(
+            "recipe & <child[comments]/child[positive]/child[comment]/next[comment]/next[comment]>",
+            &mut al,
+        )
+        .unwrap();
+        // Tree with 3 positive comments: satisfied.
+        let t3 = tpx_trees::samples::recipe_tree_sized(&mut al, 1, 1, 3);
+        let recipe_node = t3
+            .dfs()
+            .into_iter()
+            .find(|&v| t3.label(v).elem() == Some(al.sym("recipe")))
+            .unwrap();
+        assert!(holds(&t3, &phi, recipe_node));
+        // Tree with only 2 positive comments: not satisfied.
+        let t2 = tpx_trees::samples::recipe_tree_sized(&mut al, 1, 1, 2);
+        let recipe_node2 = t2
+            .dfs()
+            .into_iter()
+            .find(|&v| t2.label(v).elem() == Some(al.sym("recipe")))
+            .unwrap();
+        assert!(!holds(&t2, &phi, recipe_node2));
+    }
+
+    #[test]
+    fn star_of_compound_path() {
+        let (mut al, t) = sample();
+        // (child/child)*: even-depth descendants.
+        let e = parse_path("(child/child)*", &mut al).unwrap();
+        let res = select(&t, &e, t.root());
+        // root (depth 1) + grandchildren (depth 3).
+        assert_eq!(res.len(), 4);
+    }
+
+    #[test]
+    fn relation_contains_and_pair_count() {
+        let (mut al, t) = sample();
+        let child = parse_path("child", &mut al).unwrap();
+        let rel = all_pairs(&t, &child);
+        assert_eq!(rel.pair_count(), t.node_count() - 1);
+        let kids = t.children(t.root());
+        assert!(rel.contains(t.root(), kids[0]));
+        assert!(!rel.contains(kids[0], t.root()));
+    }
+}

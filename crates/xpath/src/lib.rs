@@ -1,0 +1,44 @@
+//! # `tpx-xpath`: Core XPath (Definition 5.13, Table 1)
+//!
+//! Node and path expressions of Core XPath, with the exact semantics of
+//! Table 1 of the paper:
+//!
+//! ```text
+//! Path expressions:  α ::= R | R* | · | α/β | α ∪ β | α[φ]
+//! Node expressions:  φ ::= σ | ⟨α⟩ | ⊤ | ¬φ | φ ∧ ψ
+//! ```
+//!
+//! with `R` one of the axes `child (↓)`, `parent (↑)`, `next-sibling (→)`,
+//! `previous-sibling (←)`.
+//!
+//! Concrete syntax used by [`parse_path`] / [`parse_node_expr`]:
+//!
+//! ```text
+//! α ::= child | parent | next | prev          axes
+//!     | .                                     self (·)
+//!     | α*                                    reflexive-transitive closure
+//!     | α/β | α | β                           composition / union ("|")
+//!     | α[φ]                                  filter
+//!     | (α)
+//! φ ::= ident                                 label test σ
+//!     | <α>                                   ⟨α⟩ (path existence)
+//!     | true                                  ⊤
+//!     | text()                                text-node test (extension)
+//!     | !φ | φ & ψ | (φ)
+//! ```
+//!
+//! Note: the paper only defines `R*` for axes; this crate allows `α*` for
+//! any path expression (a conservative generalization — the deciders only
+//! rely on Core XPath being MSO-definable, which is preserved).
+//!
+//! The `text()` node test is an extension needed so DTL patterns can select
+//! or avoid text nodes explicitly; it is MSO-definable and does not affect
+//! any complexity result.
+
+pub mod ast;
+pub mod eval;
+pub mod parser;
+
+pub use ast::{Axis, NodeExpr, PathExpr};
+pub use eval::{all_pairs, eval_node_expr, holds, select, selects_pair, Relation};
+pub use parser::{parse_node_expr, parse_path, XPathParseError};

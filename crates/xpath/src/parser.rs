@@ -1,0 +1,334 @@
+//! Parser for the concrete Core XPath syntax (see crate docs).
+
+use crate::ast::{Axis, NodeExpr, PathExpr};
+use std::fmt;
+use tpx_trees::Alphabet;
+
+/// Error from [`parse_path`] / [`parse_node_expr`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XPathParseError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for XPathParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XPathParseError {}
+
+struct P<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err<T>(&self, m: impl Into<String>) -> Result<T, XPathParseError> {
+        Err(XPathParseError {
+            offset: self.pos,
+            message: m.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) {
+        if let Some(c) = self.peek() {
+            self.pos += c.len_utf8();
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn ident(&mut self) -> Result<&'a str, XPathParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-') {
+            self.bump();
+        }
+        if self.pos == start {
+            return self.err("expected an identifier");
+        }
+        Ok(&self.src[start..self.pos])
+    }
+
+    // ---- path expressions ----
+
+    fn path_union(&mut self, al: &mut Alphabet) -> Result<PathExpr, XPathParseError> {
+        let mut lhs = self.path_seq(al)?;
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('|') {
+                self.bump();
+                let rhs = self.path_seq(al)?;
+                lhs = lhs.or(rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn path_seq(&mut self, al: &mut Alphabet) -> Result<PathExpr, XPathParseError> {
+        let mut lhs = self.path_postfix(al)?;
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('/') {
+                self.bump();
+                let rhs = self.path_postfix(al)?;
+                lhs = lhs.then(rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn path_postfix(&mut self, al: &mut Alphabet) -> Result<PathExpr, XPathParseError> {
+        let mut base = self.path_atom(al)?;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    base = base.star();
+                }
+                Some('[') => {
+                    self.bump();
+                    let phi = self.node_and(al)?;
+                    self.skip_ws();
+                    if self.peek() != Some(']') {
+                        return self.err("expected ']'");
+                    }
+                    self.bump();
+                    base = base.filter(phi);
+                }
+                _ => return Ok(base),
+            }
+        }
+    }
+
+    fn path_atom(&mut self, al: &mut Alphabet) -> Result<PathExpr, XPathParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                let inner = self.path_union(al)?;
+                self.skip_ws();
+                if self.peek() != Some(')') {
+                    return self.err("expected ')'");
+                }
+                self.bump();
+                Ok(inner)
+            }
+            Some('.') => {
+                self.bump();
+                Ok(PathExpr::Dot)
+            }
+            Some(c) if c.is_alphabetic() => {
+                let name = self.ident()?;
+                match name {
+                    "child" => Ok(PathExpr::Axis(Axis::Child)),
+                    "parent" => Ok(PathExpr::Axis(Axis::Parent)),
+                    "next" => Ok(PathExpr::Axis(Axis::NextSibling)),
+                    "prev" => Ok(PathExpr::Axis(Axis::PrevSibling)),
+                    "self" => Ok(PathExpr::Dot),
+                    // Derived axes (sugar over the core, Definition 5.13):
+                    // desc = child/(child)*, anc = parent/(parent)*,
+                    // foll = next/(next)*, prec = prev/(prev)*.
+                    "desc" => Ok(PathExpr::Axis(Axis::Child)
+                        .then(PathExpr::Axis(Axis::Child).star())),
+                    "anc" => Ok(PathExpr::Axis(Axis::Parent)
+                        .then(PathExpr::Axis(Axis::Parent).star())),
+                    "foll" => Ok(PathExpr::Axis(Axis::NextSibling)
+                        .then(PathExpr::Axis(Axis::NextSibling).star())),
+                    "prec" => Ok(PathExpr::Axis(Axis::PrevSibling)
+                        .then(PathExpr::Axis(Axis::PrevSibling).star())),
+                    other => self.err(format!(
+                        "unknown axis {other:?} (expected child/parent/next/prev/\
+                         self/desc/anc/foll/prec)"
+                    )),
+                }
+            }
+            Some(c) => self.err(format!("unexpected character {c:?} in path expression")),
+            None => self.err("unexpected end of path expression"),
+        }
+    }
+
+    // ---- node expressions ----
+
+    fn node_and(&mut self, al: &mut Alphabet) -> Result<NodeExpr, XPathParseError> {
+        let mut lhs = self.node_atom(al)?;
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('&') {
+                self.bump();
+                let rhs = self.node_atom(al)?;
+                lhs = lhs.and(rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn node_atom(&mut self, al: &mut Alphabet) -> Result<NodeExpr, XPathParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                let inner = self.node_and(al)?;
+                self.skip_ws();
+                if self.peek() != Some(')') {
+                    return self.err("expected ')'");
+                }
+                self.bump();
+                Ok(inner)
+            }
+            Some('!') => {
+                self.bump();
+                Ok(self.node_atom(al)?.not())
+            }
+            Some('<') => {
+                self.bump();
+                let path = self.path_union(al)?;
+                self.skip_ws();
+                if self.peek() != Some('>') {
+                    return self.err("expected '>'");
+                }
+                self.bump();
+                Ok(NodeExpr::Has(Box::new(path)))
+            }
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                let name = self.ident()?.to_owned();
+                if name == "true" {
+                    return Ok(NodeExpr::True);
+                }
+                if name == "text" {
+                    self.skip_ws();
+                    if self.peek() == Some('(') {
+                        self.bump();
+                        self.skip_ws();
+                        if self.peek() != Some(')') {
+                            return self.err("expected ')' after text(");
+                        }
+                        self.bump();
+                        return Ok(NodeExpr::IsText);
+                    }
+                    // bare `text` is a label test on a label named "text"
+                }
+                Ok(NodeExpr::Label(al.intern(&name)))
+            }
+            Some(c) => self.err(format!("unexpected character {c:?} in node expression")),
+            None => self.err("unexpected end of node expression"),
+        }
+    }
+}
+
+/// Parses a path expression, interning label names into `al`.
+pub fn parse_path(src: &str, al: &mut Alphabet) -> Result<PathExpr, XPathParseError> {
+    let mut p = P { src, pos: 0 };
+    let e = p.path_union(al)?;
+    p.skip_ws();
+    if p.pos != src.len() {
+        return p.err("trailing input");
+    }
+    Ok(e)
+}
+
+/// Parses a node expression, interning label names into `al`.
+pub fn parse_node_expr(src: &str, al: &mut Alphabet) -> Result<NodeExpr, XPathParseError> {
+    let mut p = P { src, pos: 0 };
+    let e = p.node_and(al)?;
+    p.skip_ws();
+    if p.pos != src.len() {
+        return p.err("trailing input");
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_axes_and_ops() {
+        let mut al = Alphabet::new();
+        assert_eq!(
+            parse_path("child", &mut al).unwrap(),
+            PathExpr::Axis(Axis::Child)
+        );
+        assert!(matches!(
+            parse_path("child/parent", &mut al).unwrap(),
+            PathExpr::Seq(_, _)
+        ));
+        assert!(matches!(
+            parse_path("child | next", &mut al).unwrap(),
+            PathExpr::Union(_, _)
+        ));
+        assert!(matches!(
+            parse_path("(next)*", &mut al).unwrap(),
+            PathExpr::Star(_)
+        ));
+        assert_eq!(parse_path(".", &mut al).unwrap(), PathExpr::Dot);
+    }
+
+    #[test]
+    fn precedence_seq_over_union() {
+        let mut al = Alphabet::new();
+        // a/b | c parses as (a/b) | c.
+        let e = parse_path("child/parent | next", &mut al).unwrap();
+        match e {
+            PathExpr::Union(l, _) => assert!(matches!(*l, PathExpr::Seq(_, _))),
+            other => panic!("wrong shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filters_and_node_exprs() {
+        let mut al = Alphabet::new();
+        let e = parse_path("child[a & !b]/next[<child>]", &mut al).unwrap();
+        assert!(matches!(e, PathExpr::Seq(_, _)));
+        let phi = parse_node_expr("!(a & <child[b]>) & true", &mut al).unwrap();
+        assert!(matches!(phi, NodeExpr::And(_, _)));
+        let t = parse_node_expr("text()", &mut al).unwrap();
+        assert_eq!(t, NodeExpr::IsText);
+    }
+
+    #[test]
+    fn bare_text_is_a_label() {
+        let mut al = Alphabet::new();
+        let phi = parse_node_expr("text", &mut al).unwrap();
+        assert!(matches!(phi, NodeExpr::Label(_)));
+    }
+
+    #[test]
+    fn derived_axes_desugar() {
+        let mut al = Alphabet::new();
+        // desc = child/(child)*.
+        let d = parse_path("desc", &mut al).unwrap();
+        let expect = PathExpr::Axis(Axis::Child).then(PathExpr::Axis(Axis::Child).star());
+        assert_eq!(d, expect);
+        assert_eq!(parse_path("self", &mut al).unwrap(), PathExpr::Dot);
+        assert!(parse_path("anc", &mut al).is_ok());
+        assert!(parse_path("foll[a]", &mut al).is_ok());
+        assert!(parse_path("prec", &mut al).is_ok());
+    }
+
+    #[test]
+    fn errors() {
+        let mut al = Alphabet::new();
+        assert!(parse_path("bogus", &mut al).is_err());
+        assert!(parse_path("child[", &mut al).is_err());
+        assert!(parse_path("child)", &mut al).is_err());
+        assert!(parse_path("", &mut al).is_err());
+        assert!(parse_node_expr("<child", &mut al).is_err());
+        assert!(parse_node_expr("a &", &mut al).is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! Quickstart: the paper's running example, end to end.
+//!
+//! Builds the recipe document of Figure 1 and the DTD of Example 2.3,
+//! runs the uniform transducer of Example 4.2 (select descriptions,
+//! ingredients and instructions; drop comments), and decides — in PTIME —
+//! that the transformation is text-preserving over *every* document valid
+//! under the DTD (Theorem 4.11).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use textpres::prelude::*;
+
+fn main() {
+    // Σ and the Figure 1 document.
+    let mut sigma = tpx_trees::samples::recipe_alphabet();
+    let input = tpx_trees::samples::recipe_tree(&mut sigma);
+    println!("input ({} nodes):", input.node_count());
+    println!("  {}\n", tpx_trees::xml::to_xml(input.as_hedge(), &sigma));
+
+    // The DTD of Example 2.3, and validation.
+    let dtd = tpx_schema::samples::recipe_dtd(&sigma);
+    assert!(dtd.validates(&input));
+    println!("input is valid w.r.t. the Example 2.3 DTD (reduced: {})\n", dtd.is_reduced());
+
+    // The transducer of Example 4.2.
+    let t = tpx_topdown::samples::example_4_2(&sigma);
+    let output = t.transform(&input);
+    println!("output:");
+    println!("  {}\n", tpx_trees::xml::to_xml(&output, &sigma));
+
+    // The output text is a subsequence of the input text (Definition 2.2).
+    assert!(textpres::is_text_preserving_run(&input, &output));
+    println!(
+        "text content: {} values in, {} values out — a subsequence ✓\n",
+        input.text_content().len(),
+        output.text_content().len()
+    );
+
+    // Theorem 4.11: decide text-preservation over the whole schema.
+    let schema: Nta = dtd.to_nta();
+    match textpres::check_topdown(&t, &schema) {
+        CheckReport::TextPreserving => {
+            println!("Theorem 4.11: T is text-preserving over L(D) — for EVERY valid document.")
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+
+    // A copying variant is caught, with a witness path.
+    let bad = tpx_topdown::samples::copying_example(&sigma);
+    match textpres::check_topdown(&bad, &schema) {
+        CheckReport::Copying { path } => {
+            println!("\nThe copying variant is rejected; witness text path:");
+            let rendered: Vec<String> = path
+                .iter()
+                .map(|p| match p {
+                    tpx_topdown::PathSym::Elem(s) => sigma.name(*s).to_owned(),
+                    tpx_topdown::PathSym::Text => "text".to_owned(),
+                })
+                .collect();
+            println!("  {}", rendered.join(" / "));
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+
+    // The conclusion's stronger test: never delete text under `instructions`.
+    let keeps = tpx_topdown::extensions::deleted_text_under(
+        &t,
+        &schema,
+        &[sigma.sym("instructions")],
+    )
+    .is_none();
+    println!("\nT never deletes text below <instructions>: {keeps}");
+    let deletes_comments = tpx_topdown::extensions::deleted_text_under(
+        &t,
+        &schema,
+        &[sigma.sym("comments")],
+    )
+    .is_some();
+    println!("T deletes some text below <comments>:      {deletes_comments}");
+}

@@ -1,0 +1,98 @@
+//! A "lint your transformation" pipeline: parse an XML document and a
+//! schema, run a transformation, and verify — statically, for all valid
+//! inputs — that it never copies or reorders text.
+//!
+//! This is the workflow the paper motivates for text-centric XML (poems,
+//! legislation, books): transformations may restyle and filter, but must
+//! not silently change the reading order of the text.
+//!
+//! Run with: `cargo run --example verify_pipeline`
+
+use textpres::prelude::*;
+
+const DOCUMENT: &str = r#"
+<poem>
+  <title>The Tyger</title>
+  <stanza>
+    <line>Tyger Tyger, burning bright,</line>
+    <line>In the forests of the night;</line>
+  </stanza>
+  <stanza>
+    <line>What immortal hand or eye,</line>
+    <line>Could frame thy fearful symmetry?</line>
+  </stanza>
+  <editor>annotations we do not want in print</editor>
+</poem>
+"#;
+
+fn main() {
+    // Parse the document; element names are interned on the fly.
+    let mut sigma = Alphabet::new();
+    let input = tpx_trees::xml::parse_document(DOCUMENT, &mut sigma)
+        .expect("well-formed document");
+    println!("parsed: {} nodes, {} text values", input.node_count(), input.text_content().len());
+
+    // The schema the pipeline promises to accept.
+    let mut dtd = DtdBuilder::new(&sigma);
+    dtd.start("poem");
+    dtd.elem("poem", "title stanza* editor?");
+    dtd.elem("title", "text");
+    dtd.elem("stanza", "line*");
+    dtd.elem("line", "text");
+    dtd.elem("editor", "text");
+    let dtd = dtd.finish();
+    assert!(dtd.validates(&input), "document must match the schema");
+    println!("document validates against the DTD");
+
+    // The print transformation: drop <editor>, flatten stanzas (keep lines).
+    let mut t = TransducerBuilder::new(&sigma, "q0");
+    t.rule("q0", "poem", "poem(q)");
+    t.rule("q", "title", "title(qt)");
+    t.rule("q", "stanza", "q");
+    t.rule("q", "line", "line(qt)");
+    t.text_rule("qt");
+    let print = t.finish();
+
+    let output = print.transform(&input);
+    println!("\nprint output:\n  {}\n", tpx_trees::xml::to_xml(&output, &sigma));
+
+    // Static verification over ALL valid documents.
+    let schema = dtd.to_nta();
+    match textpres::check_topdown(&print, &schema) {
+        CheckReport::TextPreserving => {
+            println!("✓ verified: the print transformation is text-preserving for every valid poem")
+        }
+        CheckReport::Copying { path } => println!("✗ copies along {path:?}"),
+        CheckReport::Rearranging { witness } => {
+            println!("✗ rearranges, e.g. on {}", witness.display(&sigma))
+        }
+    }
+
+    // A buggy revision that emits the title twice is rejected before it
+    // ever ships.
+    let mut bad = TransducerBuilder::new(&sigma, "q0");
+    bad.rule("q0", "poem", "poem(qtitle q)");
+    bad.rule("qtitle", "title", "title(qt)");
+    bad.rule("q", "title", "title(qt)");
+    bad.rule("q", "stanza", "q");
+    bad.rule("q", "line", "line(qt)");
+    bad.text_rule("qt");
+    let bad = bad.finish();
+    match textpres::check_topdown(&bad, &schema) {
+        CheckReport::Copying { path } => {
+            let rendered: Vec<String> = path
+                .iter()
+                .map(|p| match p {
+                    tpx_topdown::PathSym::Elem(s) => sigma.name(*s).to_owned(),
+                    tpx_topdown::PathSym::Text => "text()".to_owned(),
+                })
+                .collect();
+            println!("\n✓ the buggy revision is rejected — it copies the text at:");
+            println!("    {}", rendered.join("/"));
+        }
+        other => println!("unexpected verdict for the buggy revision: {other:?}"),
+    }
+
+    // Belt and braces: the runtime check on this concrete document.
+    assert!(textpres::is_text_preserving_run(&input, &output));
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the paper's core invariants on random inputs.
+
+use proptest::prelude::*;
+use textpres::prelude::*;
+use tpx_trees::make_value_unique;
+
+/// A random small term-syntax tree over {a0, a1} with text leaves.
+fn arb_tree_src(depth: u32) -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        Just("a0".to_owned()),
+        Just("a1".to_owned()),
+        "[a-c]{1,3}".prop_map(|t| format!("\"{t}\"")),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        (
+            prop_oneof![Just("a0"), Just("a1")],
+            proptest::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(l, kids)| format!("{l}({})", kids.join(" ")))
+    })
+}
+
+fn parse(src: &str) -> (Alphabet, Tree) {
+    let mut alpha = tpx_workload::transducers::plain_alphabet(2);
+    let t = tpx_trees::term::parse_tree(src, &mut alpha).unwrap();
+    (alpha, t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 3.3 on random transducers and random trees: text-preserving
+    /// on the value-unique version ⟺ neither copying nor rearranging.
+    #[test]
+    fn theorem_3_3(seed in 0u64..500, src in arb_tree_src(3)) {
+        let (alpha, tree) = parse(&src);
+        // Element-labelled roots only (text roots are trivially fine too,
+        // but transducers start at Σ-labels).
+        prop_assume!(matches!(tree.label(tree.root()), NodeLabel::Elem(_)));
+        let t = tpx_workload::transducers::random_transducer(&alpha, 2, 0.7, seed);
+        prop_assert!(tpx_topdown::semantic::theorem_3_3_holds_on(&t, &tree));
+    }
+
+    /// Lemma 4.3: top-down uniform transducers are admissible
+    /// (Text-independent and Text-functional).
+    #[test]
+    fn lemma_4_3_admissibility(seed in 0u64..500, src in arb_tree_src(3)) {
+        let (alpha, tree) = parse(&src);
+        prop_assume!(matches!(tree.label(tree.root()), NodeLabel::Elem(_)));
+        let t = tpx_workload::transducers::random_transducer(&alpha, 2, 0.7, seed);
+        prop_assert!(tpx_topdown::semantic::admissible_on(&t, &tree));
+    }
+
+    /// The identity transformation is always text-preserving, and deleting
+    /// subtrees never breaks preservation.
+    #[test]
+    fn identity_and_deletion_preserve(src in arb_tree_src(3)) {
+        let (alpha, tree) = parse(&src);
+        prop_assume!(matches!(tree.label(tree.root()), NodeLabel::Elem(_)));
+        let id = tpx_workload::identity_transducer(&alpha);
+        prop_assert!(tpx_topdown::semantic::text_preserving_on(&id, &tree));
+        // Delete all a1-subtrees.
+        let mut tb = TransducerBuilder::new(&alpha, "q0");
+        tb.rule("q0", "a0", "a0(q0)");
+        tb.text_rule("q0");
+        let del = tb.finish();
+        prop_assert!(tpx_topdown::semantic::text_preserving_on(&del, &tree));
+    }
+
+    /// Transducer reduction (Section 4.1) preserves the transformation.
+    #[test]
+    fn reduction_preserves_semantics(seed in 0u64..500, src in arb_tree_src(3)) {
+        let (alpha, tree) = parse(&src);
+        prop_assume!(matches!(tree.label(tree.root()), NodeLabel::Elem(_)));
+        let t = tpx_workload::transducers::random_transducer(&alpha, 3, 0.6, seed);
+        let r = t.reduce();
+        prop_assert!(r.is_reduced());
+        prop_assert_eq!(t.transform(&tree), r.transform(&tree));
+    }
+
+    /// The top-down → DTL translation (Section 5.1) is semantics-preserving.
+    #[test]
+    fn dtl_translation_equivalent(seed in 0u64..500, src in arb_tree_src(3)) {
+        let (alpha, tree) = parse(&src);
+        prop_assume!(matches!(tree.label(tree.root()), NodeLabel::Elem(_)));
+        let t = tpx_workload::transducers::random_transducer(&alpha, 2, 0.7, seed);
+        let dtl = tpx_dtl::from_topdown(&t);
+        prop_assert_eq!(t.transform(&tree), dtl.transform(&tree).unwrap());
+    }
+
+    /// The subsequence relation really characterizes per-run preservation:
+    /// a value-unique input is preserved iff no duplicate values and no
+    /// inversions appear in the output.
+    #[test]
+    fn definition_2_2_vs_3_1(seed in 0u64..300, src in arb_tree_src(3)) {
+        let (alpha, tree) = parse(&src);
+        prop_assume!(matches!(tree.label(tree.root()), NodeLabel::Elem(_)));
+        let unique = Tree::from_hedge(make_value_unique(tree.as_hedge())).unwrap();
+        let t = tpx_workload::transducers::random_transducer(&alpha, 2, 0.7, seed);
+        let preserved = tpx_topdown::semantic::text_preserving_on(&t, &unique);
+        let copying = tpx_topdown::semantic::copying_on(&t, &unique);
+        let rearranging = tpx_topdown::semantic::rearranging_on(&t, &unique);
+        prop_assert_eq!(preserved, !copying && !rearranging);
+    }
+
+    /// XPath evaluation (Table 1) agrees with the XPath → MSO translation
+    /// (evaluated naively) on random trees, for a library of expressions.
+    #[test]
+    fn xpath_vs_mso_on_random_trees(src in arb_tree_src(2)) {
+        let (mut alpha, tree) = parse(&src);
+        prop_assume!(tree.node_count() <= 10);
+        for expr in ["child", "child[a0]/next", "(child)*[a1]", "parent/child"] {
+            let path = tpx_xpath::parse_path(expr, &mut alpha).unwrap();
+            let rel = tpx_xpath::all_pairs(&tree, &path);
+            let (x, y) = (tpx_mso::Var(0), tpx_mso::Var(1));
+            let mut gen = tpx_dtl::xpath_mso::gen_above(&[x, y]);
+            let f = tpx_dtl::xpath_mso::path_expr_to_mso(&path, x, y, &mut gen);
+            for &v in &tree.dfs() {
+                for &u in &tree.dfs() {
+                    let asg = tpx_mso::Assignment::new().bind(x, v).bind(y, u);
+                    prop_assert_eq!(
+                        tpx_mso::naive_eval(&tree, &f, &asg),
+                        rel.contains(v, u),
+                        "{} at {:?},{:?}", expr, v, u
+                    );
+                }
+            }
+        }
+    }
+
+    /// Schema validation agrees between the DTD and its NTA compilation on
+    /// random trees.
+    #[test]
+    fn dtd_vs_nta_membership(src in arb_tree_src(3)) {
+        let (alpha, tree) = parse(&src);
+        let mut db = DtdBuilder::new(&alpha);
+        db.start("a0");
+        db.elem("a0", "(a0 | a1 | text)*");
+        db.elem("a1", "a0* text?");
+        let dtd = db.finish();
+        let nta = dtd.to_nta();
+        prop_assert_eq!(dtd.validates(&tree), nta.accepts(&tree));
+    }
+}
