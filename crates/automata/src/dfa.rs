@@ -197,8 +197,8 @@ impl<A: Clone + Eq + Hash> Dfa<A> {
         let mut rename: Vec<Option<u32>> = vec![None; n_classes];
         rename[class[0] as usize] = Some(0);
         let mut fresh = 1u32;
-        for q in 0..n {
-            let c = class[q] as usize;
+        for &cq in class.iter().take(n) {
+            let c = cq as usize;
             if rename[c].is_none() {
                 rename[c] = Some(fresh);
                 fresh += 1;
@@ -349,6 +349,7 @@ mod tests {
         }
     }
 
+    #[cfg(feature = "proptest")]
     mod props {
         use super::*;
         use proptest::prelude::*;
@@ -357,7 +358,10 @@ mod tests {
         fn arb_nfa() -> impl Strategy<Value = Nfa<char>> {
             (
                 1usize..5,
-                proptest::collection::vec((0u32..5, prop_oneof![Just('a'), Just('b')], 0u32..5), 0..12),
+                proptest::collection::vec(
+                    (0u32..5, prop_oneof![Just('a'), Just('b')], 0u32..5),
+                    0..12,
+                ),
                 proptest::collection::vec(any::<bool>(), 5),
             )
                 .prop_map(|(n, edges, fins)| {

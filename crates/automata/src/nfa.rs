@@ -160,9 +160,10 @@ impl<A: Clone + Eq + Hash> Nfa<A> {
 
     /// Iterates over all transitions `(q, a, r)`.
     pub fn transitions(&self) -> impl Iterator<Item = (StateId, &A, StateId)> {
-        self.trans.iter().enumerate().flat_map(|(q, row)| {
-            row.iter().map(move |(a, r)| (StateId(q as u32), a, *r))
-        })
+        self.trans
+            .iter()
+            .enumerate()
+            .flat_map(|(q, row)| row.iter().map(move |(a, r)| (StateId(q as u32), a, *r)))
     }
 
     /// Successor set of `S` under symbol `a`.
@@ -251,8 +252,7 @@ impl<A: Clone + Eq + Hash> Nfa<A> {
         for (q, _, r) in self.transitions() {
             rev[r.index()].push(q);
         }
-        let mut seen: HashSet<StateId> =
-            self.states().filter(|&q| self.is_final(q)).collect();
+        let mut seen: HashSet<StateId> = self.states().filter(|&q| self.is_final(q)).collect();
         let mut stack: Vec<StateId> = seen.iter().copied().collect();
         while let Some(q) = stack.pop() {
             for &p in &rev[q.index()] {
@@ -358,8 +358,11 @@ impl<A: Clone + Eq + Hash> Nfa<A> {
                 out.add_transition(q, a.clone(), StateId(r.0 + offset));
             }
         }
-        let other_initial: Vec<StateId> =
-            other.initial.iter().map(|q| StateId(q.0 + offset)).collect();
+        let other_initial: Vec<StateId> = other
+            .initial
+            .iter()
+            .map(|q| StateId(q.0 + offset))
+            .collect();
         let other_accepts_empty = other.accepts_empty();
         // Splice: from every self-final state, copy the out-edges of other's
         // initial states; self-final states stay final iff other accepts ε.
@@ -469,6 +472,25 @@ impl<A: Clone + Eq + Hash> Nfa<A> {
         let d1 = self.determinize(alphabet);
         let d2 = other.determinize(alphabet);
         d1.equivalent(&d2)
+    }
+}
+
+impl tpx_trees::StableHash for StateId {
+    fn stable_hash(&self, h: &mut tpx_trees::StableHasher) {
+        h.write_u64(u64::from(self.0));
+    }
+}
+
+/// Structural content hash: two NFAs built the same way hash the same, in
+/// every process — the engine layer keys its artifact cache on this.
+impl<A: tpx_trees::StableHash> tpx_trees::StableHash for Nfa<A> {
+    fn stable_hash(&self, h: &mut tpx_trees::StableHasher) {
+        self.initial.stable_hash(h);
+        self.finals.stable_hash(h);
+        h.write_usize(self.trans.len());
+        for per_state in &self.trans {
+            per_state.as_slice().stable_hash(h);
+        }
     }
 }
 

@@ -99,10 +99,7 @@ impl<A: Clone + Eq + Hash> Regex<A> {
         let mut symbols: Vec<A> = Vec::new();
         let mut follow: Vec<Vec<usize>> = Vec::new();
         let info = glushkov(self, &mut symbols, &mut follow);
-        let info = Glushkov {
-            follow,
-            ..info
-        };
+        let info = Glushkov { follow, ..info };
         let mut nfa = Nfa::new();
         let q0 = nfa.add_state();
         nfa.set_initial(q0);
@@ -237,7 +234,11 @@ pub struct RegexParseError {
 
 impl fmt::Display for RegexParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "regex parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -507,6 +508,7 @@ mod tests {
         }
     }
 
+    #[cfg(feature = "proptest")]
     mod props {
         use super::*;
         use proptest::prelude::*;
@@ -519,8 +521,7 @@ mod tests {
             ];
             leaf.prop_recursive(4, 24, 2, |inner| {
                 prop_oneof![
-                    (inner.clone(), inner.clone())
-                        .prop_map(|(a, b)| a.then(b)),
+                    (inner.clone(), inner.clone()).prop_map(|(a, b)| a.then(b)),
                     (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
                     inner.prop_map(Regex::star),
                 ]
@@ -534,8 +535,9 @@ mod tests {
                 Regex::Epsilon => w.is_empty(),
                 Regex::Sym(a) => w.len() == 1 && w[0] == *a,
                 Regex::Alt(a, b) => matches(a, w) || matches(b, w),
-                Regex::Concat(a, b) => (0..=w.len())
-                    .any(|i| matches(a, &w[..i]) && matches(b, &w[i..])),
+                Regex::Concat(a, b) => {
+                    (0..=w.len()).any(|i| matches(a, &w[..i]) && matches(b, &w[i..]))
+                }
                 Regex::Star(a) => {
                     w.is_empty()
                         || (1..=w.len()).any(|i| matches(a, &w[..i]) && matches(re, &w[i..]))

@@ -26,12 +26,13 @@ pub fn nfa_to_regex<A: Clone + Eq + Hash>(nfa: &Nfa<A>) -> Regex<A> {
     let s = n;
     let f = n + 1;
     let mut edges: HashMap<(usize, usize), Regex<A>> = HashMap::new();
-    let add = |edges: &mut HashMap<(usize, usize), Regex<A>>, from: usize, to: usize, re: Regex<A>| {
-        edges
-            .entry((from, to))
-            .and_modify(|old| *old = simplify(old.clone().or(re.clone())))
-            .or_insert(re);
-    };
+    let add =
+        |edges: &mut HashMap<(usize, usize), Regex<A>>, from: usize, to: usize, re: Regex<A>| {
+            edges
+                .entry((from, to))
+                .and_modify(|old| *old = simplify(old.clone().or(re.clone())))
+                .or_insert(re);
+        };
     for &q in trimmed.initial_states() {
         add(&mut edges, s, q.index(), Regex::Epsilon);
     }
@@ -161,11 +162,17 @@ mod tests {
         for w in words_yes {
             let word: Vec<char> = w.chars().collect();
             assert!(nfa.accepts(&word), "{src} should accept {w}");
-            assert!(nfa2.accepts(&word), "extracted regex for {src} must accept {w}");
+            assert!(
+                nfa2.accepts(&word),
+                "extracted regex for {src} must accept {w}"
+            );
         }
         for w in words_no {
             let word: Vec<char> = w.chars().collect();
-            assert!(!nfa2.accepts(&word), "extracted regex for {src} must reject {w}");
+            assert!(
+                !nfa2.accepts(&word),
+                "extracted regex for {src} must reject {w}"
+            );
         }
     }
 
@@ -192,10 +199,15 @@ mod tests {
         let re2 = parse_regex(&printed, &mut |s: &str| s.chars().next().unwrap()).unwrap();
         for w in ["c", "abc", "bac", "", "ab"] {
             let word: Vec<char> = w.chars().collect();
-            assert_eq!(re.to_nfa().accepts(&word), re2.to_nfa().accepts(&word), "{w}");
+            assert_eq!(
+                re.to_nfa().accepts(&word),
+                re2.to_nfa().accepts(&word),
+                "{w}"
+            );
         }
     }
 
+    #[cfg(feature = "proptest")]
     mod props {
         use super::*;
         use proptest::prelude::*;

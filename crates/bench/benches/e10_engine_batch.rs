@@ -1,0 +1,59 @@
+//! E10 — decision-engine overhead and artifact-cache payoff.
+//!
+//! Measures (a) a cold engine check vs. the one-shot decider (engine
+//! overhead should be noise), (b) a warm check against a populated cache
+//! (the schema+transducer compile cost disappears), and (c) batch checking
+//! a transducer suite with a shared cache on 1 vs. many workers.
+
+use textpres::engine::{Decider, Engine, Task, TopdownDecider};
+use tpx_bench::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tpx_workload::{chain_schema, transducers};
+
+fn engine_single(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_single");
+    g.sample_size(20);
+    for n in [8usize, 32] {
+        let (alpha, schema) = chain_schema(n);
+        let t = transducers::deep_selector(&alpha, n);
+        g.bench_with_input(BenchmarkId::new("oneshot", n), &n, |b, _| {
+            b.iter(|| black_box(textpres::topdown::is_text_preserving(&t, &schema)))
+        });
+        g.bench_with_input(BenchmarkId::new("engine_cold", n), &n, |b, _| {
+            b.iter(|| {
+                let engine = Engine::new();
+                black_box(engine.check(&TopdownDecider::new(&t), &schema))
+            })
+        });
+        let warm = Engine::new();
+        warm.check(&TopdownDecider::new(&t), &schema);
+        g.bench_with_input(BenchmarkId::new("engine_warm", n), &n, |b, _| {
+            b.iter(|| black_box(warm.check(&TopdownDecider::new(&t), &schema)))
+        });
+    }
+    g.finish();
+}
+
+fn engine_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_batch");
+    g.sample_size(10);
+    let (alpha, schema) = chain_schema(16);
+    let suite: Vec<_> = (0..4)
+        .flat_map(|_| transducers::suite(&alpha, 8))
+        .map(|(_, t)| t)
+        .collect();
+    let deciders: Vec<TopdownDecider> = suite.iter().map(TopdownDecider::new).collect();
+    let tasks: Vec<Task> = deciders
+        .iter()
+        .map(|d| (d as &dyn Decider, &schema))
+        .collect();
+    g.throughput(Throughput::Elements(tasks.len() as u64));
+    for jobs in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("check_many", jobs), &jobs, |b, &jobs| {
+            b.iter(|| black_box(Engine::with_jobs(jobs).check_many(&tasks)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, engine_single, engine_batch);
+criterion_main!(benches);

@@ -6,8 +6,8 @@
 //! polynomial growth along both axes, with all three transducer kinds in
 //! the same regime (the verdict does not change the complexity).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tpx_bench::universal;
+use tpx_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tpx_workload::transducers::{copier_at_depth, deep_selector, plain_alphabet, swapper_at_depth};
 
 fn sweep_transducer_size(c: &mut Criterion) {
@@ -74,5 +74,10 @@ fn sweep_copying_only(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, sweep_transducer_size, sweep_schema_size, sweep_copying_only);
+criterion_group!(
+    benches,
+    sweep_transducer_size,
+    sweep_schema_size,
+    sweep_copying_only
+);
 criterion_main!(benches);

@@ -5,7 +5,7 @@
 //! are the polynomial witness (EXPERIMENTS.md records input size vs output
 //! size).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpx_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tpx_workload::transducers::{deep_selector, plain_alphabet};
 
 fn path_automaton_of_schema(c: &mut Criterion) {
@@ -14,7 +14,11 @@ fn path_automaton_of_schema(c: &mut Criterion) {
     for n in [4usize, 8, 16, 32, 64] {
         let (_, schema) = tpx_workload::chain_schema(n);
         let a = textpres::topdown::path_automaton_nta(&schema);
-        eprintln!("e2: chain n={n}: |N|={} → |A_N|={}", schema.size(), a.size());
+        eprintln!(
+            "e2: chain n={n}: |N|={} → |A_N|={}",
+            schema.size(),
+            a.size()
+        );
         g.bench_with_input(BenchmarkId::new("chain", n), &n, |b, _| {
             b.iter(|| textpres::topdown::path_automaton_nta(&schema).size())
         });
@@ -53,5 +57,9 @@ fn path_automaton_of_transducer(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, path_automaton_of_schema, path_automaton_of_transducer);
+criterion_group!(
+    benches,
+    path_automaton_of_schema,
+    path_automaton_of_transducer
+);
 criterion_main!(benches);

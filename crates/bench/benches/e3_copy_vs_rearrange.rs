@@ -5,8 +5,8 @@
 //! automaton with a quadratic state component (`D(q₁,q₂)`), so it should
 //! dominate as `|Q_T|` grows — the measured gap quantifies it.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tpx_bench::universal;
+use tpx_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tpx_workload::transducers::{deep_selector, plain_alphabet};
 
 fn copy_vs_rearrange(c: &mut Criterion) {

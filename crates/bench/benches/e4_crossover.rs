@@ -6,8 +6,8 @@
 //! overtakes it almost immediately. This is the quantitative content of
 //! "deciding on the automaton beats testing on documents".
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tpx_bench::universal;
+use tpx_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tpx_workload::transducers::{copier_at_depth, plain_alphabet};
 
 fn crossover(c: &mut Criterion) {
@@ -24,13 +24,17 @@ fn crossover(c: &mut Criterion) {
         b.iter(|| textpres::check_topdown(&t, &schema).is_preserving())
     });
     for bound in [3usize, 4, 5, 6, 7] {
-        g.bench_with_input(BenchmarkId::new("bounded_baseline", bound), &bound, |b, _| {
-            b.iter(|| {
-                textpres::dtl::bounded::bounded_counterexample(&dtl, &schema, bound, 100_000)
-                    .unwrap()
-                    .is_some()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("bounded_baseline", bound),
+            &bound,
+            |b, _| {
+                b.iter(|| {
+                    textpres::dtl::bounded::bounded_counterexample(&dtl, &schema, bound, 100_000)
+                        .unwrap()
+                        .is_some()
+                })
+            },
+        );
         let trees = textpres::dtl::bounded::enumerate_schema_trees(&schema, bound, 100_000);
         eprintln!("e4: bound {bound}: {} schema trees enumerated", trees.len());
     }

@@ -64,7 +64,8 @@ fn main() {
     // doubles the marked alphabet and the determinizations blow up — the
     // EXPTIME lower bound making itself felt. We report the 1-state point
     // and the growth axes below.
-    for n in [1usize] {
+    {
+        let n = 1usize;
         let t = dtl_chain(&alpha, n);
         let (secs, verdict) = time_decide(&t, &schema);
         println!("  chain states={n}: {secs:.2} s (preserving={verdict})");

@@ -60,12 +60,14 @@ fn main() {
         use textpres::dtl::transducer::{DtlState, DtlTransducer, Rhs};
         let schema = tpx_bench::universal(&alpha);
         let mut t = DtlTransducer::new(MsoPatterns, 1, DtlState(0));
-        let child =
-            t.add_binary_pattern(Formula::Child(MsoPatterns::HOLE_X, MsoPatterns::HOLE_Y));
+        let child = t.add_binary_pattern(Formula::Child(MsoPatterns::HOLE_X, MsoPatterns::HOLE_Y));
         t.add_rule(
             DtlState(0),
             Formula::Lab(alpha.sym("a"), MsoPatterns::HOLE_X),
-            vec![Rhs::Elem(alpha.sym("a"), vec![Rhs::Call(DtlState(0), child)])],
+            vec![Rhs::Elem(
+                alpha.sym("a"),
+                vec![Rhs::Call(DtlState(0), child)],
+            )],
         );
         t.set_text_rule(DtlState(0), true);
         let start = Instant::now();

@@ -6,7 +6,7 @@
 //! (single pass); the DTL evaluator pays for pattern-table construction
 //! (quadratic in the worst case for jumping patterns).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tpx_bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn topdown_throughput(c: &mut Criterion) {
     let mut alpha = textpres::trees::samples::recipe_alphabet();
@@ -15,7 +15,10 @@ fn topdown_throughput(c: &mut Criterion) {
     for recipes in [10usize, 100, 1000] {
         let doc = textpres::trees::samples::recipe_tree_sized(&mut alpha, recipes, 5, 5);
         g.throughput(Throughput::Elements(doc.node_count() as u64));
-        eprintln!("e7: topdown, {recipes} recipes = {} nodes", doc.node_count());
+        eprintln!(
+            "e7: topdown, {recipes} recipes = {} nodes",
+            doc.node_count()
+        );
         g.bench_with_input(BenchmarkId::new("recipes", recipes), &recipes, |b, _| {
             b.iter(|| t.transform(&doc).node_count())
         });
@@ -51,5 +54,10 @@ fn runtime_subsequence_check(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, topdown_throughput, dtl_throughput, runtime_subsequence_check);
+criterion_group!(
+    benches,
+    topdown_throughput,
+    dtl_throughput,
+    runtime_subsequence_check
+);
 criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! complement → decode → intersect, so the determinization is the expected
 //! blow-up point; the printed rows quantify it.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpx_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tpx_workload::transducers::copier_at_depth;
 
 fn subschema_sizes(c: &mut Criterion) {

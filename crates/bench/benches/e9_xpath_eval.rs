@@ -5,8 +5,8 @@
 //! `O(|expr| · |doc|²)` for closure-heavy expressions, near-linear for
 //! step expressions).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use textpres::prelude::*;
+use tpx_bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn docs(recipes: usize) -> (Alphabet, Tree) {
     let mut alpha = textpres::trees::samples::recipe_alphabet();
@@ -15,8 +15,7 @@ fn docs(recipes: usize) -> (Alphabet, Tree) {
 }
 
 fn sweep_document_size(c: &mut Criterion) {
-    let expr_src =
-        "child[recipe]/child[comments]/child[positive]/child[comment]/child[text()]";
+    let expr_src = "child[recipe]/child[comments]/child[positive]/child[comment]/child[text()]";
     let mut g = c.benchmark_group("e9/xpath_vs_doc_size");
     for recipes in [10usize, 50, 250] {
         let (mut alpha, doc) = docs(recipes);
@@ -37,10 +36,7 @@ fn sweep_expression_size(c: &mut Criterion) {
     let (mut alpha, doc) = docs(50);
     let mut g = c.benchmark_group("e9/xpath_vs_expr_size");
     for k in [1usize, 3, 6, 10] {
-        let src = format!(
-            "(child)*[recipe]{}",
-            "/child[true]".repeat(k)
-        );
+        let src = format!("(child)*[recipe]{}", "/child[true]".repeat(k));
         let expr = textpres::xpath::parse_path(&src, &mut alpha).unwrap();
         eprintln!("e9: expr size {} for k={k}", expr.size());
         g.bench_with_input(BenchmarkId::new("chain", k), &k, |b, _| {

@@ -12,3 +12,7 @@ pub fn universal(alpha: &Alphabet) -> Nta {
     b.text_rule("ut");
     b.finish()
 }
+
+pub mod harness;
+
+pub use harness::{black_box, Bencher, BenchmarkGroup, BenchmarkId, Criterion, Throughput};

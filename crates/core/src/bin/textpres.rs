@@ -1,107 +1,306 @@
-//! `textpres` — verify that an XML transformation is text-preserving.
+//! `textpres` — verify that XML transformations are text-preserving.
 //!
 //! ```text
-//! textpres check <schema-file> <transducer-file> [document.xml]
-//! textpres subschema <schema-file> <transducer-file>
+//! textpres check <schema> <transducer> [document.xml] [--stats]
+//! textpres subschema <schema> <transducer>
+//! textpres batch <schema> <transducer>... [--jobs N] [--stats]
+//! textpres --version
 //! ```
 //!
 //! `check` decides (in PTIME, Theorem 4.11 of the paper) whether the
 //! transformation never copies or reorders text on ANY document valid
 //! under the schema; with a document argument it also runs the
 //! transformation. `subschema` prints a witness from the maximal
-//! sub-schema on which the transformation IS text-preserving.
+//! sub-schema on which the transformation IS text-preserving. `batch`
+//! checks many transducer files against one schema on a worker pool,
+//! sharing compiled schema artifacts across all of them.
+//!
+//! Exit codes: 0 = text-preserving (all of them, for `batch`); 1 = some
+//! transformation is not text-preserving; 2 = usage or I/O error.
 //!
 //! File formats are documented in `textpres::format`.
 
 use std::process::ExitCode;
-use textpres::format::{parse_schema, parse_transducer};
+use textpres::engine::{Decider, Engine, Outcome, Task, TopdownDecider, Verdict};
+use textpres::format::{parse_schema, parse_transducer, render_path, render_witness};
 use textpres::prelude::*;
+
+const USAGE: &str = "\
+usage: textpres check <schema> <transducer> [document.xml] [--stats]
+       textpres subschema <schema> <transducer>
+       textpres batch <schema> <transducer>... [--jobs N] [--stats]
+       textpres --version
+
+exit codes: 0 = text-preserving, 1 = not text-preserving, 2 = usage/IO error";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.as_slice() {
-        [cmd, schema, transducer] if cmd == "check" => check(schema, transducer, None),
-        [cmd, schema, transducer, doc] if cmd == "check" => {
-            check(schema, transducer, Some(doc))
-        }
-        [cmd, schema, transducer] if cmd == "subschema" => subschema(schema, transducer),
-        _ => {
-            eprintln!("usage: textpres check <schema> <transducer> [document.xml]");
-            eprintln!("       textpres subschema <schema> <transducer>");
+    // Global flags first: --version / --help work anywhere.
+    if args.iter().any(|a| a == "--version" || a == "-V") {
+        println!("textpres {}", env!("CARGO_PKG_VERSION"));
+        return ExitCode::SUCCESS;
+    }
+    if args.is_empty()
+        || args
+            .iter()
+            .any(|a| a == "--help" || a == "-h" || a == "help")
+    {
+        println!("{USAGE}");
+        return if args.is_empty() {
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    let (cmd, rest) = (args[0].as_str(), &args[1..]);
+    match cmd {
+        "check" => cmd_check(rest),
+        "subschema" => cmd_subschema(rest),
+        "batch" => cmd_batch(rest),
+        unknown => {
+            eprintln!("error: unknown command {unknown:?}\n{USAGE}");
             ExitCode::from(2)
         }
     }
 }
 
-fn load(schema_path: &str, transducer_path: &str) -> Result<(Alphabet, Nta, Transducer), String> {
-    let schema_src = std::fs::read_to_string(schema_path)
-        .map_err(|e| format!("cannot read {schema_path}: {e}"))?;
-    let transducer_src = std::fs::read_to_string(transducer_path)
-        .map_err(|e| format!("cannot read {transducer_path}: {e}"))?;
-    let mut alpha = Alphabet::new();
-    let dtd = parse_schema(&schema_src, &mut alpha)
-        .map_err(|e| format!("{schema_path}: {e}"))?;
-    let t = parse_transducer(&transducer_src, &alpha)
-        .map_err(|e| format!("{transducer_path}: {e}"))?;
-    Ok((alpha, dtd.to_nta(), t))
+/// Splits `--stats` / `--jobs N` flags from positional arguments.
+fn parse_flags(args: &[String]) -> Result<(Vec<&str>, bool, Option<usize>), String> {
+    let mut positional = Vec::new();
+    let mut stats = false;
+    let mut jobs = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stats" => stats = true,
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                jobs = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("--jobs: not a number: {v:?}"))?,
+                );
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+            pos => positional.push(pos),
+        }
+    }
+    Ok((positional, stats, jobs))
 }
 
-fn check(schema_path: &str, transducer_path: &str, doc: Option<&str>) -> ExitCode {
-    let (mut alpha, schema, t) = match load(schema_path, transducer_path) {
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn load_schema(path: &str) -> Result<(Alphabet, Nta), String> {
+    let src = read(path)?;
+    let mut alpha = Alphabet::new();
+    let dtd = parse_schema(&src, &mut alpha).map_err(|e| format!("{path}: {e}"))?;
+    Ok((alpha, dtd.to_nta()))
+}
+
+fn load_transducer(path: &str, alpha: &Alphabet) -> Result<Transducer, String> {
+    let src = read(path)?;
+    parse_transducer(&src, alpha).map_err(|e| format!("{path}: {e}"))
+}
+
+fn print_stats(engine: &Engine, verdicts: &[&Verdict]) {
+    for v in verdicts {
+        for s in &v.stats.stages {
+            let attribution = match s.cache_hit {
+                Some(true) => " [cache hit]",
+                Some(false) => " [compiled]",
+                None => "",
+            };
+            let size = s
+                .artifact_size
+                .map_or(String::new(), |n| format!(", size {n}"));
+            eprintln!("  {}: {:?}{size}{attribution}", s.stage, s.duration);
+        }
+    }
+    let c = engine.cache_stats();
+    eprintln!(
+        "  cache: {} hits, {} misses, {} artifacts",
+        c.hits, c.misses, c.entries
+    );
+}
+
+fn report_verdict(label: &str, verdict: &Verdict, alpha: &Alphabet) -> bool {
+    match &verdict.outcome {
+        Outcome::Preserving => {
+            println!("✓ {label}: text-preserving over every valid document");
+            true
+        }
+        Outcome::Copying { path } => {
+            println!(
+                "✗ {label}: COPIES text reached via: {}",
+                render_path(path, alpha)
+            );
+            false
+        }
+        Outcome::Rearranging { witness } => {
+            println!("✗ {label}: REORDERS text, e.g. on this valid document:");
+            println!("  {}", render_witness(witness, alpha));
+            false
+        }
+        Outcome::NotPreserving { witness } => {
+            println!("✗ {label}: not text-preserving, e.g. on:");
+            println!("  {}", render_witness(witness, alpha));
+            false
+        }
+    }
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let (pos, stats, jobs) = match parse_flags(args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if jobs.is_some() {
+        eprintln!("error: --jobs only applies to `batch`\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let (schema_path, transducer_path, doc) = match pos.as_slice() {
+        [s, t] => (*s, *t, None),
+        [s, t, d] => (*s, *t, Some(*d)),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let (mut alpha, schema) = match load_schema(schema_path) {
         Ok(x) => x,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
+    let t = match load_transducer(transducer_path, &alpha) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
     if let Some(doc_path) = doc {
-        match std::fs::read_to_string(doc_path) {
-            Ok(xml) => match textpres::trees::xml::parse_document(&xml, &mut alpha) {
-                Ok(tree) => {
-                    let out = t.transform(&tree);
-                    println!("transformed {doc_path}:");
-                    println!("{}", textpres::trees::xml::to_xml(&out, &alpha));
-                    let ok = textpres::is_text_preserving_run(&tree, &out);
-                    println!("this run is text-preserving: {ok}\n");
-                }
-                Err(e) => {
-                    eprintln!("error: {doc_path}: {e}");
-                    return ExitCode::from(2);
-                }
-            },
+        let xml = match read(doc_path) {
+            Ok(x) => x,
             Err(e) => {
-                eprintln!("error: cannot read {doc_path}: {e}");
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match textpres::trees::xml::parse_document(&xml, &mut alpha) {
+            Ok(tree) => {
+                let out = t.transform(&tree);
+                println!("transformed {doc_path}:");
+                println!("{}", textpres::trees::xml::to_xml(&out, &alpha));
+                let ok = textpres::is_text_preserving_run(&tree, &out);
+                println!("this run is text-preserving: {ok}\n");
+            }
+            Err(e) => {
+                eprintln!("error: {doc_path}: {e}");
                 return ExitCode::from(2);
             }
         }
     }
-    match textpres::check_topdown(&t, &schema) {
-        CheckReport::TextPreserving => {
-            println!("✓ text-preserving over every document valid under {schema_path}");
-            ExitCode::SUCCESS
-        }
-        CheckReport::Copying { path } => {
-            let rendered: Vec<String> = path
-                .iter()
-                .map(|p| match p {
-                    textpres::topdown::PathSym::Elem(s) => alpha.name(*s).to_owned(),
-                    textpres::topdown::PathSym::Text => "text()".to_owned(),
-                })
-                .collect();
-            println!("✗ COPIES text reached via: {}", rendered.join("/"));
-            ExitCode::FAILURE
-        }
-        CheckReport::Rearranging { witness } => {
-            println!("✗ REORDERS text, e.g. on this valid document:");
-            println!("  {}", witness.display(&alpha));
-            ExitCode::FAILURE
-        }
+    let engine = Engine::new();
+    let verdict = engine.check(&TopdownDecider::new(&t), &schema);
+    let ok = report_verdict(transducer_path, &verdict, &alpha);
+    if stats {
+        print_stats(&engine, &[&verdict]);
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
-fn subschema(schema_path: &str, transducer_path: &str) -> ExitCode {
-    let (alpha, schema, t) = match load(schema_path, transducer_path) {
+fn cmd_batch(args: &[String]) -> ExitCode {
+    let (pos, stats, jobs) = match parse_flags(args) {
         Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let [schema_path, transducer_paths @ ..] = pos.as_slice() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    if transducer_paths.is_empty() {
+        eprintln!("error: batch needs at least one transducer file\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let (alpha, schema) = match load_schema(schema_path) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut transducers = Vec::new();
+    for path in transducer_paths {
+        match load_transducer(path, &alpha) {
+            Ok(t) => transducers.push(t),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let jobs = jobs.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let engine = Engine::with_jobs(jobs);
+    let deciders: Vec<TopdownDecider> = transducers.iter().map(TopdownDecider::new).collect();
+    let tasks: Vec<Task> = deciders
+        .iter()
+        .map(|d| (d as &dyn Decider, &schema))
+        .collect();
+    let verdicts = engine.check_many(&tasks);
+    let mut all_ok = true;
+    for (path, verdict) in transducer_paths.iter().zip(&verdicts) {
+        all_ok &= report_verdict(path, verdict, &alpha);
+    }
+    println!(
+        "{}/{} text-preserving ({} workers)",
+        verdicts.iter().filter(|v| v.is_preserving()).count(),
+        verdicts.len(),
+        engine.jobs()
+    );
+    if stats {
+        print_stats(&engine, &verdicts.iter().collect::<Vec<_>>());
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_subschema(args: &[String]) -> ExitCode {
+    let (pos, _, _) = match parse_flags(args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let [schema_path, transducer_path] = pos.as_slice() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let (alpha, schema) = match load_schema(schema_path) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let t = match load_transducer(transducer_path, &alpha) {
+        Ok(t) => t,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);

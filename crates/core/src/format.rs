@@ -30,8 +30,8 @@
 
 use std::fmt;
 use tpx_schema::{Dtd, DtdBuilder};
-use tpx_topdown::{Transducer, TransducerBuilder};
-use tpx_trees::Alphabet;
+use tpx_topdown::{PathSym, Transducer, TransducerBuilder};
+use tpx_trees::{Alphabet, Tree};
 
 /// Error from the file parsers, with a line number.
 #[derive(Clone, Debug)]
@@ -185,6 +185,32 @@ pub fn parse_transducer(src: &str, alpha: &Alphabet) -> Result<Transducer, Forma
     })
 }
 
+/// Renders a witness tree (from a [`tpx_engine::Verdict`] or a
+/// [`tpx_topdown::CheckReport`]) in the term syntax of
+/// [`tpx_trees::term`] — re-readable by [`parse_witness`].
+pub fn render_witness(witness: &Tree, alpha: &Alphabet) -> String {
+    witness.display(alpha).to_string()
+}
+
+/// Parses a witness tree rendered by [`render_witness`].
+pub fn parse_witness(src: &str, alpha: &mut Alphabet) -> Result<Tree, FormatError> {
+    tpx_trees::term::parse_tree(src, alpha).map_err(|e| FormatError {
+        line: 1,
+        message: format!("bad witness term: {e:?}"),
+    })
+}
+
+/// Renders a copying-witness text path as `label/label/text()`.
+pub fn render_path(path: &[PathSym], alpha: &Alphabet) -> String {
+    path.iter()
+        .map(|p| match p {
+            PathSym::Elem(s) => alpha.name(*s).to_owned(),
+            PathSym::Text => "text()".to_owned(),
+        })
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,8 +236,7 @@ text qt
         let dtd = parse_schema(SCHEMA, &mut alpha).unwrap();
         assert!(dtd.is_reduced());
         let mut scratch = alpha.clone();
-        let t = tpx_trees::term::parse_tree(r#"doc(keep("x") drop("y"))"#, &mut scratch)
-            .unwrap();
+        let t = tpx_trees::term::parse_tree(r#"doc(keep("x") drop("y"))"#, &mut scratch).unwrap();
         assert!(dtd.validates(&t));
     }
 
@@ -249,8 +274,7 @@ text qt
         };
         let e3 = parse_transducer("rule q0 doc -> doc(q)", &dtd_alpha).unwrap_err();
         assert!(e3.message.contains("initial"));
-        let e4 =
-            parse_transducer("initial q0\nrule q0 nosuch -> doc(q)", &dtd_alpha).unwrap_err();
+        let e4 = parse_transducer("initial q0\nrule q0 nosuch -> doc(q)", &dtd_alpha).unwrap_err();
         assert_eq!(e4.line, 2);
     }
 

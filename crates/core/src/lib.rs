@@ -52,6 +52,7 @@
 
 pub use tpx_automata as automata;
 pub use tpx_dtl as dtl;
+pub use tpx_engine as engine;
 pub use tpx_mso as mso;
 pub use tpx_schema as schema;
 pub use tpx_topdown as topdown;
@@ -76,17 +77,41 @@ pub mod prelude {
 /// Decides in PTIME whether the top-down uniform transducer `t` is
 /// text-preserving over `L(schema)` (Theorem 4.11), with a diagnostic
 /// witness otherwise.
+///
+/// Delegates to the decision engine ([`engine::Engine`]); batch callers
+/// that want artifact reuse and parallelism should hold an `Engine` and
+/// use [`engine::Engine::check_many`] directly.
 pub fn check_topdown(t: &tpx_topdown::Transducer, schema: &Nta) -> tpx_topdown::CheckReport {
-    tpx_topdown::is_text_preserving(t, schema)
+    let verdict = tpx_engine::Engine::new().check(&tpx_engine::TopdownDecider::new(t), schema);
+    match verdict.outcome {
+        tpx_engine::Outcome::Preserving => tpx_topdown::CheckReport::TextPreserving,
+        tpx_engine::Outcome::Copying { path } => tpx_topdown::CheckReport::Copying { path },
+        tpx_engine::Outcome::Rearranging { witness } => {
+            tpx_topdown::CheckReport::Rearranging { witness }
+        }
+        tpx_engine::Outcome::NotPreserving { .. } => {
+            unreachable!("the topdown decider attributes every witness")
+        }
+    }
 }
 
 /// Decides whether a DTL transducer (XPath or MSO patterns) is
 /// text-preserving over `L(schema)` (Theorems 5.12 / 5.18).
-pub fn check_dtl<P: tpx_dtl::pattern::MsoDefinable>(
-    t: &tpx_dtl::DtlTransducer<P>,
-    schema: &Nta,
-) -> tpx_dtl::DtlCheckReport {
-    tpx_dtl::decide::dtl_text_preserving(t, schema)
+///
+/// Delegates to the decision engine ([`engine::Engine`]).
+pub fn check_dtl<P>(t: &tpx_dtl::DtlTransducer<P>, schema: &Nta) -> tpx_dtl::DtlCheckReport
+where
+    P: tpx_dtl::pattern::MsoDefinable,
+    tpx_dtl::DtlTransducer<P>: std::fmt::Debug + Sync,
+{
+    let verdict = tpx_engine::Engine::new().check(&tpx_engine::DtlDecider::new(t), schema);
+    match verdict.outcome {
+        tpx_engine::Outcome::NotPreserving { witness }
+        | tpx_engine::Outcome::Rearranging { witness } => {
+            tpx_dtl::DtlCheckReport::NotPreserving { witness }
+        }
+        _ => tpx_dtl::DtlCheckReport::Preserving,
+    }
 }
 
 /// The maximal subset of `L(schema)` on which `t` is text-preserving, as an

@@ -218,18 +218,10 @@ impl Atwa {
         match bf {
             Bf::True => true,
             Bf::False => false,
-            Bf::Atom(m, q) => m
-                .apply(h, v)
-                .is_some_and(|u| acc[*q * n_nodes + u.index()]),
-            Bf::UAtom(m, q) => m
-                .apply(h, v)
-                .map_or(true, |u| acc[*q * n_nodes + u.index()]),
-            Bf::And(a, b) => {
-                self.eval(a, h, v, acc, n_nodes) && self.eval(b, h, v, acc, n_nodes)
-            }
-            Bf::Or(a, b) => {
-                self.eval(a, h, v, acc, n_nodes) || self.eval(b, h, v, acc, n_nodes)
-            }
+            Bf::Atom(m, q) => m.apply(h, v).is_some_and(|u| acc[*q * n_nodes + u.index()]),
+            Bf::UAtom(m, q) => m.apply(h, v).is_none_or(|u| acc[*q * n_nodes + u.index()]),
+            Bf::And(a, b) => self.eval(a, h, v, acc, n_nodes) && self.eval(b, h, v, acc, n_nodes),
+            Bf::Or(a, b) => self.eval(a, h, v, acc, n_nodes) || self.eval(b, h, v, acc, n_nodes),
         }
     }
 }
@@ -265,7 +257,7 @@ impl<'a> XPathCompiler<'a> {
     }
 
     fn kind(level: usize) -> Stratum {
-        if level % 2 == 0 {
+        if level.is_multiple_of(2) {
             Stratum::Least
         } else {
             Stratum::Greatest
@@ -289,8 +281,11 @@ impl<'a> XPathCompiler<'a> {
                             NodeTest::True,
                             Bf::Atom(Move::Stay, cont).or(Bf::Atom(Move::NextSib, sweep)),
                         );
-                        self.atwa
-                            .add_transition(s, NodeTest::True, Bf::Atom(Move::FirstChild, sweep));
+                        self.atwa.add_transition(
+                            s,
+                            NodeTest::True,
+                            Bf::Atom(Move::FirstChild, sweep),
+                        );
                     }
                     Axis::Parent => {
                         // Parent of v: walk up over preceding siblings? No —
@@ -363,8 +358,11 @@ impl<'a> XPathCompiler<'a> {
                             NodeTest::True,
                             Bf::UAtom(Move::Stay, cont).and(Bf::UAtom(Move::NextSib, sweep)),
                         );
-                        self.atwa
-                            .add_transition(s, NodeTest::True, Bf::UAtom(Move::FirstChild, sweep));
+                        self.atwa.add_transition(
+                            s,
+                            NodeTest::True,
+                            Bf::UAtom(Move::FirstChild, sweep),
+                        );
                     }
                     Axis::Parent => {
                         self.atwa
@@ -522,7 +520,10 @@ impl TjaXPath {
             .transitions
             .iter()
             .map(|(_, phi, alpha, _)| {
-                (tpx_xpath::eval_node_expr(t, phi), tpx_xpath::all_pairs(t, alpha))
+                (
+                    tpx_xpath::eval_node_expr(t, phi),
+                    tpx_xpath::all_pairs(t, alpha),
+                )
             })
             .collect();
         while let Some((q, v)) = stack.pop() {

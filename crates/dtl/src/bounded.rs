@@ -56,7 +56,9 @@ fn trees_for(
     }
     for sym in 0..nta.symbol_count() {
         let s = Symbol(sym as u32);
-        let Some(nfa) = nta.content(q, s) else { continue };
+        let Some(nfa) = nta.content(q, s) else {
+            continue;
+        };
         // Enumerate accepted child-state words with total size ≤ budget - 1,
         // then all combinations of child trees.
         let words = accepted_words(nfa, budget - 1);
@@ -215,8 +217,8 @@ mod tests {
 
     #[test]
     fn bounded_decider_finds_doubling() {
-        use crate::transducer::{DtlState, DtlTransducer, Rhs};
         use crate::pattern::XPathPatterns;
+        use crate::transducer::{DtlState, DtlTransducer, Rhs};
         let al = alpha();
         let mut t = DtlTransducer::new(XPathPatterns, 1, DtlState(0));
         let c1 = t.add_binary_pattern(tpx_xpath::PathExpr::Axis(tpx_xpath::Axis::Child));

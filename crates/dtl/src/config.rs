@@ -123,7 +123,7 @@ pub fn copying_lemma_5_4<P: PatternLanguage>(
                 if c1 == c2 {
                     // Same successor from two different frontier positions
                     // with the same state: a doubling (condition 2).
-                    if pos1 != pos2 && g.ends(c1).first().is_some() {
+                    if pos1 != pos2 && !g.ends(c1).is_empty() {
                         return Ok(true);
                     }
                 } else {
@@ -170,8 +170,7 @@ pub fn rearranging_lemma_5_5<P: PatternLanguage>(
             // target's run.
             for &(pos2, c2) in succ.iter().skip(i + 1) {
                 if pos_b == pos2 && cb.0 == c2.0 && cb.1 != c2.1 {
-                    let (first, second) = if h.doc_cmp(cb.1, c2.1) == std::cmp::Ordering::Less
-                    {
+                    let (first, second) = if h.doc_cmp(cb.1, c2.1) == std::cmp::Ordering::Less {
                         (cb, c2)
                     } else {
                         (c2, cb)
@@ -292,12 +291,14 @@ mod tests {
         // (q0, a) → a((q, child[c]), (q, child[b])): c-content before
         // b-content, but b precedes c in the input.
         let al = Alphabet::from_labels(["a", "b", "c"]);
-        use crate::transducer::{DtlState, DtlTransducer, Rhs};
         use crate::pattern::XPathPatterns;
+        use crate::transducer::{DtlState, DtlTransducer, Rhs};
         let mut scratch = al.clone();
         let mut t = DtlTransducer::new(XPathPatterns, 2, DtlState(0));
-        let pc = t.add_binary_pattern(tpx_xpath::parse_path("child[c]/child", &mut scratch).unwrap());
-        let pb = t.add_binary_pattern(tpx_xpath::parse_path("child[b]/child", &mut scratch).unwrap());
+        let pc =
+            t.add_binary_pattern(tpx_xpath::parse_path("child[c]/child", &mut scratch).unwrap());
+        let pb =
+            t.add_binary_pattern(tpx_xpath::parse_path("child[b]/child", &mut scratch).unwrap());
         t.add_rule(
             DtlState(0),
             tpx_xpath::NodeExpr::Label(al.sym("a")),
@@ -353,8 +354,7 @@ mod tests {
                 let lem_re = rearranging_lemma_5_5(t, tree).unwrap();
                 assert_eq!(sem_re, lem_re);
                 // Theorem 3.3 on this tree.
-                let unique =
-                    Tree::from_hedge(make_value_unique(tree.as_hedge())).unwrap();
+                let unique = Tree::from_hedge(make_value_unique(tree.as_hedge())).unwrap();
                 let preserving = text_preserving_on(t, &unique).unwrap();
                 assert_eq!(preserving, !sem_copy && !sem_re);
             }

@@ -24,8 +24,7 @@ use std::collections::HashMap;
 
 use tpx_mso::formula::derived;
 use tpx_mso::{
-    compile_cached, lift, project_bit, strip_bits, CompileCache, Formula, MSym, Var, VarGen,
-    VarKey,
+    compile_cached, lift, project_bit, strip_bits, CompileCache, Formula, MSym, Var, VarGen, VarKey,
 };
 use tpx_treeauto::{nbta_to_nta, nta_to_nbta, EncSym, Nbta, Nta};
 use tpx_trees::Tree;
@@ -50,6 +49,10 @@ impl DtlCheckReport {
     }
 }
 
+/// One transducer rule, compiled: (state, guard formula, calls as
+/// (state, step formula)).
+type RuleRow = (usize, Formula, Vec<(usize, Formula)>);
+
 /// Shared state for building the component automata.
 struct AutoBuilder {
     n_symbols: usize,
@@ -58,7 +61,7 @@ struct AutoBuilder {
     sys: ReachSystem,
     /// Per rule: (state, guard formula at HOLE_X, calls as (state, step
     /// formula at HOLE_X/HOLE_Y)).
-    rules: Vec<(usize, Formula, Vec<(usize, Formula)>)>,
+    rules: Vec<RuleRow>,
     text_states: Vec<usize>,
     initial: usize,
     /// Canonical variables for the narrow (≤ 2 bit) compiles.
@@ -343,11 +346,8 @@ fn union_sentences(items: Vec<Nbta<EncSym>>, n_symbols: usize) -> Nbta<EncSym> {
     items
         .into_iter()
         .reduce(|a, b| a.union(&b).trim())
-        .unwrap_or_else(|| {
-            strip_bits(&tpx_mso::atomic::false_auto(n_symbols, 0), n_symbols)
-        })
+        .unwrap_or_else(|| strip_bits(&tpx_mso::atomic::false_auto(n_symbols, 0), n_symbols))
 }
-
 
 /// The regular language of counter-example trees over `Trees_Σ(Text)`: the
 /// compiled `A^copy ∪ A^rearrange` of Section 5.3.
@@ -361,15 +361,67 @@ pub fn counterexample_nbta<P: MsoDefinable>(
     copy.union(&rearrange).trim()
 }
 
-/// Theorems 5.12 / 5.18: decides whether `t` is text-preserving over
-/// `L(nta)`, with a witness tree when it is not.
-pub fn dtl_text_preserving<P: MsoDefinable>(
+/// Schema-side artifact of the staged DTL pipeline: the trimmed NBTA over
+/// the binary encoding accepting exactly the schema trees. Depends only on
+/// the schema, so the engine layer caches it across transducers.
+#[derive(Clone)]
+pub struct DtlSchemaArtifacts {
+    /// `nta_to_nbta(nta).trim()`.
+    pub schema: Nbta<EncSym>,
+}
+
+impl DtlSchemaArtifacts {
+    /// Total state count — the artifact's size measure.
+    pub fn size(&self) -> usize {
+        self.schema.state_count()
+    }
+}
+
+/// Transducer-side artifact of the staged DTL pipeline: the compiled
+/// counter-example automaton `A^copy ∪ A^rearrange` of Section 5.3. This is
+/// the expensive MSO→NBTA compilation; it depends only on the transducer
+/// and the alphabet size, so the engine layer caches it across schemas over
+/// the same alphabet.
+#[derive(Clone)]
+pub struct DtlTransducerArtifacts {
+    /// The counter-example sentence automaton over the binary encoding.
+    pub counterexample: Nbta<EncSym>,
+    /// Alphabet size the automaton was compiled for.
+    pub n_symbols: usize,
+}
+
+impl DtlTransducerArtifacts {
+    /// Total state count — the artifact's size measure.
+    pub fn size(&self) -> usize {
+        self.counterexample.state_count()
+    }
+}
+
+/// Stage 1 (schema side): encode and trim the schema NTA.
+pub fn compile_schema_nbta(nta: &Nta) -> DtlSchemaArtifacts {
+    DtlSchemaArtifacts {
+        schema: nta_to_nbta(nta).trim(),
+    }
+}
+
+/// Stage 1 (transducer side): compile the counter-example automaton.
+pub fn compile_counterexample<P: MsoDefinable>(
     t: &DtlTransducer<P>,
-    nta: &Nta,
+    n_symbols: usize,
+) -> DtlTransducerArtifacts {
+    DtlTransducerArtifacts {
+        counterexample: counterexample_nbta(t, n_symbols),
+        n_symbols,
+    }
+}
+
+/// Stage 2: intersect precompiled artifacts and extract a witness. This is
+/// the cheap final step of Theorems 5.12 / 5.18.
+pub fn dtl_text_preserving_with(
+    transducer: &DtlTransducerArtifacts,
+    schema: &DtlSchemaArtifacts,
 ) -> DtlCheckReport {
-    let ce = counterexample_nbta(t, nta.symbol_count());
-    let schema = nta_to_nbta(nta).trim();
-    let product = ce.intersect(&schema).trim();
+    let product = transducer.counterexample.intersect(&schema.schema).trim();
     match product.witness() {
         None => DtlCheckReport::Preserving,
         Some(w) => {
@@ -378,6 +430,17 @@ pub fn dtl_text_preserving<P: MsoDefinable>(
             DtlCheckReport::NotPreserving { witness }
         }
     }
+}
+
+/// Theorems 5.12 / 5.18: decides whether `t` is text-preserving over
+/// `L(nta)`, with a witness tree when it is not.
+///
+/// One-shot wrapper over the staged pipeline: [`compile_counterexample`] +
+/// [`compile_schema_nbta`] + [`dtl_text_preserving_with`].
+pub fn dtl_text_preserving<P: MsoDefinable>(t: &DtlTransducer<P>, nta: &Nta) -> DtlCheckReport {
+    let ce = compile_counterexample(t, nta.symbol_count());
+    let schema = compile_schema_nbta(nta);
+    dtl_text_preserving_with(&ce, &schema)
 }
 
 /// The conclusion's stronger test for DTL: does `t` delete some text value
@@ -411,27 +474,18 @@ pub fn dtl_deleted_text_under<P: MsoDefinable>(
         let s_var = b.gen.var();
         Formula::IsText(vx).and(Formula::exists(
             s_var,
-            Formula::any(
-                labels
-                    .iter()
-                    .map(|&l| Formula::Lab(l, s_var)),
-            )
-            .and(Formula::Descendant(s_var, vx)),
+            Formula::any(labels.iter().map(|&l| Formula::Lab(l, s_var)))
+                .and(Formula::Descendant(s_var, vx)),
         ))
     };
     let phi = under.and(reached.not());
-    let deleted = compile_cached(
-        &phi,
-        &[VarKey::Fo(vx)],
-        n_symbols,
-        &mut b.cache,
-    );
+    let deleted = compile_cached(&phi, &[VarKey::Fo(vx)], n_symbols, &mut b.cache);
     let sentence = project_bit(&deleted, n_symbols, 0, true);
     let schema = nta_to_nbta(nta).trim();
     let product = strip_bits(&sentence, n_symbols).intersect(&schema).trim();
-    product.witness().map(|w| {
-        tpx_treeauto::convert::decode_witness(&w).expect("schema trees decode")
-    })
+    product
+        .witness()
+        .map(|w| tpx_treeauto::convert::decode_witness(&w).expect("schema trees decode"))
 }
 
 /// Definition 5.1's determinism restriction, decided statically over a
@@ -454,7 +508,8 @@ pub fn check_determinism<P: MsoDefinable>(
         .map(|r| {
             (
                 r.state,
-                t.patterns().unary_formula(&r.guard, MsoPatterns::HOLE_X, &mut gen),
+                t.patterns()
+                    .unary_formula(&r.guard, MsoPatterns::HOLE_X, &mut gen),
             )
         })
         .collect();
@@ -471,8 +526,8 @@ pub fn check_determinism<P: MsoDefinable>(
             let a = compile_cached(&both, &[], n_symbols, &mut cache);
             let overlap = strip_bits(&a, n_symbols).intersect(&schema).trim();
             if let Some(w) = overlap.witness() {
-                let witness = tpx_treeauto::convert::decode_witness(&w)
-                    .expect("schema trees decode");
+                let witness =
+                    tpx_treeauto::convert::decode_witness(&w).expect("schema trees decode");
                 return Some((i, j, witness));
             }
         }
@@ -480,13 +535,29 @@ pub fn check_determinism<P: MsoDefinable>(
     None
 }
 
+/// [`dtl_maximal_subschema`] over precompiled artifacts.
+pub fn dtl_maximal_subschema_with(
+    transducer: &DtlTransducerArtifacts,
+    schema: &DtlSchemaArtifacts,
+) -> Nta {
+    let not_ce = transducer
+        .counterexample
+        .determinize()
+        .complement()
+        .to_nbta()
+        .trim();
+    nbta_to_nta(
+        &schema.schema.intersect(&not_ce).trim(),
+        transducer.n_symbols,
+    )
+}
+
 /// The maximal sub-schema on which `t` is text-preserving (conclusion):
 /// `L(nta) ∖ counterexamples(t)`, as an NTA.
 pub fn dtl_maximal_subschema<P: MsoDefinable>(t: &DtlTransducer<P>, nta: &Nta) -> Nta {
-    let ce = counterexample_nbta(t, nta.symbol_count());
-    let not_ce = ce.determinize().complement().to_nbta().trim();
-    let schema = nta_to_nbta(nta).trim();
-    nbta_to_nta(&schema.intersect(&not_ce).trim(), nta.symbol_count())
+    let ce = compile_counterexample(t, nta.symbol_count());
+    let schema = compile_schema_nbta(nta);
+    dtl_maximal_subschema_with(&ce, &schema)
 }
 
 #[cfg(test)]
@@ -559,18 +630,19 @@ mod tests {
         let al = alpha();
         let mut scratch = al.clone();
         let mut t = DtlTransducer::new(XPathPatterns, 2, DtlState(0));
-        let direct = t.add_binary_pattern(
-            tpx_xpath::parse_path("child[text()]", &mut scratch).unwrap(),
-        );
-        let inner = t.add_binary_pattern(
-            tpx_xpath::parse_path("child[b]/child", &mut scratch).unwrap(),
-        );
+        let direct =
+            t.add_binary_pattern(tpx_xpath::parse_path("child[text()]", &mut scratch).unwrap());
+        let inner =
+            t.add_binary_pattern(tpx_xpath::parse_path("child[b]/child", &mut scratch).unwrap());
         t.add_rule(
             DtlState(0),
             tpx_xpath::NodeExpr::Label(al.sym("a")),
             vec![Rhs::Elem(
                 al.sym("a"),
-                vec![Rhs::Call(DtlState(1), direct), Rhs::Call(DtlState(1), inner)],
+                vec![
+                    Rhs::Call(DtlState(1), direct),
+                    Rhs::Call(DtlState(1), inner),
+                ],
             )],
         );
         t.set_text_rule(DtlState(1), true);
@@ -640,13 +712,11 @@ mod tests {
         let dtl = crate::from_topdown(&td);
         let nta = universal(&al);
         // Deletes text under b…
-        let w = dtl_deleted_text_under(&dtl, &nta, &[al.sym("b")])
-            .expect("text under b is deleted");
+        let w =
+            dtl_deleted_text_under(&dtl, &nta, &[al.sym("b")]).expect("text under b is deleted");
         assert!(nta.accepts(&w));
         // …which the top-down extension also reports.
-        assert!(
-            tpx_topdown::extensions::deleted_text_under(&td, &nta, &[al.sym("b")]).is_some()
-        );
+        assert!(tpx_topdown::extensions::deleted_text_under(&td, &nta, &[al.sym("b")]).is_some());
         // The witness really loses text: some value under a b-node is gone.
         let out = dtl.transform(&w).unwrap();
         assert!(out.text_content().len() < w.text_content().len());

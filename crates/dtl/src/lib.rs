@@ -47,6 +47,10 @@ pub mod tja;
 pub mod transducer;
 pub mod xpath_mso;
 
-pub use decide::{dtl_text_preserving, DtlCheckReport};
+pub use decide::{
+    compile_counterexample, compile_schema_nbta, dtl_maximal_subschema, dtl_maximal_subschema_with,
+    dtl_text_preserving, dtl_text_preserving_with, DtlCheckReport, DtlSchemaArtifacts,
+    DtlTransducerArtifacts,
+};
 pub use pattern::{MsoPatterns, PatternLanguage, XPathPatterns};
 pub use transducer::{from_topdown, DtlBuilder, DtlError, DtlState, DtlTransducer, Rhs};

@@ -153,8 +153,18 @@ mod tests {
         let root = nodes[0];
         for (i, &n) in nodes.iter().enumerate() {
             let asg = Assignment::new().bind(x, root).bind(y, n);
-            assert_eq!(naive_eval(&t, &reach00, &asg), i % 2 == 0, "depth {}", i + 1);
-            assert_eq!(naive_eval(&t, &reach01, &asg), i % 2 == 1, "depth {}", i + 1);
+            assert_eq!(
+                naive_eval(&t, &reach00, &asg),
+                i % 2 == 0,
+                "depth {}",
+                i + 1
+            );
+            assert_eq!(
+                naive_eval(&t, &reach01, &asg),
+                i % 2 == 1,
+                "depth {}",
+                i + 1
+            );
         }
     }
 
@@ -177,13 +187,7 @@ mod tests {
         let t = parse_tree("a(b(a))", &mut al).unwrap();
         let nodes = t.dfs();
         let (root, b, inner) = (nodes[0], nodes[1], nodes[2]);
-        let ok = |n1, n2| {
-            naive_eval(
-                &t,
-                &reach,
-                &Assignment::new().bind(x, n1).bind(y, n2),
-            )
-        };
+        let ok = |n1, n2| naive_eval(&t, &reach, &Assignment::new().bind(x, n1).bind(y, n2));
         assert!(ok(root, b)); // one a-step
         assert!(!ok(root, inner)); // blocked at the b node
         assert!(ok(b, b)); // reflexive

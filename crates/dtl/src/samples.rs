@@ -48,14 +48,20 @@ pub fn copying_jump(alpha: &Alphabet) -> DtlTransducer<XPathPatterns> {
     t.add_rule(
         DtlState(0),
         recipes,
-        vec![Rhs::Elem(alpha.sym("recipes"), vec![Rhs::Call(DtlState(1), child)])],
+        vec![Rhs::Elem(
+            alpha.sym("recipes"),
+            vec![Rhs::Call(DtlState(1), child)],
+        )],
     );
     t.add_rule(
         DtlState(1),
         recipe,
         vec![Rhs::Elem(
             alpha.sym("recipe"),
-            vec![Rhs::Call(DtlState(1), desc_text), Rhs::Call(DtlState(1), desc_text2)],
+            vec![
+                Rhs::Call(DtlState(1), desc_text),
+                Rhs::Call(DtlState(1), desc_text2),
+            ],
         )],
     );
     t.set_text_rule(DtlState(1), true);

@@ -97,7 +97,9 @@ impl Tja {
         let r = gen.var();
         let y = gen.var();
         let body = Formula::Root(r).and(Formula::any(
-            self.finals.iter().map(|&f| sys.reach(self.initial, f, r, y)),
+            self.finals
+                .iter()
+                .map(|&f| sys.reach(self.initial, f, r, y)),
         ));
         Formula::exists(r, Formula::exists(y, body))
     }
@@ -125,19 +127,20 @@ mod tests {
             n_states: 2,
             initial: 0,
             finals: vec![1],
-            transitions: vec![TjaTransition {
-                from: 0,
-                test: Formula::True,
-                jump: Formula::Descendant(hx, hy)
-                    .and(Formula::Lab(al.sym("b"), hy)),
-                to: 0,
-            },
-            TjaTransition {
-                from: 0,
-                test: Formula::Lab(al.sym("b"), hx),
-                jump: Formula::Child(hx, hy).and(Formula::IsText(hy)),
-                to: 1,
-            }],
+            transitions: vec![
+                TjaTransition {
+                    from: 0,
+                    test: Formula::True,
+                    jump: Formula::Descendant(hx, hy).and(Formula::Lab(al.sym("b"), hy)),
+                    to: 0,
+                },
+                TjaTransition {
+                    from: 0,
+                    test: Formula::Lab(al.sym("b"), hx),
+                    jump: Formula::Child(hx, hy).and(Formula::IsText(hy)),
+                    to: 1,
+                },
+            ],
         }
     }
 

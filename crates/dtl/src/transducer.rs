@@ -108,7 +108,10 @@ impl fmt::Display for DtlError {
                 write!(f, "two rules of {state:?} match node {node:?}")
             }
             DtlError::NonTerminating { state, node } => {
-                write!(f, "configuration ({state:?}, {node:?}) rewrites into itself")
+                write!(
+                    f,
+                    "configuration ({state:?}, {node:?}) rewrites into itself"
+                )
             }
         }
     }
@@ -478,19 +481,14 @@ impl DtlBuilder {
 /// becomes `(q, lab = a) → h'` where state leaves turn into calls
 /// `(q', child)`.
 pub fn from_topdown(t: &tpx_topdown::Transducer) -> DtlTransducer<XPathPatterns> {
-    let mut out = DtlTransducer::new(
-        XPathPatterns,
-        t.state_count(),
-        DtlState(t.initial().0),
-    );
+    let mut out = DtlTransducer::new(XPathPatterns, t.state_count(), DtlState(t.initial().0));
     let children = out.add_binary_pattern(tpx_xpath::PathExpr::Axis(tpx_xpath::Axis::Child));
     for q in t.states() {
         for sym in 0..t.symbol_count() {
             let s = Symbol(sym as u32);
             if let Some(rhs) = t.rhs(q, s) {
                 let guard = tpx_xpath::NodeExpr::Label(s);
-                let converted: Vec<Rhs> =
-                    rhs.iter().map(|n| convert_rhs(n, children)).collect();
+                let converted: Vec<Rhs> = rhs.iter().map(|n| convert_rhs(n, children)).collect();
                 out.add_rule(DtlState(q.0), guard, converted);
             }
         }
@@ -502,10 +500,9 @@ pub fn from_topdown(t: &tpx_topdown::Transducer) -> DtlTransducer<XPathPatterns>
 fn convert_rhs(node: &tpx_topdown::RhsNode, children: BinId) -> Rhs {
     match node {
         tpx_topdown::RhsNode::State(p) => Rhs::Call(DtlState(p.0), children),
-        tpx_topdown::RhsNode::Elem(s, kids) => Rhs::Elem(
-            *s,
-            kids.iter().map(|k| convert_rhs(k, children)).collect(),
-        ),
+        tpx_topdown::RhsNode::Elem(s, kids) => {
+            Rhs::Elem(*s, kids.iter().map(|k| convert_rhs(k, children)).collect())
+        }
     }
 }
 
@@ -584,7 +581,13 @@ mod tests {
         let al = alpha();
         let mut b = DtlBuilder::new(&al, "q0");
         b.rule_simple("q0", "a", "a", "qb", "child[b]");
-        b.rule_simple("qb", "b", "b", "qt", "(parent)*[a & !<parent>]/child[text()]");
+        b.rule_simple(
+            "qb",
+            "b",
+            "b",
+            "qt",
+            "(parent)*[a & !<parent>]/child[text()]",
+        );
         b.text_rule("qt");
         let t = b.finish();
         let mut al2 = alpha();
@@ -622,7 +625,10 @@ mod tests {
             .iter()
             .any(|&v| out_tree.label(v).elem() == Some(al.sym("recipe"))));
         // Comment text never survives.
-        assert!(out_tree.text_content().iter().all(|s| !s.contains("comment")));
+        assert!(out_tree
+            .text_content()
+            .iter()
+            .all(|s| !s.contains("comment")));
         let no = tpx_trees::samples::recipe_tree_sized(&mut al, 1, 1, 2);
         let out2 = t.transform(&no).unwrap();
         let out_tree2 = Tree::from_hedge(out2).unwrap();

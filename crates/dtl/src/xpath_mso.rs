@@ -24,9 +24,7 @@ pub fn path_expr_to_mso(alpha: &PathExpr, x: Var, y: Var, gen: &mut VarGen) -> F
             let fb = path_expr_to_mso(b, z, y, gen);
             Formula::exists(z, fa.and(fb))
         }
-        PathExpr::Union(a, b) => {
-            path_expr_to_mso(a, x, y, gen).or(path_expr_to_mso(b, x, y, gen))
-        }
+        PathExpr::Union(a, b) => path_expr_to_mso(a, x, y, gen).or(path_expr_to_mso(b, x, y, gen)),
         PathExpr::Filter(a, phi) => {
             path_expr_to_mso(a, x, y, gen).and(node_expr_to_mso(phi, y, gen))
         }
@@ -44,15 +42,9 @@ pub fn path_expr_to_mso(alpha: &PathExpr, x: Var, y: Var, gen: &mut VarGen) -> F
                 let step = path_expr_to_mso(inner, u, v, gen);
                 let closed = Formula::forall(
                     u,
-                    Formula::forall(
-                        v,
-                        Formula::In(u, z).and(step).implies(Formula::In(v, z)),
-                    ),
+                    Formula::forall(v, Formula::In(u, z).and(step).implies(Formula::In(v, z))),
                 );
-                Formula::forall_set(
-                    z,
-                    Formula::In(x, z).and(closed).implies(Formula::In(y, z)),
-                )
+                Formula::forall_set(z, Formula::In(x, z).and(closed).implies(Formula::In(y, z)))
             }
         },
     }
@@ -110,8 +102,7 @@ mod tests {
             for &v in &t.dfs() {
                 for &u in &t.dfs() {
                     let expect = rel.contains(v, u);
-                    let got =
-                        naive_eval(&t, &f, &Assignment::new().bind(x, v).bind(y, u));
+                    let got = naive_eval(&t, &f, &Assignment::new().bind(x, v).bind(y, u));
                     assert_eq!(got, expect, "{src} on {tsrc} at {v:?},{u:?}");
                 }
             }
@@ -186,7 +177,14 @@ mod tests {
 
     #[test]
     fn node_expressions_translate() {
-        for src in ["a", "true", "text()", "!b", "a & <child>", "<child[b]/next>"] {
+        for src in [
+            "a",
+            "true",
+            "text()",
+            "!b",
+            "a & <child>",
+            "<child[b]/next>",
+        ] {
             check_node(src);
         }
     }

@@ -1,0 +1,182 @@
+//! The content-addressed artifact cache.
+//!
+//! Expensive pipeline intermediates (path automata, rearranging NTAs,
+//! MSO→NBTA compilations) are keyed by `(kind, content hash)`, where the
+//! hash is the [`tpx_trees::StableHash`] of the schema or transducer the
+//! artifact was compiled from. Hashing the *content* (rather than an
+//! address or an insertion counter) means two structurally equal schemas
+//! share one compilation, across threads and in any order.
+//!
+//! Concurrency: the map itself is behind a [`Mutex`], but each entry is a
+//! [`OnceLock`] slot, so builders run *outside* the map lock and every
+//! artifact is compiled exactly once even when many workers race to it —
+//! the losers block on the slot and receive the winner's `Arc`.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+type Slot = OnceLock<Arc<dyn Any + Send + Sync>>;
+
+/// Hit/miss/entry counters of an [`ArtifactCache`], taken at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an already-built artifact.
+    pub hits: u64,
+    /// Lookups that had to build the artifact (exactly one per distinct
+    /// `(kind, key)` pair over the cache's lifetime).
+    pub misses: u64,
+    /// Distinct artifacts currently held.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// A concurrent, content-hash-keyed memo table for pipeline artifacts.
+///
+/// Artifacts are stored type-erased (`Arc<dyn Any>`); the `kind` string
+/// names the pipeline stage and fixes the concrete type, so a key collision
+/// across stages is impossible by construction.
+#[derive(Default)]
+pub struct ArtifactCache {
+    map: Mutex<HashMap<(&'static str, u64), Arc<Slot>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the artifact for `(kind, key)`, building it with `build` on
+    /// first use. The second component reports whether this was a cache hit
+    /// (`true`) or this call built the artifact (`false`).
+    ///
+    /// # Panics
+    ///
+    /// If `(kind, key)` was previously inserted with a different `T`: one
+    /// stage name must always cache one artifact type.
+    pub fn get_or_build<T, F>(&self, kind: &'static str, key: u64, build: F) -> (Arc<T>, bool)
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        let slot = {
+            let mut map = self.map.lock().expect("cache lock");
+            Arc::clone(map.entry((kind, key)).or_default())
+        };
+        let mut built = false;
+        let erased = slot
+            .get_or_init(|| {
+                built = true;
+                Arc::new(build()) as Arc<dyn Any + Send + Sync>
+            })
+            .clone();
+        if built {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        let arc = erased
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("artifact kind {kind:?} cached with two types"));
+        (arc, !built)
+    }
+
+    /// A snapshot of the hit/miss/entry counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("cache lock").len(),
+        }
+    }
+
+    /// Drops every cached artifact (counters keep accumulating).
+    pub fn clear(&self) {
+        self.map.lock().expect("cache lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_once_then_hits() {
+        let cache = ArtifactCache::new();
+        let mut builds = 0;
+        let (a, hit) = cache.get_or_build("t", 1, || {
+            builds += 1;
+            42usize
+        });
+        assert!(!hit);
+        assert_eq!(*a, 42);
+        let (b, hit) = cache.get_or_build("t", 1, || {
+            builds += 1;
+            99usize
+        });
+        assert!(hit);
+        assert_eq!(*b, 42);
+        assert_eq!(builds, 1);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn kinds_partition_the_key_space() {
+        let cache = ArtifactCache::new();
+        let (a, _) = cache.get_or_build("x", 7, || 1usize);
+        let (b, _) = cache.get_or_build("y", 7, || 2u64);
+        assert_eq!(*a, 1);
+        assert_eq!(*b, 2);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_not_counters() {
+        let cache = ArtifactCache::new();
+        let _ = cache.get_or_build("t", 1, || 0u8);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().misses, 1);
+        let (_, hit) = cache.get_or_build("t", 1, || 0u8);
+        assert!(!hit, "cleared entries are rebuilt");
+    }
+
+    #[test]
+    fn racing_builders_compile_exactly_once() {
+        let cache = ArtifactCache::new();
+        let built = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let (v, _) = cache.get_or_build("race", 5, || {
+                        built.fetch_add(1, Ordering::Relaxed);
+                        // Widen the race window a little.
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        7usize
+                    });
+                    assert_eq!(*v, 7);
+                });
+            }
+        });
+        assert_eq!(built.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 7);
+    }
+}

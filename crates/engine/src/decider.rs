@@ -1,0 +1,208 @@
+//! The [`Decider`] trait and its two implementations: the PTIME top-down
+//! decider (Theorem 4.11) and the DTL decider (Theorems 5.12/5.18).
+//!
+//! A decider wraps one transducer and runs its staged pipeline against a
+//! schema, routing every expensive intermediate through the
+//! [`ArtifactCache`] and recording a [`StageReport`] per stage. Cache keys:
+//!
+//! | kind                  | keyed by                         | artifact |
+//! |-----------------------|----------------------------------|----------|
+//! | `topdown/schema`      | schema content hash              | [`SchemaArtifacts`] (`A_N`) |
+//! | `topdown/transducer`  | transducer content hash          | [`TransducerArtifacts`] (`A_T`, diverging, doubling, rearranging NTA) |
+//! | `dtl/schema`          | schema content hash              | [`DtlSchemaArtifacts`] (schema NBTA) |
+//! | `dtl/counterexample`  | transducer `Debug` hash + `|Σ|`  | [`DtlTransducerArtifacts`] (MSO→NBTA compilation) |
+//!
+//! The final decide stage (automata products + emptiness) is cheap and
+//! schema×transducer-specific, so it is never cached.
+
+use std::time::Instant;
+
+use crate::cache::ArtifactCache;
+use crate::verdict::{CheckStats, Outcome, StageReport, Verdict};
+use tpx_dtl::pattern::MsoDefinable;
+use tpx_dtl::{
+    compile_counterexample, compile_schema_nbta, dtl_text_preserving_with, DtlCheckReport,
+    DtlSchemaArtifacts, DtlTransducer, DtlTransducerArtifacts,
+};
+use tpx_topdown::{
+    compile_schema_artifacts, compile_transducer_artifacts, is_text_preserving_with,
+    SchemaArtifacts, Transducer, TransducerArtifacts,
+};
+use tpx_treeauto::Nta;
+use tpx_trees::{stable_hash_debug, stable_hash_of, StableHasher};
+
+/// A text-preservation decision procedure for one fixed transducer.
+///
+/// `Sync` so a batch of checks can share one decider across the worker
+/// threads of [`crate::Engine::check_many`].
+pub trait Decider: Sync {
+    /// A short name for reports (`"topdown"`, `"dtl"`).
+    fn name(&self) -> &'static str;
+
+    /// Decides text-preservation over `L(schema)`, memoizing expensive
+    /// intermediates in `cache`.
+    fn check(&self, schema: &Nta, cache: &ArtifactCache) -> Verdict;
+}
+
+/// Runs a cached stage: looks `(kind, key)` up, building on miss, and
+/// records duration / artifact size / hit-or-miss.
+fn cached_stage<T, F>(
+    cache: &ArtifactCache,
+    kind: &'static str,
+    key: u64,
+    size: impl Fn(&T) -> usize,
+    build: F,
+    stats: &mut CheckStats,
+) -> std::sync::Arc<T>
+where
+    T: Send + Sync + 'static,
+    F: FnOnce() -> T,
+{
+    let start = Instant::now();
+    let (artifact, hit) = cache.get_or_build(kind, key, build);
+    stats.stages.push(StageReport {
+        stage: kind,
+        duration: start.elapsed(),
+        artifact_size: Some(size(&artifact)),
+        cache_hit: Some(hit),
+    });
+    artifact
+}
+
+/// The Theorem 4.11 decider for a top-down uniform transducer.
+pub struct TopdownDecider<'a> {
+    t: &'a Transducer,
+    key: u64,
+}
+
+impl<'a> TopdownDecider<'a> {
+    /// Wraps `t`, content-hashing it once for cache keying.
+    pub fn new(t: &'a Transducer) -> Self {
+        TopdownDecider {
+            t,
+            key: stable_hash_of(t),
+        }
+    }
+
+    /// The transducer's content hash (the `topdown/transducer` cache key).
+    pub fn cache_key(&self) -> u64 {
+        self.key
+    }
+}
+
+impl Decider for TopdownDecider<'_> {
+    fn name(&self) -> &'static str {
+        "topdown"
+    }
+
+    fn check(&self, schema: &Nta, cache: &ArtifactCache) -> Verdict {
+        let mut stats = CheckStats::default();
+        let schema_art = cached_stage(
+            cache,
+            "topdown/schema",
+            stable_hash_of(schema),
+            SchemaArtifacts::size,
+            || compile_schema_artifacts(schema),
+            &mut stats,
+        );
+        let trans_art = cached_stage(
+            cache,
+            "topdown/transducer",
+            self.key,
+            TransducerArtifacts::size,
+            || compile_transducer_artifacts(self.t),
+            &mut stats,
+        );
+        let start = Instant::now();
+        let report = is_text_preserving_with(&schema_art, &trans_art, schema);
+        stats.stages.push(StageReport {
+            stage: "topdown/decide",
+            duration: start.elapsed(),
+            artifact_size: None,
+            cache_hit: None,
+        });
+        Verdict {
+            decider: self.name(),
+            outcome: report.into(),
+            stats,
+        }
+    }
+}
+
+/// The Theorems 5.12/5.18 decider for a DTL transducer (MSO or XPath
+/// patterns).
+pub struct DtlDecider<'a, P: MsoDefinable> {
+    t: &'a DtlTransducer<P>,
+    key: u64,
+}
+
+impl<'a, P> DtlDecider<'a, P>
+where
+    P: MsoDefinable,
+    DtlTransducer<P>: std::fmt::Debug,
+{
+    /// Wraps `t`, hashing its `Debug` rendering once for cache keying
+    /// (faithful for any pattern language — `Unary`/`Binary` are `Debug`
+    /// by the `PatternLanguage` contract).
+    pub fn new(t: &'a DtlTransducer<P>) -> Self {
+        DtlDecider {
+            t,
+            key: stable_hash_debug(t),
+        }
+    }
+}
+
+impl<P> Decider for DtlDecider<'_, P>
+where
+    P: MsoDefinable,
+    DtlTransducer<P>: Sync,
+{
+    fn name(&self) -> &'static str {
+        "dtl"
+    }
+
+    fn check(&self, schema: &Nta, cache: &ArtifactCache) -> Verdict {
+        let n_symbols = schema.symbol_count();
+        let mut stats = CheckStats::default();
+        let schema_art = cached_stage(
+            cache,
+            "dtl/schema",
+            stable_hash_of(schema),
+            DtlSchemaArtifacts::size,
+            || compile_schema_nbta(schema),
+            &mut stats,
+        );
+        // The counter-example automaton depends on (transducer, |Σ|).
+        let ce_key = {
+            let mut h = StableHasher::new();
+            h.write_u64(self.key);
+            h.write_usize(n_symbols);
+            h.finish()
+        };
+        let ce_art = cached_stage(
+            cache,
+            "dtl/counterexample",
+            ce_key,
+            DtlTransducerArtifacts::size,
+            || compile_counterexample(self.t, n_symbols),
+            &mut stats,
+        );
+        let start = Instant::now();
+        let report = dtl_text_preserving_with(&ce_art, &schema_art);
+        stats.stages.push(StageReport {
+            stage: "dtl/decide",
+            duration: start.elapsed(),
+            artifact_size: None,
+            cache_hit: None,
+        });
+        let outcome = match report {
+            DtlCheckReport::Preserving => Outcome::Preserving,
+            DtlCheckReport::NotPreserving { witness } => Outcome::NotPreserving { witness },
+        };
+        Verdict {
+            decider: self.name(),
+            outcome,
+            stats,
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! The [`Engine`]: a shared artifact cache plus single and batch check
+//! entry points.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::cache::{ArtifactCache, CacheStats};
+use crate::decider::Decider;
+use crate::verdict::Verdict;
+use tpx_treeauto::Nta;
+
+/// One unit of batch work: a decider checked against a schema.
+pub type Task<'a> = (&'a dyn Decider, &'a Nta);
+
+/// The decision engine: owns the [`ArtifactCache`] shared by every check it
+/// runs, and a worker count for [`Engine::check_many`].
+#[derive(Default)]
+pub struct Engine {
+    cache: ArtifactCache,
+    jobs: usize,
+}
+
+impl Engine {
+    /// A sequential engine (`jobs = 1`) with an empty cache.
+    pub fn new() -> Self {
+        Engine {
+            cache: ArtifactCache::new(),
+            jobs: 1,
+        }
+    }
+
+    /// An engine running batches on `jobs` worker threads (0 is clamped
+    /// to 1).
+    pub fn with_jobs(jobs: usize) -> Self {
+        Engine {
+            cache: ArtifactCache::new(),
+            jobs: jobs.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs.max(1)
+    }
+
+    /// The shared artifact cache (e.g. for [`ArtifactCache::stats`]).
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Runs one check through the shared cache.
+    pub fn check(&self, decider: &dyn Decider, schema: &Nta) -> Verdict {
+        decider.check(schema, &self.cache)
+    }
+
+    /// Runs every task, returning verdicts in task order.
+    ///
+    /// With `jobs > 1`, tasks are pulled off a shared atomic counter by a
+    /// `std::thread::scope` worker pool; the cache's once-per-key build
+    /// guarantee means racing workers never duplicate a compilation, they
+    /// block on it. Verdicts are identical to a sequential run — all stages
+    /// are deterministic; only the hit/miss attribution in
+    /// [`Verdict::stats`] can differ (which worker built an artifact first).
+    pub fn check_many(&self, tasks: &[Task<'_>]) -> Vec<Verdict> {
+        let jobs = self.jobs().min(tasks.len().max(1));
+        if jobs <= 1 {
+            return tasks.iter().map(|(d, s)| self.check(*d, s)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Verdict>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((decider, schema)) = tasks.get(i) else {
+                        break;
+                    };
+                    let verdict = decider.check(schema, &self.cache);
+                    *slots[i].lock().expect("result slot") = Some(verdict);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot")
+                    .expect("every task index below len was claimed by a worker")
+            })
+            .collect()
+    }
+}

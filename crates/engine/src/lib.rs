@@ -1,0 +1,42 @@
+//! # `tpx-engine`: the unified decision engine
+//!
+//! Both deciders of the paper — the PTIME top-down decider (Theorem 4.11)
+//! and the DTL decider (Theorems 5.12/5.18) — behind one [`Decider`] trait
+//! producing a structured [`Verdict`]: the decision, the witness, and a
+//! per-stage account (timings, artifact sizes, cache attribution).
+//!
+//! The deciders' staged pipelines (in `tpx-topdown::decide` and
+//! `tpx-dtl::decide`) expose their expensive intermediates — the `A_N`/`A_T`
+//! path automata, the rearranging NTA, the MSO→NBTA counter-example
+//! compilation, the schema NBTA — as named artifacts. The engine memoizes
+//! them in a content-hash-keyed [`ArtifactCache`] ([`tpx_trees::StableHash`]
+//! keys), so checking many transducers against one schema compiles the
+//! schema side once, and checking one transducer against many schemas
+//! compiles the transducer side once.
+//!
+//! [`Engine::check_many`] fans a batch of `(decider, schema)` tasks over a
+//! `std::thread::scope` worker pool sharing that cache; racing workers
+//! never duplicate a compilation (each cache entry builds exactly once).
+//!
+//! ```
+//! use tpx_engine::{Engine, TopdownDecider};
+//!
+//! let (alpha, schema) = tpx_workload::chain_schema(3);
+//! let t = tpx_workload::identity_transducer(&alpha);
+//! let engine = Engine::new();
+//! let verdict = engine.check(&TopdownDecider::new(&t), &schema);
+//! assert!(verdict.is_preserving());
+//! // A second check against the same schema hits the cache.
+//! let verdict = engine.check(&TopdownDecider::new(&t), &schema);
+//! assert!(verdict.stats.stage("topdown/schema").unwrap().cache_hit == Some(true));
+//! ```
+
+pub mod cache;
+pub mod decider;
+mod engine;
+pub mod verdict;
+
+pub use cache::{ArtifactCache, CacheStats};
+pub use decider::{Decider, DtlDecider, TopdownDecider};
+pub use engine::{Engine, Task};
+pub use verdict::{CheckStats, Outcome, StageReport, Verdict};

@@ -14,8 +14,8 @@
 //! * `∃x`: intersect with the singleton guard for `x`, then project the
 //!   bit away; `∃X`: project directly; `∀` is `¬∃¬`.
 
-use crate::atomic::{self};
 pub use crate::atomic::MSym;
+use crate::atomic::{self};
 use crate::formula::{Formula, SetVar, Var};
 use std::collections::HashMap;
 use tpx_treeauto::{EncSym, Nbta, RankedTree};
@@ -576,10 +576,8 @@ mod tests {
                     .implies(Formula::In(v, z)),
             ),
         );
-        let reach = Formula::forall_set(
-            z,
-            Formula::In(x, z).and(closed).implies(Formula::In(y, z)),
-        );
+        let reach =
+            Formula::forall_set(z, Formula::In(x, z).and(closed).implies(Formula::In(y, z)));
         let dos = derived::descendant_or_self(x, y);
         let ctx = [VarKey::Fo(x), VarKey::Fo(y)];
         let mut al = alpha();
@@ -590,11 +588,7 @@ mod tests {
             for &n2 in &t.dfs() {
                 let asg = Assignment::new().bind(x, n1).bind(y, n2);
                 let enc = marked_encoding(&t, &ctx, &asg);
-                assert_eq!(
-                    a_reach.accepts(&enc),
-                    a_dos.accepts(&enc),
-                    "{n1:?} {n2:?}"
-                );
+                assert_eq!(a_reach.accepts(&enc), a_dos.accepts(&enc), "{n1:?} {n2:?}");
             }
         }
     }
@@ -606,11 +600,7 @@ mod tests {
         let (x, y) = (Var(0), Var(1));
         let mut al = alpha();
         let n = al.len();
-        let child = compile(
-            &Formula::Child(x, y),
-            &[VarKey::Fo(x), VarKey::Fo(y)],
-            n,
-        );
+        let child = compile(&Formula::Child(x, y), &[VarKey::Fo(x), VarKey::Fo(y)], n);
         // Manual route: child is already at ctx [x, y]; project bit 1.
         let manual = crate::compile::project_bit(&child, n, 1, true);
         let via_compiler = compile(
@@ -623,11 +613,7 @@ mod tests {
         for &v in &t.dfs() {
             let asg = Assignment::new().bind(x, v);
             let enc = marked_encoding(&t, &ctx, &asg);
-            assert_eq!(
-                manual.accepts(&enc),
-                via_compiler.accepts(&enc),
-                "{v:?}"
-            );
+            assert_eq!(manual.accepts(&enc), via_compiler.accepts(&enc), "{v:?}");
             assert_eq!(via_compiler.accepts(&enc), !t.children(v).is_empty());
         }
     }

@@ -42,7 +42,9 @@ pub fn naive_eval(h: &Hedge, phi: &Formula, asg: &Assignment) -> bool {
 }
 
 fn node(asg: &Assignment, v: Var) -> NodeId {
-    *asg.fo.get(&v).unwrap_or_else(|| panic!("unbound variable {v:?}"))
+    *asg.fo
+        .get(&v)
+        .unwrap_or_else(|| panic!("unbound variable {v:?}"))
 }
 
 fn eval(h: &Hedge, nodes: &[NodeId], phi: &Formula, asg: &Assignment) -> bool {
@@ -137,13 +139,33 @@ mod tests {
         let (x, y) = (Var(0), Var(1));
         let bind2 = |a, b| Assignment::new().bind(x, a).bind(y, b);
         assert!(naive_eval(&t, &Formula::Child(x, y), &bind2(root, kids[0])));
-        assert!(!naive_eval(&t, &Formula::Child(x, y), &bind2(kids[0], root)));
+        assert!(!naive_eval(
+            &t,
+            &Formula::Child(x, y),
+            &bind2(kids[0], root)
+        ));
         assert!(!naive_eval(&t, &Formula::Child(x, y), &bind2(root, tx)));
         assert!(naive_eval(&t, &Formula::Descendant(x, y), &bind2(root, tx)));
-        assert!(naive_eval(&t, &Formula::NextSib(x, y), &bind2(kids[0], kids[1])));
-        assert!(!naive_eval(&t, &Formula::NextSib(x, y), &bind2(kids[0], kids[2])));
-        assert!(naive_eval(&t, &Formula::SibLess(x, y), &bind2(kids[0], kids[2])));
-        assert!(!naive_eval(&t, &Formula::SibLess(x, y), &bind2(kids[2], kids[0])));
+        assert!(naive_eval(
+            &t,
+            &Formula::NextSib(x, y),
+            &bind2(kids[0], kids[1])
+        ));
+        assert!(!naive_eval(
+            &t,
+            &Formula::NextSib(x, y),
+            &bind2(kids[0], kids[2])
+        ));
+        assert!(naive_eval(
+            &t,
+            &Formula::SibLess(x, y),
+            &bind2(kids[0], kids[2])
+        ));
+        assert!(!naive_eval(
+            &t,
+            &Formula::SibLess(x, y),
+            &bind2(kids[2], kids[0])
+        ));
         let one = Assignment::new().bind(x, root);
         assert!(naive_eval(&t, &Formula::Root(x), &one));
         assert!(naive_eval(&t, &Formula::Lab(al.sym("a"), x), &one));
@@ -166,8 +188,7 @@ mod tests {
         let y = g.var();
         let f2 = Formula::forall(
             x,
-            Formula::Lab(al.sym("b"), x)
-                .implies(Formula::exists(y, Formula::Child(x, y))),
+            Formula::Lab(al.sym("b"), x).implies(Formula::exists(y, Formula::Child(x, y))),
         );
         assert!(!naive_eval(&t, &f2, &Assignment::new()));
     }
@@ -189,10 +210,8 @@ mod tests {
                     .implies(Formula::In(v, z)),
             ),
         );
-        let reach = Formula::forall_set(
-            z,
-            Formula::In(x, z).and(closed).implies(Formula::In(y, z)),
-        );
+        let reach =
+            Formula::forall_set(z, Formula::In(x, z).and(closed).implies(Formula::In(y, z)));
         let root = t.root();
         let tx = t.text_nodes()[0];
         assert!(naive_eval(

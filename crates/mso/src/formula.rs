@@ -259,9 +259,9 @@ impl Formula {
 
     fn collect_bound(&self, out: &mut BTreeSet<Var>) {
         match self {
-            Formula::Not(a)
-            | Formula::ExistsSo(_, a)
-            | Formula::ForallSo(_, a) => a.collect_bound(out),
+            Formula::Not(a) | Formula::ExistsSo(_, a) | Formula::ForallSo(_, a) => {
+                a.collect_bound(out)
+            }
             Formula::ExistsFo(v, a) | Formula::ForallFo(v, a) => {
                 out.insert(*v);
                 a.collect_bound(out);
@@ -400,10 +400,7 @@ mod tests {
     fn free_vars_respect_binders() {
         let (x, y) = (Var(0), Var(1));
         let s = SetVar(0);
-        let f = Formula::exists(
-            y,
-            Formula::Child(x, y).and(Formula::In(y, s)),
-        );
+        let f = Formula::exists(y, Formula::Child(x, y).and(Formula::In(y, s)));
         let (fo, so) = f.free_vars();
         assert!(fo.contains(&x));
         assert!(!fo.contains(&y));

@@ -34,7 +34,11 @@ pub struct DtdParseError {
 
 impl fmt::Display for DtdParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "DTD parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "DTD parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -298,11 +302,7 @@ mod tests {
     #[test]
     fn mixed_and_empty_content() {
         let mut alpha = tpx_trees::Alphabet::new();
-        let dtd = parse_dtd(
-            "<!ELEMENT a (#PCDATA | b)*><!ELEMENT b EMPTY>",
-            &mut alpha,
-        )
-        .unwrap();
+        let dtd = parse_dtd("<!ELEMENT a (#PCDATA | b)*><!ELEMENT b EMPTY>", &mut alpha).unwrap();
         for (src, ok) in [
             (r#"a("x" b "y")"#, true),
             ("a", true),
@@ -337,9 +337,9 @@ mod tests {
         for (src, ok) in [
             ("r(b)", true),
             ("r(a b b c d c)", true),
-            ("r(a)", false),      // b+ missing
-            ("r(a a b)", false),  // a?
-            ("r(b a)", false),    // order
+            ("r(a)", false),     // b+ missing
+            ("r(a a b)", false), // a?
+            ("r(b a)", false),   // order
         ] {
             let t = parse_tree(src, &mut alpha.clone()).unwrap();
             assert_eq!(dtd.validates(&t), ok, "{src}");

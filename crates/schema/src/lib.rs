@@ -197,11 +197,9 @@ impl Dtd {
     pub fn reduce(&self) -> Dtd {
         let useful = self.useful_symbols();
         let mut out = Dtd::new(self.n_symbols);
-        for s in 0..self.n_symbols {
-            if useful[s] {
-                if let Some(re) = &self.content[s] {
-                    out.set_content(Symbol(s as u32), re.clone());
-                }
+        for (s, _) in useful.iter().enumerate().filter(|(_, &u)| u) {
+            if let Some(re) = &self.content[s] {
+                out.set_content(Symbol(s as u32), re.clone());
             }
         }
         for &s in &self.starts {
@@ -294,8 +292,7 @@ fn nfa_useful_symbols(nfa: &Nfa<DtdSym>, realizable: &[bool]) -> Vec<DtdSym> {
         rev[r.index()].push((*a, p));
     }
     let mut bwd = vec![false; nfa.state_count()];
-    let mut stack: Vec<tpx_automata::StateId> =
-        nfa.states().filter(|&q| nfa.is_final(q)).collect();
+    let mut stack: Vec<tpx_automata::StateId> = nfa.states().filter(|&q| nfa.is_final(q)).collect();
     for &q in &stack {
         bwd[q.index()] = true;
     }

@@ -45,37 +45,150 @@ impl CheckReport {
     }
 }
 
-/// Theorem 4.11: decides in PTIME whether `t` is text-preserving over
-/// `L(nta)`. Returns a witness for the violated condition otherwise.
-pub fn is_text_preserving(t: &Transducer, nta: &Nta) -> CheckReport {
-    if let Some(path) = copying_witness(t, nta) {
+/// The schema-side stage of the pipeline: everything Lemma 4.9 needs from
+/// the schema alone. Reusable across every transducer checked against the
+/// same schema — the engine layer caches it by schema content hash.
+#[derive(Clone, Debug)]
+pub struct SchemaArtifacts {
+    /// `A_N`, the path automaton of `L(N)` (Lemma 4.8(1)).
+    pub a_n: Nfa<PathSym>,
+}
+
+impl SchemaArtifacts {
+    /// Total size of the compiled artifacts (states + transitions).
+    pub fn size(&self) -> usize {
+        self.a_n.size()
+    }
+}
+
+/// The copy-side transducer stage: the Lemma 4.5 condition automata built
+/// from `A_T` (Lemma 4.8(2)). Linear in `|T|`² — cheap next to the
+/// rearranging NTA, so callers that only need the copying half (e.g.
+/// [`crate::extensions`], the E1 copying-only sweep) can stop here.
+#[derive(Clone, Debug)]
+pub struct CopyArtifacts {
+    /// `A_T`, the transducer path automaton (Lemma 4.8(2)).
+    pub a_t: Nfa<PathSym>,
+    /// Two lock-step copies of `A_T` accepting paths with two *different*
+    /// runs (condition (1) of Lemma 4.5).
+    pub diverging: Nfa<PathSym>,
+    /// One copy of `A_T` marked once a doubling rule fires (condition (2)
+    /// of Lemma 4.5).
+    pub doubling: Nfa<PathSym>,
+}
+
+impl CopyArtifacts {
+    /// Total size of the compiled artifacts (states + transitions).
+    pub fn size(&self) -> usize {
+        self.a_t.size() + self.diverging.size() + self.doubling.size()
+    }
+}
+
+/// The full transducer-side stage: copy-side automata plus the Lemma 4.10
+/// rearranging NTA. Reusable across every schema the same transducer is
+/// checked against — the engine layer caches it by transducer content hash.
+#[derive(Clone, Debug)]
+pub struct TransducerArtifacts {
+    /// The copy-side condition automata (Lemma 4.5 / 4.9).
+    pub copying: CopyArtifacts,
+    /// The rearranging NTA `M` of Lemma 4.10.
+    pub rearranging: Nta,
+}
+
+impl TransducerArtifacts {
+    /// Total size of the compiled artifacts (states + transitions/rules).
+    pub fn size(&self) -> usize {
+        self.copying.size() + self.rearranging.size()
+    }
+}
+
+/// Stage 1a: compiles the schema-side artifacts (Lemma 4.8(1)).
+pub fn compile_schema_artifacts(nta: &Nta) -> SchemaArtifacts {
+    SchemaArtifacts {
+        a_n: path_automaton_nta(nta),
+    }
+}
+
+/// Stage 1b (copy side): `A_T` and the two Lemma 4.5 condition automata.
+pub fn compile_copy_artifacts(t: &Transducer) -> CopyArtifacts {
+    let a_t = path_automaton_transducer(t);
+    let diverging = diverging_pairs_automaton(&a_t);
+    let doubling = doubling_marked_automaton(t);
+    CopyArtifacts {
+        a_t,
+        diverging,
+        doubling,
+    }
+}
+
+/// Stage 1b (full): copy-side automata plus the Lemma 4.10 rearranging NTA.
+pub fn compile_transducer_artifacts(t: &Transducer) -> TransducerArtifacts {
+    TransducerArtifacts {
+        copying: compile_copy_artifacts(t),
+        rearranging: rearranging_nta(t),
+    }
+}
+
+/// Stage 2 (copying): the Lemma 4.9 emptiness tests over precompiled
+/// artifacts — two linear products plus shortest-word searches.
+pub fn copying_witness_with(
+    schema: &SchemaArtifacts,
+    copy: &CopyArtifacts,
+) -> Option<Vec<PathSym>> {
+    // Condition (1): two different path runs on the same text path.
+    let m1 = schema.a_n.intersect(&copy.diverging);
+    if let Some(w) = m1.shortest_word() {
+        return Some(w);
+    }
+    // Condition (2): one path run through a doubling rule.
+    let m2 = schema.a_n.intersect(&copy.doubling);
+    m2.shortest_word()
+}
+
+/// Stage 2 (rearranging): the Lemma 4.10 emptiness test over the
+/// precompiled rearranging NTA.
+pub fn rearranging_witness_with(transducer: &TransducerArtifacts, nta: &Nta) -> Option<Tree> {
+    let product = transducer.rearranging.intersect(nta).trim();
+    product.witness()
+}
+
+/// Stage 3: the Theorem 4.11 verdict over precompiled artifacts.
+pub fn is_text_preserving_with(
+    schema: &SchemaArtifacts,
+    transducer: &TransducerArtifacts,
+    nta: &Nta,
+) -> CheckReport {
+    if let Some(path) = copying_witness_with(schema, &transducer.copying) {
         return CheckReport::Copying { path };
     }
-    if let Some(witness) = rearranging_witness(t, nta) {
+    if let Some(witness) = rearranging_witness_with(transducer, nta) {
         return CheckReport::Rearranging { witness };
     }
     CheckReport::TextPreserving
 }
 
+/// Theorem 4.11: decides in PTIME whether `t` is text-preserving over
+/// `L(nta)`. Returns a witness for the violated condition otherwise.
+///
+/// One-shot convenience over the staged pipeline
+/// ([`compile_schema_artifacts`] → [`compile_transducer_artifacts`] →
+/// [`is_text_preserving_with`]); batch callers should compile the stages
+/// once and reuse them (see the `tpx-engine` crate).
+pub fn is_text_preserving(t: &Transducer, nta: &Nta) -> CheckReport {
+    let schema = compile_schema_artifacts(nta);
+    let transducer = compile_transducer_artifacts(t);
+    is_text_preserving_with(&schema, &transducer, nta)
+}
+
 /// Lemma 4.9: whether `t` is copying over `L(nta)`; returns a witness text
-/// path. PTIME.
+/// path. PTIME. One-shot convenience over the copy side of the staged
+/// pipeline (the rearranging NTA is *not* built).
 pub fn copying_witness(t: &Transducer, nta: &Nta) -> Option<Vec<PathSym>> {
-    let a_n = path_automaton_nta(nta);
-    let a_t = path_automaton_transducer(t);
-    // Condition (1): two different path runs on the same text path.
-    let pairs = diverging_pairs_automaton(&a_t);
-    let m1 = a_n.intersect(&pairs);
-    if let Some(w) = m1.shortest_word() {
-        return Some(w);
-    }
-    // Condition (2): one path run through a doubling rule.
-    let marked = doubling_marked_automaton(t);
-    let m2 = a_n.intersect(&marked);
-    m2.shortest_word()
+    copying_witness_with(&compile_schema_artifacts(nta), &compile_copy_artifacts(t))
 }
 
 /// Lemma 4.10: whether `t` is rearranging over `L(nta)`; returns a witness
-/// tree. PTIME.
+/// tree. PTIME. One-shot convenience over the staged pipeline.
 pub fn rearranging_witness(t: &Transducer, nta: &Nta) -> Option<Tree> {
     let m = rearranging_nta(t);
     let product = m.intersect(nta).trim();
@@ -87,9 +200,8 @@ pub fn rearranging_witness(t: &Transducer, nta: &Nta) -> Option<Tree> {
 /// Lemma 4.5: two *different* path runs).
 fn diverging_pairs_automaton(a_t: &Nfa<PathSym>) -> Nfa<PathSym> {
     let n = a_t.state_count() as u32;
-    let id = |p: StateId, q: StateId, diverged: bool| {
-        StateId((p.0 * n + q.0) * 2 + u32::from(diverged))
-    };
+    let id =
+        |p: StateId, q: StateId, diverged: bool| StateId((p.0 * n + q.0) * 2 + u32::from(diverged));
     let mut out: Nfa<PathSym> = Nfa::new();
     out.add_states(2 * (n as usize) * (n as usize));
     for &i in a_t.initial_states() {
@@ -137,11 +249,7 @@ fn doubling_marked_automaton(t: &Transducer) -> Nfa<PathSym> {
             for &p in &states {
                 let copies = states.iter().filter(|&&x| x == p).count();
                 for flag in [false, true] {
-                    out.add_transition(
-                        id(q, flag),
-                        PathSym::Elem(s),
-                        id(p, flag || copies >= 2),
-                    );
+                    out.add_transition(id(q, flag), PathSym::Elem(s), id(p, flag || copies >= 2));
                 }
             }
         }

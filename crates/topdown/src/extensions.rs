@@ -17,11 +17,7 @@ use tpx_trees::Symbol;
 /// If some schema tree has a text node below a node labelled with one of
 /// `labels` whose value `t` deletes, returns that text path as a witness.
 /// `None` means `t` never deletes text under those labels, over `L(nta)`.
-pub fn deleted_text_under(
-    t: &Transducer,
-    nta: &Nta,
-    labels: &[Symbol],
-) -> Option<Vec<PathSym>> {
+pub fn deleted_text_under(t: &Transducer, nta: &Nta, labels: &[Symbol]) -> Option<Vec<PathSym>> {
     let a_n = path_automaton_nta(nta);
     let a_t = path_automaton_transducer(t);
     // Alphabet of path symbols for determinizing A_T.
@@ -78,7 +74,11 @@ mod tests {
         assert_eq!(*w.last().unwrap(), PathSym::Text);
         assert!(w.contains(&PathSym::Elem(al.sym("comments"))));
         // Combined test.
-        assert!(text_preserving_and_keeps(&t, &nta, &[al.sym("instructions")]));
+        assert!(text_preserving_and_keeps(
+            &t,
+            &nta,
+            &[al.sym("instructions")]
+        ));
         assert!(!text_preserving_and_keeps(&t, &nta, &[al.sym("comments")]));
     }
 

@@ -28,7 +28,11 @@ pub mod semantic;
 pub mod subschema;
 pub mod transducer;
 
-pub use decide::{is_text_preserving, CheckReport};
+pub use decide::{
+    compile_copy_artifacts, compile_schema_artifacts, compile_transducer_artifacts,
+    copying_witness_with, is_text_preserving, is_text_preserving_with, rearranging_witness_with,
+    CheckReport, CopyArtifacts, SchemaArtifacts, TransducerArtifacts,
+};
 pub use paths::{path_automaton_nta, path_automaton_transducer, PathSym};
 pub use subschema::{counterexample_language, maximal_subschema};
 pub use transducer::{RhsNode, TdState, Transducer, TransducerBuilder};

@@ -65,9 +65,7 @@ pub fn path_automaton_nta(nta: &Nta) -> Nfa<PathSym> {
     let sink = nfa.add_state();
     nfa.set_final(sink, true);
     // State of pair (q, σ): dense layout after start/sink.
-    let pair = |q: tpx_treeauto::State, s: Symbol| {
-        StateId(2 + q.0 * n_syms as u32 + s.0)
-    };
+    let pair = |q: tpx_treeauto::State, s: Symbol| StateId(2 + q.0 * n_syms as u32 + s.0);
     for _ in 0..(nta.state_count() * n_syms) {
         nfa.add_state();
     }

@@ -53,11 +53,8 @@ fn has_duplicates(values: &[&str]) -> bool {
 /// For value-unique input content `input`, whether `output` swaps some pair:
 /// ∃ γ₁ before γ₂ in the input with γ₂ before γ₁ in the output.
 fn is_rearrangement(input: &[&str], output: &[&str]) -> bool {
-    let pos: std::collections::HashMap<&str, usize> = input
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v, i))
-        .collect();
+    let pos: std::collections::HashMap<&str, usize> =
+        input.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     // For each pair of output positions i < j: values b = out[i], a = out[j]
     // with input position of a strictly before b witness γ₁ = a, γ₂ = b.
     for i in 0..output.len() {
@@ -90,8 +87,7 @@ pub fn admissible_on(t: &Transducer, input: &Tree) -> bool {
         return false;
     }
     // Text-functionality: every output text value appears in the input.
-    let in_vals: std::collections::HashSet<&str> =
-        input.text_content().into_iter().collect();
+    let in_vals: std::collections::HashSet<&str> = input.text_content().into_iter().collect();
     output_values_subset(&out_orig, &in_vals)
 }
 
@@ -125,8 +121,10 @@ mod tests {
         let t = samples::copying_example(&al);
         let input = recipe_tree(&mut al);
         assert!(copying_on(&t, &input));
-        assert!(!text_preserving_on(&t, &Tree::from_hedge(
-            tpx_trees::make_value_unique(input.as_hedge())).unwrap()));
+        assert!(!text_preserving_on(
+            &t,
+            &Tree::from_hedge(tpx_trees::make_value_unique(input.as_hedge())).unwrap()
+        ));
         assert!(theorem_3_3_holds_on(&t, &input));
     }
 

@@ -235,8 +235,7 @@ mod tests {
         // Maximality: schema trees outside max are counter-examples.
         let outside_lang = tpx_treeauto::difference_nta(&nta, &max);
         let cex = outside_lang.witness().unwrap();
-        let cex_unique =
-            Tree::from_hedge(tpx_trees::make_value_unique(cex.as_hedge())).unwrap();
+        let cex_unique = Tree::from_hedge(tpx_trees::make_value_unique(cex.as_hedge())).unwrap();
         assert!(!semantic::text_preserving_on(&t, &cex_unique));
     }
 

@@ -36,7 +36,9 @@ pub enum EncSym {
 
 /// The internal alphabet `Σ ⊎ {text}` for encodings over `n_symbols` labels.
 pub fn enc_internal_alphabet(n_symbols: usize) -> Vec<EncSym> {
-    let mut v: Vec<EncSym> = (0..n_symbols as u32).map(|i| EncSym::Elem(Symbol(i))).collect();
+    let mut v: Vec<EncSym> = (0..n_symbols as u32)
+        .map(|i| EncSym::Elem(Symbol(i)))
+        .collect();
     v.push(EncSym::Text);
     v
 }
@@ -127,10 +129,7 @@ pub fn nta_to_nbta(nta: &Nta) -> Nbta<EncSym> {
         }
         if nta.text_ok(q) {
             index.insert(AutId::Text(q), auts.len());
-            auts.push((
-                AutId::Text(q),
-                AutInfo { nfa: None, offset },
-            ));
+            auts.push((AutId::Text(q), AutInfo { nfa: None, offset }));
             offset += 1;
         }
     }
@@ -325,7 +324,12 @@ pub fn complement_nta(nta: &Nta) -> Nta {
 /// Whether `L(n1) ⊆ L(n2)` (both over the same alphabet size).
 pub fn subset_nta(n1: &Nta, n2: &Nta) -> bool {
     let a1 = nta_to_nbta(n1).trim();
-    let not2 = nta_to_nbta(n2).trim().determinize().complement().to_nbta().trim();
+    let not2 = nta_to_nbta(n2)
+        .trim()
+        .determinize()
+        .complement()
+        .to_nbta()
+        .trim();
     a1.intersect(&not2).is_empty()
 }
 
@@ -489,6 +493,7 @@ mod tests {
         }
     }
 
+    #[cfg(feature = "proptest")]
     mod props {
         use super::*;
         use proptest::prelude::*;

@@ -13,6 +13,9 @@ use crate::ranked::RankedTree;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::Hash;
 
+/// Internal rules grouped by symbol: `(q₁, q₂, result states)` per `σ`.
+type RulesBySymbol<'a, L> = HashMap<&'a L, Vec<(State, State, &'a Vec<State>)>>;
+
 /// A nondeterministic bottom-up binary tree automaton over symbols `L`.
 #[derive(Clone, Debug)]
 pub struct Nbta<L> {
@@ -214,10 +217,7 @@ impl<L: Clone + Eq + Hash> Nbta<L> {
         let target = self
             .states()
             .find(|&q| self.is_final(q) && recipe[q.index()].is_some())?;
-        fn build<L: Clone>(recipe: &[Option<Recipe<L>>], q: State) -> RankedTree<L>
-        where
-            L: Clone,
-        {
+        fn build<L: Clone>(recipe: &[Option<Recipe<L>>], q: State) -> RankedTree<L> {
             match recipe[q.index()].as_ref().expect("derivable") {
                 Recipe::Leaf(l) => RankedTree::Leaf(l.clone()),
                 Recipe::Node(l, a, b) => {
@@ -239,10 +239,10 @@ impl<L: Clone + Eq + Hash> Nbta<L> {
         let mut ids: HashMap<(State, State), State> = HashMap::new();
         let mut queue: VecDeque<(State, State)> = VecDeque::new();
         let intern = |a: State,
-                          b: State,
-                          out: &mut Nbta<L>,
-                          ids: &mut HashMap<(State, State), State>,
-                          queue: &mut VecDeque<(State, State)>|
+                      b: State,
+                      out: &mut Nbta<L>,
+                      ids: &mut HashMap<(State, State), State>,
+                      queue: &mut VecDeque<(State, State)>|
          -> State {
             *ids.entry((a, b)).or_insert_with(|| {
                 let q = out.add_state();
@@ -503,7 +503,7 @@ impl<L: Clone + Eq + Hash> Nbta<L> {
         // Group rules by symbol for the inner loop, and use bitsets for
         // class membership.
         let words = self.n_states.div_ceil(64).max(1);
-        let mut by_symbol: HashMap<&L, Vec<(State, State, &Vec<State>)>> = HashMap::new();
+        let mut by_symbol: RulesBySymbol<L> = HashMap::new();
         for ((l, q1, q2), outs) in &self.rules {
             by_symbol.entry(l).or_default().push((*q1, *q2, outs));
         }
@@ -521,10 +521,10 @@ impl<L: Clone + Eq + Hash> Nbta<L> {
         let mut class_bits: Vec<Vec<u64>> = Vec::new();
         let mut queue: VecDeque<u32> = VecDeque::new();
         let intern = |set: Vec<State>,
-                          classes: &mut Vec<Vec<State>>,
-                          class_bits: &mut Vec<Vec<u64>>,
-                          class_ids: &mut HashMap<Vec<State>, u32>,
-                          queue: &mut VecDeque<u32>|
+                      classes: &mut Vec<Vec<State>>,
+                      class_bits: &mut Vec<Vec<u64>>,
+                      class_ids: &mut HashMap<Vec<State>, u32>,
+                      queue: &mut VecDeque<u32>|
          -> u32 {
             if let Some(&id) = class_ids.get(&set) {
                 return id;
@@ -541,11 +541,23 @@ impl<L: Clone + Eq + Hash> Nbta<L> {
             let mut set = self.leaf_states(l).to_vec();
             set.sort_unstable();
             set.dedup();
-            let id = intern(set, &mut classes, &mut class_bits, &mut class_ids, &mut queue);
+            let id = intern(
+                set,
+                &mut classes,
+                &mut class_bits,
+                &mut class_ids,
+                &mut queue,
+            );
             leaf_map.insert(l.clone(), id);
         }
         // Make sure the empty class exists (needed as a sink).
-        intern(Vec::new(), &mut classes, &mut class_bits, &mut class_ids, &mut queue);
+        intern(
+            Vec::new(),
+            &mut classes,
+            &mut class_bits,
+            &mut class_ids,
+            &mut queue,
+        );
 
         // Worklist: when a class is popped, pair it with every already
         // paired class (and itself); each ordered pair is processed once.
@@ -710,10 +722,18 @@ impl<L: Clone + Eq + Hash> Dbta<L> {
                         let left = self.trans.get(&(l.clone(), c, d)).copied();
                         let right = self.trans.get(&(l.clone(), d, c)).copied();
                         sig.push(left.map_or(u32::MAX, |x| {
-                            if reach[x as usize] { part[&x] } else { u32::MAX }
+                            if reach[x as usize] {
+                                part[&x]
+                            } else {
+                                u32::MAX
+                            }
                         }));
                         sig.push(right.map_or(u32::MAX, |x| {
-                            if reach[x as usize] { part[&x] } else { u32::MAX }
+                            if reach[x as usize] {
+                                part[&x]
+                            } else {
+                                u32::MAX
+                            }
                         }));
                     }
                 }

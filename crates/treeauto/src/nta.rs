@@ -138,10 +138,7 @@ impl Nta {
         order.reverse(); // children before parents
         for v in order {
             let states = match h.label(v) {
-                NodeLabel::Text(_) => self
-                    .states()
-                    .filter(|&q| self.text_ok[q.index()])
-                    .collect(),
+                NodeLabel::Text(_) => self.states().filter(|&q| self.text_ok[q.index()]).collect(),
                 NodeLabel::Elem(s) => {
                     let child_sets: Vec<&Vec<State>> =
                         h.children(v).iter().map(|c| &acc[c]).collect();
@@ -189,8 +186,7 @@ impl Nta {
             .content(q, *s)
             .expect("state was accepting, content model must exist");
         let child_sets: Vec<&Vec<State>> = h.children(v).iter().map(|c| &acc[c]).collect();
-        let word =
-            nfa_find_word(nfa, &child_sets).expect("state was accepting, a word must exist");
+        let word = nfa_find_word(nfa, &child_sets).expect("state was accepting, a word must exist");
         for (&c, qc) in h.children(v).iter().zip(word) {
             self.build_run(h, c, qc, acc, out);
         }
@@ -213,9 +209,10 @@ impl Nta {
                     continue;
                 }
                 let ok = self.text_ok[q]
-                    || self.delta[q].iter().flatten().any(|nfa| {
-                        nfa_accepts_over(nfa, &inhabited)
-                    });
+                    || self.delta[q]
+                        .iter()
+                        .flatten()
+                        .any(|nfa| nfa_accepts_over(nfa, &inhabited));
                 if ok {
                     inhabited[q] = true;
                     changed = true;
@@ -236,19 +233,19 @@ impl Nta {
         loop {
             let mut changed = false;
             let known: Vec<bool> = recipe.iter().map(Option::is_some).collect();
-            for q in 0..n {
-                if recipe[q].is_some() {
+            for (q, slot) in recipe.iter_mut().enumerate() {
+                if slot.is_some() {
                     continue;
                 }
                 if self.text_ok[q] {
-                    recipe[q] = Some(Recipe::Text);
+                    *slot = Some(Recipe::Text);
                     changed = true;
                     continue;
                 }
                 for (sym, nfa) in self.delta[q].iter().enumerate() {
                     let Some(nfa) = nfa else { continue };
                     if let Some(word) = nfa_shortest_over(nfa, &known) {
-                        recipe[q] = Some(Recipe::Elem(Symbol(sym as u32), word));
+                        *slot = Some(Recipe::Elem(Symbol(sym as u32), word));
                         changed = true;
                         break;
                     }
@@ -421,7 +418,12 @@ struct DisplayNta<'a> {
 
 impl fmt::Display for DisplayNta<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let roots: Vec<String> = self.nta.roots().iter().map(|q| format!("s{}", q.0)).collect();
+        let roots: Vec<String> = self
+            .nta
+            .roots()
+            .iter()
+            .map(|q| format!("s{}", q.0))
+            .collect();
         writeln!(f, "roots: {}", roots.join(" "))?;
         for q in self.nta.states() {
             for sym in 0..self.nta.symbol_count() {
@@ -442,6 +444,30 @@ impl fmt::Display for DisplayNta<'_> {
             }
         }
         Ok(())
+    }
+}
+
+impl tpx_trees::StableHash for State {
+    fn stable_hash(&self, h: &mut tpx_trees::StableHasher) {
+        h.write_u64(u64::from(self.0));
+    }
+}
+
+/// Structural content hash over the full transition structure: two NTAs
+/// built the same way hash the same, in every process — the engine layer
+/// keys its schema-artifact cache on this.
+impl tpx_trees::StableHash for Nta {
+    fn stable_hash(&self, h: &mut tpx_trees::StableHasher) {
+        h.write_usize(self.n_symbols);
+        self.roots.as_slice().stable_hash(h);
+        self.text_ok.stable_hash(h);
+        h.write_usize(self.delta.len());
+        for per_state in &self.delta {
+            h.write_usize(per_state.len());
+            for content in per_state {
+                content.stable_hash(h);
+            }
+        }
     }
 }
 
@@ -608,10 +634,7 @@ fn nfa_useful_symbols(nfa: &Nfa<State>, inhabited: &[bool]) -> Vec<State> {
         rev[r.index()].push((*a, p));
     }
     let mut bwd = vec![false; nfa.state_count()];
-    let mut stack: Vec<StateId> = nfa
-        .states()
-        .filter(|&p| nfa.is_final(p))
-        .collect();
+    let mut stack: Vec<StateId> = nfa.states().filter(|&p| nfa.is_final(p)).collect();
     for &p in &stack {
         bwd[p.index()] = true;
     }
@@ -717,10 +740,7 @@ impl NtaBuilder {
             rules: Vec::new(),
             text_rules: Vec::new(),
             roots: Vec::new(),
-            sym_by_name: alpha
-                .entries()
-                .map(|(s, n)| (n.to_owned(), s))
-                .collect(),
+            sym_by_name: alpha.entries().map(|(s, n)| (n.to_owned(), s)).collect(),
         }
     }
 

@@ -100,7 +100,10 @@ mod tests {
     fn map_relabels() {
         let t = RankedTree::node("a", RankedTree::Leaf("x"), RankedTree::Leaf("y"));
         let m = t.map(&mut |l: &&str| l.len());
-        assert_eq!(m, RankedTree::node(1, RankedTree::Leaf(1), RankedTree::Leaf(1)));
+        assert_eq!(
+            m,
+            RankedTree::node(1, RankedTree::Leaf(1), RankedTree::Leaf(1))
+        );
     }
 
     #[test]

@@ -1,9 +1,15 @@
-//! Property-based validation of the NBTA Boolean operations on random
+//! Randomized validation of the NBTA Boolean operations on seeded random
 //! automata and random ranked trees — the operations every decider in the
 //! workspace leans on.
+//!
+//! Formerly proptest-based; rewritten over the in-repo deterministic PRNG
+//! so the suite runs in the offline build environment (`proptest` is not a
+//! resolvable dependency there). Coverage is equivalent: each property is
+//! exercised on a few hundred independently seeded (automaton, tree)
+//! pairs, and failures print the offending seed for replay.
 
-use proptest::prelude::*;
 use tpx_treeauto::{Nbta, RankedTree, State};
+use tpx_trees::rng::SplitMix64;
 
 type T = RankedTree<char>;
 
@@ -11,102 +17,122 @@ fn leaf() -> T {
     RankedTree::Leaf('#')
 }
 
-/// Random binary tree over internal symbols {a, b}.
-fn arb_tree() -> impl Strategy<Value = T> {
-    let leaf = Just(leaf());
-    leaf.prop_recursive(4, 32, 2, |inner| {
-        (prop_oneof![Just('a'), Just('b')], inner.clone(), inner)
-            .prop_map(|(l, x, y)| RankedTree::node(l, x, y))
-    })
+/// Random binary tree over internal symbols {a, b}, depth ≤ 4.
+fn random_tree(rng: &mut SplitMix64, depth: usize) -> T {
+    if depth == 0 || rng.chance(0.3) {
+        return leaf();
+    }
+    let l = if rng.chance(0.5) { 'a' } else { 'b' };
+    RankedTree::node(l, random_tree(rng, depth - 1), random_tree(rng, depth - 1))
 }
 
 /// Random NBTA over leaf {#} and internal {a, b} with ≤ 4 states.
-fn arb_nbta() -> impl Strategy<Value = Nbta<char>> {
-    (
-        1usize..5,
-        proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<bool>()), 0..14),
-        proptest::collection::vec(any::<bool>(), 4),
-        proptest::collection::vec(any::<bool>(), 4),
-    )
-        .prop_map(|(n, rules, leaves, finals)| {
-            let mut b = Nbta::new(vec!['#'], vec!['a', 'b']);
-            for _ in 0..n {
-                b.add_state();
-            }
-            for (i, &put) in leaves.iter().take(n).enumerate() {
-                if put {
-                    b.add_leaf_rule('#', State(i as u32));
-                }
-            }
-            for (q1, q2, q, which) in rules {
-                let l = if which { 'a' } else { 'b' };
-                b.add_rule(
-                    l,
-                    State((q1 % n as u8) as u32),
-                    State((q2 % n as u8) as u32),
-                    State((q % n as u8) as u32),
-                );
-            }
-            for (i, &f) in finals.iter().take(n).enumerate() {
-                b.set_final(State(i as u32), f);
-            }
-            b
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Determinization preserves the language; the complement flips it.
-    #[test]
-    fn determinize_and_complement(m in arb_nbta(), t in arb_tree()) {
-        let d = m.determinize();
-        prop_assert_eq!(d.accepts(&t), m.accepts(&t));
-        prop_assert_eq!(d.complement().accepts(&t), !m.accepts(&t));
-        // Round trip through NBTA.
-        prop_assert_eq!(d.to_nbta().accepts(&t), m.accepts(&t));
+fn random_nbta(rng: &mut SplitMix64) -> Nbta<char> {
+    let n = rng.range_inclusive(1, 4);
+    let mut b = Nbta::new(vec!['#'], vec!['a', 'b']);
+    for _ in 0..n {
+        b.add_state();
     }
-
-    /// Minimization preserves the language and never grows.
-    #[test]
-    fn minimize_preserves(m in arb_nbta(), t in arb_tree()) {
-        let d = m.determinize();
-        let mini = d.minimize();
-        prop_assert!(mini.state_count() <= d.state_count());
-        prop_assert_eq!(mini.accepts(&t), d.accepts(&t));
-    }
-
-    /// Products and unions have Boolean semantics; trim is invisible.
-    #[test]
-    fn boolean_ops(m1 in arb_nbta(), m2 in arb_nbta(), t in arb_tree()) {
-        let i = m1.intersect(&m2);
-        prop_assert_eq!(i.accepts(&t), m1.accepts(&t) && m2.accepts(&t));
-        let u = m1.union(&m2);
-        prop_assert_eq!(u.accepts(&t), m1.accepts(&t) || m2.accepts(&t));
-        prop_assert_eq!(m1.trim().accepts(&t), m1.accepts(&t));
-    }
-
-    /// Emptiness agrees with witness extraction, and witnesses are members.
-    #[test]
-    fn emptiness_and_witness(m in arb_nbta()) {
-        match m.witness() {
-            Some(w) => {
-                prop_assert!(!m.is_empty());
-                prop_assert!(m.accepts(&w));
-            }
-            None => prop_assert!(m.is_empty()),
+    for i in 0..n {
+        if rng.chance(0.5) {
+            b.add_leaf_rule('#', State(i as u32));
         }
     }
+    for _ in 0..rng.below(14) {
+        let l = if rng.chance(0.5) { 'a' } else { 'b' };
+        b.add_rule(
+            l,
+            State(rng.below(n) as u32),
+            State(rng.below(n) as u32),
+            State(rng.below(n) as u32),
+        );
+    }
+    for i in 0..n {
+        b.set_final(State(i as u32), rng.chance(0.5));
+    }
+    b
+}
 
-    /// De Morgan: ¬(A ∪ B) = ¬A ∩ ¬B on random inputs.
-    #[test]
-    fn de_morgan(m1 in arb_nbta(), m2 in arb_nbta(), t in arb_tree()) {
+fn pairs(cases: usize) -> impl Iterator<Item = (u64, Nbta<char>, T)> {
+    (0..cases as u64).map(|seed| {
+        let mut rng = SplitMix64::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+        let m = random_nbta(&mut rng);
+        let t = random_tree(&mut rng, 4);
+        (seed, m, t)
+    })
+}
+
+/// Determinization preserves the language; the complement flips it.
+#[test]
+fn determinize_and_complement() {
+    for (seed, m, t) in pairs(200) {
+        let d = m.determinize();
+        assert_eq!(d.accepts(&t), m.accepts(&t), "seed {seed}");
+        assert_eq!(d.complement().accepts(&t), !m.accepts(&t), "seed {seed}");
+        // Round trip through NBTA.
+        assert_eq!(d.to_nbta().accepts(&t), m.accepts(&t), "seed {seed}");
+    }
+}
+
+/// Minimization preserves the language and never grows.
+#[test]
+fn minimize_preserves() {
+    for (seed, m, t) in pairs(200) {
+        let d = m.determinize();
+        let mini = d.minimize();
+        assert!(mini.state_count() <= d.state_count(), "seed {seed}");
+        assert_eq!(mini.accepts(&t), d.accepts(&t), "seed {seed}");
+    }
+}
+
+/// Products and unions have Boolean semantics; trim is invisible.
+#[test]
+fn boolean_ops() {
+    for (seed, m1, t) in pairs(200) {
+        let mut rng = SplitMix64::new(seed.wrapping_add(0xB0B0));
+        let m2 = random_nbta(&mut rng);
+        let i = m1.intersect(&m2);
+        assert_eq!(
+            i.accepts(&t),
+            m1.accepts(&t) && m2.accepts(&t),
+            "seed {seed}"
+        );
+        let u = m1.union(&m2);
+        assert_eq!(
+            u.accepts(&t),
+            m1.accepts(&t) || m2.accepts(&t),
+            "seed {seed}"
+        );
+        assert_eq!(m1.trim().accepts(&t), m1.accepts(&t), "seed {seed}");
+    }
+}
+
+/// Emptiness agrees with witness extraction, and witnesses are members.
+#[test]
+fn emptiness_and_witness() {
+    for (seed, m, _) in pairs(300) {
+        match m.witness() {
+            Some(w) => {
+                assert!(!m.is_empty(), "seed {seed}");
+                assert!(m.accepts(&w), "seed {seed}");
+            }
+            None => assert!(m.is_empty(), "seed {seed}"),
+        }
+    }
+}
+
+/// De Morgan: ¬(A ∪ B) = ¬A ∩ ¬B on random inputs.
+#[test]
+fn de_morgan() {
+    for (seed, m1, t) in pairs(150) {
+        let mut rng = SplitMix64::new(seed.wrapping_add(0xDEAD));
+        let m2 = random_nbta(&mut rng);
         let lhs = m1.union(&m2).determinize().complement();
         let rhs = m1
             .determinize()
             .complement()
             .to_nbta()
             .intersect(&m2.determinize().complement().to_nbta());
-        prop_assert_eq!(lhs.accepts(&t), rhs.accepts(&t));
+        assert_eq!(lhs.accepts(&t), rhs.accepts(&t), "seed {seed}");
     }
 }

@@ -267,7 +267,7 @@ mod tests {
         assert!(matches!(bt.label(r), BinLabel::Elem(_))); // d
         let (_, bsib) = bt.kids(l).unwrap();
         assert!(matches!(bt.label(bsib), BinLabel::Elem(_))); // c
-        // node count = original nodes + (original + 1) nils
+                                                              // node count = original nodes + (original + 1) nils
         assert_eq!(bt.node_count(), 4 + 5);
     }
 
@@ -305,6 +305,7 @@ mod tests {
         }
     }
 
+    #[cfg(feature = "proptest")]
     mod props {
         use super::*;
         use proptest::prelude::*;

@@ -288,7 +288,10 @@ impl Hedge {
 
     /// The text nodes in document order (`text-nodes` in the paper).
     pub fn text_nodes(&self) -> Vec<NodeId> {
-        self.dfs().into_iter().filter(|&v| self.is_text(v)).collect()
+        self.dfs()
+            .into_iter()
+            .filter(|&v| self.is_text(v))
+            .collect()
     }
 
     /// The text content: the sequence of `Text` values of all text nodes in
@@ -311,7 +314,10 @@ impl Hedge {
 
     /// Leaves in document order.
     pub fn leaves(&self) -> Vec<NodeId> {
-        self.dfs().into_iter().filter(|&v| self.is_leaf(v)).collect()
+        self.dfs()
+            .into_iter()
+            .filter(|&v| self.is_leaf(v))
+            .collect()
     }
 
     /// Extracts the subtree rooted at `v` as a fresh [`Tree`].

@@ -17,12 +17,16 @@
 //!   [`xml`]),
 //! * the first-child/next-sibling binary encoding used by the tree-automata
 //!   and MSO substrates ([`encode`]),
+//! * stable content hashing for the engine's artifact cache ([`hash`]) and
+//!   a tiny deterministic PRNG for workload generation ([`rng`]),
 //! * the paper's running example, the recipe document of Figure 1
 //!   ([`samples`]).
 
 pub mod alphabet;
 pub mod encode;
+pub mod hash;
 pub mod hedge;
+pub mod rng;
 pub mod samples;
 pub mod subseq;
 pub mod subst;
@@ -31,6 +35,7 @@ pub mod xml;
 
 pub use alphabet::{Alphabet, Symbol};
 pub use encode::{decode_hedge, encode_hedge, encode_tree, BinLabel, BinNodeId, BinTree};
+pub use hash::{stable_hash_debug, stable_hash_of, StableHash, StableHasher};
 pub use hedge::{Hedge, HedgeBuilder, NodeId, NodeLabel, Tree};
 pub use subseq::{is_subsequence, subsequence_witness};
 pub use subst::{canonical_substitution, is_value_unique, make_value_unique, TextSubstitution};

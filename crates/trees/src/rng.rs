@@ -1,0 +1,105 @@
+//! A tiny deterministic PRNG for workload generation and randomized tests.
+//!
+//! The build environment is offline, so the workspace cannot depend on the
+//! `rand` crate; this SplitMix64 generator (Steele, Lea & Flood, OOPSLA'14)
+//! is small, fast, statistically solid for test-data generation, and —
+//! crucially — **stable across platforms and releases**, so seeded
+//! experiments stay reproducible run to run.
+
+/// A SplitMix64 pseudo-random generator. Deterministic in its seed.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `usize` in `0..n`. Panics when `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "SplitMix64::below(0)");
+        // Multiply-shift bounded generation (Lemire); the tiny modulo bias
+        // of a plain `% n` would also be fine for test data, but this is
+        // just as cheap.
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
+    }
+
+    /// A uniform `usize` in `lo..=hi`. Panics when `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "SplitMix64::range_inclusive({lo}, {hi})");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// A uniformly chosen element of `items`. Panics on an empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        let mut c = SplitMix64::new(8);
+        let wa: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let wb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let wc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(wa, wb);
+        assert_ne!(wa, wc);
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = SplitMix64::new(1);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let x = r.below(5);
+            assert!(x < 5);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit: {seen:?}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SplitMix64::new(2);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        let heads = (0..1000).filter(|_| r.chance(0.5)).count();
+        assert!((300..700).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    fn range_inclusive_hits_both_ends() {
+        let mut r = SplitMix64::new(3);
+        let xs: Vec<usize> = (0..100).map(|_| r.range_inclusive(2, 4)).collect();
+        assert!(xs.iter().all(|&x| (2..=4).contains(&x)));
+        assert!(xs.contains(&2) && xs.contains(&4));
+    }
+}

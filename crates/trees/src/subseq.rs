@@ -86,7 +86,7 @@ mod tests {
         assert!(subsequence_witness(&["z"], &["a", "b"]).is_none());
     }
 
-    #[cfg(test)]
+    #[cfg(feature = "proptest")]
     mod props {
         use super::*;
         use proptest::prelude::*;

@@ -116,7 +116,11 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn hedge_items(&mut self, b: &mut HedgeBuilder, alpha: &mut Alphabet) -> Result<(), ParseError> {
+    fn hedge_items(
+        &mut self,
+        b: &mut HedgeBuilder,
+        alpha: &mut Alphabet,
+    ) -> Result<(), ParseError> {
         loop {
             self.skip_ws();
             match self.peek() {

@@ -80,11 +80,10 @@ impl<'a> Reader<'a> {
         if self.pos == start {
             return self.err("expected a name");
         }
-        std::str::from_utf8(&self.src[start..self.pos])
-            .map_err(|_| XmlError {
-                offset: start,
-                message: "invalid UTF-8 in name".into(),
-            })
+        std::str::from_utf8(&self.src[start..self.pos]).map_err(|_| XmlError {
+            offset: start,
+            message: "invalid UTF-8 in name".into(),
+        })
     }
 
     /// Skips attributes up to (but not including) `>` or `/>`.
@@ -169,10 +168,13 @@ impl<'a> Reader<'a> {
                             message: format!("bad character reference &{name};"),
                         })
                 } else if let Some(dec) = name.strip_prefix('#') {
-                    dec.parse::<u32>().ok().and_then(char::from_u32).ok_or(XmlError {
-                        offset: start,
-                        message: format!("bad character reference &{name};"),
-                    })
+                    dec.parse::<u32>()
+                        .ok()
+                        .and_then(char::from_u32)
+                        .ok_or(XmlError {
+                            offset: start,
+                            message: format!("bad character reference &{name};"),
+                        })
                 } else {
                     Err(XmlError {
                         offset: start,
@@ -231,12 +233,11 @@ impl<'a> Reader<'a> {
                 self.skip(9);
                 let start = self.pos;
                 self.skip_until("]]>")?;
-                let raw = std::str::from_utf8(&self.src[start..self.pos - 3]).map_err(|_| {
-                    XmlError {
+                let raw =
+                    std::str::from_utf8(&self.src[start..self.pos - 3]).map_err(|_| XmlError {
                         offset: start,
                         message: "invalid UTF-8 in CDATA".into(),
-                    }
-                })?;
+                    })?;
                 if !raw.is_empty() {
                     b.text(raw);
                 }

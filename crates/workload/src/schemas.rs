@@ -69,8 +69,7 @@ mod tests {
     #[test]
     fn comb_schema_accepts_any_mix() {
         let (mut alpha, nta) = comb_schema(3);
-        let t = tpx_trees::term::parse_tree(r#"root(c0("x") c2 c1("y") c0)"#, &mut alpha)
-            .unwrap();
+        let t = tpx_trees::term::parse_tree(r#"root(c0("x") c2 c1("y") c0)"#, &mut alpha).unwrap();
         assert!(nta.accepts(&t));
         let bad = tpx_trees::term::parse_tree(r#"c0("x")"#, &mut alpha).unwrap();
         assert!(!nta.accepts(&bad));

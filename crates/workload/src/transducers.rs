@@ -22,7 +22,10 @@ pub fn identity_transducer(alpha: &Alphabet) -> Transducer {
         t.set_rule(
             TdState(0),
             s,
-            vec![tpx_topdown::RhsNode::Elem(s, vec![tpx_topdown::RhsNode::State(TdState(0))])],
+            vec![tpx_topdown::RhsNode::Elem(
+                s,
+                vec![tpx_topdown::RhsNode::State(TdState(0))],
+            )],
         );
     }
     t.set_text_rule(TdState(0), true);
@@ -117,8 +120,12 @@ pub fn swapper_at_depth(alpha: &Alphabet, n: usize, depth: usize) -> Transducer 
         }
     }
     for s in alpha.symbols() {
-        let rhs_elem =
-            |st: TdState| vec![tpx_topdown::RhsNode::Elem(s, vec![tpx_topdown::RhsNode::State(st)])];
+        let rhs_elem = |st: TdState| {
+            vec![tpx_topdown::RhsNode::Elem(
+                s,
+                vec![tpx_topdown::RhsNode::State(st)],
+            )]
+        };
         if s.index() % 2 == 0 {
             t.set_rule(qb, s, rhs_elem(qb));
         } else {
@@ -149,20 +156,23 @@ pub fn suite(alpha: &Alphabet, n: usize) -> Vec<(TransducerKind, Transducer)> {
 /// templates (depth ≤ 2, ≤ 2 state leaves); text rules are random too.
 /// Deterministic in `seed`. No ground truth — pair with the semantic
 /// oracles for cross-validation.
-pub fn random_transducer(alpha: &Alphabet, n_states: usize, rule_prob: f64, seed: u64) -> Transducer {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(seed);
+pub fn random_transducer(
+    alpha: &Alphabet,
+    n_states: usize,
+    rule_prob: f64,
+    seed: u64,
+) -> Transducer {
+    let mut rng = tpx_trees::rng::SplitMix64::new(seed);
     let mut t = Transducer::new(alpha.len(), n_states, TdState(0));
     for q in 0..n_states {
         for s in alpha.symbols() {
-            if !rng.gen_bool(rule_prob) {
+            if !rng.chance(rule_prob) {
                 continue;
             }
             let rhs = random_rhs(alpha, n_states, &mut rng, 2);
             t.set_rule(TdState(q as u32), s, vec![rhs]);
         }
-        t.set_text_rule(TdState(q as u32), rng.gen_bool(0.6));
+        t.set_text_rule(TdState(q as u32), rng.chance(0.6));
     }
     t
 }
@@ -170,16 +180,19 @@ pub fn random_transducer(alpha: &Alphabet, n_states: usize, rule_prob: f64, seed
 fn random_rhs(
     alpha: &Alphabet,
     n_states: usize,
-    rng: &mut rand::rngs::StdRng,
+    rng: &mut tpx_trees::rng::SplitMix64,
     depth: usize,
 ) -> tpx_topdown::RhsNode {
-    use rand::Rng;
-    let s = Symbol(rng.gen_range(0..alpha.len()) as u32);
-    let n_kids = if depth == 0 { 0 } else { rng.gen_range(0..=2) };
+    let s = Symbol(rng.below(alpha.len()) as u32);
+    let n_kids = if depth == 0 {
+        0
+    } else {
+        rng.range_inclusive(0, 2)
+    };
     let kids = (0..n_kids)
         .map(|_| {
-            if rng.gen_bool(0.6) {
-                tpx_topdown::RhsNode::State(TdState(rng.gen_range(0..n_states) as u32))
+            if rng.chance(0.6) {
+                tpx_topdown::RhsNode::State(TdState(rng.below(n_states) as u32))
             } else {
                 random_rhs(alpha, n_states, rng, depth - 1)
             }
@@ -253,12 +266,10 @@ mod tests {
         // qb (first in the rhs) keeps even-label text, qa keeps odd-label
         // text; with the odd-labelled child first in the input, the
         // even-labelled child's text jumps ahead in the output.
-        let tree =
-            tpx_trees::term::parse_tree(r#"a0(a1("y") a0("x"))"#, &mut al).unwrap();
+        let tree = tpx_trees::term::parse_tree(r#"a0(a1("y") a0("x"))"#, &mut al).unwrap();
         assert!(semantic::rearranging_on(&t, &tree));
         // With the even child first the order is already preserved.
-        let tree2 =
-            tpx_trees::term::parse_tree(r#"a0(a0("x") a1("y"))"#, &mut al).unwrap();
+        let tree2 = tpx_trees::term::parse_tree(r#"a0(a0("x") a1("y"))"#, &mut al).unwrap();
         assert!(!semantic::rearranging_on(&t, &tree2));
     }
 

@@ -1,8 +1,7 @@
 //! Random text-tree generation: free-form and schema-guided.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use tpx_treeauto::{Nta, State};
+use tpx_trees::rng::SplitMix64;
 use tpx_trees::{Hedge, HedgeBuilder, Symbol, Tree};
 
 /// Shape parameters for free-form random trees.
@@ -31,7 +30,7 @@ impl Default for TreeGenConfig {
 
 /// A random tree with the given shape, deterministic in `seed`.
 pub fn random_tree(cfg: &TreeGenConfig, seed: u64) -> Tree {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut b = HedgeBuilder::new();
     let mut counter = 0usize;
     gen_node(cfg, &mut rng, &mut b, cfg.max_depth, &mut counter);
@@ -40,17 +39,17 @@ pub fn random_tree(cfg: &TreeGenConfig, seed: u64) -> Tree {
 
 fn gen_node(
     cfg: &TreeGenConfig,
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
     b: &mut HedgeBuilder,
     depth: usize,
     counter: &mut usize,
 ) {
-    let sym = Symbol(rng.gen_range(0..cfg.n_symbols) as u32);
+    let sym = Symbol(rng.below(cfg.n_symbols) as u32);
     b.open(sym);
     if depth > 0 {
-        let n_children = rng.gen_range(0..=cfg.max_children);
+        let n_children = rng.range_inclusive(0, cfg.max_children);
         for _ in 0..n_children {
-            if rng.gen_bool(cfg.text_prob) {
+            if rng.chance(cfg.text_prob) {
                 b.text(&format!("t{}", *counter));
                 *counter += 1;
             } else {
@@ -79,12 +78,20 @@ pub fn random_schema_tree(nta: &Nta, budget: usize, seed: u64) -> Option<Tree> {
     if roots.is_empty() {
         return None;
     }
-    let mut rng = StdRng::seed_from_u64(seed);
-    let root = roots[rng.gen_range(0..roots.len())];
+    let mut rng = SplitMix64::new(seed);
+    let root = roots[rng.below(roots.len())];
     let mut b = HedgeBuilder::new();
     let mut counter = 0usize;
     let mut remaining = budget as i64;
-    sample_state(nta, &inhabited, root, &mut rng, &mut b, &mut counter, &mut remaining)?;
+    sample_state(
+        nta,
+        &inhabited,
+        root,
+        &mut rng,
+        &mut b,
+        &mut counter,
+        &mut remaining,
+    )?;
     b.finish_tree()
 }
 
@@ -92,7 +99,7 @@ fn sample_state(
     nta: &Nta,
     inhabited: &[bool],
     q: State,
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
     b: &mut HedgeBuilder,
     counter: &mut usize,
     remaining: &mut i64,
@@ -100,7 +107,7 @@ fn sample_state(
     *remaining -= 1;
     // Prefer a text leaf when allowed and the budget is tight.
     let tight = *remaining <= 0;
-    if nta.text_ok(q) && (tight || rng.gen_bool(0.3)) {
+    if nta.text_ok(q) && (tight || rng.chance(0.3)) {
         b.text(&format!("t{}", *counter));
         *counter += 1;
         return Some(());
@@ -132,7 +139,7 @@ fn sample_state(
             .map(|(i, _)| i)
             .unwrap()
     } else {
-        rng.gen_range(0..choices.len())
+        rng.below(choices.len())
     };
     let (s, word) = choices.swap_remove(pick);
     b.open(s);
@@ -150,7 +157,7 @@ fn sample_word(
     inhabited: &[bool],
     q: State,
     s: Symbol,
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
     tight: bool,
     target: usize,
 ) -> Option<Vec<State>> {
@@ -169,14 +176,14 @@ fn sample_word(
 fn random_walk_word(
     nfa: &tpx_automata::Nfa<State>,
     inhabited: &[bool],
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
     target: usize,
 ) -> Option<Vec<State>> {
     let inits = nfa.initial_states();
     if inits.is_empty() {
         return None;
     }
-    let mut cur = inits[rng.gen_range(0..inits.len())];
+    let mut cur = inits[rng.below(inits.len())];
     let mut word = Vec::new();
     for _ in 0..(target + 8) {
         let stop_prob = if word.len() >= target {
@@ -186,7 +193,7 @@ fn random_walk_word(
         } else {
             0.15
         };
-        if nfa.is_final(cur) && rng.gen_bool(stop_prob) {
+        if nfa.is_final(cur) && rng.chance(stop_prob) {
             return Some(word);
         }
         let edges: Vec<&(State, tpx_automata::StateId)> = nfa
@@ -197,17 +204,14 @@ fn random_walk_word(
         if edges.is_empty() {
             return nfa.is_final(cur).then_some(word);
         }
-        let (a, r) = edges[rng.gen_range(0..edges.len())];
+        let (a, r) = edges[rng.below(edges.len())];
         word.push(*a);
         cur = *r;
     }
     None
 }
 
-fn shortest_word_over(
-    nfa: &tpx_automata::Nfa<State>,
-    inhabited: &[bool],
-) -> Option<Vec<State>> {
+fn shortest_word_over(nfa: &tpx_automata::Nfa<State>, inhabited: &[bool]) -> Option<Vec<State>> {
     use std::collections::VecDeque;
     let mut pred: Vec<Option<(tpx_automata::StateId, State)>> = vec![None; nfa.state_count()];
     let mut visited = vec![false; nfa.state_count()];

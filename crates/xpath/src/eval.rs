@@ -239,7 +239,7 @@ mod tests {
         let desc = parse_path("(child)*", &mut al).unwrap();
         let from_root = select(&t, &desc, t.root());
         assert_eq!(from_root.len(), t.node_count()); // includes self
-        // Document order.
+                                                     // Document order.
         let dfs = t.dfs();
         assert_eq!(from_root, dfs);
     }

@@ -15,7 +15,11 @@ pub struct XPathParseError {
 
 impl fmt::Display for XPathParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XPath parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XPath parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -143,10 +147,12 @@ impl<'a> P<'a> {
                     // Derived axes (sugar over the core, Definition 5.13):
                     // desc = child/(child)*, anc = parent/(parent)*,
                     // foll = next/(next)*, prec = prev/(prev)*.
-                    "desc" => Ok(PathExpr::Axis(Axis::Child)
-                        .then(PathExpr::Axis(Axis::Child).star())),
-                    "anc" => Ok(PathExpr::Axis(Axis::Parent)
-                        .then(PathExpr::Axis(Axis::Parent).star())),
+                    "desc" => {
+                        Ok(PathExpr::Axis(Axis::Child).then(PathExpr::Axis(Axis::Child).star()))
+                    }
+                    "anc" => {
+                        Ok(PathExpr::Axis(Axis::Parent).then(PathExpr::Axis(Axis::Parent).star()))
+                    }
                     "foll" => Ok(PathExpr::Axis(Axis::NextSibling)
                         .then(PathExpr::Axis(Axis::NextSibling).star())),
                     "prec" => Ok(PathExpr::Axis(Axis::PrevSibling)

@@ -44,18 +44,20 @@ fn main() {
     );
 
     let mut scratch = sigma.clone();
-    let inside = tpx_trees::term::parse_tree(
-        r#"article(body("plain prose" "more prose"))"#,
-        &mut scratch,
-    )
-    .unwrap();
-    let outside = tpx_trees::term::parse_tree(
-        r#"article(body("prose" footnote("fn")))"#,
-        &mut scratch,
-    )
-    .unwrap();
-    println!("article without footnotes ∈ max sub-schema: {}", max.accepts(&inside));
-    println!("article with a footnote   ∈ max sub-schema: {}", max.accepts(&outside));
+    let inside =
+        tpx_trees::term::parse_tree(r#"article(body("plain prose" "more prose"))"#, &mut scratch)
+            .unwrap();
+    let outside =
+        tpx_trees::term::parse_tree(r#"article(body("prose" footnote("fn")))"#, &mut scratch)
+            .unwrap();
+    println!(
+        "article without footnotes ∈ max sub-schema: {}",
+        max.accepts(&inside)
+    );
+    println!(
+        "article with a footnote   ∈ max sub-schema: {}",
+        max.accepts(&outside)
+    );
     assert!(max.accepts(&inside) && !max.accepts(&outside));
 
     // Witnesses from both sides, checked semantically.
@@ -68,7 +70,10 @@ fn main() {
 
     let carved = tpx_treeauto::difference_nta(&schema, &max);
     let bad = carved.witness().expect("something was carved out");
-    println!("sample carved-out document:          {}", bad.display(&sigma));
+    println!(
+        "sample carved-out document:          {}",
+        bad.display(&sigma)
+    );
     assert!(tpx_topdown::semantic::copying_on(&t, &bad));
 
     println!("\nEvery document in the sub-schema is preserved; everything carved out is a genuine counter-example.");

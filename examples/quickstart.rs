@@ -20,7 +20,10 @@ fn main() {
     // The DTD of Example 2.3, and validation.
     let dtd = tpx_schema::samples::recipe_dtd(&sigma);
     assert!(dtd.validates(&input));
-    println!("input is valid w.r.t. the Example 2.3 DTD (reduced: {})\n", dtd.is_reduced());
+    println!(
+        "input is valid w.r.t. the Example 2.3 DTD (reduced: {})\n",
+        dtd.is_reduced()
+    );
 
     // The transducer of Example 4.2.
     let t = tpx_topdown::samples::example_4_2(&sigma);
@@ -63,18 +66,12 @@ fn main() {
     }
 
     // The conclusion's stronger test: never delete text under `instructions`.
-    let keeps = tpx_topdown::extensions::deleted_text_under(
-        &t,
-        &schema,
-        &[sigma.sym("instructions")],
-    )
-    .is_none();
+    let keeps =
+        tpx_topdown::extensions::deleted_text_under(&t, &schema, &[sigma.sym("instructions")])
+            .is_none();
     println!("\nT never deletes text below <instructions>: {keeps}");
-    let deletes_comments = tpx_topdown::extensions::deleted_text_under(
-        &t,
-        &schema,
-        &[sigma.sym("comments")],
-    )
-    .is_some();
+    let deletes_comments =
+        tpx_topdown::extensions::deleted_text_under(&t, &schema, &[sigma.sym("comments")])
+            .is_some();
     println!("T deletes some text below <comments>:      {deletes_comments}");
 }

@@ -20,13 +20,17 @@ fn main() {
 
     // A document whose first recipe has 3 positive comments…
     let popular = tpx_trees::samples::recipe_tree_sized(&mut sigma, 1, 2, 3);
-    let out = t.transform(&popular).expect("deterministic and terminating");
+    let out = t
+        .transform(&popular)
+        .expect("deterministic and terminating");
     println!("recipe with 3 positive comments → kept:");
     println!("  {}\n", tpx_trees::xml::to_xml(&out, &sigma));
 
     // …and one with only 2: filtered out entirely.
     let unpopular = tpx_trees::samples::recipe_tree_sized(&mut sigma, 1, 2, 2);
-    let out2 = t.transform(&unpopular).expect("deterministic and terminating");
+    let out2 = t
+        .transform(&unpopular)
+        .expect("deterministic and terminating");
     println!("recipe with 2 positive comments → dropped:");
     println!("  {}\n", tpx_trees::xml::to_xml(&out2, &sigma));
 

@@ -28,9 +28,12 @@ const DOCUMENT: &str = r#"
 fn main() {
     // Parse the document; element names are interned on the fly.
     let mut sigma = Alphabet::new();
-    let input = tpx_trees::xml::parse_document(DOCUMENT, &mut sigma)
-        .expect("well-formed document");
-    println!("parsed: {} nodes, {} text values", input.node_count(), input.text_content().len());
+    let input = tpx_trees::xml::parse_document(DOCUMENT, &mut sigma).expect("well-formed document");
+    println!(
+        "parsed: {} nodes, {} text values",
+        input.node_count(),
+        input.text_content().len()
+    );
 
     // The schema the pipeline promises to accept.
     let mut dtd = DtdBuilder::new(&sigma);
@@ -54,7 +57,10 @@ fn main() {
     let print = t.finish();
 
     let output = print.transform(&input);
-    println!("\nprint output:\n  {}\n", tpx_trees::xml::to_xml(&output, &sigma));
+    println!(
+        "\nprint output:\n  {}\n",
+        tpx_trees::xml::to_xml(&output, &sigma)
+    );
 
     // Static verification over ALL valid documents.
     let schema = dtd.to_nta();

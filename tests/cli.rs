@@ -1,0 +1,183 @@
+//! End-to-end tests of the `textpres` CLI: subcommands, flags, exit codes.
+//!
+//! Exit-code contract: 0 = text-preserving, 1 = not text-preserving,
+//! 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const SCHEMA: &str = "
+start doc
+elem doc  = (keep | drop)*
+elem keep = text
+elem drop = text
+";
+
+const GOOD: &str = "
+initial q0
+rule q0 doc -> doc(q)
+rule q  keep -> keep(qt)
+text qt
+";
+
+const BAD: &str = "
+initial q0
+rule q0 doc -> doc(q q)
+rule q keep -> keep(qt)
+text qt
+";
+
+struct Fixture {
+    dir: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("textpres-cli-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("schema.txt"), SCHEMA).unwrap();
+        std::fs::write(dir.join("good.txt"), GOOD).unwrap();
+        std::fs::write(dir.join("bad.txt"), BAD).unwrap();
+        Fixture { dir }
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn run(&self, args: &[&str]) -> Output {
+        Command::new(env!("CARGO_BIN_EXE_textpres"))
+            .args(args)
+            .output()
+            .expect("spawn textpres")
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("exit code")
+}
+
+#[test]
+fn version_flag() {
+    let f = Fixture::new("version");
+    let out = f.run(&["--version"]);
+    assert_eq!(code(&out), 0);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("textpres "), "{stdout}");
+}
+
+#[test]
+fn unknown_command_prints_help_and_exits_2() {
+    let f = Fixture::new("unknown");
+    let out = f.run(&["frobnicate"]);
+    assert_eq!(code(&out), 2);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn no_args_prints_help_and_exits_2() {
+    let f = Fixture::new("noargs");
+    let out = f.run(&[]);
+    assert_eq!(code(&out), 2);
+}
+
+#[test]
+fn check_preserving_exits_0() {
+    let f = Fixture::new("good");
+    let out = f.run(&["check", &f.path("schema.txt"), &f.path("good.txt")]);
+    assert_eq!(code(&out), 0, "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("text-preserving"));
+}
+
+#[test]
+fn check_violating_exits_1_with_witness_path() {
+    let f = Fixture::new("bad");
+    let out = f.run(&["check", &f.path("schema.txt"), &f.path("bad.txt")]);
+    assert_eq!(code(&out), 1);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("COPIES"), "{stdout}");
+    assert!(stdout.contains("doc/keep/text()"), "{stdout}");
+}
+
+#[test]
+fn check_missing_file_exits_2() {
+    let f = Fixture::new("missing");
+    let out = f.run(&["check", &f.path("schema.txt"), &f.path("nosuch.txt")]);
+    assert_eq!(code(&out), 2);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn check_stats_flag_reports_stages() {
+    let f = Fixture::new("stats");
+    let out = f.run(&[
+        "check",
+        &f.path("schema.txt"),
+        &f.path("good.txt"),
+        "--stats",
+    ]);
+    assert_eq!(code(&out), 0);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("topdown/schema"), "{stderr}");
+    assert!(stderr.contains("cache:"), "{stderr}");
+}
+
+#[test]
+fn batch_mixed_exits_1_and_reports_each() {
+    let f = Fixture::new("batch");
+    let out = f.run(&[
+        "batch",
+        &f.path("schema.txt"),
+        &f.path("good.txt"),
+        &f.path("bad.txt"),
+        "--jobs",
+        "2",
+        "--stats",
+    ]);
+    assert_eq!(code(&out), 1);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1/2 text-preserving"), "{stdout}");
+    // The schema artifact is shared: compiled once, hit once.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("[cache hit]"), "{stderr}");
+}
+
+#[test]
+fn batch_all_preserving_exits_0() {
+    let f = Fixture::new("batchok");
+    let out = f.run(&[
+        "batch",
+        &f.path("schema.txt"),
+        &f.path("good.txt"),
+        &f.path("good.txt"),
+    ]);
+    assert_eq!(code(&out), 0);
+}
+
+#[test]
+fn unknown_flag_exits_2() {
+    let f = Fixture::new("flag");
+    let out = f.run(&[
+        "check",
+        &f.path("schema.txt"),
+        &f.path("good.txt"),
+        "--bogus",
+    ]);
+    assert_eq!(code(&out), 2);
+}
+
+#[test]
+fn subschema_runs() {
+    let f = Fixture::new("subschema");
+    let out = f.run(&["subschema", &f.path("schema.txt"), &f.path("bad.txt")]);
+    assert_eq!(code(&out), 0, "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("maximal text-preserving sub-schema"));
+}

@@ -36,11 +36,8 @@ fn topdown_decider_vs_semantics_on_random_transducers() {
                 preserving_count += 1;
                 // No sampled tree may violate.
                 for tree_seed in 0..30 {
-                    if let Some(tree) =
-                        tpx_workload::random_schema_tree(&schema, 10, tree_seed)
-                    {
-                        let unique =
-                            Tree::from_hedge(make_value_unique(tree.as_hedge())).unwrap();
+                    if let Some(tree) = tpx_workload::random_schema_tree(&schema, 10, tree_seed) {
+                        let unique = Tree::from_hedge(make_value_unique(tree.as_hedge())).unwrap();
                         assert!(
                             tpx_topdown::semantic::text_preserving_on(&t, &unique),
                             "decider said preserving but seed {seed}/{tree_seed} violates"
@@ -50,7 +47,10 @@ fn topdown_decider_vs_semantics_on_random_transducers() {
             }
             CheckReport::Rearranging { witness } => {
                 violating_count += 1;
-                assert!(schema.accepts(witness), "seed {seed}: witness outside schema");
+                assert!(
+                    schema.accepts(witness),
+                    "seed {seed}: witness outside schema"
+                );
                 assert!(
                     tpx_topdown::semantic::rearranging_on(&t, witness),
                     "seed {seed}: rearranging witness not semantically rearranging"
@@ -61,7 +61,10 @@ fn topdown_decider_vs_semantics_on_random_transducers() {
                 // The path must be a schema path with a transducer run.
                 let a_n = tpx_topdown::path_automaton_nta(&schema);
                 let a_t = tpx_topdown::path_automaton_transducer(&t);
-                assert!(a_n.accepts(path), "seed {seed}: witness path outside schema");
+                assert!(
+                    a_n.accepts(path),
+                    "seed {seed}: witness path outside schema"
+                );
                 assert!(a_t.accepts(path), "seed {seed}: no run on witness path");
             }
         }
@@ -148,8 +151,7 @@ fn bounded_baseline_consistent_with_decider() {
         let td = tpx_workload::transducers::random_transducer(&alpha, 2, 0.8, seed);
         let dtl = tpx_dtl::from_topdown(&td);
         let decider_preserving = textpres::check_topdown(&td, &schema).is_preserving();
-        let bounded =
-            tpx_dtl::bounded::bounded_counterexample(&dtl, &schema, 5, 2000).unwrap();
+        let bounded = tpx_dtl::bounded::bounded_counterexample(&dtl, &schema, 5, 2000).unwrap();
         if let Some(w) = bounded {
             assert!(
                 !decider_preserving,

@@ -54,7 +54,10 @@ fn violations_are_detected_and_witnessed() {
     match textpres::check_topdown(&rearranging, &schema) {
         CheckReport::Rearranging { witness } => {
             assert!(schema.accepts(&witness));
-            assert!(tpx_topdown::semantic::rearranging_on(&rearranging, &witness));
+            assert!(tpx_topdown::semantic::rearranging_on(
+                &rearranging,
+                &witness
+            ));
         }
         other => panic!("expected rearranging, got {other:?}"),
     }
@@ -85,8 +88,7 @@ fn maximal_subschema_is_sound_and_maximal_on_samples() {
     let mut found = 0;
     for seed in 0..60 {
         if let Some(tree) = tpx_workload::random_schema_tree(&max, 12, seed) {
-            let unique =
-                Tree::from_hedge(tpx_trees::make_value_unique(tree.as_hedge())).unwrap();
+            let unique = Tree::from_hedge(tpx_trees::make_value_unique(tree.as_hedge())).unwrap();
             assert!(tpx_topdown::semantic::text_preserving_on(&t, &unique));
             found += 1;
         }
