@@ -108,10 +108,20 @@ impl BenchmarkGroup {
                 samples.push(b.elapsed);
             }
         }
+        if samples.is_empty() {
+            // `sample_size` clamps to ≥ 1, but guard anyway so a future
+            // caller cannot divide by zero or index an empty sample set.
+            println!("{}/{id}: no samples", self.name);
+            return;
+        }
         samples.sort_unstable();
         let median = samples[samples.len() / 2];
         let total: Duration = samples.iter().sum();
-        let mean = total / samples.len() as u32;
+        // `Duration` division takes a `u32`; an `as` cast of a larger count
+        // would wrap and skew the mean. Saturate instead (the error is at
+        // most one part in u32::MAX) and always report median alongside.
+        let divisor = u32::try_from(samples.len()).unwrap_or(u32::MAX);
+        let mean = total / divisor;
         let rate = match self.throughput {
             Some(Throughput::Elements(n)) if median > Duration::ZERO => {
                 format!("  ({:.0} elem/s)", n as f64 / median.as_secs_f64())

@@ -4,6 +4,8 @@
 //! textpres check <schema> <transducer> [document.xml] [--stats]
 //! textpres subschema <schema> <transducer>
 //! textpres batch <schema> <transducer>... [--jobs N] [--stats]
+//! textpres fuzz [--seeds N] [--budget B] [--base-seed S] [--dtl-symbolic]
+//!               [--out DIR] [--stats]
 //! textpres --version
 //! ```
 //!
@@ -13,22 +15,34 @@
 //! transformation. `subschema` prints a witness from the maximal
 //! sub-schema on which the transformation IS text-preserving. `batch`
 //! checks many transducer files against one schema on a worker pool,
-//! sharing compiled schema artifacts across all of them.
+//! sharing compiled schema artifacts across all of them. `fuzz` runs the
+//! differential checker (`tpx-diffcheck`): random schema/transducer pairs,
+//! symbolic verdicts cross-checked against per-tree semantic oracles and
+//! the bounded-enumeration baseline, with shrunk reproducers written to
+//! `--out` as regression case files. `--dtl-symbolic` additionally runs
+//! the symbolic DTL decider on generated DTL programs (off by default:
+//! its MSO→NBTA compilation can take minutes on unlucky seeds).
 //!
-//! Exit codes: 0 = text-preserving (all of them, for `batch`); 1 = some
-//! transformation is not text-preserving; 2 = usage or I/O error.
+//! Exit codes: 0 = text-preserving (all of them, for `batch`; no
+//! divergence, for `fuzz`); 1 = some transformation is not text-preserving
+//! (a divergence was found, for `fuzz`); 2 = usage or I/O error.
 //!
 //! File formats are documented in `textpres::format`.
 
 use std::process::ExitCode;
+use textpres::diffcheck::{run_fuzz, FuzzConfig};
 use textpres::engine::{Decider, Engine, Outcome, Task, TopdownDecider, Verdict};
-use textpres::format::{parse_schema, parse_transducer, render_path, render_witness};
+use textpres::format::{
+    parse_schema, parse_transducer, render_case, render_path, render_witness, RegressionCase,
+};
 use textpres::prelude::*;
 
 const USAGE: &str = "\
 usage: textpres check <schema> <transducer> [document.xml] [--stats]
        textpres subschema <schema> <transducer>
        textpres batch <schema> <transducer>... [--jobs N] [--stats]
+       textpres fuzz [--seeds N] [--budget B] [--base-seed S] [--dtl-symbolic]
+                     [--out DIR] [--stats]
        textpres --version
 
 exit codes: 0 = text-preserving, 1 = not text-preserving, 2 = usage/IO error";
@@ -57,6 +71,7 @@ fn main() -> ExitCode {
         "check" => cmd_check(rest),
         "subschema" => cmd_subschema(rest),
         "batch" => cmd_batch(rest),
+        "fuzz" => cmd_fuzz(rest),
         unknown => {
             eprintln!("error: unknown command {unknown:?}\n{USAGE}");
             ExitCode::from(2)
@@ -274,6 +289,99 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         print_stats(&engine, &verdicts.iter().collect::<Vec<_>>());
     }
     if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_fuzz(args: &[String]) -> ExitCode {
+    let mut cfg = FuzzConfig::default();
+    let mut out_dir: Option<String> = None;
+    let mut stats = false;
+    let mut it = args.iter();
+    let parse_err = |flag: &str, v: &str| format!("{flag}: not a number: {v:?}");
+    while let Some(a) = it.next() {
+        let mut num = |flag: &str| -> Result<u64, String> {
+            let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+            v.parse::<u64>().map_err(|_| parse_err(flag, v))
+        };
+        match a.as_str() {
+            "--seeds" => match num("--seeds") {
+                Ok(n) => cfg.seeds = n,
+                Err(e) => {
+                    eprintln!("error: {e}\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--budget" => match num("--budget") {
+                Ok(n) => cfg.budget = n as usize,
+                Err(e) => {
+                    eprintln!("error: {e}\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--base-seed" => match num("--base-seed") {
+                Ok(n) => cfg.base_seed = n,
+                Err(e) => {
+                    eprintln!("error: {e}\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match it.next() {
+                Some(dir) => out_dir = Some(dir.clone()),
+                None => {
+                    eprintln!("error: --out needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--dtl-symbolic" => cfg.dtl_symbolic = true,
+            "--stats" => stats = true,
+            other => {
+                eprintln!("error: unknown fuzz argument {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let engine = Engine::new();
+    let report = run_fuzz(&engine, &cfg);
+    println!(
+        "fuzz: {} seeds, {} cross-checks, {} divergence(s)",
+        report.seeds_run,
+        report.checks,
+        report.divergences.len()
+    );
+    for d in &report.divergences {
+        println!("✗ seed {}: {} — {}", d.seed, d.kind, d.detail);
+    }
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {dir}: {e}");
+            return ExitCode::from(2);
+        }
+        for d in &report.divergences {
+            let rc = RegressionCase {
+                kind: d.kind,
+                seed: d.seed,
+                detail: d.detail.clone(),
+                case: d.case.clone(),
+            };
+            let path = format!("{dir}/seed{}-{}.case", d.seed, d.kind);
+            if let Err(e) = std::fs::write(&path, render_case(&rc)) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            println!("  wrote {path}");
+        }
+    }
+    if stats {
+        let c = engine.cache_stats();
+        eprintln!(
+            "  cache: {} hits, {} misses, {} artifacts, {} evicted",
+            c.hits, c.misses, c.entries, c.evictions
+        );
+    }
+    if report.clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

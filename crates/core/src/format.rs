@@ -29,9 +29,10 @@
 //! by appearing as a rule source, in `initial`, or in `state` lines).
 
 use std::fmt;
+use tpx_diffcheck::{Case, DivergenceKind, DtlSpec};
 use tpx_schema::{Dtd, DtdBuilder};
-use tpx_topdown::{PathSym, Transducer, TransducerBuilder};
-use tpx_trees::{Alphabet, Tree};
+use tpx_topdown::{PathSym, RhsNode, Transducer, TransducerBuilder};
+use tpx_trees::{Alphabet, Symbol, Tree};
 
 /// Error from the file parsers, with a line number.
 #[derive(Clone, Debug)]
@@ -211,6 +212,285 @@ pub fn render_path(path: &[PathSym], alpha: &Alphabet) -> String {
         .join("/")
 }
 
+/// Renders schema declarations in the schema file format (re-readable by
+/// [`parse_schema`]).
+pub fn render_schema(starts: &[String], decls: &[(String, String)]) -> String {
+    let mut out = String::new();
+    for s in starts {
+        out.push_str(&format!("start {s}\n"));
+    }
+    for (name, content) in decls {
+        out.push_str(&format!("elem {name} = {content}\n"));
+    }
+    out
+}
+
+/// Renders a transducer in the transducer file format (re-readable by
+/// [`parse_transducer`] against the same alphabet). State `i` is named
+/// `q{i}` — with a longer prefix when that would collide with a label — so
+/// parsing reproduces the exact state numbering.
+pub fn render_transducer(t: &Transducer, alpha: &Alphabet) -> String {
+    // Pick a state-name prefix no label uses (state names shadow labels in
+    // rhs terms, so a collision would capture a label).
+    let mut prefix = "q".to_owned();
+    let collides = |p: &str| {
+        (0..t.state_count()).any(|i| alpha.entries().any(|(_, name)| name == format!("{p}{i}")))
+    };
+    while collides(&prefix) {
+        prefix.push('q');
+    }
+    let state_name = |q: tpx_topdown::TdState| format!("{prefix}{}", q.index());
+    let mut out = String::new();
+    out.push_str(&format!("initial {}\n", state_name(t.initial())));
+    for q in t.states() {
+        out.push_str(&format!("state {}\n", state_name(q)));
+    }
+    for q in t.states() {
+        for a in (0..t.symbol_count()).map(|i| Symbol(i as u32)) {
+            if let Some(rhs) = t.rhs(q, a) {
+                out.push_str(&format!(
+                    "rule {} {} -> {}\n",
+                    state_name(q),
+                    alpha.name(a),
+                    render_rhs_hedge(rhs, alpha, &state_name)
+                ));
+            }
+        }
+        if t.text_rule(q) {
+            out.push_str(&format!("text {}\n", state_name(q)));
+        }
+    }
+    out
+}
+
+fn render_rhs_hedge(
+    rhs: &[RhsNode],
+    alpha: &Alphabet,
+    state_name: &impl Fn(tpx_topdown::TdState) -> String,
+) -> String {
+    rhs.iter()
+        .map(|n| render_rhs_node(n, alpha, state_name))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn render_rhs_node(
+    node: &RhsNode,
+    alpha: &Alphabet,
+    state_name: &impl Fn(tpx_topdown::TdState) -> String,
+) -> String {
+    match node {
+        RhsNode::State(q) => state_name(*q),
+        RhsNode::Elem(s, kids) if kids.is_empty() => alpha.name(*s).to_owned(),
+        RhsNode::Elem(s, kids) => format!(
+            "{}({})",
+            alpha.name(*s),
+            render_rhs_hedge(kids, alpha, state_name)
+        ),
+    }
+}
+
+/// A divergence reproducer as stored under `tests/regressions/`: the
+/// [`Case`] plus the metadata needed to replay it through
+/// [`tpx_diffcheck::recheck`].
+#[derive(Clone, Debug)]
+pub struct RegressionCase {
+    /// Which differential check diverged.
+    pub kind: DivergenceKind,
+    /// The fuzzer seed that produced the case.
+    pub seed: u64,
+    /// Human-readable account of the divergence.
+    pub detail: String,
+    /// The reproducer.
+    pub case: Case,
+}
+
+/// Renders a regression case file (re-readable by [`parse_case`]).
+///
+/// The `[alphabet]` section pins the label *interning order*: symbols are
+/// identified by dense index everywhere (transducer rules, DTL generator
+/// streams), so a case only replays faithfully if parsing reconstructs the
+/// exact same `Symbol` numbering.
+pub fn render_case(rc: &RegressionCase) -> String {
+    let case = &rc.case;
+    let mut out = String::new();
+    out.push_str("# textpres regression case (tpx-diffcheck)\n");
+    out.push_str(&format!("kind {}\n", rc.kind));
+    out.push_str(&format!("seed {}\n", rc.seed));
+    if !rc.detail.is_empty() {
+        out.push_str(&format!("detail {}\n", rc.detail));
+    }
+    out.push_str("[alphabet]\n");
+    for (_, name) in case.alpha.entries() {
+        out.push_str(&format!("label {name}\n"));
+    }
+    out.push_str("[schema]\n");
+    out.push_str(&render_schema(&case.starts, &case.decls));
+    if let Some(t) = &case.transducer {
+        out.push_str("[transducer]\n");
+        out.push_str(&render_transducer(t, &case.alpha));
+    }
+    if let Some(spec) = &case.dtl {
+        out.push_str("[dtl]\n");
+        out.push_str(&format!("dtlseed {}\n", spec.seed));
+        out.push_str(&format!("states {}\n", spec.n_states));
+        if !spec.drops.is_empty() {
+            let drops: Vec<String> = spec.drops.iter().map(|d| d.to_string()).collect();
+            out.push_str(&format!("drops {}\n", drops.join(",")));
+        }
+    }
+    if let Some(tree) = &case.tree {
+        out.push_str("[tree]\n");
+        out.push_str(&render_witness(tree, &case.alpha));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a regression case file rendered by [`render_case`].
+pub fn parse_case(src: &str) -> Result<RegressionCase, FormatError> {
+    let mut kind: Option<DivergenceKind> = None;
+    let mut seed = 0u64;
+    let mut detail = String::new();
+    let mut section: Option<&str> = None;
+    let mut bodies: Vec<(&str, String)> = Vec::new();
+    for (line, text) in meaningful(src) {
+        if let Some(name) = text.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
+            section = match name {
+                "alphabet" => Some("alphabet"),
+                "schema" => Some("schema"),
+                "transducer" => Some("transducer"),
+                "dtl" => Some("dtl"),
+                "tree" => Some("tree"),
+                _ => return err(line, format!("unknown section [{name}]")),
+            };
+            bodies.push((section.unwrap(), String::new()));
+            continue;
+        }
+        match section {
+            None => {
+                if let Some(rest) = text.strip_prefix("kind ") {
+                    kind = Some(
+                        rest.trim()
+                            .parse()
+                            .map_err(|e: String| FormatError { line, message: e })?,
+                    );
+                } else if let Some(rest) = text.strip_prefix("seed ") {
+                    seed = rest.trim().parse().map_err(|_| FormatError {
+                        line,
+                        message: format!("bad seed {rest:?}"),
+                    })?;
+                } else if let Some(rest) = text.strip_prefix("detail ") {
+                    detail = rest.trim().to_owned();
+                } else {
+                    return err(line, format!("unrecognized header directive {text:?}"));
+                }
+            }
+            Some(_) => {
+                let body = &mut bodies.last_mut().expect("section pushed").1;
+                body.push_str(text);
+                body.push('\n');
+            }
+        }
+    }
+    let Some(kind) = kind else {
+        return err(1, "case needs a `kind` line");
+    };
+    let body = |name: &str| {
+        bodies
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, b)| b.as_str())
+    };
+    // The alphabet section pins interning order; schema parsing then
+    // re-interns the same labels idempotently.
+    let mut alpha = Alphabet::new();
+    for line in body("alphabet").unwrap_or("").lines() {
+        let Some(name) = line.strip_prefix("label ") else {
+            return err(1, format!("bad alphabet line {line:?}"));
+        };
+        alpha.intern(name.trim());
+    }
+    let Some(schema_src) = body("schema") else {
+        return err(1, "case needs a [schema] section");
+    };
+    let dtd_probe = parse_schema(schema_src, &mut alpha)?;
+    let _ = dtd_probe; // validated; the Case keeps declaration sources
+    let (starts, decls) = schema_sources(schema_src);
+    let transducer = body("transducer")
+        .map(|src| parse_transducer(src, &alpha))
+        .transpose()?;
+    let dtl = body("dtl").map(parse_dtl_spec).transpose()?;
+    let tree = body("tree")
+        .map(|src| parse_witness(src.trim(), &mut alpha))
+        .transpose()?;
+    Ok(RegressionCase {
+        kind,
+        seed,
+        detail,
+        case: Case {
+            alpha,
+            starts,
+            decls,
+            transducer,
+            dtl,
+            tree,
+        },
+    })
+}
+
+/// Extracts the `(starts, decls)` sources back out of a schema body that
+/// [`parse_schema`] accepted.
+fn schema_sources(src: &str) -> (Vec<String>, Vec<(String, String)>) {
+    let mut starts = Vec::new();
+    let mut decls = Vec::new();
+    for (_, text) in meaningful(src) {
+        if let Some(rest) = text.strip_prefix("start ") {
+            starts.push(rest.trim().to_owned());
+        } else if let Some(rest) = text.strip_prefix("elem ") {
+            if let Some((name, content)) = rest.split_once('=') {
+                decls.push((name.trim().to_owned(), content.trim().to_owned()));
+            }
+        }
+    }
+    (starts, decls)
+}
+
+fn parse_dtl_spec(src: &str) -> Result<DtlSpec, FormatError> {
+    let mut spec = DtlSpec {
+        seed: 0,
+        n_states: 0,
+        drops: Vec::new(),
+    };
+    for (line, text) in meaningful(src) {
+        if let Some(rest) = text.strip_prefix("dtlseed ") {
+            spec.seed = rest.trim().parse().map_err(|_| FormatError {
+                line,
+                message: format!("bad dtlseed {rest:?}"),
+            })?;
+        } else if let Some(rest) = text.strip_prefix("states ") {
+            spec.n_states = rest.trim().parse().map_err(|_| FormatError {
+                line,
+                message: format!("bad states {rest:?}"),
+            })?;
+        } else if let Some(rest) = text.strip_prefix("drops ") {
+            for part in rest.split(',') {
+                spec.drops
+                    .push(part.trim().parse().map_err(|_| FormatError {
+                        line,
+                        message: format!("bad drop index {part:?}"),
+                    })?);
+            }
+        } else {
+            return err(line, format!("unrecognized dtl directive {text:?}"));
+        }
+    }
+    if spec.n_states == 0 {
+        return err(1, "[dtl] section needs `states`");
+    }
+    Ok(spec)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,5 +563,106 @@ text qt
         let mut alpha = Alphabet::new();
         let e = parse_schema("start text\nelem text = %eps", &mut alpha);
         assert!(e.is_err());
+    }
+
+    #[test]
+    fn transducer_render_parse_round_trips() {
+        let mut alpha = Alphabet::new();
+        parse_schema(SCHEMA, &mut alpha).unwrap();
+        let t = parse_transducer(TRANSDUCER, &alpha).unwrap();
+        let rendered = render_transducer(&t, &alpha);
+        let t2 = parse_transducer(&rendered, &alpha).unwrap();
+        assert_eq!(format!("{t:?}"), format!("{t2:?}"));
+        // Rendering is a fixpoint.
+        assert_eq!(rendered, render_transducer(&t2, &alpha));
+    }
+
+    #[test]
+    fn schema_render_parse_round_trips() {
+        let starts = vec!["doc".to_owned()];
+        let decls = vec![
+            ("doc".to_owned(), "(keep | drop)*".to_owned()),
+            ("keep".to_owned(), "text".to_owned()),
+            ("drop".to_owned(), "text".to_owned()),
+        ];
+        let rendered = render_schema(&starts, &decls);
+        let mut alpha = Alphabet::new();
+        let dtd = parse_schema(&rendered, &mut alpha).unwrap();
+        assert!(dtd.is_reduced());
+        let (starts2, decls2) = schema_sources(&rendered);
+        assert_eq!(starts, starts2);
+        assert_eq!(decls, decls2);
+    }
+
+    #[test]
+    fn case_render_parse_round_trips() {
+        let mut alpha = Alphabet::new();
+        parse_schema(SCHEMA, &mut alpha).unwrap();
+        let t = parse_transducer(TRANSDUCER, &alpha).unwrap();
+        let tree = {
+            let mut scratch = alpha.clone();
+            tpx_trees::term::parse_tree(r#"doc(keep("x") drop("y"))"#, &mut scratch).unwrap()
+        };
+        let rc = RegressionCase {
+            kind: DivergenceKind::TranslationDisagrees,
+            seed: 42,
+            detail: "hand-built round-trip fixture".to_owned(),
+            case: Case {
+                alpha: alpha.clone(),
+                starts: vec!["doc".to_owned()],
+                decls: vec![
+                    ("doc".to_owned(), "(keep | drop)*".to_owned()),
+                    ("keep".to_owned(), "text".to_owned()),
+                    ("drop".to_owned(), "text".to_owned()),
+                ],
+                transducer: Some(t),
+                dtl: None,
+                tree: Some(tree),
+            },
+        };
+        let rendered = render_case(&rc);
+        let parsed = parse_case(&rendered).unwrap();
+        assert_eq!(parsed.kind, rc.kind);
+        assert_eq!(parsed.seed, rc.seed);
+        assert_eq!(parsed.detail, rc.detail);
+        // Interning order is pinned by the [alphabet] section.
+        let names: Vec<&str> = parsed.case.alpha.entries().map(|(_, n)| n).collect();
+        let orig: Vec<&str> = rc.case.alpha.entries().map(|(_, n)| n).collect();
+        assert_eq!(names, orig);
+        // Re-rendering the parse is a fixpoint.
+        assert_eq!(rendered, render_case(&parsed));
+        // The schema language survives: the embedded tree still validates.
+        assert!(parsed
+            .case
+            .schema_nta()
+            .accepts(parsed.case.tree.as_ref().unwrap()));
+    }
+
+    #[test]
+    fn dtl_case_round_trips_to_the_same_program() {
+        let schema = tpx_workload::random_dtd(2, 5);
+        let spec = DtlSpec {
+            seed: 17,
+            n_states: 2,
+            drops: vec![1, 3],
+        };
+        let rc = RegressionCase {
+            kind: DivergenceKind::DtlLemmaVsOperational,
+            seed: 5,
+            detail: String::new(),
+            case: Case {
+                alpha: schema.alpha.clone(),
+                starts: schema.starts.clone(),
+                decls: schema.decls.clone(),
+                transducer: None,
+                dtl: Some(spec.clone()),
+                tree: None,
+            },
+        };
+        let parsed = parse_case(&render_case(&rc)).unwrap();
+        assert_eq!(parsed.case.dtl, Some(spec));
+        let a = rc.case.dtl_program().unwrap();
+        let b = parsed.case.dtl_program().unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 }

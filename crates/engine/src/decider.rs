@@ -121,10 +121,50 @@ impl Decider for TopdownDecider<'_> {
             artifact_size: None,
             cache_hit: None,
         });
+        let outcome: Outcome = report.into();
+        #[cfg(debug_assertions)]
+        validate_topdown_outcome(self.t, schema, &outcome);
         Verdict {
             decider: self.name(),
-            outcome: report.into(),
+            outcome,
             stats,
+        }
+    }
+}
+
+/// Debug-build witness validation: every counterexample a verdict carries
+/// must be a member of `L(schema)` and must be re-confirmed by the per-tree
+/// semantic oracle — a decider path emitting an out-of-schema or
+/// non-reproducing witness is a bug, caught here before it reaches a user.
+#[cfg(debug_assertions)]
+fn validate_topdown_outcome(t: &Transducer, schema: &Nta, outcome: &Outcome) {
+    match outcome {
+        Outcome::Preserving => {}
+        Outcome::Copying { path } => {
+            debug_assert!(
+                tpx_topdown::path_automaton_nta(schema).accepts(path),
+                "topdown decider: copying witness path is not a schema path"
+            );
+            debug_assert!(
+                tpx_topdown::path_automaton_transducer(t).accepts(path),
+                "topdown decider: transducer has no run on the copying witness path"
+            );
+        }
+        Outcome::Rearranging { witness } => {
+            debug_assert!(
+                schema.accepts(witness),
+                "topdown decider: rearranging witness outside the schema"
+            );
+            debug_assert!(
+                tpx_topdown::semantic::rearranging_on(t, witness),
+                "topdown decider: rearranging witness not semantically rearranging"
+            );
+        }
+        Outcome::NotPreserving { witness } => {
+            debug_assert!(
+                schema.accepts(witness),
+                "topdown decider: witness outside the schema"
+            );
         }
     }
 }
@@ -199,10 +239,32 @@ where
             DtlCheckReport::Preserving => Outcome::Preserving,
             DtlCheckReport::NotPreserving { witness } => Outcome::NotPreserving { witness },
         };
+        #[cfg(debug_assertions)]
+        validate_dtl_outcome(self.t, schema, &outcome);
         Verdict {
             decider: self.name(),
             outcome,
             stats,
         }
+    }
+}
+
+/// Debug-build witness validation for the DTL decider: the witness must be
+/// in `L(schema)` and the Lemma 5.4/5.5 per-tree checks must re-confirm the
+/// violation on it.
+#[cfg(debug_assertions)]
+fn validate_dtl_outcome<P: MsoDefinable>(t: &DtlTransducer<P>, schema: &Nta, outcome: &Outcome) {
+    if let Outcome::NotPreserving { witness } = outcome {
+        debug_assert!(
+            schema.accepts(witness),
+            "dtl decider: witness outside the schema"
+        );
+        let copying = tpx_dtl::config::copying_lemma_5_4(t, witness);
+        let rearranging = tpx_dtl::config::rearranging_lemma_5_5(t, witness);
+        debug_assert!(
+            matches!(copying, Ok(true)) || matches!(rearranging, Ok(true)),
+            "dtl decider: witness not re-confirmed by the per-tree oracles \
+             (copying: {copying:?}, rearranging: {rearranging:?})"
+        );
     }
 }

@@ -1,0 +1,154 @@
+//! Seeded random DTL programs (`DTL_XPath`) for differential testing.
+//!
+//! The generated programs are deterministic and terminating *by
+//! construction*: every guard is a plain label test (so at most one rule
+//! matches any node of a given state) and every binary pattern moves
+//! strictly downward (so the rewriting relation cannot loop). That keeps
+//! [`tpx_dtl::DtlTransducer::transform`] total on every input, which the
+//! differential checker relies on — a `DtlError` from a generated program
+//! is itself a bug.
+//!
+//! Rule and text-rule additions are numbered in generation order, and
+//! [`random_dtl_with_drops`] can suppress any subset of them. Because the
+//! RNG stream is consumed identically whether or not an addition is
+//! suppressed, `(seed, drops)` is a complete, replayable description of a
+//! program — the shrinker minimizes divergent programs by growing `drops`.
+
+use tpx_dtl::transducer::BinId;
+use tpx_dtl::{DtlState, DtlTransducer, Rhs, XPathPatterns};
+use tpx_trees::rng::SplitMix64;
+use tpx_trees::{Alphabet, Symbol};
+
+/// A random `DTL_XPath` program over `alpha`, deterministic in `seed`.
+pub fn random_dtl(alpha: &Alphabet, n_states: usize, seed: u64) -> DtlTransducer<XPathPatterns> {
+    random_dtl_with_drops(alpha, n_states, seed, &[]).0
+}
+
+/// Like [`random_dtl`], but suppresses the rule/text-rule additions whose
+/// generation-order indices appear in `drops`. Returns the program and the
+/// total number of additions (the valid index range for `drops`).
+pub fn random_dtl_with_drops(
+    alpha: &Alphabet,
+    n_states: usize,
+    seed: u64,
+    drops: &[usize],
+) -> (DtlTransducer<XPathPatterns>, usize) {
+    assert!(n_states >= 1);
+    let mut rng = SplitMix64::new(seed);
+    let mut t = DtlTransducer::new(XPathPatterns, n_states, DtlState(0));
+    // A small pool of strictly-downward binary patterns.
+    let mut scratch = alpha.clone();
+    let pats: Vec<BinId> = ["child", "child/child", "child[text()]", "child/child/child"]
+        .iter()
+        .map(|src| {
+            let p = tpx_xpath::parse_path(src, &mut scratch).expect("pool pattern parses");
+            t.add_binary_pattern(p)
+        })
+        .collect();
+    let mut ops = 0usize;
+    for q in 0..n_states {
+        for s in alpha.symbols() {
+            if !rng.chance(0.7) {
+                continue;
+            }
+            let rhs = random_dtl_rhs(alpha, n_states, &pats, &mut rng);
+            if !drops.contains(&ops) {
+                t.add_rule(DtlState(q as u32), tpx_xpath::NodeExpr::Label(s), vec![rhs]);
+            }
+            ops += 1;
+        }
+        if rng.chance(0.6) {
+            if !drops.contains(&ops) {
+                t.set_text_rule(DtlState(q as u32), true);
+            }
+            ops += 1;
+        }
+    }
+    (t, ops)
+}
+
+fn random_dtl_rhs(alpha: &Alphabet, n_states: usize, pats: &[BinId], rng: &mut SplitMix64) -> Rhs {
+    let sym = |rng: &mut SplitMix64| Symbol(rng.below(alpha.len()) as u32);
+    let state = |rng: &mut SplitMix64| DtlState(rng.below(n_states) as u32);
+    let pat = |rng: &mut SplitMix64| pats[rng.below(pats.len())];
+    match rng.below(5) {
+        // One element wrapping one call — the common paper shape.
+        0 => {
+            let (s, q, p) = (sym(rng), state(rng), pat(rng));
+            Rhs::Elem(s, vec![Rhs::Call(q, p)])
+        }
+        // A bare call (deletes the node's markup).
+        1 => {
+            let (q, p) = (state(rng), pat(rng));
+            Rhs::Call(q, p)
+        }
+        // Two sibling calls — the copy/reorder-prone shape.
+        2 => {
+            let s = sym(rng);
+            let (q1, p1) = (state(rng), pat(rng));
+            let (q2, p2) = (state(rng), pat(rng));
+            Rhs::Elem(s, vec![Rhs::Call(q1, p1), Rhs::Call(q2, p2)])
+        }
+        // A constant element.
+        3 => Rhs::Elem(sym(rng), Vec::new()),
+        // An element with a constant sibling before the call.
+        _ => {
+            let s = sym(rng);
+            let s2 = sym(rng);
+            let (q, p) = (state(rng), pat(rng));
+            Rhs::Elem(s, vec![Rhs::Elem(s2, Vec::new()), Rhs::Call(q, p)])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transducers::plain_alphabet;
+    use crate::trees::{random_tree, TreeGenConfig};
+
+    #[test]
+    fn generated_programs_are_deterministic_in_seed() {
+        let alpha = plain_alphabet(2);
+        for seed in 0..10 {
+            let a = random_dtl(&alpha, 2, seed);
+            let b = random_dtl(&alpha, 2, seed);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generated_programs_transform_without_errors() {
+        // Label guards + downward patterns ⇒ deterministic and terminating.
+        let alpha = plain_alphabet(2);
+        let cfg = TreeGenConfig {
+            n_symbols: 2,
+            max_depth: 3,
+            max_children: 2,
+            text_prob: 0.5,
+        };
+        for seed in 0..25 {
+            let t = random_dtl(&alpha, 2, seed);
+            for tree_seed in 0..5 {
+                let tree = random_tree(&cfg, 500 + tree_seed);
+                t.transform(&tree)
+                    .unwrap_or_else(|e| panic!("seed {seed}/{tree_seed}: {e:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn drops_suppress_additions_and_preserve_the_rest() {
+        let alpha = plain_alphabet(2);
+        let (full, ops) = random_dtl_with_drops(&alpha, 2, 7, &[]);
+        assert!(ops > 0);
+        // Dropping everything leaves no rules; dropping one index leaves a
+        // program that differs only by that addition.
+        let all: Vec<usize> = (0..ops).collect();
+        let (empty, ops2) = random_dtl_with_drops(&alpha, 2, 7, &all);
+        assert_eq!(ops, ops2, "drops must not disturb the RNG stream");
+        assert!(empty.rules().is_empty());
+        let (one_less, _) = random_dtl_with_drops(&alpha, 2, 7, &[0]);
+        assert_eq!(one_less.rules().len() + 1, full.rules().len());
+    }
+}

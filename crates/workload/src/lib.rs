@@ -3,18 +3,23 @@
 //! Deterministic (seeded) generators for:
 //!
 //! * random text trees, free-form or sampled from an NTA schema,
-//! * scalable schema families (chains, combs, recipe-like),
+//! * scalable schema families (chains, combs, recipe-like) and random
+//!   DTD-shaped schemas,
 //! * scalable transducer families (selectors, copiers, swappers) with known
-//!   ground truth for the text-preservation question.
+//!   ground truth for the text-preservation question, plus random top-down
+//!   transducers and random DTL programs for differential testing.
 //!
 //! Everything is seeded so experiments are reproducible run to run.
 
+pub mod dtl_programs;
 pub mod schemas;
 pub mod transducers;
 pub mod trees;
 
-pub use schemas::{chain_schema, comb_schema, recipe_schema};
+pub use dtl_programs::{random_dtl, random_dtl_with_drops};
+pub use schemas::{chain_schema, comb_schema, random_dtd, recipe_schema, RandomSchema};
 pub use transducers::{
-    copier_at_depth, deep_selector, identity_transducer, swapper_at_depth, TransducerKind,
+    copier_at_depth, deep_selector, identity_transducer, random_transducer, swapper_at_depth,
+    TransducerKind,
 };
 pub use trees::{random_schema_tree, random_tree, TreeGenConfig};

@@ -1,6 +1,9 @@
-//! Scalable schema families for the experiments.
+//! Scalable schema families for the experiments, plus a seeded random
+//! DTD generator for differential testing.
 
+use tpx_schema::{Dtd, DtdBuilder};
 use tpx_treeauto::Nta;
+use tpx_trees::rng::SplitMix64;
 use tpx_trees::Alphabet;
 
 /// A chain schema of depth `n`: `root(l1(l2(… (text) …)))` — exactly one
@@ -46,6 +49,86 @@ pub fn comb_schema(width: usize) -> (Alphabet, Nta) {
     (alpha, b.finish())
 }
 
+/// A random DTD-shaped schema with its declaration sources — the raw
+/// `(element, content-model)` pairs are kept so the schema can be shrunk
+/// declaration-by-declaration and serialized as a regression case.
+#[derive(Clone, Debug)]
+pub struct RandomSchema {
+    /// The label alphabet (`a0..a(n-1)`).
+    pub alpha: Alphabet,
+    /// Start symbol names.
+    pub starts: Vec<String>,
+    /// `(element name, content model)` declarations, in source order.
+    pub decls: Vec<(String, String)>,
+}
+
+impl RandomSchema {
+    /// Builds the DTD from the current declarations.
+    pub fn dtd(&self) -> Dtd {
+        let mut b = DtdBuilder::new(&self.alpha);
+        for s in &self.starts {
+            b.start(s);
+        }
+        for (name, content) in &self.decls {
+            b.elem(name, content);
+        }
+        b.finish()
+    }
+
+    /// The schema as an NTA.
+    pub fn nta(&self) -> Nta {
+        self.dtd().to_nta()
+    }
+}
+
+/// A random DTD over labels `a0..a(n_labels-1)`, deterministic in `seed`,
+/// with a non-empty language (re-rolled over derived seeds until the start
+/// symbol is productive; a text-only fallback guarantees termination).
+pub fn random_dtd(n_labels: usize, seed: u64) -> RandomSchema {
+    assert!(n_labels >= 1);
+    let alpha = crate::transducers::plain_alphabet(n_labels);
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..16 {
+        let schema = roll_dtd(&alpha, n_labels, &mut rng);
+        if !schema.nta().is_empty() {
+            return schema;
+        }
+    }
+    // Degenerate fallback: every element holds text; trivially non-empty.
+    RandomSchema {
+        alpha: alpha.clone(),
+        starts: vec!["a0".to_owned()],
+        decls: (0..n_labels)
+            .map(|i| (format!("a{i}"), "text".to_owned()))
+            .collect(),
+    }
+}
+
+fn roll_dtd(alpha: &Alphabet, n_labels: usize, rng: &mut SplitMix64) -> RandomSchema {
+    let label = |rng: &mut SplitMix64| format!("a{}", rng.below(n_labels));
+    let decls = (0..n_labels)
+        .map(|i| {
+            let (x, y) = (label(rng), label(rng));
+            let content = match rng.below(8) {
+                0 => "text".to_owned(),
+                1 => format!("({x} | {y} | text)*"),
+                2 => format!("{x}*"),
+                3 => format!("{x}? {y}?"),
+                4 => format!("{x} {y}"),
+                5 => format!("({x} | text)*"),
+                6 => format!("({x} {y})?"),
+                _ => format!("{x}* text?"),
+            };
+            (format!("a{i}"), content)
+        })
+        .collect();
+    RandomSchema {
+        alpha: alpha.clone(),
+        starts: vec![label(rng)],
+        decls,
+    }
+}
+
 /// The recipe schema (Example 2.3) as an NTA, with its alphabet.
 pub fn recipe_schema() -> (Alphabet, Nta) {
     let alpha = tpx_trees::samples::recipe_alphabet();
@@ -84,6 +167,21 @@ mod tests {
         ] {
             let t = random_schema_tree(&nta, 20, 1).unwrap_or_else(|| panic!("{name}"));
             assert!(nta.accepts(&t), "{name}");
+        }
+    }
+
+    #[test]
+    fn random_dtd_is_deterministic_nonempty_and_samplable() {
+        for seed in 0..30 {
+            let s1 = random_dtd(3, seed);
+            let s2 = random_dtd(3, seed);
+            assert_eq!(s1.decls, s2.decls, "seed {seed}");
+            assert_eq!(s1.starts, s2.starts, "seed {seed}");
+            let nta = s1.nta();
+            assert!(!nta.is_empty(), "seed {seed}: empty language");
+            let t = random_schema_tree(&nta, 15, seed).unwrap();
+            assert!(nta.accepts(&t), "seed {seed}");
+            assert!(s1.dtd().validates(&t), "seed {seed}");
         }
     }
 

@@ -62,13 +62,18 @@ fn gen_node(
 
 /// Samples a random tree from `L(nta)` with a soft node budget (the result
 /// may exceed it slightly when content models force more children).
-/// `None` if the language is empty.
+/// `None` if and only if the language is empty.
 ///
 /// Sampling walks top-down: at each node it picks a random accepting child
 /// word over inhabited states, biased toward short words as the budget
-/// shrinks.
+/// shrinks. A random branch can still dead-end (the walk commits to a
+/// content word before recursing); instead of propagating that `None` out,
+/// the sampler retries with seeds derived from `seed` and, as a last
+/// resort, falls back to the NTA's deterministic witness — so the result is
+/// deterministic in `seed` and `None` is reserved for empty languages.
 pub fn random_schema_tree(nta: &Nta, budget: usize, seed: u64) -> Option<Tree> {
     let inhabited = nta.inhabited_states();
+    let costs = completion_costs(nta);
     let roots: Vec<State> = nta
         .roots()
         .iter()
@@ -78,26 +83,74 @@ pub fn random_schema_tree(nta: &Nta, budget: usize, seed: u64) -> Option<Tree> {
     if roots.is_empty() {
         return None;
     }
-    let mut rng = SplitMix64::new(seed);
-    let root = roots[rng.below(roots.len())];
-    let mut b = HedgeBuilder::new();
-    let mut counter = 0usize;
-    let mut remaining = budget as i64;
-    sample_state(
-        nta,
-        &inhabited,
-        root,
-        &mut rng,
-        &mut b,
-        &mut counter,
-        &mut remaining,
-    )?;
-    b.finish_tree()
+    // Derived-seed retries: each attempt re-mixes the seed, so one
+    // dead-ended walk does not turn a non-empty language into `None`.
+    for attempt in 0..8u64 {
+        let mut rng = SplitMix64::new(seed.wrapping_add(attempt.wrapping_mul(0x9E3779B97F4A7C15)));
+        let root = roots[rng.below(roots.len())];
+        let mut b = HedgeBuilder::new();
+        let mut counter = 0usize;
+        let mut remaining = budget as i64;
+        if sample_state(
+            nta,
+            &inhabited,
+            &costs,
+            root,
+            &mut rng,
+            &mut b,
+            &mut counter,
+            &mut remaining,
+        )
+        .is_some()
+        {
+            if let Some(t) = b.finish_tree() {
+                return Some(t);
+            }
+        }
+    }
+    // Every randomized attempt dead-ended; the language is still non-empty
+    // (an inhabited root exists), so emit the deterministic witness.
+    nta.witness()
 }
 
+/// Per-state completion cost: the minimum number of nodes in any tree
+/// derivable from the state (`None` for uninhabited states). Under budget
+/// pressure the sampler follows these costs, so it always makes progress
+/// toward a finished tree — a *shortest* content word may well be the
+/// recursive one and loop forever (e.g. `δ(q, a) = (qb qb) | q`, where the
+/// length-1 word `q` never terminates).
+fn completion_costs(nta: &Nta) -> Vec<Option<u64>> {
+    let n = nta.inhabited_states().len();
+    let mut costs: Vec<Option<u64>> = (0..n)
+        .map(|q| nta.text_ok(State(q as u32)).then_some(1))
+        .collect();
+    loop {
+        let mut changed = false;
+        for q in 0..n {
+            for sym in 0..nta.symbol_count() {
+                let Some(nfa) = nta.content(State(q as u32), Symbol(sym as u32)) else {
+                    continue;
+                };
+                if let Some((word_cost, _)) = cheapest_word(nfa, &costs) {
+                    let c = 1 + word_cost;
+                    if costs[q].is_none_or(|old| c < old) {
+                        costs[q] = Some(c);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return costs;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn sample_state(
     nta: &Nta,
     inhabited: &[bool],
+    costs: &[Option<u64>],
     q: State,
     rng: &mut SplitMix64,
     b: &mut HedgeBuilder,
@@ -118,7 +171,7 @@ fn sample_state(
         let s = Symbol(sym as u32);
         // Aim for wider nodes while plenty of budget remains.
         let target = ((*remaining).max(0) as usize / 4).clamp(1, 16);
-        if let Some(word) = sample_word(nta, inhabited, q, s, rng, tight, target) {
+        if let Some(word) = sample_word(nta, inhabited, costs, q, s, rng, tight, target) {
             choices.push((s, word));
         }
     }
@@ -130,12 +183,12 @@ fn sample_state(
         }
         return None;
     }
-    // Prefer the shortest word under pressure, random otherwise.
+    // Prefer the cheapest completion under pressure, random otherwise.
     let pick = if tight {
         choices
             .iter()
             .enumerate()
-            .min_by_key(|(_, (_, w))| w.len())
+            .min_by_key(|(_, (_, w))| word_cost(w, costs))
             .map(|(i, _)| i)
             .unwrap()
     } else {
@@ -144,17 +197,25 @@ fn sample_state(
     let (s, word) = choices.swap_remove(pick);
     b.open(s);
     for qc in word {
-        sample_state(nta, inhabited, qc, rng, b, counter, remaining)?;
+        sample_state(nta, inhabited, costs, qc, rng, b, counter, remaining)?;
     }
     b.close();
     Some(())
 }
 
-/// A random accepting word of `δ(q, s)` over inhabited states; shortest
-/// word when `tight`.
+fn word_cost(word: &[State], costs: &[Option<u64>]) -> u64 {
+    word.iter()
+        .map(|q| costs[q.index()].unwrap_or(u64::MAX / 64))
+        .sum()
+}
+
+/// A random accepting word of `δ(q, s)` over inhabited states; the
+/// cheapest-to-complete word when `tight`.
+#[allow(clippy::too_many_arguments)]
 fn sample_word(
     nta: &Nta,
     inhabited: &[bool],
+    costs: &[Option<u64>],
     q: State,
     s: Symbol,
     rng: &mut SplitMix64,
@@ -162,7 +223,8 @@ fn sample_word(
     target: usize,
 ) -> Option<Vec<State>> {
     let nfa = nta.content(q, s)?;
-    // Random walk with fuel; fall back to BFS-shortest when tight or stuck.
+    // Random walk with fuel; fall back to the cheapest completion when
+    // tight or stuck.
     if !tight {
         for _ in 0..4 {
             if let Some(w) = random_walk_word(nfa, inhabited, rng, target) {
@@ -170,7 +232,7 @@ fn sample_word(
             }
         }
     }
-    shortest_word_over(nfa, inhabited)
+    cheapest_word(nfa, costs).map(|(_, w)| w)
 }
 
 fn random_walk_word(
@@ -211,37 +273,54 @@ fn random_walk_word(
     None
 }
 
-fn shortest_word_over(nfa: &tpx_automata::Nfa<State>, inhabited: &[bool]) -> Option<Vec<State>> {
+/// The accepting word of `nfa` minimizing the summed completion cost of its
+/// letters (letters without a cost, i.e. uninhabited states, are unusable).
+/// Returns the total cost and the word. Letter costs are ≥ 1, so the
+/// predecessor chain is acyclic and reconstruction terminates.
+fn cheapest_word(
+    nfa: &tpx_automata::Nfa<State>,
+    costs: &[Option<u64>],
+) -> Option<(u64, Vec<State>)> {
     use std::collections::VecDeque;
-    let mut pred: Vec<Option<(tpx_automata::StateId, State)>> = vec![None; nfa.state_count()];
-    let mut visited = vec![false; nfa.state_count()];
-    let mut queue = VecDeque::new();
+    let n = nfa.state_count();
+    let mut dist: Vec<u64> = vec![u64::MAX; n];
+    let mut pred: Vec<Option<(tpx_automata::StateId, State)>> = vec![None; n];
+    let mut discovered: Vec<tpx_automata::StateId> = Vec::new();
+    let mut queue: VecDeque<tpx_automata::StateId> = VecDeque::new();
     for &p in nfa.initial_states() {
-        if !visited[p.index()] {
-            visited[p.index()] = true;
+        if dist[p.index()] != 0 {
+            dist[p.index()] = 0;
+            discovered.push(p);
             queue.push_back(p);
         }
     }
     while let Some(p) = queue.pop_front() {
-        if nfa.is_final(p) {
-            let mut w = Vec::new();
-            let mut cur = p;
-            while let Some((prev, a)) = pred[cur.index()] {
-                w.push(a);
-                cur = prev;
-            }
-            w.reverse();
-            return Some(w);
-        }
+        let d = dist[p.index()];
         for (a, r) in nfa.transitions_from(p) {
-            if inhabited[a.index()] && !visited[r.index()] {
-                visited[r.index()] = true;
+            let Some(c) = costs[a.index()] else { continue };
+            let nd = d.saturating_add(c);
+            if nd < dist[r.index()] {
+                if dist[r.index()] == u64::MAX {
+                    discovered.push(*r);
+                }
+                dist[r.index()] = nd;
                 pred[r.index()] = Some((p, *a));
                 queue.push_back(*r);
             }
         }
     }
-    None
+    let best = discovered
+        .into_iter()
+        .filter(|&p| nfa.is_final(p))
+        .min_by_key(|&p| dist[p.index()])?;
+    let mut w = Vec::new();
+    let mut cur = best;
+    while let Some((prev, a)) = pred[cur.index()] {
+        w.push(a);
+        cur = prev;
+    }
+    w.reverse();
+    Some((dist[best.index()], w))
 }
 
 /// Relabels all text values to be unique (`t0, t1, …` in document order) —
@@ -291,6 +370,37 @@ mod tests {
             let t = random_schema_tree(&nta, 30, seed).expect("non-empty schema");
             assert!(nta.accepts(&t), "seed {seed}: {t:?}");
             assert!(dtd.validates(&t), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn schema_sampling_is_deterministic_in_seed() {
+        let al = tpx_trees::samples::recipe_alphabet();
+        let nta = tpx_schema::samples::recipe_dtd(&al).to_nta();
+        for seed in 0..10 {
+            let a = random_schema_tree(&nta, 25, seed).unwrap();
+            let b = random_schema_tree(&nta, 25, seed).unwrap();
+            assert_eq!(*a.as_hedge(), *b.as_hedge(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn schema_sampling_never_spuriously_none() {
+        // A schema whose only non-text content model forces an exact word
+        // (`b b`) next to an optional recursive branch: random walks may
+        // wander, but the language is plainly non-empty, so every seed must
+        // produce a tree.
+        let al = tpx_trees::Alphabet::from_labels(["a", "b"]);
+        let mut b = tpx_treeauto::NtaBuilder::new(&al);
+        b.root("q");
+        b.rule("q", "a", "(qb qb) | q");
+        b.rule("qb", "b", "qt?");
+        b.text_rule("qt");
+        let nta = b.finish();
+        for seed in 0..200 {
+            let t = random_schema_tree(&nta, 6, seed)
+                .unwrap_or_else(|| panic!("seed {seed}: spurious None"));
+            assert!(nta.accepts(&t), "seed {seed}");
         }
     }
 

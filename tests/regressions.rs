@@ -1,0 +1,61 @@
+//! Replay suite for the differential-fuzzing regression corpus.
+//!
+//! Every `tests/regressions/*.case` file is a shrunk reproducer of a
+//! divergence the fuzzer once observed (or a hand-minimized near-miss that
+//! pins the replay machinery). The suite asserts that each case
+//!
+//! 1. parses, and its rendering is a parse/render fixpoint, and
+//! 2. **no longer diverges** under [`textpres::diffcheck::recheck`] — a
+//!    case that starts reproducing again is a regression.
+//!
+//! New entries come from `textpres fuzz --out tests/regressions`: fix the
+//! underlying bug, keep the case file, and this suite guards the fix.
+
+use textpres::diffcheck::{recheck, FuzzConfig};
+use textpres::engine::Engine;
+use textpres::format::{parse_case, render_case};
+
+fn corpus() -> Vec<(String, String)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/regressions");
+    let mut cases = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("tests/regressions exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_some_and(|e| e == "case") {
+            let src = std::fs::read_to_string(&path).expect("readable case file");
+            cases.push((path.display().to_string(), src));
+        }
+    }
+    assert!(!cases.is_empty(), "regression corpus must not be empty");
+    cases.sort();
+    cases
+}
+
+#[test]
+fn corpus_parses_and_round_trips() {
+    for (path, src) in corpus() {
+        let rc = parse_case(&src).unwrap_or_else(|e| panic!("{path}: {e}"));
+        let rendered = render_case(&rc);
+        let reparsed = parse_case(&rendered).unwrap_or_else(|e| panic!("{path} re-parse: {e}"));
+        assert_eq!(
+            rendered,
+            render_case(&reparsed),
+            "{path}: render/parse is not a fixpoint"
+        );
+    }
+}
+
+#[test]
+fn corpus_divergences_stay_fixed() {
+    let engine = Engine::new();
+    let cfg = FuzzConfig::default();
+    for (path, src) in corpus() {
+        let rc = parse_case(&src).unwrap_or_else(|e| panic!("{path}: {e}"));
+        assert!(
+            !recheck(&engine, &rc.case, rc.kind, &cfg),
+            "{path}: the {} divergence reproduces again (seed {})\n{}",
+            rc.kind,
+            rc.seed,
+            rc.detail
+        );
+    }
+}
