@@ -12,7 +12,9 @@
 //! `check` decides (in PTIME, Theorem 4.11 of the paper) whether the
 //! transformation never copies or reorders text on ANY document valid
 //! under the schema; with a document argument it also runs the
-//! transformation. `subschema` prints a witness from the maximal
+//! transformation. A transducer file whose first meaningful line is `dtl`
+//! is a `DTL_XPath` program, checked with the EXPTIME DTL decider
+//! (Theorem 5.18) instead. `subschema` prints a witness from the maximal
 //! sub-schema on which the transformation IS text-preserving. `batch`
 //! checks many transducer files against one schema on a worker pool,
 //! sharing compiled schema artifacts across all of them. `fuzz` runs the
@@ -23,29 +25,49 @@
 //! the symbolic DTL decider on generated DTL programs (off by default:
 //! its MSO→NBTA compilation can take minutes on unlucky seeds).
 //!
+//! `--fuel N` and `--timeout-ms N` put a resource budget on each check:
+//! fuel is charged at automaton state/transition construction sites (a
+//! deterministic cost measure), the timeout is wall-clock. A check that
+//! exhausts its budget exits with code 3 — unless `--degrade` is given,
+//! in which case a DTL check falls back to the bounded-enumeration
+//! oracle and reports a verdict marked `degraded` (sound only up to the
+//! bound). `fuzz` runs every random instance under a default fuel budget;
+//! exhausted instances are counted and skipped, not divergences.
+//!
 //! Exit codes: 0 = text-preserving (all of them, for `batch`; no
 //! divergence, for `fuzz`); 1 = some transformation is not text-preserving
-//! (a divergence was found, for `fuzz`); 2 = usage or I/O error.
+//! (a divergence was found, for `fuzz`); 2 = usage or I/O error; 3 = a
+//! resource budget was exhausted (and `--degrade` did not apply).
 //!
 //! File formats are documented in `textpres::format`.
 
 use std::process::ExitCode;
 use textpres::diffcheck::{run_fuzz, FuzzConfig};
-use textpres::engine::{Decider, Engine, Outcome, Task, TopdownDecider, Verdict};
+use textpres::engine::{
+    Budget, CheckOptions, Decider, DegradeBound, DtlDecider, Engine, Outcome, Task, TopdownDecider,
+    Verdict,
+};
 use textpres::format::{
-    parse_schema, parse_transducer, render_case, render_path, render_witness, RegressionCase,
+    is_dtl_transducer, parse_dtl_transducer, parse_schema, parse_transducer, render_case,
+    render_path, render_witness, RegressionCase,
 };
 use textpres::prelude::*;
 
 const USAGE: &str = "\
 usage: textpres check <schema> <transducer> [document.xml] [--stats]
+                [--fuel N] [--timeout-ms N] [--degrade]
        textpres subschema <schema> <transducer>
        textpres batch <schema> <transducer>... [--jobs N] [--stats]
+                [--fuel N] [--timeout-ms N] [--degrade]
        textpres fuzz [--seeds N] [--budget B] [--base-seed S] [--dtl-symbolic]
-                     [--out DIR] [--stats]
+                     [--fuel N] [--timeout-ms N] [--out DIR] [--stats]
        textpres --version
 
-exit codes: 0 = text-preserving, 1 = not text-preserving, 2 = usage/IO error";
+transducer files starting with a `dtl` line are DTL_XPath programs,
+checked with the EXPTIME DTL decider instead of the PTIME top-down one
+
+exit codes: 0 = text-preserving, 1 = not text-preserving,
+            2 = usage/IO error, 3 = resource budget exhausted";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -79,27 +101,62 @@ fn main() -> ExitCode {
     }
 }
 
-/// Splits `--stats` / `--jobs N` flags from positional arguments.
-fn parse_flags(args: &[String]) -> Result<(Vec<&str>, bool, Option<usize>), String> {
-    let mut positional = Vec::new();
-    let mut stats = false;
-    let mut jobs = None;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--stats" => stats = true,
-            "--jobs" => {
-                let v = it.next().ok_or("--jobs needs a value")?;
-                jobs = Some(
-                    v.parse::<usize>()
-                        .map_err(|_| format!("--jobs: not a number: {v:?}"))?,
-                );
-            }
-            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
-            pos => positional.push(pos),
+/// Flags shared by `check` / `batch` / `subschema`.
+#[derive(Default)]
+struct Flags<'a> {
+    positional: Vec<&'a str>,
+    stats: bool,
+    jobs: Option<usize>,
+    fuel: Option<u64>,
+    timeout_ms: Option<u64>,
+    degrade: bool,
+}
+
+impl Flags<'_> {
+    /// Whether any resource-governance flag was given.
+    fn governed(&self) -> bool {
+        self.fuel.is_some() || self.timeout_ms.is_some() || self.degrade
+    }
+
+    /// The [`CheckOptions`] the flags describe.
+    fn check_options(&self) -> CheckOptions {
+        let mut budget = Budget::default();
+        if let Some(fuel) = self.fuel {
+            budget = budget.with_fuel(fuel);
+        }
+        if let Some(ms) = self.timeout_ms {
+            budget = budget.with_timeout(std::time::Duration::from_millis(ms));
+        }
+        let options = CheckOptions::with_budget(budget);
+        if self.degrade {
+            options.degrade_with(DegradeBound::default())
+        } else {
+            options
         }
     }
-    Ok((positional, stats, jobs))
+}
+
+/// Splits flags from positional arguments.
+fn parse_flags(args: &[String]) -> Result<Flags<'_>, String> {
+    let mut flags = Flags::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |flag: &str| -> Result<u64, String> {
+            let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+            v.parse::<u64>()
+                .map_err(|_| format!("{flag}: not a number: {v:?}"))
+        };
+        match a.as_str() {
+            "--stats" => flags.stats = true,
+            "--jobs" => flags.jobs = Some(num("--jobs")? as usize),
+            "--fuel" => flags.fuel = Some(num("--fuel")?),
+            "--timeout-ms" => flags.timeout_ms = Some(num("--timeout-ms")?),
+            "--degrade" => flags.degrade = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+            pos => flags.positional.push(pos),
+        }
+    }
+    Ok(flags)
 }
 
 fn read(path: &str) -> Result<String, String> {
@@ -129,7 +186,8 @@ fn print_stats(engine: &Engine, verdicts: &[&Verdict]) {
             let size = s
                 .artifact_size
                 .map_or(String::new(), |n| format!(", size {n}"));
-            eprintln!("  {}: {:?}{size}{attribution}", s.stage, s.duration);
+            let fuel = s.fuel.map_or(String::new(), |n| format!(", fuel {n}"));
+            eprintln!("  {}: {:?}{size}{fuel}{attribution}", s.stage, s.duration);
         }
     }
     let c = engine.cache_stats();
@@ -140,6 +198,13 @@ fn print_stats(engine: &Engine, verdicts: &[&Verdict]) {
 }
 
 fn report_verdict(label: &str, verdict: &Verdict, alpha: &Alphabet) -> bool {
+    if let Some(bound) = &verdict.degraded {
+        println!(
+            "! {label}: budget exhausted; verdict DEGRADED to the bounded oracle \
+             (exhaustive only up to {} nodes, {} trees)",
+            bound.max_nodes, bound.limit
+        );
+    }
     match &verdict.outcome {
         Outcome::Preserving => {
             println!("✓ {label}: text-preserving over every valid document");
@@ -165,19 +230,73 @@ fn report_verdict(label: &str, verdict: &Verdict, alpha: &Alphabet) -> bool {
     }
 }
 
+/// A loaded transducer of either kind, dispatching to the right decider.
+enum AnyTransducer {
+    Topdown(Transducer),
+    Dtl(DtlTransducer<XPathPatterns>),
+}
+
+impl AnyTransducer {
+    fn load(path: &str, alpha: &Alphabet) -> Result<Self, String> {
+        let src = read(path)?;
+        if is_dtl_transducer(&src) {
+            parse_dtl_transducer(&src, alpha)
+                .map(AnyTransducer::Dtl)
+                .map_err(|e| format!("{path}: {e}"))
+        } else {
+            parse_transducer(&src, alpha)
+                .map(AnyTransducer::Topdown)
+                .map_err(|e| format!("{path}: {e}"))
+        }
+    }
+
+    /// A decider for this transducer, borrowing it.
+    fn decider(&self) -> Box<dyn Decider + '_> {
+        match self {
+            AnyTransducer::Topdown(t) => Box::new(TopdownDecider::new(t)),
+            AnyTransducer::Dtl(t) => Box::new(DtlDecider::new(t)),
+        }
+    }
+}
+
+/// Runs one (possibly governed) check, reporting any failure. The `Err`
+/// payload is the process exit code: 3 for budget exhaustion, 2 for an
+/// isolated panic or internal error.
+fn run_check(
+    engine: &Engine,
+    decider: &dyn Decider,
+    schema: &Nta,
+    flags: &Flags<'_>,
+    label: &str,
+) -> Result<Verdict, u8> {
+    if !flags.governed() {
+        return Ok(engine.check(decider, schema));
+    }
+    engine
+        .check_governed(decider, schema, &flags.check_options())
+        .map_err(|e| {
+            eprintln!("error: {label}: {e}");
+            if e.is_resource_exhausted() {
+                3
+            } else {
+                2
+            }
+        })
+}
+
 fn cmd_check(args: &[String]) -> ExitCode {
-    let (pos, stats, jobs) = match parse_flags(args) {
+    let flags = match parse_flags(args) {
         Ok(x) => x,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");
             return ExitCode::from(2);
         }
     };
-    if jobs.is_some() {
+    if flags.jobs.is_some() {
         eprintln!("error: --jobs only applies to `batch`\n{USAGE}");
         return ExitCode::from(2);
     }
-    let (schema_path, transducer_path, doc) = match pos.as_slice() {
+    let (schema_path, transducer_path, doc) = match flags.positional.as_slice() {
         [s, t] => (*s, *t, None),
         [s, t, d] => (*s, *t, Some(*d)),
         _ => {
@@ -192,7 +311,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let t = match load_transducer(transducer_path, &alpha) {
+    let t = match AnyTransducer::load(transducer_path, &alpha) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("error: {e}");
@@ -200,6 +319,10 @@ fn cmd_check(args: &[String]) -> ExitCode {
         }
     };
     if let Some(doc_path) = doc {
+        let AnyTransducer::Topdown(t) = &t else {
+            eprintln!("error: transforming a document is only supported for top-down transducers");
+            return ExitCode::from(2);
+        };
         let xml = match read(doc_path) {
             Ok(x) => x,
             Err(e) => {
@@ -222,9 +345,13 @@ fn cmd_check(args: &[String]) -> ExitCode {
         }
     }
     let engine = Engine::new();
-    let verdict = engine.check(&TopdownDecider::new(&t), &schema);
+    let decider = t.decider();
+    let verdict = match run_check(&engine, decider.as_ref(), &schema, &flags, transducer_path) {
+        Ok(v) => v,
+        Err(code) => return ExitCode::from(code),
+    };
     let ok = report_verdict(transducer_path, &verdict, &alpha);
-    if stats {
+    if flags.stats {
         print_stats(&engine, &[&verdict]);
     }
     if ok {
@@ -235,14 +362,14 @@ fn cmd_check(args: &[String]) -> ExitCode {
 }
 
 fn cmd_batch(args: &[String]) -> ExitCode {
-    let (pos, stats, jobs) = match parse_flags(args) {
+    let flags = match parse_flags(args) {
         Ok(x) => x,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");
             return ExitCode::from(2);
         }
     };
-    let [schema_path, transducer_paths @ ..] = pos.as_slice() else {
+    let [schema_path, transducer_paths @ ..] = flags.positional.as_slice() else {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
@@ -259,7 +386,7 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     };
     let mut transducers = Vec::new();
     for path in transducer_paths {
-        match load_transducer(path, &alpha) {
+        match AnyTransducer::load(path, &alpha) {
             Ok(t) => transducers.push(t),
             Err(e) => {
                 eprintln!("error: {e}");
@@ -267,31 +394,60 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             }
         }
     }
-    let jobs = jobs.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let jobs = flags
+        .jobs
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
     let engine = Engine::with_jobs(jobs);
-    let deciders: Vec<TopdownDecider> = transducers.iter().map(TopdownDecider::new).collect();
+    let deciders: Vec<Box<dyn Decider + '_>> = transducers.iter().map(|t| t.decider()).collect();
     let tasks: Vec<Task> = deciders
         .iter()
-        .map(|d| (d as &dyn Decider, &schema))
+        .map(|d| (d.as_ref() as &dyn Decider, &schema))
         .collect();
-    let verdicts = engine.check_many(&tasks);
+    // Each task fails independently: one exhausted or panicking check still
+    // lets every other transducer get its verdict.
+    let results = engine.check_many_governed(&tasks, &flags.check_options());
     let mut all_ok = true;
-    for (path, verdict) in transducer_paths.iter().zip(&verdicts) {
-        all_ok &= report_verdict(path, verdict, &alpha);
+    let mut exhausted = 0usize;
+    let mut errored = 0usize;
+    let mut preserving = 0usize;
+    for (path, result) in transducer_paths.iter().zip(&results) {
+        match result {
+            Ok(verdict) => {
+                all_ok &= report_verdict(path, verdict, &alpha);
+                preserving += verdict.is_preserving() as usize;
+            }
+            Err(e) if e.is_resource_exhausted() => {
+                println!("? {path}: {e}");
+                exhausted += 1;
+            }
+            Err(e) => {
+                println!("? {path}: {e}");
+                errored += 1;
+            }
+        }
     }
     println!(
-        "{}/{} text-preserving ({} workers)",
-        verdicts.iter().filter(|v| v.is_preserving()).count(),
-        verdicts.len(),
-        engine.jobs()
+        "{preserving}/{} text-preserving ({} workers{})",
+        results.len(),
+        engine.jobs(),
+        if exhausted + errored > 0 {
+            format!(", {exhausted} exhausted, {errored} failed")
+        } else {
+            String::new()
+        }
     );
-    if stats {
-        print_stats(&engine, &verdicts.iter().collect::<Vec<_>>());
+    if flags.stats {
+        let verdicts: Vec<&Verdict> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
+        print_stats(&engine, &verdicts);
     }
-    if all_ok {
-        ExitCode::SUCCESS
-    } else {
+    if !all_ok {
         ExitCode::FAILURE
+    } else if exhausted > 0 {
+        ExitCode::from(3)
+    } else if errored > 0 {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -328,6 +484,20 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--fuel" => match num("--fuel") {
+                Ok(n) => cfg.fuel = Some(n),
+                Err(e) => {
+                    eprintln!("error: {e}\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--timeout-ms" => match num("--timeout-ms") {
+                Ok(n) => cfg.timeout_ms = Some(n),
+                Err(e) => {
+                    eprintln!("error: {e}\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "--out" => match it.next() {
                 Some(dir) => out_dir = Some(dir.clone()),
                 None => {
@@ -346,9 +516,10 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
     let engine = Engine::new();
     let report = run_fuzz(&engine, &cfg);
     println!(
-        "fuzz: {} seeds, {} cross-checks, {} divergence(s)",
+        "fuzz: {} seeds, {} cross-checks, {} budget-exhausted, {} divergence(s)",
         report.seeds_run,
         report.checks,
+        report.exhausted,
         report.divergences.len()
     );
     for d in &report.divergences {
@@ -389,14 +560,14 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
 }
 
 fn cmd_subschema(args: &[String]) -> ExitCode {
-    let (pos, _, _) = match parse_flags(args) {
+    let flags = match parse_flags(args) {
         Ok(x) => x,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");
             return ExitCode::from(2);
         }
     };
-    let [schema_path, transducer_path] = pos.as_slice() else {
+    let [schema_path, transducer_path] = flags.positional.as_slice() else {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };

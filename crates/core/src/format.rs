@@ -27,9 +27,29 @@
 //! `rule q σ -> rhs` uses the term syntax of [`tpx_trees::term`], where
 //! identifiers naming declared states are state leaves (states are declared
 //! by appearing as a rule source, in `initial`, or in `state` lines).
+//!
+//! ## DTL transducer files
+//!
+//! A transducer file whose first meaningful line is the word `dtl` is a
+//! `DTL_XPath` program (Section 5 of the paper), checked with the EXPTIME
+//! DTL decider instead of the PTIME top-down one:
+//!
+//! ```text
+//! dtl
+//! initial q0
+//! rule q0 : a -> a(q0 / child[a]/child)   # (q0, a) → a((q0, pattern))
+//! rule q0 : b -> (q0 / child)             # bare call: drops the markup
+//! text q0
+//! ```
+//!
+//! `rule q : guard -> rhs` guards are XPath node expressions and call
+//! patterns are XPath path expressions, both in the concrete syntax of
+//! [`tpx_xpath`]; the rhs is either `label(state / pattern)` (one output
+//! element wrapping one call) or `(state / pattern)` (a bare call).
 
 use std::fmt;
 use tpx_diffcheck::{Case, DivergenceKind, DtlSpec};
+use tpx_dtl::{DtlBuilder, DtlTransducer, XPathPatterns};
 use tpx_schema::{Dtd, DtdBuilder};
 use tpx_topdown::{PathSym, RhsNode, Transducer, TransducerBuilder};
 use tpx_trees::{Alphabet, Symbol, Tree};
@@ -183,6 +203,116 @@ pub fn parse_transducer(src: &str, alpha: &Alphabet) -> Result<Transducer, Forma
     result.map_err(|_| FormatError {
         line: 1,
         message: "transducer construction failed (see rule errors above)".into(),
+    })
+}
+
+/// Whether `src` is a DTL transducer file (first meaningful line `dtl`),
+/// as opposed to a top-down transducer file.
+pub fn is_dtl_transducer(src: &str) -> bool {
+    meaningful(src)
+        .next()
+        .is_some_and(|(_, text)| text == "dtl")
+}
+
+/// Parses a DTL transducer file (see the module docs) against a (complete)
+/// alphabet.
+pub fn parse_dtl_transducer(
+    src: &str,
+    alpha: &Alphabet,
+) -> Result<DtlTransducer<XPathPatterns>, FormatError> {
+    let mut lines = meaningful(src);
+    match lines.next() {
+        Some((_, "dtl")) => {}
+        _ => return err(1, "DTL transducer files start with a `dtl` line"),
+    }
+    let mut initial: Option<String> = None;
+    // (line, state, guard, out label, call state, call pattern); a `None`
+    // label is a bare call.
+    type DtlRuleLine = (usize, String, String, Option<String>, String, String);
+    let mut rules: Vec<DtlRuleLine> = Vec::new();
+    let mut states: Vec<String> = Vec::new();
+    let mut text_rules: Vec<String> = Vec::new();
+    for (line, text) in lines {
+        if let Some(rest) = text.strip_prefix("initial ") {
+            if initial.is_some() {
+                return err(line, "duplicate `initial`");
+            }
+            initial = Some(rest.trim().to_owned());
+        } else if let Some(rest) = text.strip_prefix("state ") {
+            states.push(rest.trim().to_owned());
+        } else if let Some(rest) = text.strip_prefix("text ") {
+            text_rules.push(rest.trim().to_owned());
+        } else if let Some(rest) = text.strip_prefix("rule ") {
+            const SHAPE: &str = "expected `rule state : guard -> label(state / pattern)`";
+            let Some((state, rest)) = rest.split_once(':') else {
+                return err(line, SHAPE);
+            };
+            let Some((guard, rhs)) = rest.split_once("->") else {
+                return err(line, SHAPE);
+            };
+            let rhs = rhs.trim();
+            let (label, call) = if let Some(inner) = rhs.strip_prefix('(') {
+                (None, inner)
+            } else if let Some((label, inner)) = rhs.split_once('(') {
+                (Some(label.trim().to_owned()), inner)
+            } else {
+                return err(line, SHAPE);
+            };
+            let Some(call) = call.strip_suffix(')') else {
+                return err(line, SHAPE);
+            };
+            // The call state never contains '/', so the first one starts
+            // the pattern.
+            let Some((call_state, pattern)) = call.split_once('/') else {
+                return err(line, "expected `state / pattern` inside the call");
+            };
+            rules.push((
+                line,
+                state.trim().to_owned(),
+                guard.trim().to_owned(),
+                label,
+                call_state.trim().to_owned(),
+                pattern.trim().to_owned(),
+            ));
+        } else {
+            return err(line, format!("unrecognized directive {text:?}"));
+        }
+    }
+    let Some(initial) = initial else {
+        return err(1, "DTL transducer needs an `initial` state");
+    };
+    // Validate guards, patterns, and labels up front so errors carry line
+    // numbers (`DtlBuilder::finish` would only panic later).
+    let mut scratch = alpha.clone();
+    for (line, _, guard, label, _, pattern) in &rules {
+        if let Err(e) = tpx_xpath::parse_node_expr(guard, &mut scratch) {
+            return err(*line, format!("bad guard {guard:?}: {e}"));
+        }
+        if let Err(e) = tpx_xpath::parse_path(pattern, &mut scratch) {
+            return err(*line, format!("bad call pattern {pattern:?}: {e}"));
+        }
+        if let Some(label) = label {
+            if alpha.get(label).is_none() {
+                return err(*line, format!("label {label:?} not in the schema alphabet"));
+            }
+        }
+    }
+    let mut b = DtlBuilder::new(alpha, &initial);
+    for s in &states {
+        b.state(s);
+    }
+    for (_, state, guard, label, call_state, pattern) in &rules {
+        match label {
+            Some(out) => b.rule_simple(state, guard, out, call_state, pattern),
+            None => b.rule_bare(state, guard, call_state, pattern),
+        };
+    }
+    for state in &text_rules {
+        b.text_rule(state);
+    }
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.finish())).map_err(|_| FormatError {
+        line: 1,
+        message: "DTL transducer construction failed (see rule errors above)".into(),
     })
 }
 
@@ -502,6 +632,39 @@ elem doc  = (keep | drop)*
 elem keep = text
 elem drop = text
 ";
+
+    #[test]
+    fn dtl_transducer_file_parses() {
+        let alpha = Alphabet::from_labels(["a", "b"]);
+        let src = "
+# the E5 k=2 instance
+dtl
+initial q0
+rule q0 : a -> a(q0 / child[a]/child[a]/child)
+rule q0 : b -> (q0 / child)   # bare call
+text q0
+";
+        assert!(is_dtl_transducer(src));
+        assert!(!is_dtl_transducer("initial q0\n"));
+        let t = parse_dtl_transducer(src, &alpha).expect("parses");
+        assert_eq!(t.state_count(), 1);
+        assert!(t.text_rule(t.initial()));
+        assert_eq!(t.rules().len(), 2);
+    }
+
+    #[test]
+    fn dtl_transducer_errors_carry_line_numbers() {
+        let alpha = Alphabet::from_labels(["a", "b"]);
+        let bad_pattern = "dtl\ninitial q0\nrule q0 : a -> a(q0 / child[[)\n";
+        let e = parse_dtl_transducer(bad_pattern, &alpha).unwrap_err();
+        assert_eq!(e.line, 3, "{e}");
+        let bad_label = "dtl\ninitial q0\nrule q0 : a -> nope(q0 / child)\n";
+        let e = parse_dtl_transducer(bad_label, &alpha).unwrap_err();
+        assert_eq!(e.line, 3, "{e}");
+        assert!(e.message.contains("nope"), "{e}");
+        let not_dtl = "initial q0\n";
+        assert!(parse_dtl_transducer(not_dtl, &alpha).is_err());
+    }
 
     const TRANSDUCER: &str = "
 initial q0

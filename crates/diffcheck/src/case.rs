@@ -111,6 +111,10 @@ pub enum DivergenceKind {
     /// A generated DTL program (deterministic and terminating by
     /// construction) raised a [`tpx_dtl::DtlError`].
     DtlTransformError,
+    /// A symbolic decider failed on a generated instance for a reason other
+    /// than budget exhaustion (a panic, or an internal error) — a bug in
+    /// the decider itself, isolated by the engine's `catch_unwind`.
+    DeciderError,
 }
 
 impl DivergenceKind {
@@ -123,17 +127,19 @@ impl DivergenceKind {
             DivergenceKind::TranslationDisagrees => "translation-disagrees",
             DivergenceKind::DtlLemmaVsOperational => "dtl-lemma-vs-operational",
             DivergenceKind::DtlTransformError => "dtl-transform-error",
+            DivergenceKind::DeciderError => "decider-error",
         }
     }
 
     /// Every kind, for iteration and parsing.
-    pub const ALL: [DivergenceKind; 6] = [
+    pub const ALL: [DivergenceKind; 7] = [
         DivergenceKind::PreservingButViolates,
         DivergenceKind::WitnessInvalid,
         DivergenceKind::BoundedContradictsSymbolic,
         DivergenceKind::TranslationDisagrees,
         DivergenceKind::DtlLemmaVsOperational,
         DivergenceKind::DtlTransformError,
+        DivergenceKind::DeciderError,
     ];
 }
 

@@ -15,7 +15,7 @@
 
 use tpx_dtl::pattern::PatternLanguage;
 use tpx_dtl::{DtlTransducer, XPathPatterns};
-use tpx_engine::{DtlDecider, Engine, Outcome, TopdownDecider};
+use tpx_engine::{Budget, CheckOptions, DtlDecider, Engine, Outcome, TopdownDecider, Verdict};
 use tpx_topdown::Transducer;
 use tpx_treeauto::Nta;
 use tpx_trees::{make_value_unique, Tree};
@@ -59,6 +59,27 @@ pub struct FuzzConfig {
     pub bounded_limit: usize,
     /// Whether to shrink divergences before reporting them.
     pub shrink: bool,
+    /// Fuel budget for each symbolic engine check (`None` = unlimited).
+    /// Distinct from [`FuzzConfig::budget`], which caps sampled tree sizes.
+    pub fuel: Option<u64>,
+    /// Wall-clock budget per symbolic engine check, in milliseconds
+    /// (`None` = unlimited). Unlike `fuel`, a deadline makes exhaustion
+    /// machine-dependent, so it is off by default.
+    pub timeout_ms: Option<u64>,
+}
+
+impl FuzzConfig {
+    /// The per-check governance derived from `fuel` / `timeout_ms`.
+    pub fn check_options(&self) -> CheckOptions {
+        let mut budget = Budget::default();
+        if let Some(fuel) = self.fuel {
+            budget = budget.with_fuel(fuel);
+        }
+        if let Some(ms) = self.timeout_ms {
+            budget = budget.with_timeout(std::time::Duration::from_millis(ms));
+        }
+        CheckOptions::with_budget(budget)
+    }
 }
 
 impl Default for FuzzConfig {
@@ -75,6 +96,11 @@ impl Default for FuzzConfig {
             bounded_max_nodes: 5,
             bounded_limit: 150,
             shrink: true,
+            // Every instance runs under a default fuel budget so one
+            // heavy-tailed compilation cannot stall a whole fuzz run; fuel
+            // (unlike a deadline) keeps runs deterministic.
+            fuel: Some(100_000_000),
+            timeout_ms: None,
         }
     }
 }
@@ -99,6 +125,10 @@ pub struct FuzzReport {
     pub seeds_run: u64,
     /// Individual cross-checks performed.
     pub checks: u64,
+    /// Symbolic checks skipped because they exhausted the per-check
+    /// fuel/deadline budget (not divergences: the instance was simply too
+    /// expensive under [`FuzzConfig::fuel`] / [`FuzzConfig::timeout_ms`]).
+    pub exhausted: u64,
     /// Divergences found (after confirmation and shrinking).
     pub divergences: Vec<Divergence>,
 }
@@ -172,6 +202,42 @@ fn record(
     });
 }
 
+/// Runs one symbolic check under the configured per-check budget. Budget
+/// exhaustion is counted and the check skipped (`None`); any other failure
+/// (a panic or internal error, isolated by the engine) is itself a
+/// divergence in the decider, recorded under
+/// [`DivergenceKind::DeciderError`].
+fn governed_check(
+    engine: &Engine,
+    cfg: &FuzzConfig,
+    seed: u64,
+    decider: &dyn tpx_engine::Decider,
+    nta: &Nta,
+    case: Case,
+    report: &mut FuzzReport,
+) -> Option<Verdict> {
+    report.checks += 1;
+    match engine.check_governed(decider, nta, &cfg.check_options()) {
+        Ok(verdict) => Some(verdict),
+        Err(e) if e.is_resource_exhausted() => {
+            report.exhausted += 1;
+            None
+        }
+        Err(e) => {
+            record(
+                engine,
+                cfg,
+                seed,
+                DivergenceKind::DeciderError,
+                format!("{e}"),
+                case,
+                report,
+            );
+            None
+        }
+    }
+}
+
 /// One top-down seed: random DTD + random top-down transducer.
 fn fuzz_topdown_seed(engine: &Engine, cfg: &FuzzConfig, seed: u64, report: &mut FuzzReport) {
     let schema = random_dtd(cfg.n_labels, seed);
@@ -179,42 +245,53 @@ fn fuzz_topdown_seed(engine: &Engine, cfg: &FuzzConfig, seed: u64, report: &mut 
     let t = random_transducer(&schema.alpha, cfg.n_states, 0.8, transducer_seed(seed));
     let case = |tree: Option<Tree>| topdown_case(&schema, &t, tree);
 
-    let verdict = engine.check(&TopdownDecider::new(&t), &nta);
-    report.checks += 1;
+    let verdict = governed_check(
+        engine,
+        cfg,
+        seed,
+        &TopdownDecider::new(&t),
+        &nta,
+        case(None),
+        report,
+    );
 
     // Witness validation (mirrors the engine's debug-only assertions, but
     // as a reportable check in release builds too).
-    if let Some(detail) = invalid_topdown_witness(&t, &nta, &verdict.outcome) {
-        record(
-            engine,
-            cfg,
-            seed,
-            DivergenceKind::WitnessInvalid,
-            detail,
-            case(None),
-            report,
-        );
+    if let Some(verdict) = &verdict {
+        if let Some(detail) = invalid_topdown_witness(&t, &nta, &verdict.outcome) {
+            record(
+                engine,
+                cfg,
+                seed,
+                DivergenceKind::WitnessInvalid,
+                detail,
+                case(None),
+                report,
+            );
+        }
+        report.checks += 1;
     }
-    report.checks += 1;
 
     let trees = sample_trees(&nta, cfg, seed);
     let dtl = tpx_dtl::from_topdown(&t);
     for tree in &trees {
         // Symbolic "preserving" vs the per-tree oracle on the value-unique
         // version of a sampled schema tree.
-        let unique = unique_tree(tree);
-        if verdict.is_preserving() && !tpx_topdown::semantic::text_preserving_on(&t, &unique) {
-            record(
-                engine,
-                cfg,
-                seed,
-                DivergenceKind::PreservingButViolates,
-                "topdown decider says preserving; sampled tree violates".to_owned(),
-                case(Some(tree.clone())),
-                report,
-            );
+        if let Some(verdict) = &verdict {
+            let unique = unique_tree(tree);
+            if verdict.is_preserving() && !tpx_topdown::semantic::text_preserving_on(&t, &unique) {
+                record(
+                    engine,
+                    cfg,
+                    seed,
+                    DivergenceKind::PreservingButViolates,
+                    "topdown decider says preserving; sampled tree violates".to_owned(),
+                    case(Some(tree.clone())),
+                    report,
+                );
+            }
+            report.checks += 1;
         }
-        report.checks += 1;
 
         // The top-down→DTL translation must transform identically.
         match dtl.transform(tree) {
@@ -243,18 +320,21 @@ fn fuzz_topdown_seed(engine: &Engine, cfg: &FuzzConfig, seed: u64, report: &mut 
 
     // Bounded enumeration vs the symbolic verdict (via the DTL translation,
     // whose per-tree lemmas drive the bounded baseline).
-    if let Some(detail) = bounded_disagreement(&dtl, &nta, verdict.outcome.is_preserving(), cfg) {
-        record(
-            engine,
-            cfg,
-            seed,
-            DivergenceKind::BoundedContradictsSymbolic,
-            detail,
-            case(None),
-            report,
-        );
+    if let Some(verdict) = &verdict {
+        if let Some(detail) = bounded_disagreement(&dtl, &nta, verdict.outcome.is_preserving(), cfg)
+        {
+            record(
+                engine,
+                cfg,
+                seed,
+                DivergenceKind::BoundedContradictsSymbolic,
+                detail,
+                case(None),
+                report,
+            );
+        }
+        report.checks += 1;
     }
-    report.checks += 1;
 }
 
 /// One DTL seed: random DTD + random DTL program.
@@ -302,8 +382,17 @@ fn fuzz_dtl_seed(engine: &Engine, cfg: &FuzzConfig, seed: u64, report: &mut Fuzz
     if !cfg.dtl_symbolic || prog.size() > cfg.max_dtl_size {
         return;
     }
-    let verdict = engine.check(&DtlDecider::new(&prog), &nta);
-    report.checks += 1;
+    let Some(verdict) = governed_check(
+        engine,
+        cfg,
+        seed,
+        &DtlDecider::new(&prog),
+        &nta,
+        case(None),
+        report,
+    ) else {
+        return;
+    };
 
     if let Some(detail) = invalid_dtl_witness(&prog, &nta, &verdict.outcome) {
         record(
@@ -505,6 +594,20 @@ pub fn recheck(engine: &Engine, case: &Case, kind: DivergenceKind, cfg: &FuzzCon
     }
 }
 
+/// The governed symbolic verdict for replays: `None` when the budget ran
+/// out, in which case the divergence counts as not reproduced.
+fn governed_preserving(
+    engine: &Engine,
+    decider: &dyn tpx_engine::Decider,
+    nta: &Nta,
+    cfg: &FuzzConfig,
+) -> Option<bool> {
+    engine
+        .check_governed(decider, nta, &cfg.check_options())
+        .ok()
+        .map(|v| v.is_preserving())
+}
+
 fn recheck_topdown(
     engine: &Engine,
     case: &Case,
@@ -518,7 +621,7 @@ fn recheck_topdown(
     match kind {
         DivergenceKind::PreservingButViolates => case.tree.as_ref().is_some_and(|tree| {
             valid_tree(tree)
-                && engine.check(&TopdownDecider::new(t), nta).is_preserving()
+                && governed_preserving(engine, &TopdownDecider::new(t), nta, cfg) == Some(true)
                 && !tpx_topdown::semantic::text_preserving_on(t, &unique_tree(tree))
         }),
         DivergenceKind::WitnessInvalid => {
@@ -536,9 +639,16 @@ fn recheck_topdown(
             valid_tree(tree) && tpx_dtl::from_topdown(t).transform(tree).is_err()
         }),
         DivergenceKind::BoundedContradictsSymbolic => {
-            let preserving = engine.check(&TopdownDecider::new(t), nta).is_preserving();
+            let Some(preserving) = governed_preserving(engine, &TopdownDecider::new(t), nta, cfg)
+            else {
+                return false;
+            };
             bounded_disagreement(&tpx_dtl::from_topdown(t), nta, preserving, cfg).is_some()
         }
+        DivergenceKind::DeciderError => matches!(
+            engine.check_governed(&TopdownDecider::new(t), nta, &cfg.check_options()),
+            Err(e) if !e.is_resource_exhausted()
+        ),
         DivergenceKind::DtlLemmaVsOperational => false,
     }
 }
@@ -563,7 +673,7 @@ fn recheck_dtl(
             .is_some_and(|tree| valid_tree(tree) && prog.transform(tree).is_err()),
         DivergenceKind::PreservingButViolates => case.tree.as_ref().is_some_and(|tree| {
             valid_tree(tree)
-                && engine.check(&DtlDecider::new(prog), nta).is_preserving()
+                && governed_preserving(engine, &DtlDecider::new(prog), nta, cfg) == Some(true)
                 && dtl_violates_on(prog, tree)
         }),
         DivergenceKind::WitnessInvalid => {
@@ -576,9 +686,16 @@ fn recheck_dtl(
             invalid_dtl_witness(prog, nta, &outcome).is_some()
         }
         DivergenceKind::BoundedContradictsSymbolic => {
-            let preserving = engine.check(&DtlDecider::new(prog), nta).is_preserving();
+            let Some(preserving) = governed_preserving(engine, &DtlDecider::new(prog), nta, cfg)
+            else {
+                return false;
+            };
             bounded_disagreement(prog, nta, preserving, cfg).is_some()
         }
+        DivergenceKind::DeciderError => matches!(
+            engine.check_governed(&DtlDecider::new(prog), nta, &cfg.check_options()),
+            Err(e) if !e.is_resource_exhausted()
+        ),
         DivergenceKind::TranslationDisagrees => false,
     }
 }

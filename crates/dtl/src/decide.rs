@@ -24,10 +24,48 @@ use std::collections::HashMap;
 
 use tpx_mso::formula::derived;
 use tpx_mso::{
-    compile_cached, lift, project_bit, strip_bits, CompileCache, Formula, MSym, Var, VarGen, VarKey,
+    compile_cached, lift, project_bit, strip_bits, try_compile_cached, try_project_bit,
+    try_strip_bits, CompileCache, CompileError, Formula, MSym, Var, VarGen, VarKey,
 };
 use tpx_treeauto::{nbta_to_nta, nta_to_nbta, EncSym, Nbta, Nta};
+use tpx_trees::budget::{BudgetExceeded, BudgetHandle};
 use tpx_trees::Tree;
+
+/// Failure modes of the budgeted symbolic DTL pipeline.
+#[derive(Clone, Debug)]
+pub enum DtlDecideError {
+    /// The fuel/deadline budget ran out mid-construction.
+    Budget(BudgetExceeded),
+    /// An invariant of the construction itself failed (e.g. a witness of
+    /// the schema product that does not decode to an unranked tree).
+    Internal(String),
+}
+
+impl std::fmt::Display for DtlDecideError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DtlDecideError::Budget(b) => write!(f, "dtl decision {b}"),
+            DtlDecideError::Internal(msg) => write!(f, "dtl decision internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DtlDecideError {}
+
+impl From<BudgetExceeded> for DtlDecideError {
+    fn from(b: BudgetExceeded) -> Self {
+        DtlDecideError::Budget(b)
+    }
+}
+
+impl From<CompileError> for DtlDecideError {
+    fn from(e: CompileError) -> Self {
+        match e {
+            CompileError::Budget(b) => DtlDecideError::Budget(b),
+            other => DtlDecideError::Internal(other.to_string()),
+        }
+    }
+}
 
 /// The outcome of [`dtl_text_preserving`].
 #[derive(Clone, Debug)]
@@ -123,84 +161,107 @@ impl AutoBuilder {
     }
 
     /// Compiles a formula with free variable `vx` at width 1.
-    fn compile1(&mut self, phi: &Formula) -> Nbta<MSym> {
-        compile_cached(phi, &[VarKey::Fo(self.vx)], self.n_symbols, &mut self.cache)
+    fn compile1(
+        &mut self,
+        phi: &Formula,
+        budget: &BudgetHandle,
+    ) -> Result<Nbta<MSym>, CompileError> {
+        try_compile_cached(
+            phi,
+            &[VarKey::Fo(self.vx)],
+            self.n_symbols,
+            &mut self.cache,
+            budget,
+        )
     }
 
     /// Compiles a formula with free variables `vx, vy` at width 2.
-    fn compile2(&mut self, phi: &Formula) -> Nbta<MSym> {
-        compile_cached(
+    fn compile2(
+        &mut self,
+        phi: &Formula,
+        budget: &BudgetHandle,
+    ) -> Result<Nbta<MSym>, CompileError> {
+        try_compile_cached(
             phi,
             &[VarKey::Fo(self.vx), VarKey::Fo(self.vy)],
             self.n_symbols,
             &mut self.cache,
+            budget,
         )
     }
 
     /// `A^{q0,q}_{root,•}`: some root-anchored run reaches `(q, vx)`.
-    fn rooted(&mut self, q: usize) -> Nbta<MSym> {
+    fn rooted(&mut self, q: usize, budget: &BudgetHandle) -> Result<Nbta<MSym>, CompileError> {
         if let Some(hit) = self.rooted_memo.get(&q) {
-            return hit.clone();
+            return Ok(hit.clone());
         }
         let r = self.gen.var();
         let phi = Formula::exists(
             r,
             Formula::Root(r).and(self.sys.reach(self.initial, q, r, self.vx)),
         );
-        let a = self.compile1(&phi);
+        let a = self.compile1(&phi, budget)?;
         self.rooted_memo.insert(q, a.clone());
-        a
+        Ok(a)
     }
 
     /// A text path run from `(p, vx)` ending at the text node `vy`.
-    fn reach_text(&mut self, p: usize) -> Nbta<MSym> {
+    fn reach_text(&mut self, p: usize, budget: &BudgetHandle) -> Result<Nbta<MSym>, CompileError> {
         if let Some(hit) = self.reach_text_memo.get(&p) {
-            return hit.clone();
+            return Ok(hit.clone());
         }
         let ends = self.text_states.clone();
         let phi = Formula::IsText(self.vy).and(Formula::any(
             ends.into_iter()
                 .map(|e| self.sys.reach(p, e, self.vx, self.vy)),
         ));
-        let a = self.compile2(&phi);
+        let a = self.compile2(&phi, budget)?;
         self.reach_text_memo.insert(p, a.clone());
-        a
+        Ok(a)
     }
 
     /// Guard formula instantiated at `vx` and compiled (width 1).
-    fn guard_auto(&mut self, guard: &Formula) -> Nbta<MSym> {
+    fn guard_auto(
+        &mut self,
+        guard: &Formula,
+        budget: &BudgetHandle,
+    ) -> Result<Nbta<MSym>, CompileError> {
         let phi = guard.rename_fo(MsoPatterns::HOLE_X, self.vx);
-        self.compile1(&phi)
+        self.compile1(&phi, budget)
     }
 
     /// Step formula instantiated at `(vx, vy)` and compiled (width 2).
-    fn step_auto(&mut self, step: &Formula) -> Nbta<MSym> {
+    fn step_auto(
+        &mut self,
+        step: &Formula,
+        budget: &BudgetHandle,
+    ) -> Result<Nbta<MSym>, CompileError> {
         let phi = step
             .rename_fo(MsoPatterns::HOLE_X, self.vx)
             .rename_fo(MsoPatterns::HOLE_Y, self.vy);
-        self.compile2(&phi)
+        self.compile2(&phi, budget)
     }
 
     /// `vx <lex vy` (document order), width 2.
-    fn doc_before_auto(&mut self) -> Nbta<MSym> {
+    fn doc_before_auto(&mut self, budget: &BudgetHandle) -> Result<Nbta<MSym>, CompileError> {
         let phi = derived::doc_before(self.vx, self.vy, &mut self.gen);
-        self.compile2(&phi)
+        self.compile2(&phi, budget)
     }
 
     /// `vx ≠ vy`, width 2.
-    fn neq_auto(&mut self) -> Nbta<MSym> {
+    fn neq_auto(&mut self, budget: &BudgetHandle) -> Result<Nbta<MSym>, CompileError> {
         let phi = Formula::Eq(self.vx, self.vy).not();
-        self.compile2(&phi)
+        self.compile2(&phi, budget)
     }
 
     /// The copying counter-example automaton (markers `•, •1, •2, ◦`),
     /// with the markers already projected away (a sentence automaton).
-    fn copy_auto(&mut self) -> Nbta<EncSym> {
+    fn copy_auto(&mut self, budget: &BudgetHandle) -> Result<Nbta<EncSym>, DtlDecideError> {
         let mut disjuncts: Vec<Nbta<EncSym>> = Vec::new();
         let rules = self.rules.clone();
         for (state, guard, calls) in &rules {
-            let rooted = self.rooted(*state);
-            let guard_a = self.guard_auto(guard);
+            let rooted = self.rooted(*state, budget)?;
+            let guard_a = self.guard_auto(guard, budget)?;
             for (i, (qi, step_i)) in calls.iter().enumerate() {
                 for (j, (qj, step_j)) in calls.iter().enumerate() {
                     if i >= j {
@@ -213,40 +274,40 @@ impl AutoBuilder {
                         let factors = vec![
                             Factor::new(rooted.clone(), vec![0]),
                             Factor::new(guard_a.clone(), vec![0]),
-                            Factor::new(self.step_auto(step_i), vec![0, 1]),
-                            Factor::new(self.step_auto(step_j), vec![0, 1]),
-                            Factor::new(self.reach_text(*qi), vec![1, 3]),
+                            Factor::new(self.step_auto(step_i, budget)?, vec![0, 1]),
+                            Factor::new(self.step_auto(step_j, budget)?, vec![0, 1]),
+                            Factor::new(self.reach_text(*qi, budget)?, vec![1, 3]),
                         ];
-                        disjuncts.push(join_eliminate(factors, self.n_symbols));
+                        disjuncts.push(join_eliminate(factors, self.n_symbols, budget)?);
                     }
                     // Two different runs (condition 1): distinct successor
                     // configurations, common end node.
                     let mut factors = vec![
                         Factor::new(rooted.clone(), vec![0]),
                         Factor::new(guard_a.clone(), vec![0]),
-                        Factor::new(self.step_auto(step_i), vec![0, 1]),
-                        Factor::new(self.step_auto(step_j), vec![0, 2]),
-                        Factor::new(self.reach_text(*qi), vec![1, 3]),
-                        Factor::new(self.reach_text(*qj), vec![2, 3]),
+                        Factor::new(self.step_auto(step_i, budget)?, vec![0, 1]),
+                        Factor::new(self.step_auto(step_j, budget)?, vec![0, 2]),
+                        Factor::new(self.reach_text(*qi, budget)?, vec![1, 3]),
+                        Factor::new(self.reach_text(*qj, budget)?, vec![2, 3]),
                     ];
                     if qi == qj {
-                        factors.push(Factor::new(self.neq_auto(), vec![1, 2]));
+                        factors.push(Factor::new(self.neq_auto(budget)?, vec![1, 2]));
                     }
-                    disjuncts.push(join_eliminate(factors, self.n_symbols));
+                    disjuncts.push(join_eliminate(factors, self.n_symbols, budget)?);
                 }
             }
         }
-        union_sentences(disjuncts, self.n_symbols)
+        Ok(union_sentences(disjuncts, self.n_symbols, budget)?)
     }
 
     /// The rearranging counter-example automaton (markers
     /// `• = 0, •1 = 1, •2 = 2, ◦1 = 3, ◦2 = 4`), markers projected.
-    fn rearrange_auto(&mut self) -> Nbta<EncSym> {
+    fn rearrange_auto(&mut self, budget: &BudgetHandle) -> Result<Nbta<EncSym>, DtlDecideError> {
         let mut disjuncts: Vec<Nbta<EncSym>> = Vec::new();
         let rules = self.rules.clone();
         for (state, guard, calls) in &rules {
-            let rooted = self.rooted(*state);
-            let guard_a = self.guard_auto(guard);
+            let rooted = self.rooted(*state, budget)?;
+            let guard_a = self.guard_auto(guard, budget)?;
             for (e, (p1, step_e)) in calls.iter().enumerate() {
                 for (l, (q1, step_l)) in calls.iter().enumerate() {
                     if e > l {
@@ -258,23 +319,23 @@ impl AutoBuilder {
                     let mut factors = vec![
                         Factor::new(rooted.clone(), vec![0]),
                         Factor::new(guard_a.clone(), vec![0]),
-                        Factor::new(self.step_auto(step_l), vec![0, 1]),
-                        Factor::new(self.step_auto(step_e), vec![0, 2]),
-                        Factor::new(self.reach_text(*q1), vec![1, 3]),
-                        Factor::new(self.reach_text(*p1), vec![2, 4]),
-                        Factor::new(self.doc_before_auto(), vec![3, 4]),
+                        Factor::new(self.step_auto(step_l, budget)?, vec![0, 1]),
+                        Factor::new(self.step_auto(step_e, budget)?, vec![0, 2]),
+                        Factor::new(self.reach_text(*q1, budget)?, vec![1, 3]),
+                        Factor::new(self.reach_text(*p1, budget)?, vec![2, 4]),
+                        Factor::new(self.doc_before_auto(budget)?, vec![3, 4]),
                     ];
                     if e == l {
                         // Condition (2): one position, two targets with the
                         // doc-earlier target's run ending doc-later:
                         // •2 <lex •1.
-                        factors.push(Factor::new(self.doc_before_auto(), vec![2, 1]));
+                        factors.push(Factor::new(self.doc_before_auto(budget)?, vec![2, 1]));
                     }
-                    disjuncts.push(join_eliminate(factors, self.n_symbols));
+                    disjuncts.push(join_eliminate(factors, self.n_symbols, budget)?);
                 }
             }
         }
-        union_sentences(disjuncts, self.n_symbols)
+        Ok(union_sentences(disjuncts, self.n_symbols, budget)?)
     }
 }
 
@@ -295,7 +356,11 @@ impl Factor {
 /// one at a time in increasing order (the condition graphs of Lemmas
 /// 5.4/5.5 have treewidth 2, so at most three variables are ever live —
 /// keeping every intermediate product over a tiny alphabet).
-fn join_eliminate(mut factors: Vec<Factor>, n_symbols: usize) -> Nbta<EncSym> {
+fn join_eliminate(
+    mut factors: Vec<Factor>,
+    n_symbols: usize,
+    budget: &BudgetHandle,
+) -> Result<Nbta<EncSym>, BudgetExceeded> {
     let mut all_vars: Vec<usize> = factors.iter().flat_map(|f| f.vars.clone()).collect();
     all_vars.sort_unstable();
     all_vars.dedup();
@@ -311,19 +376,22 @@ fn join_eliminate(mut factors: Vec<Factor>, n_symbols: usize) -> Nbta<EncSym> {
         scope.retain(|&x| x != v);
         scope.push(v);
         let width = scope.len();
-        let joined = touch
-            .into_iter()
-            .map(|f| {
-                let positions: Vec<usize> = f
-                    .vars
-                    .iter()
-                    .map(|x| scope.iter().position(|y| y == x).unwrap())
-                    .collect();
-                lift(&f.auto, n_symbols, &positions, width)
-            })
-            .reduce(|a, b| a.intersect(&b).trim())
-            .expect("v came from some factor");
-        let projected = project_bit(&joined, n_symbols, width - 1, true);
+        let mut joined: Option<Nbta<MSym>> = None;
+        for f in touch {
+            let positions: Vec<usize> = f
+                .vars
+                .iter()
+                .map(|x| scope.iter().position(|y| y == x).unwrap())
+                .collect();
+            budget.charge(f.auto.state_count() as u64)?;
+            let lifted = lift(&f.auto, n_symbols, &positions, width);
+            joined = Some(match joined {
+                None => lifted,
+                Some(a) => a.try_intersect(&lifted, budget)?.try_trim(budget)?,
+            });
+        }
+        let joined = joined.expect("v came from some factor");
+        let projected = try_project_bit(&joined, n_symbols, width - 1, true, budget)?;
         scope.pop();
         factors.push(Factor {
             auto: projected,
@@ -331,22 +399,38 @@ fn join_eliminate(mut factors: Vec<Factor>, n_symbols: usize) -> Nbta<EncSym> {
         });
     }
     // All variables eliminated: remaining factors are sentences.
-    let sentence = factors
-        .into_iter()
-        .map(|f| {
-            debug_assert!(f.vars.is_empty());
-            f.auto
-        })
-        .reduce(|a, b| a.intersect(&b).trim())
-        .unwrap_or_else(|| tpx_mso::atomic::true_auto(n_symbols, 0));
-    strip_bits(&sentence, n_symbols)
+    let mut sentence: Option<Nbta<MSym>> = None;
+    for f in factors {
+        debug_assert!(f.vars.is_empty());
+        sentence = Some(match sentence {
+            None => f.auto,
+            Some(a) => a.try_intersect(&f.auto, budget)?.try_trim(budget)?,
+        });
+    }
+    let sentence = sentence.unwrap_or_else(|| tpx_mso::atomic::true_auto(n_symbols, 0));
+    try_strip_bits(&sentence, n_symbols, budget)
 }
 
-fn union_sentences(items: Vec<Nbta<EncSym>>, n_symbols: usize) -> Nbta<EncSym> {
-    items
-        .into_iter()
-        .reduce(|a, b| a.union(&b).trim())
-        .unwrap_or_else(|| strip_bits(&tpx_mso::atomic::false_auto(n_symbols, 0), n_symbols))
+fn union_sentences(
+    items: Vec<Nbta<EncSym>>,
+    n_symbols: usize,
+    budget: &BudgetHandle,
+) -> Result<Nbta<EncSym>, BudgetExceeded> {
+    let mut out: Option<Nbta<EncSym>> = None;
+    for item in items {
+        out = Some(match out {
+            None => item,
+            Some(a) => a.union(&item).try_trim(budget)?,
+        });
+    }
+    match out {
+        Some(a) => Ok(a),
+        None => try_strip_bits(
+            &tpx_mso::atomic::false_auto(n_symbols, 0),
+            n_symbols,
+            budget,
+        ),
+    }
 }
 
 /// The regular language of counter-example trees over `Trees_Σ(Text)`: the
@@ -355,10 +439,21 @@ pub fn counterexample_nbta<P: MsoDefinable>(
     t: &DtlTransducer<P>,
     n_symbols: usize,
 ) -> Nbta<EncSym> {
+    try_counterexample_nbta(t, n_symbols, &BudgetHandle::unlimited())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Budgeted [`counterexample_nbta`]: every MSO compile, product, trim and
+/// projection along the way runs under the fuel/deadline budget.
+pub fn try_counterexample_nbta<P: MsoDefinable>(
+    t: &DtlTransducer<P>,
+    n_symbols: usize,
+    budget: &BudgetHandle,
+) -> Result<Nbta<EncSym>, DtlDecideError> {
     let mut b = AutoBuilder::new(t, n_symbols);
-    let copy = b.copy_auto();
-    let rearrange = b.rearrange_auto();
-    copy.union(&rearrange).trim()
+    let copy = b.copy_auto(budget)?;
+    let rearrange = b.rearrange_auto(budget)?;
+    Ok(copy.union(&rearrange).try_trim(budget)?)
 }
 
 /// Schema-side artifact of the staged DTL pipeline: the trimmed NBTA over
@@ -399,9 +494,17 @@ impl DtlTransducerArtifacts {
 
 /// Stage 1 (schema side): encode and trim the schema NTA.
 pub fn compile_schema_nbta(nta: &Nta) -> DtlSchemaArtifacts {
-    DtlSchemaArtifacts {
-        schema: nta_to_nbta(nta).trim(),
-    }
+    try_compile_schema_nbta(nta, &BudgetHandle::unlimited()).expect("unlimited budget")
+}
+
+/// Budgeted [`compile_schema_nbta`].
+pub fn try_compile_schema_nbta(
+    nta: &Nta,
+    budget: &BudgetHandle,
+) -> Result<DtlSchemaArtifacts, BudgetExceeded> {
+    Ok(DtlSchemaArtifacts {
+        schema: nta_to_nbta(nta).try_trim(budget)?,
+    })
 }
 
 /// Stage 1 (transducer side): compile the counter-example automaton.
@@ -409,10 +512,21 @@ pub fn compile_counterexample<P: MsoDefinable>(
     t: &DtlTransducer<P>,
     n_symbols: usize,
 ) -> DtlTransducerArtifacts {
-    DtlTransducerArtifacts {
-        counterexample: counterexample_nbta(t, n_symbols),
+    try_compile_counterexample(t, n_symbols, &BudgetHandle::unlimited())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Budgeted [`compile_counterexample`] — the expensive MSO→NBTA stage, and
+/// the usual place a tight fuel budget trips on hard instances.
+pub fn try_compile_counterexample<P: MsoDefinable>(
+    t: &DtlTransducer<P>,
+    n_symbols: usize,
+    budget: &BudgetHandle,
+) -> Result<DtlTransducerArtifacts, DtlDecideError> {
+    Ok(DtlTransducerArtifacts {
+        counterexample: try_counterexample_nbta(t, n_symbols, budget)?,
         n_symbols,
-    }
+    })
 }
 
 /// Stage 2: intersect precompiled artifacts and extract a witness. This is
@@ -421,13 +535,31 @@ pub fn dtl_text_preserving_with(
     transducer: &DtlTransducerArtifacts,
     schema: &DtlSchemaArtifacts,
 ) -> DtlCheckReport {
-    let product = transducer.counterexample.intersect(&schema.schema).trim();
-    match product.witness() {
-        None => DtlCheckReport::Preserving,
+    try_dtl_text_preserving_with(transducer, schema, &BudgetHandle::unlimited())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Budgeted [`dtl_text_preserving_with`]; a witness that fails to decode to
+/// an unranked tree is reported as [`DtlDecideError::Internal`] instead of
+/// panicking.
+pub fn try_dtl_text_preserving_with(
+    transducer: &DtlTransducerArtifacts,
+    schema: &DtlSchemaArtifacts,
+    budget: &BudgetHandle,
+) -> Result<DtlCheckReport, DtlDecideError> {
+    let product = transducer
+        .counterexample
+        .try_intersect(&schema.schema, budget)?
+        .try_trim(budget)?;
+    match product.try_witness(budget)? {
+        None => Ok(DtlCheckReport::Preserving),
         Some(w) => {
-            let witness = tpx_treeauto::convert::decode_witness(&w)
-                .expect("schema trees decode to valid unranked trees");
-            DtlCheckReport::NotPreserving { witness }
+            let witness = tpx_treeauto::convert::decode_witness(&w).ok_or_else(|| {
+                DtlDecideError::Internal(
+                    "counterexample witness does not decode to an unranked tree".into(),
+                )
+            })?;
+            Ok(DtlCheckReport::NotPreserving { witness })
         }
     }
 }
@@ -751,11 +883,17 @@ mod tests {
         let t = b.finish();
         let (i, j, w) = check_determinism(&t, &universal(&al)).expect("overlap");
         assert_ne!(i, j);
-        // The witness really triggers both rules.
-        assert!(matches!(
-            t.transform(&w),
-            Err(crate::transducer::DtlError::Nondeterministic { .. })
-        ));
+        // Definition 5.1 quantifies over every node of a schema tree, so
+        // the witness must have SOME node where both guards match — the
+        // transform's traversal need not reach it (the emptiness check is
+        // free to return a witness whose overlap node sits under a node no
+        // rule descends through).
+        let tables = t.tables(w.as_hedge());
+        assert!(
+            (0..tables.rule_guards[i].len())
+                .any(|v| tables.rule_guards[i][v] && tables.rule_guards[j][v]),
+            "witness has no node where rules {i} and {j} both match: {w:?}"
+        );
     }
 
     #[test]

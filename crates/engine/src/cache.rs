@@ -14,10 +14,94 @@
 
 use std::any::Any;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 type Slot = OnceLock<Arc<dyn Any + Send + Sync>>;
+
+/// A recoverable cache failure. Generic over the builder's own error type
+/// `E` (use [`std::convert::Infallible`] for infallible builders).
+#[derive(Debug)]
+pub enum CacheError<E> {
+    /// `(kind, key)` was previously cached with a different artifact type —
+    /// a stage-naming bug in the caller.
+    TypeMismatch {
+        /// The offending stage name.
+        kind: &'static str,
+    },
+    /// The builder closure panicked. The slot is left uninitialized, so a
+    /// later lookup retries the build; the cache itself stays serviceable.
+    BuilderPanicked {
+        /// The stage whose builder panicked.
+        kind: &'static str,
+        /// The panic payload rendered as text (when it was a string).
+        message: String,
+    },
+    /// The builder returned an error (not memoized; a later lookup
+    /// retries).
+    Build(E),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for CacheError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::TypeMismatch { kind } => {
+                write!(f, "artifact kind {kind:?} cached with two types")
+            }
+            CacheError::BuilderPanicked { kind, message } => {
+                write!(f, "builder for artifact kind {kind:?} panicked: {message}")
+            }
+            CacheError::Build(e) => write!(f, "artifact build failed: {e}"),
+        }
+    }
+}
+
+impl<E: std::fmt::Display + std::fmt::Debug> std::error::Error for CacheError<E> {}
+
+/// Renders a caught panic payload as text.
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Sentinel panic payload used to tunnel a builder `Err` out of
+/// `OnceLock::get_or_init` (which only supports infallible init). The
+/// actual error rides in a side channel; the payload just marks the unwind
+/// as ours.
+struct BuildAbort;
+
+thread_local! {
+    /// Set while this thread raises a [`BuildAbort`], so the panic hook
+    /// stays silent for the sentinel (it is control flow, not a failure).
+    static RAISING_BUILD_ABORT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Wraps the current panic hook (once per process) with one that ignores
+/// [`BuildAbort`] sentinel unwinds; every other panic reaches the previous
+/// hook unchanged.
+fn install_abort_quiet_hook() {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !RAISING_BUILD_ABORT.with(|f| f.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Raises the [`BuildAbort`] sentinel without tripping the panic hook.
+fn raise_build_abort() -> ! {
+    RAISING_BUILD_ABORT.with(|f| f.set(true));
+    std::panic::panic_any(BuildAbort);
+}
 
 /// Hit/miss/entry/eviction counters of an [`ArtifactCache`], taken at one
 /// instant.
@@ -89,6 +173,25 @@ impl ArtifactCache {
         }
     }
 
+    /// Fetches (or creates) the slot for `(kind, key)`, applying the coarse
+    /// capacity reset first. A poisoned map lock is recovered rather than
+    /// propagated: the map is only ever mutated under the lock by this
+    /// method and [`ArtifactCache::clear`], whose mutations are atomic with
+    /// respect to panics, so a poisoned lock still guards a consistent map.
+    fn slot(&self, kind: &'static str, key: u64) -> Arc<Slot> {
+        let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
+        if self.max_entries > 0 && map.len() >= self.max_entries && !map.contains_key(&(kind, key))
+        {
+            // Coarse reset: drop the generation rather than tracking
+            // recency per entry. In-flight builders keep their slots
+            // alive through their own `Arc`s and finish unaffected.
+            self.evictions
+                .fetch_add(map.len() as u64, Ordering::Relaxed);
+            map.clear();
+        }
+        Arc::clone(map.entry((kind, key)).or_default())
+    }
+
     /// Returns the artifact for `(kind, key)`, building it with `build` on
     /// first use. The second component reports whether this was a cache hit
     /// (`true`) or this call built the artifact (`false`).
@@ -96,34 +199,83 @@ impl ArtifactCache {
     /// # Panics
     ///
     /// If `(kind, key)` was previously inserted with a different `T`: one
-    /// stage name must always cache one artifact type.
+    /// stage name must always cache one artifact type. (Use
+    /// [`ArtifactCache::try_get_or_build`] for the recoverable variant.)
     pub fn get_or_build<T, F>(&self, kind: &'static str, key: u64, build: F) -> (Arc<T>, bool)
     where
         T: Send + Sync + 'static,
         F: FnOnce() -> T,
     {
-        let slot = {
-            let mut map = self.map.lock().expect("cache lock");
-            if self.max_entries > 0
-                && map.len() >= self.max_entries
-                && !map.contains_key(&(kind, key))
-            {
-                // Coarse reset: drop the generation rather than tracking
-                // recency per entry. In-flight builders keep their slots
-                // alive through their own `Arc`s and finish unaffected.
-                self.evictions
-                    .fetch_add(map.len() as u64, Ordering::Relaxed);
-                map.clear();
-            }
-            Arc::clone(map.entry((kind, key)).or_default())
-        };
+        match self.try_get_or_build::<T, std::convert::Infallible, _>(kind, key, || Ok(build())) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`ArtifactCache::get_or_build`]: the builder may fail, and
+    /// every failure mode — builder error, builder panic, type mismatch —
+    /// comes back as a recoverable [`CacheError`] instead of unwinding.
+    ///
+    /// Only *successful* builds are memoized: on `Err` the slot stays
+    /// uninitialized (`OnceLock` guarantees a panicked or aborted
+    /// initializer leaves the cell empty and lets the next caller retry),
+    /// so a budget-starved build can be retried with a larger budget.
+    pub fn try_get_or_build<T, E, F>(
+        &self,
+        kind: &'static str,
+        key: u64,
+        build: F,
+    ) -> Result<(Arc<T>, bool), CacheError<E>>
+    where
+        T: Send + Sync + 'static,
+        E: Send + 'static,
+        F: FnOnce() -> Result<T, E>,
+    {
+        install_abort_quiet_hook();
+        let slot = self.slot(kind, key);
         let mut built = false;
-        let erased = slot
-            .get_or_init(|| {
+        let mut failed: Option<E> = None;
+        // `OnceLock::get_or_init` wants an infallible initializer; a
+        // builder `Err` is tunnelled out as a `BuildAbort` unwind (error in
+        // the `failed` side channel) and caught right here. Unwind safety:
+        // `built`/`failed` are plain locals written before the panic, and
+        // the cache itself is only touched through atomics and the
+        // poison-recovering lock.
+        let unwound = catch_unwind(AssertUnwindSafe(|| {
+            slot.get_or_init(|| {
                 built = true;
-                Arc::new(build()) as Arc<dyn Any + Send + Sync>
+                match build() {
+                    Ok(v) => Arc::new(v) as Arc<dyn Any + Send + Sync>,
+                    Err(e) => {
+                        failed = Some(e);
+                        raise_build_abort();
+                    }
+                }
             })
-            .clone();
+            .clone()
+        }));
+        RAISING_BUILD_ABORT.with(|f| f.set(false));
+        let erased = match unwound {
+            Ok(a) => a,
+            Err(payload) => {
+                return Err(match failed {
+                    Some(e) => CacheError::Build(e),
+                    None if payload.is::<BuildAbort>() => {
+                        // Another thread's aborted build propagated to us
+                        // through the OnceLock: treat it as a retryable
+                        // panic without a message.
+                        CacheError::BuilderPanicked {
+                            kind,
+                            message: "racing builder aborted".into(),
+                        }
+                    }
+                    None => CacheError::BuilderPanicked {
+                        kind,
+                        message: panic_message(payload.as_ref()),
+                    },
+                });
+            }
+        };
         if built {
             self.misses.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -131,8 +283,8 @@ impl ArtifactCache {
         }
         let arc = erased
             .downcast::<T>()
-            .unwrap_or_else(|_| panic!("artifact kind {kind:?} cached with two types"));
-        (arc, !built)
+            .map_err(|_| CacheError::TypeMismatch { kind })?;
+        Ok((arc, !built))
     }
 
     /// A snapshot of the hit/miss/entry/eviction counters.
@@ -140,14 +292,21 @@ impl ArtifactCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("cache lock").len(),
+            entries: self
+                .map
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len(),
             evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
     /// Drops every cached artifact (counters keep accumulating).
     pub fn clear(&self) {
-        self.map.lock().expect("cache lock").clear();
+        self.map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
     }
 }
 
@@ -228,6 +387,61 @@ mod tests {
         assert_eq!(cache.stats().misses, 1);
         let (_, hit) = cache.get_or_build("t", 1, || 0u8);
         assert!(!hit, "cleared entries are rebuilt");
+    }
+
+    #[test]
+    fn type_mismatch_is_a_recoverable_error() {
+        let cache = ArtifactCache::new();
+        let _ = cache.get_or_build("t", 1, || 42usize);
+        let err = cache
+            .try_get_or_build::<u64, std::convert::Infallible, _>("t", 1, || Ok(7u64))
+            .unwrap_err();
+        assert!(matches!(err, CacheError::TypeMismatch { kind: "t" }));
+        // The cache is still serviceable afterwards, with the original
+        // artifact intact.
+        let (v, hit) = cache.get_or_build("t", 1, || 0usize);
+        assert!(hit);
+        assert_eq!(*v, 42);
+    }
+
+    #[test]
+    fn failed_build_is_not_memoized_and_retries() {
+        let cache = ArtifactCache::new();
+        let err = cache
+            .try_get_or_build::<usize, &str, _>("t", 1, || Err("out of fuel"))
+            .unwrap_err();
+        assert!(matches!(err, CacheError::Build("out of fuel")));
+        // Retry with a successful builder: the slot was left empty.
+        let (v, hit) = cache
+            .try_get_or_build::<usize, &str, _>("t", 1, || Ok(5))
+            .unwrap();
+        assert!(!hit);
+        assert_eq!(*v, 5);
+        // Errors count neither as hits nor as misses.
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn panicking_builder_is_isolated_and_eviction_stats_stay_exact() {
+        let cache = ArtifactCache::with_max_entries(2);
+        let err = cache
+            .try_get_or_build::<usize, std::convert::Infallible, _>("t", 0, || panic!("boom"))
+            .unwrap_err();
+        let CacheError::BuilderPanicked { kind, message } = err else {
+            panic!("expected BuilderPanicked");
+        };
+        assert_eq!(kind, "t");
+        assert!(message.contains("boom"), "{message}");
+        // The panicked slot is retryable and the cache still evicts
+        // correctly: fill past capacity and check the counters add up.
+        for key in 0..5u64 {
+            let _ = cache.get_or_build("t", key, move || key as usize);
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= 2, "bound violated: {}", stats.entries);
+        assert_eq!(stats.misses, 5);
+        assert_eq!(stats.evictions, 4);
+        assert_eq!(stats.lookups(), 5);
     }
 
     #[test]

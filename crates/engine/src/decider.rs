@@ -14,18 +14,26 @@
 //!
 //! The final decide stage (automata products + emptiness) is cheap and
 //! schema×transducer-specific, so it is never cached.
+//!
+//! Every decider runs *governed*: [`Decider::check_governed`] threads a
+//! [`BudgetHandle`] through the whole staged pipeline (fuel is charged at
+//! state/transition construction sites down in `tpx-treeauto` / `tpx-mso`)
+//! and returns a structured [`DecisionError`] instead of panicking or
+//! diverging. The classic [`Decider::check`] is the unlimited-budget
+//! wrapper.
 
 use std::time::Instant;
 
-use crate::cache::ArtifactCache;
+use crate::budget::{BudgetHandle, CheckOptions, DecisionError};
+use crate::cache::{ArtifactCache, CacheError};
 use crate::verdict::{CheckStats, Outcome, StageReport, Verdict};
 use tpx_dtl::pattern::MsoDefinable;
 use tpx_dtl::{
-    compile_counterexample, compile_schema_nbta, dtl_text_preserving_with, DtlCheckReport,
-    DtlSchemaArtifacts, DtlTransducer, DtlTransducerArtifacts,
+    try_compile_counterexample, try_compile_schema_nbta, try_dtl_text_preserving_with,
+    DtlCheckReport, DtlDecideError, DtlSchemaArtifacts, DtlTransducer, DtlTransducerArtifacts,
 };
 use tpx_topdown::{
-    compile_schema_artifacts, compile_transducer_artifacts, is_text_preserving_with,
+    try_compile_schema_artifacts, try_compile_transducer_artifacts, try_is_text_preserving_with,
     SchemaArtifacts, Transducer, TransducerArtifacts,
 };
 use tpx_treeauto::Nta;
@@ -39,34 +47,91 @@ pub trait Decider: Sync {
     /// A short name for reports (`"topdown"`, `"dtl"`).
     fn name(&self) -> &'static str;
 
-    /// Decides text-preservation over `L(schema)`, memoizing expensive
-    /// intermediates in `cache`.
-    fn check(&self, schema: &Nta, cache: &ArtifactCache) -> Verdict;
+    /// Decides text-preservation over `L(schema)` under the fuel/deadline
+    /// budget of `options`, memoizing expensive intermediates in `cache`.
+    /// Budget exhaustion, panics inside cached builders, and construction
+    /// invariant failures all surface as a [`DecisionError`].
+    fn check_governed(
+        &self,
+        schema: &Nta,
+        cache: &ArtifactCache,
+        options: &CheckOptions,
+    ) -> Result<Verdict, DecisionError>;
+
+    /// Decides text-preservation over `L(schema)` with no resource limits,
+    /// memoizing expensive intermediates in `cache`.
+    ///
+    /// # Panics
+    ///
+    /// On any [`DecisionError`] — which an unlimited budget reduces to the
+    /// internal-invariant and panic cases.
+    fn check(&self, schema: &Nta, cache: &ArtifactCache) -> Verdict {
+        self.check_governed(schema, cache, &CheckOptions::unlimited())
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
 }
 
-/// Runs a cached stage: looks `(kind, key)` up, building on miss, and
-/// records duration / artifact size / hit-or-miss.
-fn cached_stage<T, F>(
+/// Runs a cached stage under a budget: looks `(kind, key)` up, building on
+/// miss, and records duration / artifact size / hit-or-miss / fuel. Fuel is
+/// attributed by sampling the shared handle's counter around the stage, so
+/// a cache hit reports `0` (whoever built the artifact paid for it).
+fn governed_stage<T, F>(
     cache: &ArtifactCache,
     kind: &'static str,
     key: u64,
     size: impl Fn(&T) -> usize,
     build: F,
     stats: &mut CheckStats,
-) -> std::sync::Arc<T>
+    budget: &BudgetHandle,
+) -> Result<std::sync::Arc<T>, DecisionError>
 where
     T: Send + Sync + 'static,
-    F: FnOnce() -> T,
+    F: FnOnce() -> Result<T, DecisionError>,
 {
     let start = Instant::now();
-    let (artifact, hit) = cache.get_or_build(kind, key, build);
+    let fuel_before = budget.fuel_spent();
+    let (artifact, hit) = match cache.try_get_or_build(kind, key, build) {
+        Ok(r) => r,
+        Err(CacheError::Build(e)) => return Err(e),
+        Err(CacheError::BuilderPanicked { kind, message }) => {
+            return Err(DecisionError::Panicked {
+                stage: kind,
+                message,
+            })
+        }
+        Err(e @ CacheError::TypeMismatch { .. }) => {
+            return Err(DecisionError::Internal(e.to_string()))
+        }
+    };
     stats.stages.push(StageReport {
         stage: kind,
         duration: start.elapsed(),
         artifact_size: Some(size(&artifact)),
         cache_hit: Some(hit),
+        fuel: budget
+            .is_limited()
+            .then(|| budget.fuel_spent() - fuel_before),
     });
-    artifact
+    Ok(artifact)
+}
+
+/// Records an uncached stage report with fuel attribution.
+fn uncached_stage(
+    kind: &'static str,
+    start: Instant,
+    fuel_before: u64,
+    stats: &mut CheckStats,
+    budget: &BudgetHandle,
+) {
+    stats.stages.push(StageReport {
+        stage: kind,
+        duration: start.elapsed(),
+        artifact_size: None,
+        cache_hit: None,
+        fuel: budget
+            .is_limited()
+            .then(|| budget.fuel_spent() - fuel_before),
+    });
 }
 
 /// The Theorem 4.11 decider for a top-down uniform transducer.
@@ -95,40 +160,52 @@ impl Decider for TopdownDecider<'_> {
         "topdown"
     }
 
-    fn check(&self, schema: &Nta, cache: &ArtifactCache) -> Verdict {
+    fn check_governed(
+        &self,
+        schema: &Nta,
+        cache: &ArtifactCache,
+        options: &CheckOptions,
+    ) -> Result<Verdict, DecisionError> {
+        let budget = options.budget.start();
         let mut stats = CheckStats::default();
-        let schema_art = cached_stage(
+        let schema_art = governed_stage(
             cache,
             "topdown/schema",
             stable_hash_of(schema),
             SchemaArtifacts::size,
-            || compile_schema_artifacts(schema),
+            || {
+                try_compile_schema_artifacts(schema, &budget)
+                    .map_err(|b| DecisionError::exhausted("topdown/schema", b))
+            },
             &mut stats,
-        );
-        let trans_art = cached_stage(
+            &budget,
+        )?;
+        let trans_art = governed_stage(
             cache,
             "topdown/transducer",
             self.key,
             TransducerArtifacts::size,
-            || compile_transducer_artifacts(self.t),
+            || {
+                try_compile_transducer_artifacts(self.t, &budget)
+                    .map_err(|b| DecisionError::exhausted("topdown/transducer", b))
+            },
             &mut stats,
-        );
+            &budget,
+        )?;
         let start = Instant::now();
-        let report = is_text_preserving_with(&schema_art, &trans_art, schema);
-        stats.stages.push(StageReport {
-            stage: "topdown/decide",
-            duration: start.elapsed(),
-            artifact_size: None,
-            cache_hit: None,
-        });
+        let fuel_before = budget.fuel_spent();
+        let report = try_is_text_preserving_with(&schema_art, &trans_art, schema, &budget)
+            .map_err(|b| DecisionError::exhausted("topdown/decide", b))?;
+        uncached_stage("topdown/decide", start, fuel_before, &mut stats, &budget);
         let outcome: Outcome = report.into();
         #[cfg(debug_assertions)]
         validate_topdown_outcome(self.t, schema, &outcome);
-        Verdict {
+        Ok(Verdict {
             decider: self.name(),
             outcome,
             stats,
-        }
+            degraded: None,
+        })
     }
 }
 
@@ -192,6 +269,68 @@ where
     }
 }
 
+impl<P: MsoDefinable> DtlDecider<'_, P> {
+    /// The symbolic (exact) pipeline, governed.
+    fn symbolic(
+        &self,
+        schema: &Nta,
+        cache: &ArtifactCache,
+        budget: &BudgetHandle,
+        stats: &mut CheckStats,
+    ) -> Result<Outcome, DecisionError> {
+        let n_symbols = schema.symbol_count();
+        let schema_art = governed_stage(
+            cache,
+            "dtl/schema",
+            stable_hash_of(schema),
+            DtlSchemaArtifacts::size,
+            || {
+                try_compile_schema_nbta(schema, budget)
+                    .map_err(|b| DecisionError::exhausted("dtl/schema", b))
+            },
+            stats,
+            budget,
+        )?;
+        // The counter-example automaton depends on (transducer, |Σ|).
+        let ce_key = {
+            let mut h = StableHasher::new();
+            h.write_u64(self.key);
+            h.write_usize(n_symbols);
+            h.finish()
+        };
+        let ce_art = governed_stage(
+            cache,
+            "dtl/counterexample",
+            ce_key,
+            DtlTransducerArtifacts::size,
+            || {
+                try_compile_counterexample(self.t, n_symbols, budget)
+                    .map_err(|e| dtl_error("dtl/counterexample", e))
+            },
+            stats,
+            budget,
+        )?;
+        let start = Instant::now();
+        let fuel_before = budget.fuel_spent();
+        let report = try_dtl_text_preserving_with(&ce_art, &schema_art, budget)
+            .map_err(|e| dtl_error("dtl/decide", e))?;
+        uncached_stage("dtl/decide", start, fuel_before, stats, budget);
+        Ok(match report {
+            DtlCheckReport::Preserving => Outcome::Preserving,
+            DtlCheckReport::NotPreserving { witness } => Outcome::NotPreserving { witness },
+        })
+    }
+}
+
+/// Maps a [`DtlDecideError`] onto the engine error, attributing budget
+/// exhaustion to `stage`.
+fn dtl_error(stage: &'static str, e: DtlDecideError) -> DecisionError {
+    match e {
+        DtlDecideError::Budget(b) => DecisionError::exhausted(stage, b),
+        DtlDecideError::Internal(msg) => DecisionError::Internal(msg),
+    }
+}
+
 impl<P> Decider for DtlDecider<'_, P>
 where
     P: MsoDefinable,
@@ -201,50 +340,60 @@ where
         "dtl"
     }
 
-    fn check(&self, schema: &Nta, cache: &ArtifactCache) -> Verdict {
-        let n_symbols = schema.symbol_count();
+    fn check_governed(
+        &self,
+        schema: &Nta,
+        cache: &ArtifactCache,
+        options: &CheckOptions,
+    ) -> Result<Verdict, DecisionError> {
+        let budget = options.budget.start();
         let mut stats = CheckStats::default();
-        let schema_art = cached_stage(
-            cache,
-            "dtl/schema",
-            stable_hash_of(schema),
-            DtlSchemaArtifacts::size,
-            || compile_schema_nbta(schema),
-            &mut stats,
-        );
-        // The counter-example automaton depends on (transducer, |Σ|).
-        let ce_key = {
-            let mut h = StableHasher::new();
-            h.write_u64(self.key);
-            h.write_usize(n_symbols);
-            h.finish()
-        };
-        let ce_art = cached_stage(
-            cache,
-            "dtl/counterexample",
-            ce_key,
-            DtlTransducerArtifacts::size,
-            || compile_counterexample(self.t, n_symbols),
-            &mut stats,
-        );
-        let start = Instant::now();
-        let report = dtl_text_preserving_with(&ce_art, &schema_art);
-        stats.stages.push(StageReport {
-            stage: "dtl/decide",
-            duration: start.elapsed(),
-            artifact_size: None,
-            cache_hit: None,
-        });
-        let outcome = match report {
-            DtlCheckReport::Preserving => Outcome::Preserving,
-            DtlCheckReport::NotPreserving { witness } => Outcome::NotPreserving { witness },
-        };
-        #[cfg(debug_assertions)]
-        validate_dtl_outcome(self.t, schema, &outcome);
-        Verdict {
-            decider: self.name(),
-            outcome,
-            stats,
+        match self.symbolic(schema, cache, &budget, &mut stats) {
+            Ok(outcome) => {
+                #[cfg(debug_assertions)]
+                validate_dtl_outcome(self.t, schema, &outcome);
+                Ok(Verdict {
+                    decider: self.name(),
+                    outcome,
+                    stats,
+                    degraded: None,
+                })
+            }
+            Err(e) if e.is_resource_exhausted() && options.degrade.is_some() => {
+                // Graceful degradation: the symbolic pipeline ran out of
+                // budget; fall back to the bounded-enumeration oracle.
+                // Sound but incomplete — the verdict is marked degraded
+                // with the bound that was actually searched.
+                let bound = options.degrade.expect("checked is_some");
+                let start = Instant::now();
+                let witness = tpx_dtl::bounded::bounded_counterexample(
+                    self.t,
+                    schema,
+                    bound.max_nodes,
+                    bound.limit,
+                )
+                .map_err(|err| DecisionError::Internal(err.to_string()))?;
+                stats.stages.push(StageReport {
+                    stage: "dtl/bounded",
+                    duration: start.elapsed(),
+                    artifact_size: None,
+                    cache_hit: None,
+                    fuel: Some(0),
+                });
+                let outcome = match witness {
+                    None => Outcome::Preserving,
+                    Some(witness) => Outcome::NotPreserving { witness },
+                };
+                #[cfg(debug_assertions)]
+                validate_dtl_outcome(self.t, schema, &outcome);
+                Ok(Verdict {
+                    decider: self.name(),
+                    outcome,
+                    stats,
+                    degraded: Some(bound),
+                })
+            }
+            Err(e) => Err(e),
         }
     }
 }

@@ -1,10 +1,12 @@
 //! The [`Engine`]: a shared artifact cache plus single and batch check
-//! entry points.
+//! entry points, governed and ungoverned.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
-use crate::cache::{ArtifactCache, CacheStats};
+use crate::budget::{CheckOptions, DecisionError};
+use crate::cache::{panic_message, ArtifactCache, CacheStats};
 use crate::decider::Decider;
 use crate::verdict::Verdict;
 use tpx_treeauto::Nta;
@@ -58,6 +60,33 @@ impl Engine {
         decider.check(schema, &self.cache)
     }
 
+    /// Runs one governed check through the shared cache: the task runs
+    /// under the fuel/deadline budget of `options` and inside
+    /// `catch_unwind`, so budget exhaustion *and* panics come back as a
+    /// structured [`DecisionError`] instead of unwinding.
+    ///
+    /// Unwind safety at the cache boundary: the cache mutates state only
+    /// through atomics, poison-recovering locks whose critical sections
+    /// contain no user code, and `OnceLock` slots that stay uninitialized
+    /// when a builder unwinds — so the shared cache is observably
+    /// consistent (and fully serviceable) after a caught panic.
+    pub fn check_governed(
+        &self,
+        decider: &dyn Decider,
+        schema: &Nta,
+        options: &CheckOptions,
+    ) -> Result<Verdict, DecisionError> {
+        catch_unwind(AssertUnwindSafe(|| {
+            decider.check_governed(schema, &self.cache, options)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(DecisionError::Panicked {
+                stage: "engine/task",
+                message: panic_message(payload.as_ref()),
+            })
+        })
+    }
+
     /// Runs every task, returning verdicts in task order.
     ///
     /// With `jobs > 1`, tasks are pulled off a shared atomic counter by a
@@ -66,13 +95,41 @@ impl Engine {
     /// block on it. Verdicts are identical to a sequential run — all stages
     /// are deterministic; only the hit/miss attribution in
     /// [`Verdict::stats`] can differ (which worker built an artifact first).
+    ///
+    /// # Panics
+    ///
+    /// If any task fails (which under the unlimited budget means a panic
+    /// inside its decider, isolated per task). Every *other* task still
+    /// runs to completion first; use [`Engine::check_many_governed`] to
+    /// receive per-task results instead.
     pub fn check_many(&self, tasks: &[Task<'_>]) -> Vec<Verdict> {
+        self.check_many_governed(tasks, &CheckOptions::unlimited())
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+            .collect()
+    }
+
+    /// Governed [`Engine::check_many`]: each task gets a fresh budget from
+    /// `options` and runs inside `catch_unwind`, so one exhausted or
+    /// panicking task cannot take down the batch — the remaining tasks
+    /// still produce verdicts, in input order, and the shared cache stays
+    /// serviceable (see [`Engine::check_governed`] for the unwind-safety
+    /// argument).
+    pub fn check_many_governed(
+        &self,
+        tasks: &[Task<'_>],
+        options: &CheckOptions,
+    ) -> Vec<Result<Verdict, DecisionError>> {
         let jobs = self.jobs().min(tasks.len().max(1));
         if jobs <= 1 {
-            return tasks.iter().map(|(d, s)| self.check(*d, s)).collect();
+            return tasks
+                .iter()
+                .map(|(d, s)| self.check_governed(*d, s, options))
+                .collect();
         }
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Verdict>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<Result<Verdict, DecisionError>>>> =
+            tasks.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..jobs {
                 scope.spawn(|| loop {
@@ -80,8 +137,8 @@ impl Engine {
                     let Some((decider, schema)) = tasks.get(i) else {
                         break;
                     };
-                    let verdict = decider.check(schema, &self.cache);
-                    *slots[i].lock().expect("result slot") = Some(verdict);
+                    let result = self.check_governed(*decider, schema, options);
+                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
                 });
             }
         });
@@ -89,8 +146,12 @@ impl Engine {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .expect("result slot")
-                    .expect("every task index below len was claimed by a worker")
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .unwrap_or_else(|| {
+                        Err(DecisionError::Internal(
+                            "task was never completed by a worker".into(),
+                        ))
+                    })
             })
             .collect()
     }

@@ -31,12 +31,16 @@
 //! assert!(verdict.stats.stage("topdown/schema").unwrap().cache_hit == Some(true));
 //! ```
 
+pub mod budget;
 pub mod cache;
 pub mod decider;
 mod engine;
 pub mod verdict;
 
-pub use cache::{ArtifactCache, CacheStats};
+pub use budget::{
+    Budget, BudgetExceeded, BudgetHandle, CheckOptions, DecisionError, DegradeBound, ExhaustReason,
+};
+pub use cache::{ArtifactCache, CacheError, CacheStats};
 pub use decider::{Decider, DtlDecider, TopdownDecider};
 pub use engine::{Engine, Task};
 pub use verdict::{CheckStats, Outcome, StageReport, Verdict};

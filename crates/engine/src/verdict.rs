@@ -5,6 +5,8 @@ use std::time::Duration;
 use tpx_topdown::{CheckReport, PathSym};
 use tpx_trees::Tree;
 
+use crate::budget::DegradeBound;
+
 /// What the decider concluded, with the diagnostic witness when the
 /// transformation is not text-preserving.
 #[derive(Clone, Debug)]
@@ -71,6 +73,10 @@ pub struct StageReport {
     /// Whether the artifact came out of the cache (`Some(true)`), was built
     /// by this check (`Some(false)`), or the stage is uncached (`None`).
     pub cache_hit: Option<bool>,
+    /// Fuel charged by this stage under a governed check (`None` when the
+    /// check ran ungoverned). Cache hits report `Some(0)`: the fuel was
+    /// spent by whoever built the artifact.
+    pub fuel: Option<u64>,
 }
 
 /// Per-check statistics: one [`StageReport`] per pipeline stage, in
@@ -92,6 +98,11 @@ impl CheckStats {
         self.stages.iter().find(|s| s.stage == name)
     }
 
+    /// Total fuel charged across all stages (0 when ungoverned).
+    pub fn total_fuel(&self) -> u64 {
+        self.stages.iter().filter_map(|s| s.fuel).sum()
+    }
+
     /// How many stages were served from the cache.
     pub fn cache_hits(&self) -> usize {
         self.stages
@@ -111,12 +122,22 @@ pub struct Verdict {
     pub outcome: Outcome,
     /// Per-stage timings, artifact sizes and cache attribution.
     pub stats: CheckStats,
+    /// `Some(bound)` when the symbolic pipeline exhausted its budget and
+    /// this verdict came from the bounded-enumeration fallback instead —
+    /// sound for `NotPreserving`, but `Preserving` then only means "no
+    /// counter-example within the bound".
+    pub degraded: Option<DegradeBound>,
 }
 
 impl Verdict {
     /// Whether the transformation is text-preserving.
     pub fn is_preserving(&self) -> bool {
         self.outcome.is_preserving()
+    }
+
+    /// Whether this verdict came from the degraded (bounded) fallback.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
     }
 }
 
@@ -142,17 +163,20 @@ mod tests {
                     duration: Duration::from_millis(2),
                     artifact_size: Some(10),
                     cache_hit: Some(true),
+                    fuel: Some(0),
                 },
                 StageReport {
                     stage: "b",
                     duration: Duration::from_millis(3),
                     artifact_size: None,
                     cache_hit: None,
+                    fuel: Some(7),
                 },
             ],
         };
         assert_eq!(stats.total_duration(), Duration::from_millis(5));
         assert_eq!(stats.cache_hits(), 1);
         assert_eq!(stats.stage("b").unwrap().artifact_size, None);
+        assert_eq!(stats.total_fuel(), 7);
     }
 }

@@ -1,7 +1,11 @@
 //! Integration tests for the decision engine: cache semantics, batch
-//! consistency, and verdict structure.
+//! consistency, verdict structure, and resource governance (budgets, panic
+//! isolation, graceful degradation).
 
-use tpx_engine::{Decider, DtlDecider, Engine, Outcome, Task, TopdownDecider};
+use tpx_engine::{
+    ArtifactCache, Budget, CheckOptions, Decider, DecisionError, DegradeBound, DtlDecider, Engine,
+    ExhaustReason, Outcome, Task, TopdownDecider, Verdict,
+};
 use tpx_treeauto::{Nta, NtaBuilder};
 use tpx_trees::Alphabet;
 use tpx_workload::{chain_schema, comb_schema, recipe_schema, transducers};
@@ -233,6 +237,165 @@ fn dtl_witness_surfaces_in_outcome() {
         panic!("doubling must be detected, got {:?}", verdict.outcome);
     };
     assert!(uni.accepts(witness));
+}
+
+/// A decider that always panics, standing in for a decision path that hits
+/// a bug on one specific input of a batch.
+struct PanickingDecider;
+
+impl Decider for PanickingDecider {
+    fn name(&self) -> &'static str {
+        "panicking"
+    }
+
+    fn check_governed(
+        &self,
+        _schema: &Nta,
+        _cache: &ArtifactCache,
+        _options: &CheckOptions,
+    ) -> Result<Verdict, DecisionError> {
+        panic!("decider blew up on this instance");
+    }
+}
+
+#[test]
+fn zero_fuel_fails_fast_with_resource_exhausted() {
+    let (alpha, schema) = chain_schema(4);
+    let t = transducers::identity_transducer(&alpha);
+    let engine = Engine::new();
+    let options = CheckOptions::with_budget(Budget::default().with_fuel(0));
+    let err = engine
+        .check_governed(&TopdownDecider::new(&t), &schema, &options)
+        .expect_err("zero fuel cannot complete any stage");
+    let DecisionError::ResourceExhausted {
+        stage,
+        reason,
+        fuel_spent,
+        ..
+    } = err
+    else {
+        panic!("expected ResourceExhausted, got {err:?}");
+    };
+    assert_eq!(stage, "topdown/schema", "first probe trips");
+    assert_eq!(reason, ExhaustReason::Fuel);
+    // Stage entry charges exactly one unit, which is already over a zero
+    // budget — no construction work happens first.
+    assert_eq!(fuel_spent, 1, "the entry probe fires before any work");
+}
+
+#[test]
+fn generous_budget_changes_no_verdict() {
+    // Governed with room to spare ≡ ungoverned, over the workload suite.
+    for (alpha, schema) in [chain_schema(4), comb_schema(4), recipe_schema()] {
+        let engine = Engine::new();
+        let governed_engine = Engine::new();
+        let options = CheckOptions::with_budget(Budget::default().with_fuel(50_000_000));
+        for (name, t) in transducers::suite(&alpha, 3) {
+            let d = TopdownDecider::new(&t);
+            let plain = engine.check(&d, &schema);
+            let governed = governed_engine
+                .check_governed(&d, &schema, &options)
+                .unwrap_or_else(|e| panic!("{name:?}: generous budget exhausted: {e}"));
+            assert_eq!(plain.is_preserving(), governed.is_preserving(), "{name:?}");
+            assert!(governed.degraded.is_none());
+            // Per-stage fuel is accounted under a limited budget.
+            assert!(
+                governed.stats.stages.iter().all(|s| s.fuel.is_some()),
+                "{name:?}: governed stages must report fuel"
+            );
+            assert!(governed.stats.total_fuel() > 0, "{name:?}");
+            assert!(
+                plain.stats.stages.iter().all(|s| s.fuel.is_none()),
+                "{name:?}: ungoverned stages report no fuel"
+            );
+        }
+    }
+}
+
+#[test]
+fn dtl_exhaustion_degrades_to_bounded_oracle() {
+    let al = Alphabet::from_labels(["a", "b"]);
+    let uni = universal(&al);
+    // The doubling transducer from `dtl_witness_surfaces_in_outcome`.
+    use tpx_xpath::{Axis, PathExpr};
+    let mut t = tpx_dtl::DtlTransducer::new(tpx_dtl::XPathPatterns, 1, tpx_dtl::DtlState(0));
+    let c1 = t.add_binary_pattern(PathExpr::Axis(Axis::Child));
+    let c2 = t.add_binary_pattern(PathExpr::Axis(Axis::Child));
+    t.add_rule(
+        tpx_dtl::DtlState(0),
+        tpx_xpath::NodeExpr::Label(al.sym("a")),
+        vec![tpx_dtl::Rhs::Elem(
+            al.sym("a"),
+            vec![
+                tpx_dtl::Rhs::Call(tpx_dtl::DtlState(0), c1),
+                tpx_dtl::Rhs::Call(tpx_dtl::DtlState(0), c2),
+            ],
+        )],
+    );
+    t.set_text_rule(tpx_dtl::DtlState(0), true);
+    let d = DtlDecider::new(&t);
+    let engine = Engine::new();
+    // Starved symbolic pipeline, no fallback: a structured error.
+    let starved = CheckOptions::with_budget(Budget::default().with_fuel(50));
+    let err = engine.check_governed(&d, &uni, &starved).unwrap_err();
+    assert!(err.is_resource_exhausted(), "{err:?}");
+    // Same budget with degradation: the bounded oracle finds the doubling
+    // and the verdict carries the bound it searched.
+    let bound = DegradeBound {
+        max_nodes: 4,
+        limit: 500,
+    };
+    let degraded = engine
+        .check_governed(
+            &d,
+            &uni,
+            &CheckOptions::with_budget(Budget::default().with_fuel(50)).degrade_with(bound),
+        )
+        .expect("bounded fallback produces a verdict");
+    assert_eq!(degraded.degraded, Some(bound));
+    assert!(degraded.is_degraded());
+    assert!(
+        matches!(degraded.outcome, Outcome::NotPreserving { .. }),
+        "the doubling has a witness within 4 nodes"
+    );
+    assert!(degraded.stats.stage("dtl/bounded").is_some());
+}
+
+#[test]
+fn panicking_task_yields_other_verdicts_in_order() {
+    let (alpha, schema) = chain_schema(4);
+    let good: Vec<_> = (1..=4)
+        .map(|d| transducers::deep_selector(&alpha, d))
+        .collect();
+    let deciders: Vec<TopdownDecider> = good.iter().map(TopdownDecider::new).collect();
+    let bad = PanickingDecider;
+    // Poison the middle of the batch.
+    let mut tasks: Vec<Task> = deciders
+        .iter()
+        .map(|d| (d as &dyn Decider, &schema))
+        .collect();
+    tasks.insert(2, (&bad as &dyn Decider, &schema));
+    for engine in [Engine::new(), Engine::with_jobs(4)] {
+        let results = engine.check_many_governed(&tasks, &CheckOptions::unlimited());
+        assert_eq!(results.len(), tasks.len());
+        for (i, r) in results.iter().enumerate() {
+            if i == 2 {
+                let Err(DecisionError::Panicked { message, .. }) = r else {
+                    panic!("task 2 must surface its panic, got {r:?}");
+                };
+                assert!(message.contains("blew up"), "{message}");
+            } else {
+                assert!(r.is_ok(), "task {i} must still complete: {r:?}");
+            }
+        }
+        // The shared cache survived the panic and stays serviceable.
+        let after = engine.check(&deciders[0], &schema);
+        assert_eq!(
+            after.stats.stage("topdown/schema").unwrap().cache_hit,
+            Some(true),
+            "cache still serves the artifacts built around the panic"
+        );
+    }
 }
 
 #[test]

@@ -18,8 +18,44 @@ pub use crate::atomic::MSym;
 use crate::atomic::{self};
 use crate::formula::{Formula, SetVar, Var};
 use std::collections::HashMap;
+use std::fmt;
 use tpx_treeauto::{EncSym, Nbta, RankedTree};
+use tpx_trees::budget::{BudgetExceeded, BudgetHandle};
 use tpx_trees::{Hedge, NodeId, Tree};
+
+/// Why a compilation failed: a malformed query (free variable missing from
+/// the context) or an exhausted resource budget.
+#[derive(Clone, Debug)]
+pub enum CompileError {
+    /// `φ` mentions a variable the caller's context does not bind.
+    UnboundVariable {
+        /// The offending variable.
+        var: VarKey,
+        /// The context it was looked up in.
+        ctx: Vec<VarKey>,
+    },
+    /// The budget ran out mid-compilation.
+    Budget(BudgetExceeded),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnboundVariable { var, ctx } => {
+                write!(f, "variable {var:?} not in context {ctx:?}")
+            }
+            CompileError::Budget(b) => write!(f, "mso compilation {b}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<BudgetExceeded> for CompileError {
+    fn from(b: BudgetExceeded) -> Self {
+        CompileError::Budget(b)
+    }
+}
 
 /// A memoization cache for [`compile`]: large deciders (Section 5.3)
 /// instantiate the same reachability subformulas for many state pairs, and
@@ -53,13 +89,26 @@ pub fn compile_cached(
     n_symbols: usize,
     cache: &mut CompileCache,
 ) -> Nbta<MSym> {
+    try_compile_cached(phi, ctx, n_symbols, cache, &BudgetHandle::unlimited())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Budgeted [`compile_cached`]: only successful compilations are memoized,
+/// so a budget-aborted compilation can be retried with a larger budget.
+pub fn try_compile_cached(
+    phi: &Formula,
+    ctx: &[VarKey],
+    n_symbols: usize,
+    cache: &mut CompileCache,
+    budget: &BudgetHandle,
+) -> Result<Nbta<MSym>, CompileError> {
     let key = (phi.clone(), ctx.to_vec(), n_symbols);
     if let Some(hit) = cache.map.get(&key) {
-        return hit.clone();
+        return Ok(hit.clone());
     }
-    let result = compile_inner(phi, ctx, n_symbols, &mut Some(cache));
+    let result = compile_inner(phi, ctx, n_symbols, &mut Some(cache), budget)?;
     cache.map.insert(key, result.clone());
-    result
+    Ok(result)
 }
 
 /// A context entry: a free variable with its bit position given by its
@@ -72,16 +121,31 @@ pub enum VarKey {
     So(SetVar),
 }
 
-fn bit_of(ctx: &[VarKey], k: VarKey) -> usize {
+/// The bit position of `k` in `ctx`, or an [`CompileError::UnboundVariable`]
+/// naming the variable and the context it was missing from.
+fn bit_of(ctx: &[VarKey], k: VarKey) -> Result<usize, CompileError> {
     ctx.iter()
         .position(|&c| c == k)
-        .unwrap_or_else(|| panic!("variable {k:?} not in context {ctx:?}"))
+        .ok_or_else(|| CompileError::UnboundVariable {
+            var: k,
+            ctx: ctx.to_vec(),
+        })
 }
 
 /// Compiles `φ` against the given context (which must contain all free
 /// variables of `φ`).
 pub fn compile(phi: &Formula, ctx: &[VarKey], n_symbols: usize) -> Nbta<MSym> {
-    compile_inner(phi, ctx, n_symbols, &mut None)
+    try_compile(phi, ctx, n_symbols, &BudgetHandle::unlimited()).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Budgeted, fallible [`compile`].
+pub fn try_compile(
+    phi: &Formula,
+    ctx: &[VarKey],
+    n_symbols: usize,
+    budget: &BudgetHandle,
+) -> Result<Nbta<MSym>, CompileError> {
+    compile_inner(phi, ctx, n_symbols, &mut None, budget)
 }
 
 fn rec(
@@ -89,10 +153,11 @@ fn rec(
     ctx: &[VarKey],
     n_symbols: usize,
     cache: &mut Option<&mut CompileCache>,
-) -> Nbta<MSym> {
+    budget: &BudgetHandle,
+) -> Result<Nbta<MSym>, CompileError> {
     match cache {
-        Some(c) => compile_cached(phi, ctx, n_symbols, c),
-        None => compile_inner(phi, ctx, n_symbols, &mut None),
+        Some(c) => try_compile_cached(phi, ctx, n_symbols, c, budget),
+        None => compile_inner(phi, ctx, n_symbols, &mut None, budget),
     }
 }
 
@@ -101,84 +166,89 @@ fn compile_inner(
     ctx: &[VarKey],
     n_symbols: usize,
     cache: &mut Option<&mut CompileCache>,
-) -> Nbta<MSym> {
+    budget: &BudgetHandle,
+) -> Result<Nbta<MSym>, CompileError> {
+    budget.charge(1)?;
     let w = ctx.len();
-    match phi {
+    Ok(match phi {
         Formula::True => atomic::true_auto(n_symbols, w),
         Formula::False => atomic::false_auto(n_symbols, w),
         Formula::Child(x, y) => atomic::child(
             n_symbols,
             w,
-            bit_of(ctx, VarKey::Fo(*x)),
-            bit_of(ctx, VarKey::Fo(*y)),
+            bit_of(ctx, VarKey::Fo(*x))?,
+            bit_of(ctx, VarKey::Fo(*y))?,
         ),
         Formula::NextSib(x, y) => atomic::next_sib(
             n_symbols,
             w,
-            bit_of(ctx, VarKey::Fo(*x)),
-            bit_of(ctx, VarKey::Fo(*y)),
+            bit_of(ctx, VarKey::Fo(*x))?,
+            bit_of(ctx, VarKey::Fo(*y))?,
         ),
         Formula::SibLess(x, y) => atomic::sib_less(
             n_symbols,
             w,
-            bit_of(ctx, VarKey::Fo(*x)),
-            bit_of(ctx, VarKey::Fo(*y)),
+            bit_of(ctx, VarKey::Fo(*x))?,
+            bit_of(ctx, VarKey::Fo(*y))?,
         ),
         Formula::Descendant(x, y) => atomic::descendant(
             n_symbols,
             w,
-            bit_of(ctx, VarKey::Fo(*x)),
-            bit_of(ctx, VarKey::Fo(*y)),
+            bit_of(ctx, VarKey::Fo(*x))?,
+            bit_of(ctx, VarKey::Fo(*y))?,
         ),
-        Formula::Lab(s, x) => atomic::label_is(n_symbols, w, bit_of(ctx, VarKey::Fo(*x)), *s),
-        Formula::IsText(x) => atomic::is_text(n_symbols, w, bit_of(ctx, VarKey::Fo(*x))),
+        Formula::Lab(s, x) => atomic::label_is(n_symbols, w, bit_of(ctx, VarKey::Fo(*x))?, *s),
+        Formula::IsText(x) => atomic::is_text(n_symbols, w, bit_of(ctx, VarKey::Fo(*x))?),
         Formula::Eq(x, y) => atomic::eq(
             n_symbols,
             w,
-            bit_of(ctx, VarKey::Fo(*x)),
-            bit_of(ctx, VarKey::Fo(*y)),
+            bit_of(ctx, VarKey::Fo(*x))?,
+            bit_of(ctx, VarKey::Fo(*y))?,
         ),
-        Formula::Root(x) => atomic::root_marked(n_symbols, w, bit_of(ctx, VarKey::Fo(*x))),
+        Formula::Root(x) => atomic::root_marked(n_symbols, w, bit_of(ctx, VarKey::Fo(*x))?),
         Formula::In(x, s) => atomic::in_set(
             n_symbols,
             w,
-            bit_of(ctx, VarKey::Fo(*x)),
-            bit_of(ctx, VarKey::So(*s)),
+            bit_of(ctx, VarKey::Fo(*x))?,
+            bit_of(ctx, VarKey::So(*s))?,
         ),
         Formula::And(a, b) => {
-            let aa = rec(a, ctx, n_symbols, cache);
-            let bb = rec(b, ctx, n_symbols, cache);
-            aa.intersect(&bb).trim()
+            let aa = rec(a, ctx, n_symbols, cache, budget)?;
+            let bb = rec(b, ctx, n_symbols, cache, budget)?;
+            aa.try_intersect(&bb, budget)?.try_trim(budget)?
         }
         Formula::Or(a, b) => {
-            let aa = rec(a, ctx, n_symbols, cache);
-            let bb = rec(b, ctx, n_symbols, cache);
-            aa.union(&bb).trim()
+            let aa = rec(a, ctx, n_symbols, cache, budget)?;
+            let bb = rec(b, ctx, n_symbols, cache, budget)?;
+            aa.union(&bb).try_trim(budget)?
         }
-        Formula::Not(a) => complement(&rec(a, ctx, n_symbols, cache)),
+        Formula::Not(a) => complement(&rec(a, ctx, n_symbols, cache, budget)?, budget)?,
         Formula::ExistsFo(v, a) => {
             let inner = extend_ctx(ctx, VarKey::Fo(*v));
-            let body = rec(a, &inner, n_symbols, cache);
+            let body = rec(a, &inner, n_symbols, cache, budget)?;
             let guarded = body
-                .intersect(&atomic::singleton(n_symbols, inner.len(), ctx.len()))
-                .trim();
-            project_last_bit(&guarded, n_symbols, ctx.len())
+                .try_intersect(
+                    &atomic::singleton(n_symbols, inner.len(), ctx.len()),
+                    budget,
+                )?
+                .try_trim(budget)?;
+            project_last_bit(&guarded, n_symbols, ctx.len(), budget)?
         }
         Formula::ExistsSo(v, a) => {
             let inner = extend_ctx(ctx, VarKey::So(*v));
-            let body = rec(a, &inner, n_symbols, cache);
-            project_last_bit(&body.trim(), n_symbols, ctx.len())
+            let body = rec(a, &inner, n_symbols, cache, budget)?;
+            project_last_bit(&body.try_trim(budget)?, n_symbols, ctx.len(), budget)?
         }
         Formula::ForallFo(v, a) => {
             // ∀x φ = ¬∃x ¬φ.
             let neg = Formula::ExistsFo(*v, Box::new(a.clone().not()));
-            complement(&rec(&neg, ctx, n_symbols, cache))
+            complement(&rec(&neg, ctx, n_symbols, cache, budget)?, budget)?
         }
         Formula::ForallSo(v, a) => {
             let neg = Formula::ExistsSo(*v, Box::new(a.clone().not()));
-            complement(&rec(&neg, ctx, n_symbols, cache))
+            complement(&rec(&neg, ctx, n_symbols, cache, budget)?, budget)?
         }
-    }
+    })
 }
 
 fn extend_ctx(ctx: &[VarKey], k: VarKey) -> Vec<VarKey> {
@@ -191,13 +261,21 @@ fn extend_ctx(ctx: &[VarKey], k: VarKey) -> Vec<VarKey> {
     v
 }
 
-fn complement(a: &Nbta<MSym>) -> Nbta<MSym> {
-    a.determinize().complement().to_nbta().trim()
+fn complement(a: &Nbta<MSym>, budget: &BudgetHandle) -> Result<Nbta<MSym>, BudgetExceeded> {
+    a.try_determinize(budget)?
+        .complement()
+        .to_nbta()
+        .try_trim(budget)
 }
 
 /// Drops the highest bit (the variable at position `width`, i.e. the last
 /// of `width + 1` bits): existential projection.
-fn project_last_bit(a: &Nbta<MSym>, n_symbols: usize, width: usize) -> Nbta<MSym> {
+fn project_last_bit(
+    a: &Nbta<MSym>,
+    n_symbols: usize,
+    width: usize,
+    budget: &BudgetHandle,
+) -> Result<Nbta<MSym>, BudgetExceeded> {
     let mask = (1u64 << width) - 1;
     let projected = a.map_symbols(|s| MSym {
         label: s.label,
@@ -205,12 +283,17 @@ fn project_last_bit(a: &Nbta<MSym>, n_symbols: usize, width: usize) -> Nbta<MSym
     });
     // map_symbols derives alphabets from the source; normalize to the
     // canonical alphabets for this width.
-    rebuild_alphabets(&projected, n_symbols, width).trim()
+    rebuild_alphabets(&projected, n_symbols, width, budget)?.try_trim(budget)
 }
 
 /// Rebuilds `a` with the canonical alphabets for `width` bits (languages
 /// are unchanged; rule sets are already over a subset of these symbols).
-fn rebuild_alphabets(a: &Nbta<MSym>, n_symbols: usize, width: usize) -> Nbta<MSym> {
+fn rebuild_alphabets(
+    a: &Nbta<MSym>,
+    n_symbols: usize,
+    width: usize,
+    budget: &BudgetHandle,
+) -> Result<Nbta<MSym>, BudgetExceeded> {
     let mut out = Nbta::new(
         atomic::leaf_alphabet(),
         atomic::internal_alphabet(n_symbols, width),
@@ -228,6 +311,7 @@ fn rebuild_alphabets(a: &Nbta<MSym>, n_symbols: usize, width: usize) -> Nbta<MSy
     }
     for l in a.internal_alphabet() {
         for q1 in a.states() {
+            budget.charge(a.state_count() as u64)?;
             for q2 in a.states() {
                 for &q in a.rule_states(l, q1, q2) {
                     out.add_rule(*l, q1, q2, q);
@@ -235,7 +319,7 @@ fn rebuild_alphabets(a: &Nbta<MSym>, n_symbols: usize, width: usize) -> Nbta<MSy
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Compiles a sentence (no free variables) to an automaton over plain
@@ -256,18 +340,38 @@ pub fn compile_sentence_cached(
     n_symbols: usize,
     cache: &mut CompileCache,
 ) -> Nbta<EncSym> {
+    try_compile_sentence_cached(phi, n_symbols, cache, &BudgetHandle::unlimited())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Budgeted [`compile_sentence_cached`].
+pub fn try_compile_sentence_cached(
+    phi: &Formula,
+    n_symbols: usize,
+    cache: &mut CompileCache,
+    budget: &BudgetHandle,
+) -> Result<Nbta<EncSym>, CompileError> {
     let (fo, so) = phi.free_vars();
     assert!(
         fo.is_empty() && so.is_empty(),
         "compile_sentence requires a closed formula"
     );
-    let a = compile_cached(phi, &[], n_symbols, cache);
-    strip_bits(&a, n_symbols)
+    let a = try_compile_cached(phi, &[], n_symbols, cache, budget)?;
+    Ok(try_strip_bits(&a, n_symbols, budget)?)
 }
 
 /// Converts a zero-bit marked automaton into one over plain encoding
 /// symbols.
 pub fn strip_bits(a: &Nbta<MSym>, n_symbols: usize) -> Nbta<EncSym> {
+    try_strip_bits(a, n_symbols, &BudgetHandle::unlimited()).expect("unlimited budget")
+}
+
+/// Budgeted [`strip_bits`].
+pub fn try_strip_bits(
+    a: &Nbta<MSym>,
+    n_symbols: usize,
+    budget: &BudgetHandle,
+) -> Result<Nbta<EncSym>, BudgetExceeded> {
     let mut out = Nbta::new(
         vec![EncSym::Nil],
         tpx_treeauto::convert::enc_internal_alphabet(n_symbols),
@@ -285,6 +389,7 @@ pub fn strip_bits(a: &Nbta<MSym>, n_symbols: usize) -> Nbta<EncSym> {
     }
     for l in a.internal_alphabet() {
         for q1 in a.states() {
+            budget.charge(a.state_count() as u64)?;
             for q2 in a.states() {
                 for &q in a.rule_states(l, q1, q2) {
                     out.add_rule(l.label, q1, q2, q);
@@ -292,7 +397,7 @@ pub fn strip_bits(a: &Nbta<MSym>, n_symbols: usize) -> Nbta<EncSym> {
             }
         }
     }
-    out.trim()
+    out.try_trim(budget)
 }
 
 /// Re-embeds an automaton compiled at a narrow context into a wider one:
@@ -327,13 +432,24 @@ pub fn lift(a: &Nbta<MSym>, n_symbols: usize, positions: &[usize], to_width: usi
 /// No determinization: projection of a nondeterministic automaton is a
 /// relabelling.
 pub fn project_bit(a: &Nbta<MSym>, n_symbols: usize, width: usize, fo: bool) -> Nbta<MSym> {
+    try_project_bit(a, n_symbols, width, fo, &BudgetHandle::unlimited()).expect("unlimited budget")
+}
+
+/// Budgeted [`project_bit`].
+pub fn try_project_bit(
+    a: &Nbta<MSym>,
+    n_symbols: usize,
+    width: usize,
+    fo: bool,
+    budget: &BudgetHandle,
+) -> Result<Nbta<MSym>, BudgetExceeded> {
     let guarded = if fo {
-        a.intersect(&atomic::singleton(n_symbols, width + 1, width))
-            .trim()
+        a.try_intersect(&atomic::singleton(n_symbols, width + 1, width), budget)?
+            .try_trim(budget)?
     } else {
-        a.trim()
+        a.try_trim(budget)?
     };
-    project_last_bit(&guarded, n_symbols, width)
+    project_last_bit(&guarded, n_symbols, width, budget)
 }
 
 /// The marked encoding of a tree under an assignment: bit `i` set exactly

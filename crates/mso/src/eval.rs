@@ -3,7 +3,44 @@
 
 use crate::formula::{Formula, SetVar, Var};
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 use tpx_trees::{Hedge, NodeId, NodeLabel};
+
+/// A free variable of the evaluated formula was not bound by the
+/// assignment. Carries the offending variable and the variables that *were*
+/// in scope, for diagnosis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// An unbound first-order variable.
+    UnboundVar {
+        /// The offending variable.
+        var: Var,
+        /// The FO variables the assignment did bind.
+        bound: Vec<Var>,
+    },
+    /// An unbound second-order (set) variable.
+    UnboundSetVar {
+        /// The offending variable.
+        var: SetVar,
+        /// The SO variables the assignment did bind.
+        bound: Vec<SetVar>,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVar { var, bound } => {
+                write!(f, "unbound variable {var:?} (bound: {bound:?})")
+            }
+            EvalError::UnboundSetVar { var, bound } => {
+                write!(f, "unbound set variable {var:?} (bound: {bound:?})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
 
 /// An assignment of nodes to FO variables and node sets to SO variables.
 #[derive(Clone, Debug, Default)]
@@ -36,70 +73,116 @@ impl Assignment {
 /// Evaluates `φ` on `h` under `asg`. All free variables must be bound.
 ///
 /// SO quantifiers enumerate all `2^|h|` subsets — use only on small trees.
+///
+/// # Panics
+///
+/// On an unbound free variable; use [`try_naive_eval`] for the recoverable
+/// form.
 pub fn naive_eval(h: &Hedge, phi: &Formula, asg: &Assignment) -> bool {
+    try_naive_eval(h, phi, asg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// As [`naive_eval`], but an unbound free variable is an [`EvalError`]
+/// naming the variable and the assignment's scope, not a panic.
+pub fn try_naive_eval(h: &Hedge, phi: &Formula, asg: &Assignment) -> Result<bool, EvalError> {
     let nodes = h.dfs();
     eval(h, &nodes, phi, asg)
 }
 
-fn node(asg: &Assignment, v: Var) -> NodeId {
-    *asg.fo
+fn node(asg: &Assignment, v: Var) -> Result<NodeId, EvalError> {
+    asg.fo
         .get(&v)
-        .unwrap_or_else(|| panic!("unbound variable {v:?}"))
+        .copied()
+        .ok_or_else(|| EvalError::UnboundVar {
+            var: v,
+            bound: asg.fo.keys().copied().collect(),
+        })
 }
 
-fn eval(h: &Hedge, nodes: &[NodeId], phi: &Formula, asg: &Assignment) -> bool {
-    match phi {
+fn set(asg: &Assignment, s: SetVar) -> Result<&HashSet<NodeId>, EvalError> {
+    asg.so.get(&s).ok_or_else(|| EvalError::UnboundSetVar {
+        var: s,
+        bound: asg.so.keys().copied().collect(),
+    })
+}
+
+fn eval(h: &Hedge, nodes: &[NodeId], phi: &Formula, asg: &Assignment) -> Result<bool, EvalError> {
+    Ok(match phi {
         Formula::True => true,
         Formula::False => false,
-        Formula::Child(x, y) => h.parent(node(asg, *y)) == Some(node(asg, *x)),
-        Formula::NextSib(x, y) => h.next_sibling(node(asg, *x)) == Some(node(asg, *y)),
+        Formula::Child(x, y) => h.parent(node(asg, *y)?) == Some(node(asg, *x)?),
+        Formula::NextSib(x, y) => h.next_sibling(node(asg, *x)?) == Some(node(asg, *y)?),
         Formula::SibLess(x, y) => {
-            let (a, b) = (node(asg, *x), node(asg, *y));
+            let (a, b) = (node(asg, *x)?, node(asg, *y)?);
             a != b
                 && h.parent(a) == h.parent(b)
                 && h.parent(a).is_some()
                 && h.sibling_position(a) < h.sibling_position(b)
         }
         Formula::Descendant(x, y) => {
-            let (a, b) = (node(asg, *x), node(asg, *y));
+            let (a, b) = (node(asg, *x)?, node(asg, *y)?);
             h.is_ancestor(a, b, true)
         }
-        Formula::Lab(s, x) => matches!(h.label(node(asg, *x)), NodeLabel::Elem(l) if l == s),
-        Formula::IsText(x) => h.is_text(node(asg, *x)),
-        Formula::Eq(x, y) => node(asg, *x) == node(asg, *y),
+        Formula::Lab(s, x) => matches!(h.label(node(asg, *x)?), NodeLabel::Elem(l) if l == s),
+        Formula::IsText(x) => h.is_text(node(asg, *x)?),
+        Formula::Eq(x, y) => node(asg, *x)? == node(asg, *y)?,
         Formula::Root(x) => {
-            let a = node(asg, *x);
+            let a = node(asg, *x)?;
             h.parent(a).is_none() && h.prev_sibling(a).is_none() && h.next_sibling(a).is_none()
         }
-        Formula::In(x, s) => asg
-            .so
-            .get(s)
-            .unwrap_or_else(|| panic!("unbound set variable {s:?}"))
-            .contains(&node(asg, *x)),
-        Formula::Not(a) => !eval(h, nodes, a, asg),
-        Formula::And(a, b) => eval(h, nodes, a, asg) && eval(h, nodes, b, asg),
-        Formula::Or(a, b) => eval(h, nodes, a, asg) || eval(h, nodes, b, asg),
-        Formula::ExistsFo(v, a) => nodes.iter().any(|&n| {
-            let mut inner = asg.clone();
-            inner.fo.insert(*v, n);
-            eval(h, nodes, a, &inner)
-        }),
-        Formula::ForallFo(v, a) => nodes.iter().all(|&n| {
-            let mut inner = asg.clone();
-            inner.fo.insert(*v, n);
-            eval(h, nodes, a, &inner)
-        }),
-        Formula::ExistsSo(v, a) => subsets(nodes).any(|set| {
-            let mut inner = asg.clone();
-            inner.so.insert(*v, set);
-            eval(h, nodes, a, &inner)
-        }),
-        Formula::ForallSo(v, a) => subsets(nodes).all(|set| {
-            let mut inner = asg.clone();
-            inner.so.insert(*v, set);
-            eval(h, nodes, a, &inner)
-        }),
-    }
+        Formula::In(x, s) => set(asg, *s)?.contains(&node(asg, *x)?),
+        Formula::Not(a) => !eval(h, nodes, a, asg)?,
+        Formula::And(a, b) => eval(h, nodes, a, asg)? && eval(h, nodes, b, asg)?,
+        Formula::Or(a, b) => eval(h, nodes, a, asg)? || eval(h, nodes, b, asg)?,
+        Formula::ExistsFo(v, a) => {
+            let mut found = false;
+            for &n in nodes {
+                let mut inner = asg.clone();
+                inner.fo.insert(*v, n);
+                if eval(h, nodes, a, &inner)? {
+                    found = true;
+                    break;
+                }
+            }
+            found
+        }
+        Formula::ForallFo(v, a) => {
+            let mut all = true;
+            for &n in nodes {
+                let mut inner = asg.clone();
+                inner.fo.insert(*v, n);
+                if !eval(h, nodes, a, &inner)? {
+                    all = false;
+                    break;
+                }
+            }
+            all
+        }
+        Formula::ExistsSo(v, a) => {
+            let mut found = false;
+            for s in subsets(nodes) {
+                let mut inner = asg.clone();
+                inner.so.insert(*v, s);
+                if eval(h, nodes, a, &inner)? {
+                    found = true;
+                    break;
+                }
+            }
+            found
+        }
+        Formula::ForallSo(v, a) => {
+            let mut all = true;
+            for s in subsets(nodes) {
+                let mut inner = asg.clone();
+                inner.so.insert(*v, s);
+                if !eval(h, nodes, a, &inner)? {
+                    all = false;
+                    break;
+                }
+            }
+            all
+        }
+    })
 }
 
 fn subsets(nodes: &[NodeId]) -> impl Iterator<Item = HashSet<NodeId>> + '_ {
@@ -174,6 +257,25 @@ mod tests {
             &Formula::IsText(x),
             &Assignment::new().bind(x, tx)
         ));
+    }
+
+    #[test]
+    fn unbound_variables_are_reported_with_context() {
+        let (al, t) = sample();
+        let (x, y) = (Var(0), Var(7));
+        let asg = Assignment::new().bind(x, t.root());
+        let err = try_naive_eval(&t, &Formula::Child(x, y), &asg).unwrap_err();
+        assert_eq!(
+            err,
+            EvalError::UnboundVar {
+                var: y,
+                bound: vec![x],
+            }
+        );
+        let z = crate::formula::SetVar(3);
+        let err = try_naive_eval(&t, &Formula::In(x, z), &asg).unwrap_err();
+        assert!(matches!(err, EvalError::UnboundSetVar { var, .. } if var == z));
+        let _ = al;
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::paths::{path_automaton_nta, path_automaton_transducer, PathSym};
 use crate::transducer::{frontier_states, TdState, Transducer};
 use tpx_automata::{Nfa, StateId};
 use tpx_treeauto::{Nta, State};
+use tpx_trees::budget::{BudgetExceeded, BudgetHandle};
 use tpx_trees::{Symbol, Tree};
 
 /// The outcome of [`is_text_preserving`], with a diagnostic witness.
@@ -104,29 +105,60 @@ impl TransducerArtifacts {
 
 /// Stage 1a: compiles the schema-side artifacts (Lemma 4.8(1)).
 pub fn compile_schema_artifacts(nta: &Nta) -> SchemaArtifacts {
-    SchemaArtifacts {
-        a_n: path_automaton_nta(nta),
-    }
+    try_compile_schema_artifacts(nta, &BudgetHandle::unlimited()).expect("unlimited budget")
+}
+
+/// Budgeted [`compile_schema_artifacts`]: charges one fuel unit per state
+/// and transition of the constructed path automaton.
+pub fn try_compile_schema_artifacts(
+    nta: &Nta,
+    budget: &BudgetHandle,
+) -> Result<SchemaArtifacts, BudgetExceeded> {
+    // Entering the stage costs one unit, so a zero-fuel budget fails fast
+    // before any construction starts.
+    budget.charge(1)?;
+    let a_n = path_automaton_nta(nta);
+    budget.charge(a_n.size() as u64)?;
+    Ok(SchemaArtifacts { a_n })
 }
 
 /// Stage 1b (copy side): `A_T` and the two Lemma 4.5 condition automata.
 pub fn compile_copy_artifacts(t: &Transducer) -> CopyArtifacts {
+    try_compile_copy_artifacts(t, &BudgetHandle::unlimited()).expect("unlimited budget")
+}
+
+/// Budgeted [`compile_copy_artifacts`]: fuel is charged inside the pair and
+/// doubling constructions, one unit per product state row.
+pub fn try_compile_copy_artifacts(
+    t: &Transducer,
+    budget: &BudgetHandle,
+) -> Result<CopyArtifacts, BudgetExceeded> {
     let a_t = path_automaton_transducer(t);
-    let diverging = diverging_pairs_automaton(&a_t);
-    let doubling = doubling_marked_automaton(t);
-    CopyArtifacts {
+    budget.charge(a_t.size() as u64)?;
+    let diverging = diverging_pairs_automaton(&a_t, budget)?;
+    let doubling = doubling_marked_automaton(t, budget)?;
+    Ok(CopyArtifacts {
         a_t,
         diverging,
         doubling,
-    }
+    })
 }
 
 /// Stage 1b (full): copy-side automata plus the Lemma 4.10 rearranging NTA.
 pub fn compile_transducer_artifacts(t: &Transducer) -> TransducerArtifacts {
-    TransducerArtifacts {
-        copying: compile_copy_artifacts(t),
-        rearranging: rearranging_nta(t),
-    }
+    try_compile_transducer_artifacts(t, &BudgetHandle::unlimited()).expect("unlimited budget")
+}
+
+/// Budgeted [`compile_transducer_artifacts`]: fuel probes run inside both
+/// the copy-side construction and the rearranging-NTA state loops.
+pub fn try_compile_transducer_artifacts(
+    t: &Transducer,
+    budget: &BudgetHandle,
+) -> Result<TransducerArtifacts, BudgetExceeded> {
+    Ok(TransducerArtifacts {
+        copying: try_compile_copy_artifacts(t, budget)?,
+        rearranging: try_rearranging_nta(t, budget)?,
+    })
 }
 
 /// Stage 2 (copying): the Lemma 4.9 emptiness tests over precompiled
@@ -135,21 +167,47 @@ pub fn copying_witness_with(
     schema: &SchemaArtifacts,
     copy: &CopyArtifacts,
 ) -> Option<Vec<PathSym>> {
+    try_copying_witness_with(schema, copy, &BudgetHandle::unlimited()).expect("unlimited budget")
+}
+
+/// Budgeted [`copying_witness_with`]: charges fuel proportional to each
+/// intersection product before building it.
+pub fn try_copying_witness_with(
+    schema: &SchemaArtifacts,
+    copy: &CopyArtifacts,
+    budget: &BudgetHandle,
+) -> Result<Option<Vec<PathSym>>, BudgetExceeded> {
     // Condition (1): two different path runs on the same text path.
+    budget.charge((schema.a_n.size() + copy.diverging.size()) as u64)?;
     let m1 = schema.a_n.intersect(&copy.diverging);
     if let Some(w) = m1.shortest_word() {
-        return Some(w);
+        return Ok(Some(w));
     }
     // Condition (2): one path run through a doubling rule.
+    budget.charge((schema.a_n.size() + copy.doubling.size()) as u64)?;
     let m2 = schema.a_n.intersect(&copy.doubling);
-    m2.shortest_word()
+    Ok(m2.shortest_word())
 }
 
 /// Stage 2 (rearranging): the Lemma 4.10 emptiness test over the
 /// precompiled rearranging NTA.
 pub fn rearranging_witness_with(transducer: &TransducerArtifacts, nta: &Nta) -> Option<Tree> {
-    let product = transducer.rearranging.intersect(nta).trim();
-    product.witness()
+    try_rearranging_witness_with(transducer, nta, &BudgetHandle::unlimited())
+        .expect("unlimited budget")
+}
+
+/// Budgeted [`rearranging_witness_with`]: the product, trim, and witness
+/// search all run under the same fuel/deadline budget.
+pub fn try_rearranging_witness_with(
+    transducer: &TransducerArtifacts,
+    nta: &Nta,
+    budget: &BudgetHandle,
+) -> Result<Option<Tree>, BudgetExceeded> {
+    let product = transducer
+        .rearranging
+        .try_intersect(nta, budget)?
+        .try_trim(budget)?;
+    product.try_witness(budget)
 }
 
 /// Stage 3: the Theorem 4.11 verdict over precompiled artifacts.
@@ -158,13 +216,25 @@ pub fn is_text_preserving_with(
     transducer: &TransducerArtifacts,
     nta: &Nta,
 ) -> CheckReport {
-    if let Some(path) = copying_witness_with(schema, &transducer.copying) {
-        return CheckReport::Copying { path };
+    try_is_text_preserving_with(schema, transducer, nta, &BudgetHandle::unlimited())
+        .expect("unlimited budget")
+}
+
+/// Budgeted [`is_text_preserving_with`]: both emptiness tests are run under
+/// the budget; an exhausted budget aborts with the fuel/deadline report.
+pub fn try_is_text_preserving_with(
+    schema: &SchemaArtifacts,
+    transducer: &TransducerArtifacts,
+    nta: &Nta,
+    budget: &BudgetHandle,
+) -> Result<CheckReport, BudgetExceeded> {
+    if let Some(path) = try_copying_witness_with(schema, &transducer.copying, budget)? {
+        return Ok(CheckReport::Copying { path });
     }
-    if let Some(witness) = rearranging_witness_with(transducer, nta) {
-        return CheckReport::Rearranging { witness };
+    if let Some(witness) = try_rearranging_witness_with(transducer, nta, budget)? {
+        return Ok(CheckReport::Rearranging { witness });
     }
-    CheckReport::TextPreserving
+    Ok(CheckReport::TextPreserving)
 }
 
 /// Theorem 4.11: decides in PTIME whether `t` is text-preserving over
@@ -198,7 +268,12 @@ pub fn rearranging_witness(t: &Transducer, nta: &Nta) -> Option<Tree> {
 /// Simulates two copies of `a_t` in lock-step, accepting iff both accept
 /// and the two state sequences differ somewhere (condition (1) of
 /// Lemma 4.5: two *different* path runs).
-fn diverging_pairs_automaton(a_t: &Nfa<PathSym>) -> Nfa<PathSym> {
+///
+/// One fuel unit per product state row `(p, q, flag)`.
+fn diverging_pairs_automaton(
+    a_t: &Nfa<PathSym>,
+    budget: &BudgetHandle,
+) -> Result<Nfa<PathSym>, BudgetExceeded> {
     let n = a_t.state_count() as u32;
     let id =
         |p: StateId, q: StateId, diverged: bool| StateId((p.0 * n + q.0) * 2 + u32::from(diverged));
@@ -212,6 +287,7 @@ fn diverging_pairs_automaton(a_t: &Nfa<PathSym>) -> Nfa<PathSym> {
     for p in a_t.states() {
         for q in a_t.states() {
             for flag in [false, true] {
+                budget.charge(1)?;
                 let from = id(p, q, flag);
                 for (a, p2) in a_t.transitions_from(p) {
                     for (b, q2) in a_t.transitions_from(q) {
@@ -227,13 +303,18 @@ fn diverging_pairs_automaton(a_t: &Nfa<PathSym>) -> Nfa<PathSym> {
             }
         }
     }
-    out.trim()
+    Ok(out.trim())
 }
 
 /// One copy of `A_T` with a flag set once a transition uses a rule whose
 /// frontier contains the successor state twice (condition (2) of
 /// Lemma 4.5).
-fn doubling_marked_automaton(t: &Transducer) -> Nfa<PathSym> {
+///
+/// One fuel unit per `(state, symbol)` rule row.
+fn doubling_marked_automaton(
+    t: &Transducer,
+    budget: &BudgetHandle,
+) -> Result<Nfa<PathSym>, BudgetExceeded> {
     let n = t.state_count() as u32;
     let id = |q: TdState, flag: bool| StateId(q.0 * 2 + u32::from(flag));
     let sink = StateId(2 * n); // accepting, flag already consumed
@@ -243,6 +324,7 @@ fn doubling_marked_automaton(t: &Transducer) -> Nfa<PathSym> {
     out.set_final(sink, true);
     for q in t.states() {
         for sym in 0..t.symbol_count() {
+            budget.charge(1)?;
             let s = Symbol(sym as u32);
             let Some(rhs) = t.rhs(q, s) else { continue };
             let states = frontier_states(rhs);
@@ -257,7 +339,7 @@ fn doubling_marked_automaton(t: &Transducer) -> Nfa<PathSym> {
             out.add_transition(id(q, true), PathSym::Text, sink);
         }
     }
-    out.trim()
+    Ok(out.trim())
 }
 
 /// The role of an NTA state of the rearranging automaton `M` (Lemma 4.10).
@@ -339,6 +421,12 @@ fn swap_pairs(t: &Transducer, q: TdState, a: Symbol) -> Vec<(TdState, TdState)> 
 /// The Lemma 4.10 automaton: an NTA accepting exactly the trees on which
 /// `t` rearranges (over all text trees; intersect with a schema to restrict).
 pub fn rearranging_nta(t: &Transducer) -> Nta {
+    try_rearranging_nta(t, &BudgetHandle::unlimited()).expect("unlimited budget")
+}
+
+/// Budgeted [`rearranging_nta`]: one fuel unit per content-NFA row set on
+/// the automaton (the dominant cost — each row is a fresh horizontal NFA).
+pub fn try_rearranging_nta(t: &Transducer, budget: &BudgetHandle) -> Result<Nta, BudgetExceeded> {
     let sp = RearrangeSpace {
         n: t.state_count() as u32,
     };
@@ -379,9 +467,11 @@ pub fn rearranging_nta(t: &Transducer) -> Nta {
     for sym in 0..t.symbol_count() {
         let s = Symbol(sym as u32);
         // Any: accepts anything.
+        budget.charge(1)?;
         m.set_content(sp.any(), s, content(&all_states, &[]));
 
         for q in t.states() {
+            budget.charge(1)?;
             let Some(rhs) = t.rhs(q, s) else { continue };
             let ls = frontier_states(rhs);
             // S0(q): continue single run, or diverge.
@@ -410,6 +500,7 @@ pub fn rearranging_nta(t: &Transducer) -> Nta {
         // run1 (towards v₁) into a strictly earlier child.
         for q1 in t.states() {
             for q2 in t.states() {
+                budget.charge(1)?;
                 let (Some(rhs1), Some(rhs2)) = (t.rhs(q1, s), t.rhs(q2, s)) else {
                     continue;
                 };
@@ -438,7 +529,7 @@ pub fn rearranging_nta(t: &Transducer) -> Nta {
         m.set_text_ok(*st, ok);
     }
     m.add_root(sp.s0(t.initial()));
-    m.trim()
+    m.try_trim(budget)
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@ use crate::nta::State;
 use crate::ranked::RankedTree;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::Hash;
+use tpx_trees::budget::{BudgetExceeded, BudgetHandle};
 
 /// Internal rules grouped by symbol: `(q₁, q₂, result states)` per `σ`.
 type RulesBySymbol<'a, L> = HashMap<&'a L, Vec<(State, State, &'a Vec<State>)>>;
@@ -145,6 +146,13 @@ impl<L: Clone + Eq + Hash> Nbta<L> {
 
     /// States derivable by *some* tree.
     pub fn derivable_states(&self) -> Vec<bool> {
+        self.try_derivable_states(&BudgetHandle::unlimited())
+            .expect("unlimited budget")
+    }
+
+    /// Budgeted [`Self::derivable_states`]: charges one fuel unit per rule
+    /// scanned per saturation round.
+    pub fn try_derivable_states(&self, budget: &BudgetHandle) -> Result<Vec<bool>, BudgetExceeded> {
         let mut derivable = vec![false; self.n_states];
         let mut queue: VecDeque<State> = VecDeque::new();
         for states in self.leaf_rules.values() {
@@ -157,6 +165,7 @@ impl<L: Clone + Eq + Hash> Nbta<L> {
         }
         // Saturate: a rule fires when both operands are derivable.
         loop {
+            budget.charge(self.rules.len() as u64)?;
             let mut changed = false;
             for ((_, q1, q2), outs) in &self.rules {
                 if derivable[q1.index()] && derivable[q2.index()] {
@@ -169,7 +178,7 @@ impl<L: Clone + Eq + Hash> Nbta<L> {
                 }
             }
             if !changed {
-                return derivable;
+                return Ok(derivable);
             }
         }
     }
@@ -182,9 +191,27 @@ impl<L: Clone + Eq + Hash> Nbta<L> {
             .any(|q| self.is_final(q) && derivable[q.index()])
     }
 
+    /// Budgeted [`Self::is_empty`].
+    pub fn try_is_empty(&self, budget: &BudgetHandle) -> Result<bool, BudgetExceeded> {
+        let derivable = self.try_derivable_states(budget)?;
+        Ok(!self
+            .states()
+            .any(|q| self.is_final(q) && derivable[q.index()]))
+    }
+
     /// A witness tree, if the language is non-empty (small, not necessarily
     /// minimal).
     pub fn witness(&self) -> Option<RankedTree<L>> {
+        self.try_witness(&BudgetHandle::unlimited())
+            .expect("unlimited budget")
+    }
+
+    /// Budgeted [`Self::witness`]: charges one fuel unit per rule scanned
+    /// per saturation round.
+    pub fn try_witness(
+        &self,
+        budget: &BudgetHandle,
+    ) -> Result<Option<RankedTree<L>>, BudgetExceeded> {
         #[derive(Clone)]
         enum Recipe<L> {
             Leaf(L),
@@ -199,6 +226,7 @@ impl<L: Clone + Eq + Hash> Nbta<L> {
             }
         }
         loop {
+            budget.charge(self.rules.len() as u64)?;
             let mut changed = false;
             for ((l, q1, q2), outs) in &self.rules {
                 if recipe[q1.index()].is_some() && recipe[q2.index()].is_some() {
@@ -214,9 +242,12 @@ impl<L: Clone + Eq + Hash> Nbta<L> {
                 break;
             }
         }
-        let target = self
+        let Some(target) = self
             .states()
-            .find(|&q| self.is_final(q) && recipe[q.index()].is_some())?;
+            .find(|&q| self.is_final(q) && recipe[q.index()].is_some())
+        else {
+            return Ok(None);
+        };
         fn build<L: Clone>(recipe: &[Option<Recipe<L>>], q: State) -> RankedTree<L> {
             match recipe[q.index()].as_ref().expect("derivable") {
                 Recipe::Leaf(l) => RankedTree::Leaf(l.clone()),
@@ -225,7 +256,7 @@ impl<L: Clone + Eq + Hash> Nbta<L> {
                 }
             }
         }
-        Some(build(&recipe, target))
+        Ok(Some(build(&recipe, target)))
     }
 
     /// Product automaton accepting `L(self) ∩ L(other)` (alphabets must
@@ -235,6 +266,17 @@ impl<L: Clone + Eq + Hash> Nbta<L> {
     /// bounded by the reachable product, not `|Q₁|·|Q₂|` — essential for
     /// the long intersection chains in the Section 5.3 deciders.
     pub fn intersect(&self, other: &Nbta<L>) -> Nbta<L> {
+        self.try_intersect(other, &BudgetHandle::unlimited())
+            .expect("unlimited budget")
+    }
+
+    /// Budgeted [`Self::intersect`]: charges one fuel unit per discovered
+    /// product state and per product rule constructed.
+    pub fn try_intersect(
+        &self,
+        other: &Nbta<L>,
+        budget: &BudgetHandle,
+    ) -> Result<Nbta<L>, BudgetExceeded> {
         let mut out = Nbta::new(self.leaf_alphabet.clone(), self.internal_alphabet.clone());
         let mut ids: HashMap<(State, State), State> = HashMap::new();
         let mut queue: VecDeque<(State, State)> = VecDeque::new();
@@ -277,6 +319,7 @@ impl<L: Clone + Eq + Hash> Nbta<L> {
         }
         let symbols: Vec<&L> = self.internal_alphabet.iter().collect();
         while let Some((a, b)) = queue.pop_front() {
+            budget.charge(1)?;
             let left_id = ids[&(a, b)];
             // The popped pair as LEFT operand: partner right pairs must
             // already be discovered.
@@ -294,6 +337,7 @@ impl<L: Clone + Eq + Hash> Nbta<L> {
                     if let Some(&right_id) = ids.get(&(a2, b2)) {
                         for &oa in outs1 {
                             for &ob in outs2 {
+                                budget.charge(1)?;
                                 let oq = intern(oa, ob, &mut out, &mut ids, &mut queue);
                                 out.add_rule(l.clone(), left_id, right_id, oq);
                             }
@@ -315,6 +359,7 @@ impl<L: Clone + Eq + Hash> Nbta<L> {
                     if let Some(&left2_id) = ids.get(&(a1, b1)) {
                         for &oa in outs1 {
                             for &ob in outs2 {
+                                budget.charge(1)?;
                                 let oq = intern(oa, ob, &mut out, &mut ids, &mut queue);
                                 out.add_rule(l.clone(), left2_id, ids[&(a, b)], oq);
                             }
@@ -323,7 +368,7 @@ impl<L: Clone + Eq + Hash> Nbta<L> {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Disjoint union accepting `L(self) ∪ L(other)`.
@@ -433,7 +478,14 @@ impl<L: Clone + Eq + Hash> Nbta<L> {
     /// accepting run. Language-preserving; crucial for keeping the MSO
     /// pipeline small.
     pub fn trim(&self) -> Nbta<L> {
-        let derivable = self.derivable_states();
+        self.try_trim(&BudgetHandle::unlimited())
+            .expect("unlimited budget")
+    }
+
+    /// Budgeted [`Self::trim`]: charges one fuel unit per rule scanned per
+    /// saturation round plus one per surviving rule rebuilt.
+    pub fn try_trim(&self, budget: &BudgetHandle) -> Result<Nbta<L>, BudgetExceeded> {
+        let derivable = self.try_derivable_states(budget)?;
         // Co-derivability: q useful if final, or appears as operand of a rule
         // with useful output and derivable sibling.
         let mut useful: Vec<bool> = self
@@ -441,6 +493,7 @@ impl<L: Clone + Eq + Hash> Nbta<L> {
             .map(|q| self.is_final(q) && derivable[q.index()])
             .collect();
         loop {
+            budget.charge(self.rules.len() as u64)?;
             let mut changed = false;
             for ((_, q1, q2), outs) in &self.rules {
                 if !derivable[q1.index()] || !derivable[q2.index()] {
@@ -490,16 +543,25 @@ impl<L: Clone + Eq + Hash> Nbta<L> {
             };
             for q in outs {
                 if let Some(&nq) = remap.get(q) {
+                    budget.charge(1)?;
                     out.add_rule(l.clone(), n1, n2, nq);
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Subset construction: a complete deterministic automaton over the same
     /// alphabets.
     pub fn determinize(&self) -> Dbta<L> {
+        self.try_determinize(&BudgetHandle::unlimited())
+            .expect("unlimited budget")
+    }
+
+    /// Budgeted [`Self::determinize`]: charges one fuel unit per transition
+    /// of the subset automaton — the construction is the workspace's one
+    /// truly exponential site, so this is where a budget matters most.
+    pub fn try_determinize(&self, budget: &BudgetHandle) -> Result<Dbta<L>, BudgetExceeded> {
         // Group rules by symbol for the inner loop, and use bitsets for
         // class membership.
         let words = self.n_states.div_ceil(64).max(1);
@@ -576,6 +638,7 @@ impl<L: Clone + Eq + Hash> Nbta<L> {
             }
             for (c1, c2) in pairs {
                 for (l, rules) in &by_symbol {
+                    budget.charge(1)?;
                     out_bits.iter_mut().for_each(|w| *w = 0);
                     let b1 = &class_bits[c1 as usize];
                     let b2 = &class_bits[c2 as usize];
@@ -618,14 +681,14 @@ impl<L: Clone + Eq + Hash> Nbta<L> {
             .iter()
             .map(|set| set.iter().any(|&q| self.is_final(q)))
             .collect();
-        Dbta {
+        Ok(Dbta {
             leaf_alphabet: self.leaf_alphabet.clone(),
             internal_alphabet: self.internal_alphabet.clone(),
             n_classes: classes.len(),
             leaf_map,
             trans,
             finals,
-        }
+        })
     }
 }
 
@@ -968,6 +1031,32 @@ mod tests {
         assert!(c.accepts(&leaf()));
         assert!(!c.accepts(&node('a', leaf(), leaf())));
         assert_eq!(c.state_count(), 2);
+    }
+
+    #[test]
+    fn budgeted_ops_match_unbudgeted_and_fail_on_zero_fuel() {
+        use tpx_trees::budget::{Budget, ExhaustReason};
+        let m = contains_a();
+        // Generous budget: identical results.
+        let b = Budget::default().with_fuel(1_000_000).start();
+        let i = m.try_intersect(&contains_a(), &b).unwrap();
+        assert_eq!(i.state_count(), m.intersect(&contains_a()).state_count());
+        let d = m.try_determinize(&b).unwrap();
+        assert_eq!(d.state_count(), m.determinize().state_count());
+        assert_eq!(m.try_is_empty(&b).unwrap(), m.is_empty());
+        assert!(m.try_witness(&b).unwrap().is_some());
+        assert!(b.fuel_spent() > 0, "the ops must charge fuel");
+        // Zero fuel: every op fails fast with a Fuel exhaustion.
+        let z = Budget::default().with_fuel(0).start();
+        for err in [
+            m.try_intersect(&contains_a(), &z).unwrap_err(),
+            m.try_determinize(&z).map(|_| ()).unwrap_err(),
+            m.try_trim(&z).map(|_| ()).unwrap_err(),
+            m.try_is_empty(&z).map(|_| ()).unwrap_err(),
+            m.try_witness(&z).map(|_| ()).unwrap_err(),
+        ] {
+            assert_eq!(err.reason, ExhaustReason::Fuel);
+        }
     }
 
     #[test]

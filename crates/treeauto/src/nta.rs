@@ -17,6 +17,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use tpx_automata::{Nfa, StateId};
+use tpx_trees::budget::{BudgetExceeded, BudgetHandle};
 use tpx_trees::{Alphabet, Hedge, NodeId, NodeLabel, Symbol, Tree};
 
 /// A tree-automaton state.
@@ -198,11 +199,25 @@ impl Nta {
         !self.roots.iter().any(|q| inhabited[q.index()])
     }
 
+    /// Budgeted [`Self::is_empty`].
+    pub fn try_is_empty(&self, budget: &BudgetHandle) -> Result<bool, BudgetExceeded> {
+        let inhabited = self.try_inhabited_states(budget)?;
+        Ok(!self.roots.iter().any(|q| inhabited[q.index()]))
+    }
+
     /// The states `q` with a non-empty language (some tree evaluates to `q`).
     pub fn inhabited_states(&self) -> Vec<bool> {
+        self.try_inhabited_states(&BudgetHandle::unlimited())
+            .expect("unlimited budget")
+    }
+
+    /// Budgeted [`Self::inhabited_states`]: charges one fuel unit per state
+    /// scanned per saturation round.
+    pub fn try_inhabited_states(&self, budget: &BudgetHandle) -> Result<Vec<bool>, BudgetExceeded> {
         let n = self.state_count();
         let mut inhabited = vec![false; n];
         loop {
+            budget.charge(n as u64)?;
             let mut changed = false;
             for q in 0..n {
                 if inhabited[q] {
@@ -219,7 +234,7 @@ impl Nta {
                 }
             }
             if !changed {
-                return inhabited;
+                return Ok(inhabited);
             }
         }
     }
@@ -227,10 +242,18 @@ impl Nta {
     /// A witness tree in `L(N)`, if the language is non-empty. Text leaves in
     /// the witness carry placeholder values (`τ0, τ1, …` left to right).
     pub fn witness(&self) -> Option<Tree> {
+        self.try_witness(&BudgetHandle::unlimited())
+            .expect("unlimited budget")
+    }
+
+    /// Budgeted [`Self::witness`]: charges one fuel unit per state scanned
+    /// per saturation round.
+    pub fn try_witness(&self, budget: &BudgetHandle) -> Result<Option<Tree>, BudgetExceeded> {
         let n = self.state_count();
         // recipe[q] = how to build a tree evaluating to q.
         let mut recipe: Vec<Option<Recipe>> = vec![None; n];
         loop {
+            budget.charge(n as u64)?;
             let mut changed = false;
             let known: Vec<bool> = recipe.iter().map(Option::is_some).collect();
             for (q, slot) in recipe.iter_mut().enumerate() {
@@ -255,11 +278,13 @@ impl Nta {
                 break;
             }
         }
-        let q0 = *self.roots.iter().find(|q| recipe[q.index()].is_some())?;
+        let Some(&q0) = self.roots.iter().find(|q| recipe[q.index()].is_some()) else {
+            return Ok(None);
+        };
         let mut b = tpx_trees::HedgeBuilder::new();
         let mut counter = 0usize;
         build_witness(&recipe, q0, &mut b, &mut counter);
-        b.finish_tree()
+        Ok(b.finish_tree())
     }
 
     /// Whether `δ(q, σ)` accepts some word over the states marked `true` in
@@ -282,6 +307,13 @@ impl Nta {
     /// Product automaton accepting `L(self) ∩ L(other)`. Both automata must
     /// be over the same alphabet size.
     pub fn intersect(&self, other: &Nta) -> Nta {
+        self.try_intersect(other, &BudgetHandle::unlimited())
+            .expect("unlimited budget")
+    }
+
+    /// Budgeted [`Self::intersect`]: charges one fuel unit per product state
+    /// constructed (the product is built over the full `|Q₁|·|Q₂|` grid).
+    pub fn try_intersect(&self, other: &Nta, budget: &BudgetHandle) -> Result<Nta, BudgetExceeded> {
         assert_eq!(
             self.n_symbols, other.n_symbols,
             "intersection requires equal alphabets"
@@ -294,6 +326,7 @@ impl Nta {
         }
         for q1 in self.states() {
             for q2 in other.states() {
+                budget.charge(1)?;
                 let q = pair(q1, q2);
                 out.set_text_ok(q, self.text_ok(q1) && other.text_ok(q2));
                 for sym in 0..self.n_symbols {
@@ -310,7 +343,7 @@ impl Nta {
                 out.add_root(pair(r1, r2));
             }
         }
-        out
+        Ok(out)
     }
 
     /// Disjoint union accepting `L(self) ∪ L(other)`.
@@ -343,7 +376,14 @@ impl Nta {
     /// Removes states that are not inhabited or not reachable from a root,
     /// trimming content models accordingly. Language-preserving.
     pub fn trim(&self) -> Nta {
-        let inhabited = self.inhabited_states();
+        self.try_trim(&BudgetHandle::unlimited())
+            .expect("unlimited budget")
+    }
+
+    /// Budgeted [`Self::trim`]: charges through the inhabitation saturation
+    /// plus one fuel unit per surviving state rebuilt.
+    pub fn try_trim(&self, budget: &BudgetHandle) -> Result<Nta, BudgetExceeded> {
+        let inhabited = self.try_inhabited_states(budget)?;
         // Top-down reachability over inhabited states.
         let n = self.state_count();
         let mut reach = vec![false; n];
@@ -378,6 +418,7 @@ impl Nta {
             out.add_state();
         }
         for &q in &keep {
+            budget.charge(1)?;
             let nq = remap[&q];
             out.text_ok[nq.index()] = self.text_ok(q);
             for sym in 0..self.n_symbols {
@@ -397,7 +438,7 @@ impl Nta {
                 out.add_root(nr);
             }
         }
-        out
+        Ok(out)
     }
 }
 

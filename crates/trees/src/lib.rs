@@ -19,10 +19,13 @@
 //!   and MSO substrates ([`encode`]),
 //! * stable content hashing for the engine's artifact cache ([`hash`]) and
 //!   a tiny deterministic PRNG for workload generation ([`rng`]),
+//! * fuel/deadline budgets threaded through the decision pipelines
+//!   ([`budget`]),
 //! * the paper's running example, the recipe document of Figure 1
 //!   ([`samples`]).
 
 pub mod alphabet;
+pub mod budget;
 pub mod encode;
 pub mod hash;
 pub mod hedge;
@@ -34,6 +37,7 @@ pub mod term;
 pub mod xml;
 
 pub use alphabet::{Alphabet, Symbol};
+pub use budget::{Budget, BudgetExceeded, BudgetHandle, ExhaustReason};
 pub use encode::{decode_hedge, encode_hedge, encode_tree, BinLabel, BinNodeId, BinTree};
 pub use hash::{stable_hash_debug, stable_hash_of, StableHash, StableHasher};
 pub use hedge::{Hedge, HedgeBuilder, NodeId, NodeLabel, Tree};

@@ -1,0 +1,121 @@
+//! Budget semantics over the regression corpus: resource governance must
+//! be *observably inert* when the budget is generous — same verdicts, no
+//! degradation — and fail fast when it is zero.
+//!
+//! The corpus (`tests/regressions/*.case`) is the same one the replay
+//! suite uses, so every schema/transducer pair here once mattered enough
+//! to be a shrunk fuzzer reproducer.
+
+use textpres::engine::{Budget, CheckOptions, Decider, DtlDecider, Engine, TopdownDecider};
+use textpres::format::parse_case;
+use textpres::prelude::{Alphabet, DtlBuilder, NtaBuilder};
+use textpres::treeauto::Nta;
+
+fn corpus() -> Vec<(String, String)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/regressions");
+    let mut cases = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("tests/regressions exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_some_and(|e| e == "case") {
+            let src = std::fs::read_to_string(&path).expect("readable case file");
+            cases.push((path.display().to_string(), src));
+        }
+    }
+    assert!(!cases.is_empty(), "regression corpus must not be empty");
+    cases.sort();
+    cases
+}
+
+/// Runs `decider` ungoverned and under `options` (each on a fresh cache,
+/// so fuel is attributed to real builds) and checks the verdicts agree.
+fn assert_budget_inert(decider: &dyn Decider, nta: &Nta, options: &CheckOptions, path: &str) {
+    let plain = Engine::new().check(decider, nta);
+    let governed = Engine::new()
+        .check_governed(decider, nta, options)
+        .unwrap_or_else(|e| panic!("{path}: generous budget exhausted: {e}"));
+    assert_eq!(
+        plain.is_preserving(),
+        governed.is_preserving(),
+        "{path}: the budget changed the verdict"
+    );
+    assert!(
+        governed.degraded.is_none(),
+        "{path}: a generous budget must not degrade"
+    );
+    assert!(
+        governed.stats.stages.iter().all(|s| s.fuel.is_some()),
+        "{path}: governed stages must account fuel"
+    );
+    assert!(
+        plain.stats.stages.iter().all(|s| s.fuel.is_none()),
+        "{path}: ungoverned stages must not report fuel"
+    );
+}
+
+#[test]
+fn generous_budget_changes_no_corpus_verdict() {
+    // Top-down cases only: the symbolic DTL decider is EXPTIME and the
+    // corpus DTL programs take minutes per check in a debug build, so
+    // their parity coverage lives in `generous_budget_is_inert_for_dtl`
+    // (small fixed programs) and their exhaustion coverage in
+    // `zero_fuel_exhausts_on_every_corpus_case` (fails fast).
+    let options = CheckOptions::with_budget(Budget::default().with_fuel(500_000_000));
+    for (path, src) in corpus() {
+        let rc = parse_case(&src).unwrap_or_else(|e| panic!("{path}: {e}"));
+        let nta = rc.case.schema_nta();
+        if let Some(t) = &rc.case.transducer {
+            assert_budget_inert(&TopdownDecider::new(t), &nta, &options, &path);
+        }
+    }
+}
+
+#[test]
+fn generous_budget_is_inert_for_dtl() {
+    let alpha = Alphabet::from_labels(["a", "b"]);
+    let mut b = NtaBuilder::new(&alpha);
+    b.root("u");
+    for (_, name) in alpha.entries() {
+        b.rule("u", name, "(u | ut)*");
+    }
+    b.text_rule("ut");
+    let uni = b.finish();
+
+    // Identity (preserving) and a text-dropping (still preserving) DTL
+    // program — both small enough that the symbolic check runs in seconds.
+    let mut b = DtlBuilder::new(&alpha, "q0");
+    b.rule_simple("q0", "a", "a", "q0", "child");
+    b.rule_simple("q0", "b", "b", "q0", "child");
+    b.text_rule("q0");
+    let identity = b.finish();
+    let mut b = DtlBuilder::new(&alpha, "q0");
+    b.rule_simple("q0", "a", "a", "q0", "child[b]");
+    b.rule_simple("q0", "b", "b", "qt", "child[text()]");
+    b.text_rule("qt");
+    let dropping = b.finish();
+
+    let options = CheckOptions::with_budget(Budget::default().with_fuel(500_000_000));
+    assert_budget_inert(&DtlDecider::new(&identity), &uni, &options, "dtl/identity");
+    assert_budget_inert(&DtlDecider::new(&dropping), &uni, &options, "dtl/dropping");
+}
+
+#[test]
+fn zero_fuel_exhausts_on_every_corpus_case() {
+    let options = CheckOptions::with_budget(Budget::default().with_fuel(0));
+    for (path, src) in corpus() {
+        let rc = parse_case(&src).unwrap_or_else(|e| panic!("{path}: {e}"));
+        let nta = rc.case.schema_nta();
+        let engine = Engine::new();
+        if let Some(t) = &rc.case.transducer {
+            let err = engine
+                .check_governed(&TopdownDecider::new(t), &nta, &options)
+                .expect_err("zero fuel cannot complete a top-down check");
+            assert!(err.is_resource_exhausted(), "{path}: {err}");
+        }
+        if let Some(prog) = rc.case.dtl_program() {
+            let err = engine
+                .check_governed(&DtlDecider::new(&prog), &nta, &options)
+                .expect_err("zero fuel cannot complete a DTL check");
+            assert!(err.is_resource_exhausted(), "{path}: {err}");
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! End-to-end tests of the `textpres` CLI: subcommands, flags, exit codes.
 //!
 //! Exit-code contract: 0 = text-preserving, 1 = not text-preserving,
-//! 2 = usage or I/O error.
+//! 2 = usage or I/O error, 3 = resource budget exhausted.
 
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -27,6 +27,25 @@ rule q keep -> keep(qt)
 text qt
 ";
 
+/// The universal schema over {a, b}: every tree is valid.
+const UNIVERSAL: &str = "
+start a
+start b
+elem a = (a | b | text)*
+elem b = (a | b | text)*
+";
+
+/// The E5 `k = 2` DTL_XPath instance (filter chain of length 2 in the
+/// call pattern): EXPTIME-hard territory — the symbolic decision runs for
+/// many minutes, so only budgeted runs are testable.
+const DTL_K2: &str = "
+dtl
+initial q0
+rule q0 : a -> a(q0 / child[a]/child[a]/child)
+rule q0 : b -> b(q0 / child)
+text q0
+";
+
 struct Fixture {
     dir: PathBuf,
 }
@@ -38,6 +57,8 @@ impl Fixture {
         std::fs::write(dir.join("schema.txt"), SCHEMA).unwrap();
         std::fs::write(dir.join("good.txt"), GOOD).unwrap();
         std::fs::write(dir.join("bad.txt"), BAD).unwrap();
+        std::fs::write(dir.join("universal.txt"), UNIVERSAL).unwrap();
+        std::fs::write(dir.join("k2.dtl"), DTL_K2).unwrap();
         Fixture { dir }
     }
 
@@ -172,6 +193,91 @@ fn unknown_flag_exits_2() {
         "--bogus",
     ]);
     assert_eq!(code(&out), 2);
+}
+
+#[test]
+fn check_fuel_exhaustion_exits_3() {
+    // The EXPTIME E5 instance under one unit of fuel must fail fast with
+    // the documented resource-exhausted exit code instead of running for
+    // minutes.
+    let f = Fixture::new("fuel3");
+    let start = std::time::Instant::now();
+    let out = f.run(&[
+        "check",
+        &f.path("universal.txt"),
+        &f.path("k2.dtl"),
+        "--fuel",
+        "1",
+    ]);
+    assert_eq!(code(&out), 3, "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("resource budget exhausted"), "{stderr}");
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(1),
+        "exhaustion must fail fast, took {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn check_fuel_exhaustion_with_degrade_reports_bounded_verdict() {
+    let f = Fixture::new("degrade");
+    let out = f.run(&[
+        "check",
+        &f.path("universal.txt"),
+        &f.path("k2.dtl"),
+        "--fuel",
+        "1",
+        "--degrade",
+    ]);
+    assert_eq!(code(&out), 0, "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("DEGRADED"), "{stdout}");
+}
+
+#[test]
+fn check_generous_fuel_reports_per_stage_fuel() {
+    let f = Fixture::new("fuelok");
+    let out = f.run(&[
+        "check",
+        &f.path("schema.txt"),
+        &f.path("good.txt"),
+        "--fuel",
+        "1000000",
+        "--stats",
+    ]);
+    assert_eq!(code(&out), 0, "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("fuel "), "{stderr}");
+}
+
+#[test]
+fn batch_with_exhausted_task_exits_3_but_reports_the_rest() {
+    let f = Fixture::new("batch3");
+    let out = f.run(&[
+        "batch",
+        &f.path("universal.txt"),
+        &f.path("k2.dtl"),
+        "--fuel",
+        "1",
+    ]);
+    assert_eq!(code(&out), 3, "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 exhausted"), "{stdout}");
+}
+
+#[test]
+fn bad_dtl_file_exits_2_with_line_number() {
+    let f = Fixture::new("baddtl");
+    std::fs::write(
+        f.dir.join("broken.dtl"),
+        "dtl\ninitial q0\nrule q0 : a -> a(q0 / child[[)\n",
+    )
+    .unwrap();
+    let out = f.run(&["check", &f.path("universal.txt"), &f.path("broken.dtl")]);
+    assert_eq!(code(&out), 2);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 3"), "{stderr}");
 }
 
 #[test]
