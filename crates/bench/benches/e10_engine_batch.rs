@@ -2,11 +2,30 @@
 //!
 //! Measures (a) a cold engine check vs. the one-shot decider (engine
 //! overhead should be noise), (b) a warm check against a populated cache
-//! (the schema+transducer compile cost disappears), and (c) batch checking
-//! a transducer suite with a shared cache on 1 vs. many workers.
+//! (the schema+transducer compile cost disappears), (c) batch checking
+//! a transducer suite with a shared cache on 1 vs. many workers, and
+//! (d) the cost of an *enabled* span tracer on a cold check, measured as
+//! interleaved A/B samples so multi-second thermal/frequency drift cannot
+//! masquerade as tracing cost. The disabled tracer does strictly less
+//! work per span than the enabled one, so (d) also bounds the cost of
+//! merely shipping the instrumentation.
+//!
+//! Unlike the other experiment targets, this one has a custom `main`: it
+//! persists every result, the traced-replay stage taxonomy, and the
+//! overhead comparison to `BENCH_engine.json` (path overridable via
+//! `TPX_BENCH_JSON`; sample counts via `TPX_BENCH_SAMPLES`). CI's
+//! bench-smoke job parses that file back with `validate_bench`.
 
-use textpres::engine::{Decider, Engine, Task, TopdownDecider};
-use tpx_bench::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+
+use textpres::engine::{
+    Budget, CheckOptions, Decider, DegradeBound, DtlDecider, Engine, Task, TopdownDecider, Tracer,
+};
+use textpres::format::{parse_dtl_transducer, parse_schema};
+use textpres::prelude::Alphabet;
+use tpx_bench::{
+    black_box, criterion_group, BenchReport, BenchmarkId, Criterion, Overhead, Throughput,
+};
 use tpx_workload::{chain_schema, transducers};
 
 fn engine_single(c: &mut Criterion) {
@@ -55,5 +74,112 @@ fn engine_batch(c: &mut Criterion) {
     g.finish();
 }
 
+/// Interleaved A/B overhead measurement: alternating cold checks with a
+/// disabled vs an enabled tracer on the `engine_cold/8` workload, medians
+/// compared. Alternation matters — on this bench's multi-second groups,
+/// CPU frequency and allocator drift between two *separate* benchmark
+/// runs dwarfs the cost of the handful of spans a check emits.
+fn measure_overhead() -> Overhead {
+    // The workload is ~10ms per check, so even the floor of 30 pairs costs
+    // well under a second — never scale this *down* with TPX_BENCH_SAMPLES,
+    // or a noisy spike in one pair dominates the median.
+    let pairs = std::env::var("TPX_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .map_or(30, |n| n.max(30));
+    let n = 8usize;
+    let (alpha, schema) = chain_schema(n);
+    let t = transducers::deep_selector(&alpha, n);
+    let mut disabled = Vec::with_capacity(pairs);
+    let mut traced = Vec::with_capacity(pairs);
+    for _ in 0..pairs {
+        let start = std::time::Instant::now();
+        black_box(Engine::new().check(&TopdownDecider::new(&t), &schema));
+        disabled.push(start.elapsed());
+        let start = std::time::Instant::now();
+        let engine = Engine::new().with_tracer(Arc::new(Tracer::enabled()));
+        black_box(engine.check(&TopdownDecider::new(&t), &schema));
+        traced.push(start.elapsed());
+    }
+    disabled.sort_unstable();
+    traced.sort_unstable();
+    Overhead::from_medians(
+        format!("engine_cold/{n} (interleaved x{pairs})"),
+        disabled[pairs / 2].as_nanos() as u64,
+        traced[pairs / 2].as_nanos() as u64,
+    )
+}
+
 criterion_group!(benches, engine_single, engine_batch);
-criterion_main!(benches);
+
+/// The universal one-label schema and an identity `DTL_XPath` program:
+/// the cheapest instances that still drive every DTL pipeline stage.
+const UNIVERSAL_1: &str = "start a\nelem a = (a | text)*\n";
+const DTL_IDENTITY: &str = "dtl\ninitial q0\nrule q0 : a -> a(q0 / child)\ntext q0\n";
+
+/// Replays one traced top-down check, one traced symbolic DTL check, and
+/// one fuel-starved degraded DTL check (cold engines), returning the
+/// sorted, deduplicated span names observed — the full pipeline-stage
+/// taxonomy for `BENCH_engine.json`'s `stages` field.
+fn traced_stage_coverage() -> Vec<String> {
+    let tracer = Arc::new(Tracer::enabled());
+    let (alpha, schema) = chain_schema(8);
+    let t = transducers::deep_selector(&alpha, 8);
+    Engine::new()
+        .with_tracer(tracer.clone())
+        .check(&TopdownDecider::new(&t), &schema);
+
+    let mut dtl_alpha = Alphabet::new();
+    let dtd = parse_schema(UNIVERSAL_1, &mut dtl_alpha).expect("bench schema parses");
+    let dtl_schema = dtd.to_nta();
+    let dtl = parse_dtl_transducer(DTL_IDENTITY, &dtl_alpha).expect("bench DTL parses");
+    Engine::new()
+        .with_tracer(tracer.clone())
+        .check_governed(
+            &DtlDecider::new(&dtl),
+            &dtl_schema,
+            &CheckOptions::unlimited(),
+        )
+        .expect("symbolic DTL check succeeds");
+    // One unit of fuel exhausts immediately; --degrade semantics fall back
+    // to the bounded oracle, covering the `dtl/bounded` span.
+    let starved = CheckOptions::with_budget(Budget::default().with_fuel(1))
+        .degrade_with(DegradeBound::default());
+    Engine::new()
+        .with_tracer(tracer.clone())
+        .check_governed(&DtlDecider::new(&dtl), &dtl_schema, &starved)
+        .expect("degraded DTL check produces a verdict");
+
+    let mut names: Vec<String> = tracer
+        .exit_span_names()
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
+    names.sort();
+    names.dedup();
+    names
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    benches(&mut c);
+    let results = tpx_bench::take_records();
+    let overhead = measure_overhead();
+    println!(
+        "tracing overhead on {}: {:+.2}% (disabled {} ns, traced {} ns)",
+        overhead.benchmark,
+        overhead.traced_overhead_pct,
+        overhead.disabled_median_ns,
+        overhead.traced_median_ns
+    );
+    let report = BenchReport {
+        bench: "e10_engine_batch".into(),
+        stages: traced_stage_coverage(),
+        overhead: Some(overhead),
+        results,
+    };
+    let path = tpx_bench::default_json_path();
+    std::fs::write(&path, report.to_json()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path}");
+}

@@ -1,0 +1,81 @@
+//! `validate_bench` — sanity-checks a `BENCH_engine.json` produced by the
+//! `e10_engine_batch` bench target.
+//!
+//! ```text
+//! validate_bench [path/to/BENCH_engine.json]
+//! ```
+//!
+//! Exit 0 when the file parses as a [`tpx_bench::BenchReport`], names the
+//! expected bench, has at least one result, and its `stages` list covers
+//! every pipeline stage the engine reports in `Verdict::stats`; exit 1
+//! with a diagnostic otherwise. CI's bench-smoke job runs this after the
+//! bench to catch schema drift between the tracer, the engine's stage
+//! names, and the persisted report.
+
+use std::process::ExitCode;
+
+use tpx_bench::BenchReport;
+
+/// Every stage name [`textpres::engine::Verdict`] can report; the bench's
+/// traced replays must have observed each one.
+const REQUIRED_STAGES: &[&str] = &[
+    "topdown/schema",
+    "topdown/transducer",
+    "topdown/decide",
+    "dtl/schema",
+    "dtl/counterexample",
+    "dtl/decide",
+    "dtl/bounded",
+];
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(tpx_bench::default_json_path);
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("validate_bench: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match BenchReport::from_json(&src) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("validate_bench: {path} does not parse: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut problems = Vec::new();
+    if report.bench != "e10_engine_batch" {
+        problems.push(format!("unexpected bench name {:?}", report.bench));
+    }
+    if report.results.is_empty() {
+        problems.push("no benchmark results".to_owned());
+    }
+    for stage in REQUIRED_STAGES {
+        if !report.stages.iter().any(|s| s == stage) {
+            problems.push(format!("stage {stage:?} missing from \"stages\""));
+        }
+    }
+    match &report.overhead {
+        None => problems.push("no \"overhead\" measurement".to_owned()),
+        Some(o) => println!(
+            "validate_bench: tracing overhead on {}: {:+.2}%",
+            o.benchmark, o.traced_overhead_pct
+        ),
+    }
+    if problems.is_empty() {
+        println!(
+            "validate_bench: {path} OK ({} results, {} stages)",
+            report.results.len(),
+            report.stages.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for p in &problems {
+            eprintln!("validate_bench: {path}: {p}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -11,7 +11,51 @@
 //! `criterion_group!` / `criterion_main!` macros at the crate root.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One benchmark's collected statistics (all times in nanoseconds).
+///
+/// Every [`BenchmarkGroup`] run appends one of these to a process-global
+/// list; [`take_records`] drains it. Bench targets that persist results
+/// (e.g. `e10_engine_batch` writing `BENCH_engine.json`) read them from
+/// there, so the criterion-shaped bench sources need no changes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// The benchmark group name, e.g. `e10_single`.
+    pub group: String,
+    /// The benchmark id within the group, e.g. `engine_cold/32`.
+    pub id: String,
+    /// Median over the timed samples.
+    pub median_ns: u64,
+    /// Mean over the timed samples.
+    pub mean_ns: u64,
+    /// Fastest timed sample.
+    pub min_ns: u64,
+    /// Slowest timed sample.
+    pub max_ns: u64,
+    /// Number of timed samples (warmup excluded).
+    pub samples: usize,
+}
+
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Drains every [`BenchRecord`] collected since the last call, in run
+/// order.
+pub fn take_records() -> Vec<BenchRecord> {
+    std::mem::take(&mut RECORDS.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// Sample-count override for fast CI smoke runs: when `TPX_BENCH_SAMPLES`
+/// is set to a positive integer, it replaces every group's configured
+/// [`BenchmarkGroup::sample_size`].
+fn sample_override() -> Option<usize> {
+    std::env::var("TPX_BENCH_SAMPLES")
+        .ok()?
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+}
 
 /// Top-level benchmark driver; one per process.
 #[derive(Default)]
@@ -97,9 +141,10 @@ impl BenchmarkGroup {
     }
 
     fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
-        let mut samples = Vec::with_capacity(self.sample_size);
+        let sample_size = sample_override().unwrap_or(self.sample_size);
+        let mut samples = Vec::with_capacity(sample_size);
         // One untimed warmup sample, then `sample_size` timed ones.
-        for timed in std::iter::once(false).chain(std::iter::repeat_n(true, self.sample_size)) {
+        for timed in std::iter::once(false).chain(std::iter::repeat_n(true, sample_size)) {
             let mut b = Bencher {
                 elapsed: Duration::ZERO,
             };
@@ -136,6 +181,18 @@ impl BenchmarkGroup {
             self.name,
             samples.len()
         );
+        RECORDS
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(BenchRecord {
+                group: self.name.clone(),
+                id: id.to_owned(),
+                median_ns: median.as_nanos() as u64,
+                mean_ns: mean.as_nanos() as u64,
+                min_ns: samples[0].as_nanos() as u64,
+                max_ns: samples[samples.len() - 1].as_nanos() as u64,
+                samples: samples.len(),
+            });
     }
 
     /// Ends the group (kept for criterion API compatibility).

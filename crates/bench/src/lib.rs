@@ -14,5 +14,10 @@ pub fn universal(alpha: &Alphabet) -> Nta {
 }
 
 pub mod harness;
+pub mod report;
 
-pub use harness::{black_box, Bencher, BenchmarkGroup, BenchmarkId, Criterion, Throughput};
+pub use harness::{
+    black_box, take_records, BenchRecord, Bencher, BenchmarkGroup, BenchmarkId, Criterion,
+    Throughput,
+};
+pub use report::{default_json_path, BenchReport, Overhead};

@@ -1,0 +1,253 @@
+//! Machine-readable bench results: [`BenchReport`] renders to a single
+//! JSON object and parses back via `tpx_obs::JsonValue`, so CI can
+//! persist a run (`BENCH_engine.json` at the repo root) and validate it
+//! without any external JSON dependency.
+//!
+//! Schema (all times nanoseconds):
+//!
+//! ```json
+//! {
+//!   "bench": "e10_engine_batch",
+//!   "stages": ["dtl/bounded", "dtl/counterexample", ...],
+//!   "overhead": {
+//!     "benchmark": "engine_cold/32",
+//!     "disabled_median_ns": 123,
+//!     "traced_median_ns": 130,
+//!     "traced_overhead_pct": 5.7
+//!   },
+//!   "results": [
+//!     {"group": "e10_single", "id": "oneshot/8", "median_ns": 1,
+//!      "mean_ns": 1, "min_ns": 1, "max_ns": 1, "samples": 20},
+//!     ...
+//!   ]
+//! }
+//! ```
+//!
+//! `stages` is the sorted, deduplicated set of span names observed while
+//! replaying one traced top-down check and one traced DTL check (plus a
+//! fuel-starved degraded one), i.e. the full pipeline-stage taxonomy the
+//! engine can emit; the CI validator checks it covers every documented
+//! stage. `overhead` compares the same cold-engine workload with the
+//! tracer disabled vs enabled — the disabled path does strictly less work
+//! (a branch and an `Instant::now` per span), so the enabled delta bounds
+//! the cost of shipping the instrumentation.
+
+use tpx_obs::{quote, JsonValue};
+
+use crate::harness::BenchRecord;
+
+/// Tracing-overhead measurement attached to a [`BenchReport`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Overhead {
+    /// The benchmark id both measurements ran, e.g. `engine_cold/32`.
+    pub benchmark: String,
+    /// Median with the engine's tracer disabled (the default).
+    pub disabled_median_ns: u64,
+    /// Median with an enabled tracer attached (events discarded).
+    pub traced_median_ns: u64,
+    /// `(traced - disabled) / disabled`, as a percentage (negative when
+    /// the traced run happened to be faster — timing noise).
+    pub traced_overhead_pct: f64,
+}
+
+impl Overhead {
+    /// Builds the measurement from the two medians.
+    pub fn from_medians(benchmark: impl Into<String>, disabled_ns: u64, traced_ns: u64) -> Self {
+        let pct = if disabled_ns == 0 {
+            0.0
+        } else {
+            (traced_ns as f64 - disabled_ns as f64) / disabled_ns as f64 * 100.0
+        };
+        Overhead {
+            benchmark: benchmark.into(),
+            disabled_median_ns: disabled_ns,
+            traced_median_ns: traced_ns,
+            traced_overhead_pct: pct,
+        }
+    }
+}
+
+/// One bench target's persisted results.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// The bench target name, e.g. `e10_engine_batch`.
+    pub bench: String,
+    /// Sorted, deduplicated pipeline-stage span names observed in traced
+    /// replays (see the module doc).
+    pub stages: Vec<String>,
+    /// Tracing-overhead measurement, when the target ran one.
+    pub overhead: Option<Overhead>,
+    /// Every benchmark the target ran, in run order.
+    pub results: Vec<BenchRecord>,
+}
+
+/// The default output path: `$TPX_BENCH_JSON` if set, else
+/// `BENCH_engine.json` at the workspace root (two levels above this
+/// crate's manifest — `cargo bench` runs with the package directory as
+/// cwd, so a relative path alone would land in `crates/bench/`).
+pub fn default_json_path() -> String {
+    std::env::var("TPX_BENCH_JSON")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json").into())
+}
+
+impl BenchReport {
+    /// Renders the report as pretty-printed JSON (trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.results.len() * 128);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bench\": {},\n", quote(&self.bench)));
+        let stages: Vec<String> = self.stages.iter().map(|s| quote(s)).collect();
+        out.push_str(&format!("  \"stages\": [{}],\n", stages.join(", ")));
+        if let Some(o) = &self.overhead {
+            out.push_str(&format!(
+                "  \"overhead\": {{\"benchmark\": {}, \"disabled_median_ns\": {}, \
+                 \"traced_median_ns\": {}, \"traced_overhead_pct\": {:.2}}},\n",
+                quote(&o.benchmark),
+                o.disabled_median_ns,
+                o.traced_median_ns,
+                o.traced_overhead_pct
+            ));
+        }
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"group\": {}, \"id\": {}, \"median_ns\": {}, \"mean_ns\": {}, \
+                 \"min_ns\": {}, \"max_ns\": {}, \"samples\": {}}}{}\n",
+                quote(&r.group),
+                quote(&r.id),
+                r.median_ns,
+                r.mean_ns,
+                r.min_ns,
+                r.max_ns,
+                r.samples,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a report previously rendered by [`BenchReport::to_json`]
+    /// (or any JSON matching the module-doc schema).
+    pub fn from_json(src: &str) -> Result<BenchReport, String> {
+        let v = JsonValue::parse(src)?;
+        let bench = v
+            .get("bench")
+            .and_then(|b| b.as_str())
+            .ok_or("missing string field \"bench\"")?
+            .to_owned();
+        let stages = v
+            .get("stages")
+            .and_then(|s| s.as_array())
+            .ok_or("missing array field \"stages\"")?
+            .iter()
+            .map(|s| {
+                s.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| "non-string stage name".to_owned())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let overhead = match v.get("overhead") {
+            None | Some(JsonValue::Null) => None,
+            Some(o) => Some(Overhead {
+                benchmark: o
+                    .get("benchmark")
+                    .and_then(|x| x.as_str())
+                    .ok_or("overhead: missing \"benchmark\"")?
+                    .to_owned(),
+                disabled_median_ns: o
+                    .get("disabled_median_ns")
+                    .and_then(|x| x.as_u64())
+                    .ok_or("overhead: missing \"disabled_median_ns\"")?,
+                traced_median_ns: o
+                    .get("traced_median_ns")
+                    .and_then(|x| x.as_u64())
+                    .ok_or("overhead: missing \"traced_median_ns\"")?,
+                traced_overhead_pct: o
+                    .get("traced_overhead_pct")
+                    .and_then(|x| x.as_f64())
+                    .ok_or("overhead: missing \"traced_overhead_pct\"")?,
+            }),
+        };
+        let results = v
+            .get("results")
+            .and_then(|r| r.as_array())
+            .ok_or("missing array field \"results\"")?
+            .iter()
+            .map(parse_record)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchReport {
+            bench,
+            stages,
+            overhead,
+            results,
+        })
+    }
+}
+
+fn parse_record(v: &JsonValue) -> Result<BenchRecord, String> {
+    let s = |key: &str| -> Result<String, String> {
+        v.get(key)
+            .and_then(|x| x.as_str())
+            .map(str::to_owned)
+            .ok_or_else(|| format!("result: missing string \"{key}\""))
+    };
+    let n = |key: &str| -> Result<u64, String> {
+        v.get(key)
+            .and_then(|x| x.as_u64())
+            .ok_or_else(|| format!("result: missing integer \"{key}\""))
+    };
+    Ok(BenchRecord {
+        group: s("group")?,
+        id: s("id")?,
+        median_ns: n("median_ns")?,
+        mean_ns: n("mean_ns")?,
+        min_ns: n("min_ns")?,
+        max_ns: n("max_ns")?,
+        samples: n("samples")? as usize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            bench: "e10_engine_batch".into(),
+            stages: vec!["dtl/decide".into(), "topdown/schema".into()],
+            overhead: Some(Overhead::from_medians("engine_cold/32", 1000, 1020)),
+            results: vec![BenchRecord {
+                group: "e10_single".into(),
+                id: "engine_cold/32".into(),
+                median_ns: 1000,
+                mean_ns: 1010,
+                min_ns: 990,
+                max_ns: 1100,
+                samples: 20,
+            }],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample();
+        let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn overhead_percentage_is_relative_to_disabled() {
+        let o = Overhead::from_medians("x", 1000, 1020);
+        assert!((o.traced_overhead_pct - 2.0).abs() < 1e-9);
+        assert_eq!(Overhead::from_medians("x", 0, 7).traced_overhead_pct, 0.0);
+    }
+
+    #[test]
+    fn missing_fields_are_reported() {
+        assert!(BenchReport::from_json("{}").is_err());
+        assert!(BenchReport::from_json(r#"{"bench":"b","stages":[1],"results":[]}"#).is_err());
+        let no_overhead = r#"{"bench":"b","stages":[],"results":[]}"#;
+        assert_eq!(BenchReport::from_json(no_overhead).unwrap().overhead, None);
+    }
+}

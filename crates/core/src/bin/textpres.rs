@@ -34,6 +34,14 @@
 //! bound). `fuzz` runs every random instance under a default fuel budget;
 //! exhausted instances are counted and skipped, not divergences.
 //!
+//! `--trace-out PATH` writes a JSONL span trace of every pipeline stage
+//! the run executed (one `enter` and one `exit` line per stage, with fuel
+//! charged, artifact sizes and cache attribution on the exits); `--metrics`
+//! prints an aggregated counter/histogram table to stderr. Both are
+//! documented in DESIGN.md §11. With `fuzz --out DIR`, each shrunk
+//! reproducer additionally gets a `seedN-kind.trace.jsonl` span trace of
+//! its replay written next to the `.case` file.
+//!
 //! Exit codes: 0 = text-preserving (all of them, for `batch`; no
 //! divergence, for `fuzz`); 1 = some transformation is not text-preserving
 //! (a divergence was found, for `fuzz`); 2 = usage or I/O error; 3 = a
@@ -44,8 +52,8 @@
 use std::process::ExitCode;
 use textpres::diffcheck::{run_fuzz, FuzzConfig};
 use textpres::engine::{
-    Budget, CheckOptions, Decider, DegradeBound, DtlDecider, Engine, Outcome, Task, TopdownDecider,
-    Verdict,
+    Budget, CheckOptions, Decider, DegradeBound, DtlDecider, Engine, Metrics, Outcome, Task,
+    TopdownDecider, Tracer, Verdict,
 };
 use textpres::format::{
     is_dtl_transducer, parse_dtl_transducer, parse_schema, parse_transducer, render_case,
@@ -56,15 +64,21 @@ use textpres::prelude::*;
 const USAGE: &str = "\
 usage: textpres check <schema> <transducer> [document.xml] [--stats]
                 [--fuel N] [--timeout-ms N] [--degrade]
+                [--trace-out PATH] [--metrics]
        textpres subschema <schema> <transducer>
        textpres batch <schema> <transducer>... [--jobs N] [--stats]
                 [--fuel N] [--timeout-ms N] [--degrade]
+                [--trace-out PATH] [--metrics]
        textpres fuzz [--seeds N] [--budget B] [--base-seed S] [--dtl-symbolic]
                      [--fuel N] [--timeout-ms N] [--out DIR] [--stats]
+                     [--trace-out PATH] [--metrics]
        textpres --version
 
 transducer files starting with a `dtl` line are DTL_XPath programs,
 checked with the EXPTIME DTL decider instead of the PTIME top-down one
+
+--trace-out writes a JSONL span trace (one enter/exit pair per pipeline
+stage) and --metrics prints aggregated counters/histograms to stderr
 
 exit codes: 0 = text-preserving, 1 = not text-preserving,
             2 = usage/IO error, 3 = resource budget exhausted";
@@ -110,6 +124,8 @@ struct Flags<'a> {
     fuel: Option<u64>,
     timeout_ms: Option<u64>,
     degrade: bool,
+    trace_out: Option<&'a str>,
+    metrics: bool,
 }
 
 impl Flags<'_> {
@@ -152,6 +168,13 @@ fn parse_flags(args: &[String]) -> Result<Flags<'_>, String> {
             "--fuel" => flags.fuel = Some(num("--fuel")?),
             "--timeout-ms" => flags.timeout_ms = Some(num("--timeout-ms")?),
             "--degrade" => flags.degrade = true,
+            "--trace-out" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--trace-out needs a path".to_string())?;
+                flags.trace_out = Some(v.as_str());
+            }
+            "--metrics" => flags.metrics = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
             pos => flags.positional.push(pos),
         }
@@ -161,6 +184,36 @@ fn parse_flags(args: &[String]) -> Result<Flags<'_>, String> {
 
 fn read(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// Attaches an enabled tracer and/or metrics registry to `engine` when the
+/// observability flags ask for them (both stay disabled — and free —
+/// otherwise).
+fn instrument(engine: Engine, trace_out: Option<&str>, metrics: bool) -> Engine {
+    let engine = if trace_out.is_some() {
+        engine.with_tracer(std::sync::Arc::new(Tracer::enabled()))
+    } else {
+        engine
+    };
+    if metrics {
+        engine.with_metrics(std::sync::Arc::new(Metrics::enabled()))
+    } else {
+        engine
+    }
+}
+
+/// Flushes observability output: the JSONL span trace to `trace_out` and
+/// the metrics table to stderr. Runs on every exit path (including budget
+/// exhaustion) so a failed run still leaves its trace behind.
+fn flush_obs(engine: &Engine, trace_out: Option<&str>, metrics: bool) -> Result<(), String> {
+    if let Some(path) = trace_out {
+        std::fs::write(path, engine.tracer().to_jsonl())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if metrics {
+        eprint!("{}", engine.metrics().snapshot().render_table());
+    }
+    Ok(())
 }
 
 fn load_schema(path: &str) -> Result<(Alphabet, Nta), String> {
@@ -344,9 +397,14 @@ fn cmd_check(args: &[String]) -> ExitCode {
             }
         }
     }
-    let engine = Engine::new();
+    let engine = instrument(Engine::new(), flags.trace_out, flags.metrics);
     let decider = t.decider();
-    let verdict = match run_check(&engine, decider.as_ref(), &schema, &flags, transducer_path) {
+    let result = run_check(&engine, decider.as_ref(), &schema, &flags, transducer_path);
+    if let Err(e) = flush_obs(&engine, flags.trace_out, flags.metrics) {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
+    let verdict = match result {
         Ok(v) => v,
         Err(code) => return ExitCode::from(code),
     };
@@ -397,7 +455,7 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     let jobs = flags
         .jobs
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-    let engine = Engine::with_jobs(jobs);
+    let engine = instrument(Engine::with_jobs(jobs), flags.trace_out, flags.metrics);
     let deciders: Vec<Box<dyn Decider + '_>> = transducers.iter().map(|t| t.decider()).collect();
     let tasks: Vec<Task> = deciders
         .iter()
@@ -406,6 +464,10 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     // Each task fails independently: one exhausted or panicking check still
     // lets every other transducer get its verdict.
     let results = engine.check_many_governed(&tasks, &flags.check_options());
+    if let Err(e) = flush_obs(&engine, flags.trace_out, flags.metrics) {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
     let mut all_ok = true;
     let mut exhausted = 0usize;
     let mut errored = 0usize;
@@ -455,6 +517,8 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
     let mut cfg = FuzzConfig::default();
     let mut out_dir: Option<String> = None;
     let mut stats = false;
+    let mut trace_out: Option<String> = None;
+    let mut metrics = false;
     let mut it = args.iter();
     let parse_err = |flag: &str, v: &str| format!("{flag}: not a number: {v:?}");
     while let Some(a) = it.next() {
@@ -505,6 +569,14 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--trace-out" => match it.next() {
+                Some(path) => trace_out = Some(path.clone()),
+                None => {
+                    eprintln!("error: --trace-out needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--metrics" => metrics = true,
             "--dtl-symbolic" => cfg.dtl_symbolic = true,
             "--stats" => stats = true,
             other => {
@@ -513,8 +585,12 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
             }
         }
     }
-    let engine = Engine::new();
+    let engine = instrument(Engine::new(), trace_out.as_deref(), metrics);
     let report = run_fuzz(&engine, &cfg);
+    if let Err(e) = flush_obs(&engine, trace_out.as_deref(), metrics) {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
     println!(
         "fuzz: {} seeds, {} cross-checks, {} budget-exhausted, {} divergence(s)",
         report.seeds_run,
@@ -543,6 +619,14 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
                 return ExitCode::from(2);
             }
             println!("  wrote {path}");
+            if let Some(trace) = &d.trace_jsonl {
+                let tpath = format!("{dir}/seed{}-{}.trace.jsonl", d.seed, d.kind);
+                if let Err(e) = std::fs::write(&tpath, trace) {
+                    eprintln!("error: cannot write {tpath}: {e}");
+                    return ExitCode::from(2);
+                }
+                println!("  wrote {tpath}");
+            }
         }
     }
     if stats {

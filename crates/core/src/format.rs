@@ -478,10 +478,15 @@ pub fn render_case(rc: &RegressionCase) -> String {
 }
 
 /// Parses a regression case file rendered by [`render_case`].
+///
+/// Strict on the envelope: each `[section]` may appear at most once, each
+/// header directive (`kind`, `seed`, `detail`) at most once, and `kind`
+/// and `seed` are required — a case whose seed is missing would silently
+/// replay a different instance if it defaulted, so it is an error instead.
 pub fn parse_case(src: &str) -> Result<RegressionCase, FormatError> {
     let mut kind: Option<DivergenceKind> = None;
-    let mut seed = 0u64;
-    let mut detail = String::new();
+    let mut seed: Option<u64> = None;
+    let mut detail: Option<String> = None;
     let mut section: Option<&str> = None;
     let mut bodies: Vec<(&str, String)> = Vec::new();
     for (line, text) in meaningful(src) {
@@ -494,24 +499,36 @@ pub fn parse_case(src: &str) -> Result<RegressionCase, FormatError> {
                 "tree" => Some("tree"),
                 _ => return err(line, format!("unknown section [{name}]")),
             };
+            if bodies.iter().any(|(n, _)| Some(*n) == section) {
+                return err(line, format!("duplicate section [{name}]"));
+            }
             bodies.push((section.unwrap(), String::new()));
             continue;
         }
         match section {
             None => {
                 if let Some(rest) = text.strip_prefix("kind ") {
+                    if kind.is_some() {
+                        return err(line, "duplicate `kind` directive");
+                    }
                     kind = Some(
                         rest.trim()
                             .parse()
                             .map_err(|e: String| FormatError { line, message: e })?,
                     );
                 } else if let Some(rest) = text.strip_prefix("seed ") {
-                    seed = rest.trim().parse().map_err(|_| FormatError {
+                    if seed.is_some() {
+                        return err(line, "duplicate `seed` directive");
+                    }
+                    seed = Some(rest.trim().parse().map_err(|_| FormatError {
                         line,
                         message: format!("bad seed {rest:?}"),
-                    })?;
+                    })?);
                 } else if let Some(rest) = text.strip_prefix("detail ") {
-                    detail = rest.trim().to_owned();
+                    if detail.is_some() {
+                        return err(line, "duplicate `detail` directive");
+                    }
+                    detail = Some(rest.trim().to_owned());
                 } else {
                     return err(line, format!("unrecognized header directive {text:?}"));
                 }
@@ -526,6 +543,10 @@ pub fn parse_case(src: &str) -> Result<RegressionCase, FormatError> {
     let Some(kind) = kind else {
         return err(1, "case needs a `kind` line");
     };
+    let Some(seed) = seed else {
+        return err(1, "case needs a `seed` line");
+    };
+    let detail = detail.unwrap_or_default();
     let body = |name: &str| {
         bodies
             .iter()
@@ -799,6 +820,30 @@ text qt
             .case
             .schema_nta()
             .accepts(parsed.case.tree.as_ref().unwrap()));
+    }
+
+    #[test]
+    fn case_envelope_is_strict() {
+        let base = "kind translation-disagrees\nseed 7\n[alphabet]\nlabel doc\n\
+                    [schema]\nstart doc\nelem doc = text\n";
+        assert!(parse_case(base).is_ok());
+        // Missing seed must not silently default to 0.
+        let no_seed = "kind translation-disagrees\n[schema]\nstart doc\nelem doc = text\n";
+        let e = parse_case(no_seed).unwrap_err();
+        assert!(e.message.contains("seed"), "{e}");
+        // Duplicate header directives and sections carry line numbers.
+        let dup_seed = "kind translation-disagrees\nseed 7\nseed 8\n";
+        let e = parse_case(dup_seed).unwrap_err();
+        assert_eq!(e.line, 3, "{e}");
+        assert!(e.message.contains("duplicate `seed`"), "{e}");
+        let dup_kind = "kind translation-disagrees\nkind translation-disagrees\nseed 7\n";
+        assert_eq!(parse_case(dup_kind).unwrap_err().line, 2);
+        let dup_detail = "kind translation-disagrees\nseed 7\ndetail a\ndetail b\n";
+        assert_eq!(parse_case(dup_detail).unwrap_err().line, 4);
+        let dup_section = format!("{base}[schema]\nstart doc\nelem doc = text\n");
+        let e = parse_case(&dup_section).unwrap_err();
+        assert!(e.message.contains("duplicate section [schema]"), "{e}");
+        assert_eq!(e.line, 8, "{e}");
     }
 
     #[test]

@@ -116,6 +116,11 @@ pub struct Divergence {
     pub detail: String,
     /// The (shrunk) reproducer.
     pub case: Case,
+    /// JSONL span trace of replaying the shrunk reproducer through a fresh
+    /// engine — which pipeline stages the diverging instance exercised,
+    /// with fuel and artifact sizes. `None` when the replay ran no engine
+    /// check (purely per-tree oracle kinds).
+    pub trace_jsonl: Option<String>,
 }
 
 /// The outcome of a fuzz run.
@@ -194,11 +199,21 @@ fn record(
     } else if cfg.shrink {
         case = shrink_case(&case, |c| recheck(engine, c, kind, cfg));
     }
+    // Replay the final reproducer once more through a fresh traced engine:
+    // the span trace of the diverging instance rides along with the case.
+    let trace_jsonl = {
+        let tracer = std::sync::Arc::new(tpx_engine::Tracer::enabled());
+        let replay = Engine::new().with_tracer(tracer.clone());
+        let _ = recheck(&replay, &case, kind, cfg);
+        let jsonl = tracer.to_jsonl();
+        (!jsonl.is_empty()).then_some(jsonl)
+    };
     report.divergences.push(Divergence {
         seed,
         kind,
         detail,
         case,
+        trace_jsonl,
     });
 }
 

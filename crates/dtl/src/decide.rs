@@ -27,6 +27,7 @@ use tpx_mso::{
     compile_cached, lift, project_bit, strip_bits, try_compile_cached, try_project_bit,
     try_strip_bits, CompileCache, CompileError, Formula, MSym, Var, VarGen, VarKey,
 };
+use tpx_obs::{SpanFields, Tracer};
 use tpx_treeauto::{nbta_to_nta, nta_to_nbta, EncSym, Nbta, Nta};
 use tpx_trees::budget::{BudgetExceeded, BudgetHandle};
 use tpx_trees::Tree;
@@ -450,9 +451,36 @@ pub fn try_counterexample_nbta<P: MsoDefinable>(
     n_symbols: usize,
     budget: &BudgetHandle,
 ) -> Result<Nbta<EncSym>, DtlDecideError> {
+    try_counterexample_nbta_traced(t, n_symbols, budget, Tracer::disabled_ref())
+}
+
+/// Traced [`try_counterexample_nbta`]: emits one sub-span per compiled half
+/// (`dtl/counterexample/copying`, `dtl/counterexample/rearranging`)
+/// carrying the fuel charged and the automaton size. With a disabled
+/// tracer this is exactly the untraced call.
+pub fn try_counterexample_nbta_traced<P: MsoDefinable>(
+    t: &DtlTransducer<P>,
+    n_symbols: usize,
+    budget: &BudgetHandle,
+    tracer: &Tracer,
+) -> Result<Nbta<EncSym>, DtlDecideError> {
     let mut b = AutoBuilder::new(t, n_symbols);
+    let span = tracer.span("dtl/counterexample/copying");
+    let fuel_before = budget.fuel_spent();
     let copy = b.copy_auto(budget)?;
+    span.exit_with(
+        SpanFields::new()
+            .fuel(budget.fuel_spent() - fuel_before)
+            .size(copy.state_count()),
+    );
+    let span = tracer.span("dtl/counterexample/rearranging");
+    let fuel_before = budget.fuel_spent();
     let rearrange = b.rearrange_auto(budget)?;
+    span.exit_with(
+        SpanFields::new()
+            .fuel(budget.fuel_spent() - fuel_before)
+            .size(rearrange.state_count()),
+    );
     Ok(copy.union(&rearrange).try_trim(budget)?)
 }
 
@@ -523,8 +551,19 @@ pub fn try_compile_counterexample<P: MsoDefinable>(
     n_symbols: usize,
     budget: &BudgetHandle,
 ) -> Result<DtlTransducerArtifacts, DtlDecideError> {
+    try_compile_counterexample_traced(t, n_symbols, budget, Tracer::disabled_ref())
+}
+
+/// Traced [`try_compile_counterexample`]: see
+/// [`try_counterexample_nbta_traced`] for the sub-spans emitted.
+pub fn try_compile_counterexample_traced<P: MsoDefinable>(
+    t: &DtlTransducer<P>,
+    n_symbols: usize,
+    budget: &BudgetHandle,
+    tracer: &Tracer,
+) -> Result<DtlTransducerArtifacts, DtlDecideError> {
     Ok(DtlTransducerArtifacts {
-        counterexample: try_counterexample_nbta(t, n_symbols, budget)?,
+        counterexample: try_counterexample_nbta_traced(t, n_symbols, budget, tracer)?,
         n_symbols,
     })
 }
@@ -547,11 +586,35 @@ pub fn try_dtl_text_preserving_with(
     schema: &DtlSchemaArtifacts,
     budget: &BudgetHandle,
 ) -> Result<DtlCheckReport, DtlDecideError> {
+    try_dtl_text_preserving_traced(transducer, schema, budget, Tracer::disabled_ref())
+}
+
+/// Traced [`try_dtl_text_preserving_with`]: emits `dtl/decide/product`
+/// around the intersection+trim and `dtl/decide/witness` around the
+/// emptiness search, each carrying the fuel charged. With a disabled
+/// tracer this is exactly the untraced call.
+pub fn try_dtl_text_preserving_traced(
+    transducer: &DtlTransducerArtifacts,
+    schema: &DtlSchemaArtifacts,
+    budget: &BudgetHandle,
+    tracer: &Tracer,
+) -> Result<DtlCheckReport, DtlDecideError> {
+    let span = tracer.span("dtl/decide/product");
+    let fuel_before = budget.fuel_spent();
     let product = transducer
         .counterexample
         .try_intersect(&schema.schema, budget)?
         .try_trim(budget)?;
-    match product.try_witness(budget)? {
+    span.exit_with(
+        SpanFields::new()
+            .fuel(budget.fuel_spent() - fuel_before)
+            .size(product.state_count()),
+    );
+    let span = tracer.span("dtl/decide/witness");
+    let fuel_before = budget.fuel_spent();
+    let witness = product.try_witness(budget)?;
+    span.exit_with(SpanFields::new().fuel(budget.fuel_spent() - fuel_before));
+    match witness {
         None => Ok(DtlCheckReport::Preserving),
         Some(w) => {
             let witness = tpx_treeauto::convert::decode_witness(&w).ok_or_else(|| {

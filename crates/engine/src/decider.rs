@@ -15,12 +15,13 @@
 //! The final decide stage (automata products + emptiness) is cheap and
 //! schema×transducer-specific, so it is never cached.
 //!
-//! Every decider runs *governed*: [`Decider::check_governed`] threads a
-//! [`BudgetHandle`] through the whole staged pipeline (fuel is charged at
-//! state/transition construction sites down in `tpx-treeauto` / `tpx-mso`)
-//! and returns a structured [`DecisionError`] instead of panicking or
-//! diverging. The classic [`Decider::check`] is the unlimited-budget
-//! wrapper.
+//! Every decider runs *governed and traced*: [`Decider::check_traced`]
+//! threads a [`BudgetHandle`] and a [`Tracer`] through the whole staged
+//! pipeline (fuel is charged at state/transition construction sites down in
+//! `tpx-treeauto` / `tpx-mso`; each stage emits one span named exactly like
+//! its [`StageReport`]) and returns a structured [`DecisionError`] instead
+//! of panicking or diverging. [`Decider::check_governed`] is the
+//! disabled-tracer wrapper and [`Decider::check`] the unlimited-budget one.
 
 use std::time::Instant;
 
@@ -29,12 +30,13 @@ use crate::cache::{ArtifactCache, CacheError};
 use crate::verdict::{CheckStats, Outcome, StageReport, Verdict};
 use tpx_dtl::pattern::MsoDefinable;
 use tpx_dtl::{
-    try_compile_counterexample, try_compile_schema_nbta, try_dtl_text_preserving_with,
+    try_compile_counterexample_traced, try_compile_schema_nbta, try_dtl_text_preserving_traced,
     DtlCheckReport, DtlDecideError, DtlSchemaArtifacts, DtlTransducer, DtlTransducerArtifacts,
 };
+use tpx_obs::{SpanFields, Tracer};
 use tpx_topdown::{
-    try_compile_schema_artifacts, try_compile_transducer_artifacts, try_is_text_preserving_with,
-    SchemaArtifacts, Transducer, TransducerArtifacts,
+    try_compile_schema_artifacts, try_compile_transducer_artifacts_traced,
+    try_is_text_preserving_traced, SchemaArtifacts, Transducer, TransducerArtifacts,
 };
 use tpx_treeauto::Nta;
 use tpx_trees::{stable_hash_debug, stable_hash_of, StableHasher};
@@ -48,15 +50,29 @@ pub trait Decider: Sync {
     fn name(&self) -> &'static str;
 
     /// Decides text-preservation over `L(schema)` under the fuel/deadline
-    /// budget of `options`, memoizing expensive intermediates in `cache`.
-    /// Budget exhaustion, panics inside cached builders, and construction
-    /// invariant failures all surface as a [`DecisionError`].
+    /// budget of `options`, memoizing expensive intermediates in `cache`
+    /// and emitting one span per pipeline stage on `tracer` (span names
+    /// match the [`crate::StageReport::stage`] names; a disabled tracer
+    /// costs nothing). Budget exhaustion, panics inside cached builders,
+    /// and construction invariant failures all surface as a
+    /// [`DecisionError`].
+    fn check_traced(
+        &self,
+        schema: &Nta,
+        cache: &ArtifactCache,
+        options: &CheckOptions,
+        tracer: &Tracer,
+    ) -> Result<Verdict, DecisionError>;
+
+    /// [`Decider::check_traced`] with tracing disabled.
     fn check_governed(
         &self,
         schema: &Nta,
         cache: &ArtifactCache,
         options: &CheckOptions,
-    ) -> Result<Verdict, DecisionError>;
+    ) -> Result<Verdict, DecisionError> {
+        self.check_traced(schema, cache, options, Tracer::disabled_ref())
+    }
 
     /// Decides text-preservation over `L(schema)` with no resource limits,
     /// memoizing expensive intermediates in `cache`.
@@ -71,25 +87,44 @@ pub trait Decider: Sync {
     }
 }
 
+/// The per-check recording context threaded through the staged helpers:
+/// where stage reports accumulate, the fuel/deadline handle, and the span
+/// sink.
+struct StageCtx<'a> {
+    stats: &'a mut CheckStats,
+    budget: &'a BudgetHandle,
+    tracer: &'a Tracer,
+}
+
 /// Runs a cached stage under a budget: looks `(kind, key)` up, building on
 /// miss, and records duration / artifact size / hit-or-miss / fuel. Fuel is
 /// attributed by sampling the shared handle's counter around the stage, so
 /// a cache hit reports `0` (whoever built the artifact paid for it).
+///
+/// Emits one span named `kind` on the context's tracer, covering lookup and
+/// (on miss) the build; its exit event carries the fuel delta, the artifact
+/// size, and the hit/miss flag. A stage that fails closes its span without
+/// fields.
 fn governed_stage<T, F>(
     cache: &ArtifactCache,
     kind: &'static str,
     key: u64,
     size: impl Fn(&T) -> usize,
     build: F,
-    stats: &mut CheckStats,
-    budget: &BudgetHandle,
+    ctx: &mut StageCtx<'_>,
 ) -> Result<std::sync::Arc<T>, DecisionError>
 where
     T: Send + Sync + 'static,
     F: FnOnce() -> Result<T, DecisionError>,
 {
+    let StageCtx {
+        ref mut stats,
+        budget,
+        tracer,
+    } = *ctx;
     let start = Instant::now();
     let fuel_before = budget.fuel_spent();
+    let span = tracer.span(kind);
     let (artifact, hit) = match cache.try_get_or_build(kind, key, build) {
         Ok(r) => r,
         Err(CacheError::Build(e)) => return Err(e),
@@ -103,10 +138,17 @@ where
             return Err(DecisionError::Internal(e.to_string()))
         }
     };
+    let artifact_size = size(&artifact);
+    span.exit_with(
+        SpanFields::new()
+            .fuel(budget.fuel_spent() - fuel_before)
+            .size(artifact_size)
+            .hit(hit),
+    );
     stats.stages.push(StageReport {
         stage: kind,
         duration: start.elapsed(),
-        artifact_size: Some(size(&artifact)),
+        artifact_size: Some(artifact_size),
         cache_hit: Some(hit),
         fuel: budget
             .is_limited()
@@ -160,11 +202,12 @@ impl Decider for TopdownDecider<'_> {
         "topdown"
     }
 
-    fn check_governed(
+    fn check_traced(
         &self,
         schema: &Nta,
         cache: &ArtifactCache,
         options: &CheckOptions,
+        tracer: &Tracer,
     ) -> Result<Verdict, DecisionError> {
         let budget = options.budget.start();
         let mut stats = CheckStats::default();
@@ -177,8 +220,11 @@ impl Decider for TopdownDecider<'_> {
                 try_compile_schema_artifacts(schema, &budget)
                     .map_err(|b| DecisionError::exhausted("topdown/schema", b))
             },
-            &mut stats,
-            &budget,
+            &mut StageCtx {
+                stats: &mut stats,
+                budget: &budget,
+                tracer,
+            },
         )?;
         let trans_art = governed_stage(
             cache,
@@ -186,16 +232,22 @@ impl Decider for TopdownDecider<'_> {
             self.key,
             TransducerArtifacts::size,
             || {
-                try_compile_transducer_artifacts(self.t, &budget)
+                try_compile_transducer_artifacts_traced(self.t, &budget, tracer)
                     .map_err(|b| DecisionError::exhausted("topdown/transducer", b))
             },
-            &mut stats,
-            &budget,
+            &mut StageCtx {
+                stats: &mut stats,
+                budget: &budget,
+                tracer,
+            },
         )?;
         let start = Instant::now();
         let fuel_before = budget.fuel_spent();
-        let report = try_is_text_preserving_with(&schema_art, &trans_art, schema, &budget)
-            .map_err(|b| DecisionError::exhausted("topdown/decide", b))?;
+        let span = tracer.span("topdown/decide");
+        let report =
+            try_is_text_preserving_traced(&schema_art, &trans_art, schema, &budget, tracer)
+                .map_err(|b| DecisionError::exhausted("topdown/decide", b))?;
+        span.exit_with(SpanFields::new().fuel(budget.fuel_spent() - fuel_before));
         uncached_stage("topdown/decide", start, fuel_before, &mut stats, &budget);
         let outcome: Outcome = report.into();
         #[cfg(debug_assertions)]
@@ -270,13 +322,14 @@ where
 }
 
 impl<P: MsoDefinable> DtlDecider<'_, P> {
-    /// The symbolic (exact) pipeline, governed.
+    /// The symbolic (exact) pipeline, governed and traced.
     fn symbolic(
         &self,
         schema: &Nta,
         cache: &ArtifactCache,
         budget: &BudgetHandle,
         stats: &mut CheckStats,
+        tracer: &Tracer,
     ) -> Result<Outcome, DecisionError> {
         let n_symbols = schema.symbol_count();
         let schema_art = governed_stage(
@@ -288,8 +341,11 @@ impl<P: MsoDefinable> DtlDecider<'_, P> {
                 try_compile_schema_nbta(schema, budget)
                     .map_err(|b| DecisionError::exhausted("dtl/schema", b))
             },
-            stats,
-            budget,
+            &mut StageCtx {
+                stats,
+                budget,
+                tracer,
+            },
         )?;
         // The counter-example automaton depends on (transducer, |Σ|).
         let ce_key = {
@@ -304,16 +360,21 @@ impl<P: MsoDefinable> DtlDecider<'_, P> {
             ce_key,
             DtlTransducerArtifacts::size,
             || {
-                try_compile_counterexample(self.t, n_symbols, budget)
+                try_compile_counterexample_traced(self.t, n_symbols, budget, tracer)
                     .map_err(|e| dtl_error("dtl/counterexample", e))
             },
-            stats,
-            budget,
+            &mut StageCtx {
+                stats,
+                budget,
+                tracer,
+            },
         )?;
         let start = Instant::now();
         let fuel_before = budget.fuel_spent();
-        let report = try_dtl_text_preserving_with(&ce_art, &schema_art, budget)
+        let span = tracer.span("dtl/decide");
+        let report = try_dtl_text_preserving_traced(&ce_art, &schema_art, budget, tracer)
             .map_err(|e| dtl_error("dtl/decide", e))?;
+        span.exit_with(SpanFields::new().fuel(budget.fuel_spent() - fuel_before));
         uncached_stage("dtl/decide", start, fuel_before, stats, budget);
         Ok(match report {
             DtlCheckReport::Preserving => Outcome::Preserving,
@@ -340,15 +401,16 @@ where
         "dtl"
     }
 
-    fn check_governed(
+    fn check_traced(
         &self,
         schema: &Nta,
         cache: &ArtifactCache,
         options: &CheckOptions,
+        tracer: &Tracer,
     ) -> Result<Verdict, DecisionError> {
         let budget = options.budget.start();
         let mut stats = CheckStats::default();
-        match self.symbolic(schema, cache, &budget, &mut stats) {
+        match self.symbolic(schema, cache, &budget, &mut stats, tracer) {
             Ok(outcome) => {
                 #[cfg(debug_assertions)]
                 validate_dtl_outcome(self.t, schema, &outcome);
@@ -366,6 +428,7 @@ where
                 // with the bound that was actually searched.
                 let bound = options.degrade.expect("checked is_some");
                 let start = Instant::now();
+                let span = tracer.span("dtl/bounded");
                 let witness = tpx_dtl::bounded::bounded_counterexample(
                     self.t,
                     schema,
@@ -373,6 +436,7 @@ where
                     bound.limit,
                 )
                 .map_err(|err| DecisionError::Internal(err.to_string()))?;
+                span.exit_with(SpanFields::new().fuel(0));
                 stats.stages.push(StageReport {
                     stage: "dtl/bounded",
                     duration: start.elapsed(),

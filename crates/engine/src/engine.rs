@@ -1,33 +1,49 @@
 //! The [`Engine`]: a shared artifact cache plus single and batch check
-//! entry points, governed and ungoverned.
+//! entry points, governed and ungoverned, with opt-in tracing and metrics.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 use crate::budget::{CheckOptions, DecisionError};
 use crate::cache::{panic_message, ArtifactCache, CacheStats};
 use crate::decider::Decider;
 use crate::verdict::Verdict;
+use tpx_obs::{Metrics, Tracer};
 use tpx_treeauto::Nta;
 
 /// One unit of batch work: a decider checked against a schema.
 pub type Task<'a> = (&'a dyn Decider, &'a Nta);
 
 /// The decision engine: owns the [`ArtifactCache`] shared by every check it
-/// runs, and a worker count for [`Engine::check_many`].
-#[derive(Default)]
+/// runs, a worker count for [`Engine::check_many`], and the (disabled by
+/// default) [`Tracer`] and [`Metrics`] every check reports to.
 pub struct Engine {
     cache: ArtifactCache,
     jobs: usize,
+    tracer: Arc<Tracer>,
+    metrics: Arc<Metrics>,
+}
+
+impl Default for Engine {
+    /// Same as [`Engine::new`]. (A derived `Default` would store
+    /// `jobs: 0` where `new()` stores 1; the public [`Engine::jobs`]
+    /// accessor clamped that, but the two constructors must agree.)
+    fn default() -> Self {
+        Engine::new()
+    }
 }
 
 impl Engine {
-    /// A sequential engine (`jobs = 1`) with an empty cache.
+    /// A sequential engine (`jobs = 1`) with an empty cache, tracing and
+    /// metrics disabled.
     pub fn new() -> Self {
         Engine {
             cache: ArtifactCache::new(),
             jobs: 1,
+            tracer: Arc::new(Tracer::disabled()),
+            metrics: Arc::new(Metrics::disabled()),
         }
     }
 
@@ -35,9 +51,38 @@ impl Engine {
     /// to 1).
     pub fn with_jobs(jobs: usize) -> Self {
         Engine {
-            cache: ArtifactCache::new(),
             jobs: jobs.max(1),
+            ..Engine::new()
         }
+    }
+
+    /// Replaces the engine's tracer. Pass `Arc::new(Tracer::enabled())` to
+    /// record one span per pipeline stage of every check this engine runs;
+    /// keep a clone of the `Arc` (or use [`Engine::tracer`]) to read the
+    /// events back.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Replaces the engine's metrics registry. Pass
+    /// `Arc::new(Metrics::enabled())` to aggregate counters and histograms
+    /// across every check this engine runs (batch workers record locally
+    /// and merge on completion).
+    pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The engine's tracer (disabled unless set via [`Engine::with_tracer`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The engine's metrics registry (disabled unless set via
+    /// [`Engine::with_metrics`]).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// The configured worker count.
@@ -56,14 +101,21 @@ impl Engine {
     }
 
     /// Runs one check through the shared cache.
+    ///
+    /// # Panics
+    ///
+    /// On any [`DecisionError`] — which the unlimited budget used here
+    /// reduces to the internal-invariant and panic cases.
     pub fn check(&self, decider: &dyn Decider, schema: &Nta) -> Verdict {
-        decider.check(schema, &self.cache)
+        self.check_governed(decider, schema, &CheckOptions::unlimited())
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Runs one governed check through the shared cache: the task runs
     /// under the fuel/deadline budget of `options` and inside
     /// `catch_unwind`, so budget exhaustion *and* panics come back as a
-    /// structured [`DecisionError`] instead of unwinding.
+    /// structured [`DecisionError`] instead of unwinding. Spans land on
+    /// the engine's tracer, observations on its metrics registry.
     ///
     /// Unwind safety at the cache boundary: the cache mutates state only
     /// through atomics, poison-recovering locks whose critical sections
@@ -76,15 +128,30 @@ impl Engine {
         schema: &Nta,
         options: &CheckOptions,
     ) -> Result<Verdict, DecisionError> {
-        catch_unwind(AssertUnwindSafe(|| {
-            decider.check_governed(schema, &self.cache, options)
+        self.check_observed(decider, schema, options, &self.metrics)
+    }
+
+    /// [`Engine::check_governed`] recording onto an explicit metrics
+    /// registry (batch workers pass a thread-local one).
+    fn check_observed(
+        &self,
+        decider: &dyn Decider,
+        schema: &Nta,
+        options: &CheckOptions,
+        metrics: &Metrics,
+    ) -> Result<Verdict, DecisionError> {
+        let started = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            decider.check_traced(schema, &self.cache, options, &self.tracer)
         }))
         .unwrap_or_else(|payload| {
             Err(DecisionError::Panicked {
                 stage: "engine/task",
                 message: panic_message(payload.as_ref()),
             })
-        })
+        });
+        record_check_metrics(metrics, &result, started.elapsed());
+        result
     }
 
     /// Runs every task, returning verdicts in task order.
@@ -115,6 +182,12 @@ impl Engine {
     /// still produce verdicts, in input order, and the shared cache stays
     /// serviceable (see [`Engine::check_governed`] for the unwind-safety
     /// argument).
+    ///
+    /// Observability: spans from all workers land on the engine's shared
+    /// tracer (interleaved across tasks, but every span still closes); each
+    /// worker records metrics into a private registry that is merged into
+    /// the engine's after its last task, so batch counters never contend on
+    /// one lock mid-run.
     pub fn check_many_governed(
         &self,
         tasks: &[Task<'_>],
@@ -132,13 +205,22 @@ impl Engine {
             tasks.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..jobs {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some((decider, schema)) = tasks.get(i) else {
-                        break;
+                scope.spawn(|| {
+                    let worker_metrics = if self.metrics.is_enabled() {
+                        Metrics::enabled()
+                    } else {
+                        Metrics::disabled()
                     };
-                    let result = self.check_governed(*decider, schema, options);
-                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((decider, schema)) = tasks.get(i) else {
+                            break;
+                        };
+                        let result =
+                            self.check_observed(*decider, schema, options, &worker_metrics);
+                        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+                    }
+                    self.metrics.merge_from(&worker_metrics);
                 });
             }
         });
@@ -154,5 +236,50 @@ impl Engine {
                     })
             })
             .collect()
+    }
+}
+
+/// Folds one check result into a metrics registry: verdict/error counters,
+/// check duration, and per-stage hit/miss counters plus duration, fuel and
+/// artifact-size histograms. Free when the registry is disabled.
+fn record_check_metrics(
+    metrics: &Metrics,
+    result: &Result<Verdict, DecisionError>,
+    elapsed: Duration,
+) {
+    if !metrics.is_enabled() {
+        return;
+    }
+    metrics.incr("engine/checks");
+    metrics.observe("engine/check_us", elapsed.as_micros() as u64);
+    match result {
+        Ok(v) => {
+            if v.is_preserving() {
+                metrics.incr("engine/verdicts/preserving");
+            } else {
+                metrics.incr("engine/verdicts/violating");
+            }
+            if v.is_degraded() {
+                metrics.incr("engine/verdicts/degraded");
+            }
+            for s in &v.stats.stages {
+                let base = format!("stage/{}", s.stage);
+                metrics.observe(&format!("{base}/us"), s.duration.as_micros() as u64);
+                match s.cache_hit {
+                    Some(true) => metrics.incr(&format!("{base}/hits")),
+                    Some(false) => metrics.incr(&format!("{base}/misses")),
+                    None => {}
+                }
+                if let Some(fuel) = s.fuel {
+                    metrics.observe(&format!("{base}/fuel"), fuel);
+                }
+                if let Some(size) = s.artifact_size {
+                    metrics.observe(&format!("{base}/size"), size as u64);
+                }
+            }
+        }
+        Err(DecisionError::ResourceExhausted { .. }) => metrics.incr("engine/errors/exhausted"),
+        Err(DecisionError::Panicked { .. }) => metrics.incr("engine/errors/panicked"),
+        Err(DecisionError::Internal(_)) => metrics.incr("engine/errors/internal"),
     }
 }

@@ -43,4 +43,5 @@ pub use budget::{
 pub use cache::{ArtifactCache, CacheError, CacheStats};
 pub use decider::{Decider, DtlDecider, TopdownDecider};
 pub use engine::{Engine, Task};
+pub use tpx_obs::{Metrics, MetricsSnapshot, Span, SpanFields, TraceEvent, Tracer};
 pub use verdict::{CheckStats, Outcome, StageReport, Verdict};

@@ -248,11 +248,12 @@ impl Decider for PanickingDecider {
         "panicking"
     }
 
-    fn check_governed(
+    fn check_traced(
         &self,
         _schema: &Nta,
         _cache: &ArtifactCache,
         _options: &CheckOptions,
+        _tracer: &tpx_engine::Tracer,
     ) -> Result<Verdict, DecisionError> {
         panic!("decider blew up on this instance");
     }

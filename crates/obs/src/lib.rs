@@ -1,0 +1,23 @@
+//! Observability primitives for the text-preservation pipelines: a span
+//! [`Tracer`], a [`Metrics`] registry, and a minimal JSON reader.
+//!
+//! Everything here is zero-dependency and built around one invariant: the
+//! disabled instances (`Tracer::disabled()`, `Metrics::disabled()`) are
+//! `const`-constructible and near-free — a disabled call is a branch on an
+//! `Option` discriminant, no lock, no allocation. That lets every pipeline
+//! layer take `&Tracer` unconditionally while ungoverned callers pay
+//! essentially nothing.
+//!
+//! The span taxonomy mirrors the engine's stage names (the `stage` fields of
+//! `Verdict::stats`): `topdown/schema`, `topdown/transducer`,
+//! `topdown/decide`, `dtl/schema`, `dtl/counterexample`, `dtl/decide`, and
+//! the degradation fallback `dtl/bounded`, with finer-grained sub-spans
+//! (e.g. `topdown/decide/copying`) nested inside. See DESIGN.md §11.
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use json::{quote, JsonValue};
+pub use metrics::{Histogram, Metrics, MetricsSnapshot};
+pub use trace::{Span, SpanFields, TraceEvent, Tracer};

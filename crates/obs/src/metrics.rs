@@ -1,0 +1,312 @@
+//! Metrics registry: named counters and fixed-bucket histograms.
+//!
+//! Buckets are powers of four (1, 4, 16, ... 4^13) plus an overflow bucket —
+//! wide enough to cover microsecond durations from sub-µs stage hits to
+//! minutes, and fuel counts from single charges to the `1e8` budgets the
+//! fuzz CI uses, in 15 buckets. Bucket placement is deterministic in the
+//! observed values, so two runs that observe the same multiset of values
+//! produce identical histograms regardless of thread interleaving.
+//!
+//! Like the tracer, a [`Metrics`] is either enabled (mutex-guarded maps) or
+//! disabled (`const`, free). Per-worker registries in batch runs are merged
+//! with [`Metrics::merge_from`].
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Number of finite histogram buckets; bucket `i` covers values `<= 4^i`.
+pub const HISTOGRAM_BUCKETS: usize = 14;
+
+/// A fixed-bucket histogram over `u64` observations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// `counts[i]` counts observations with value `<= 4^i`; the final slot
+    /// (`counts[HISTOGRAM_BUCKETS]`) is the overflow bucket.
+    pub counts: [u64; HISTOGRAM_BUCKETS + 1],
+    /// Total number of observations.
+    pub count: u64,
+    /// Saturating sum of observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl Histogram {
+    /// The bucket index `value` falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        let mut bound = 1u64;
+        for i in 0..HISTOGRAM_BUCKETS {
+            if value <= bound {
+                return i;
+            }
+            bound = bound.saturating_mul(4);
+        }
+        HISTOGRAM_BUCKETS
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Adds all of `other`'s observations into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Named counters and histograms. Cheap to share behind an `Arc`.
+pub struct Metrics {
+    inner: Option<Mutex<Registry>>,
+}
+
+static DISABLED: Metrics = Metrics::disabled();
+
+impl Metrics {
+    /// A registry that records nothing. `const`, so usable in statics.
+    pub const fn disabled() -> Self {
+        Metrics { inner: None }
+    }
+
+    /// A shared `&'static` disabled registry for default arguments.
+    pub fn disabled_ref() -> &'static Metrics {
+        &DISABLED
+    }
+
+    /// A registry that records.
+    pub fn enabled() -> Self {
+        Metrics {
+            inner: Some(Mutex::new(Registry::default())),
+        }
+    }
+
+    /// Whether observations are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `n` to the counter named `name`.
+    pub fn add(&self, name: &str, n: u64) {
+        if let Some(m) = &self.inner {
+            let mut reg = m.lock().unwrap();
+            match reg.counters.get_mut(name) {
+                Some(c) => *c += n,
+                None => {
+                    reg.counters.insert(name.to_string(), n);
+                }
+            }
+        }
+    }
+
+    /// Increments the counter named `name` by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Records `value` in the histogram named `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        if let Some(m) = &self.inner {
+            m.lock()
+                .unwrap()
+                .histograms
+                .entry(name.to_string())
+                .or_default()
+                .observe(value);
+        }
+    }
+
+    /// Folds another registry's observations into this one (used to
+    /// aggregate per-worker metrics after a batch run). No-op when either
+    /// side is disabled.
+    pub fn merge_from(&self, other: &Metrics) {
+        if !self.is_enabled() {
+            return;
+        }
+        let snap = other.snapshot();
+        if let Some(m) = &self.inner {
+            let mut reg = m.lock().unwrap();
+            for (name, v) in snap.counters {
+                *reg.counters.entry(name).or_insert(0) += v;
+            }
+            for (name, h) in snap.histograms {
+                reg.histograms.entry(name).or_default().merge(&h);
+            }
+        }
+    }
+
+    /// A deterministic (name-sorted) copy of the current state.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match &self.inner {
+            None => MetricsSnapshot::default(),
+            Some(m) => {
+                let reg = m.lock().unwrap();
+                MetricsSnapshot {
+                    counters: reg.counters.clone(),
+                    histograms: reg.histograms.clone(),
+                }
+            }
+        }
+    }
+}
+
+impl Default for Metrics {
+    /// The default registry is disabled: observability is opt-in.
+    fn default() -> Self {
+        Metrics::disabled()
+    }
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+/// Point-in-time copy of a [`Metrics`] registry, name-sorted.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders a fixed-width summary table (counters first, then
+    /// histograms with count/mean/max).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+            return out;
+        }
+        let width = self
+            .counters
+            .keys()
+            .chain(self.histograms.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0);
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<width$}  {v}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {name:<width$}  count={} mean={} max={}\n",
+                    h.count,
+                    h.mean(),
+                    h.max
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let m = Metrics::disabled();
+        m.add("engine/checks", 3);
+        m.observe("fuel", 100);
+        assert!(m.snapshot().is_empty());
+        assert!(!Metrics::default().is_enabled());
+        assert!(!Metrics::disabled_ref().is_enabled());
+    }
+
+    #[test]
+    fn counters_and_histograms_accumulate() {
+        let m = Metrics::enabled();
+        m.incr("engine/checks");
+        m.add("engine/checks", 2);
+        m.observe("fuel", 0);
+        m.observe("fuel", 5);
+        m.observe("fuel", 1_000_000);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["engine/checks"], 3);
+        let h = &snap.histograms["fuel"];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 1_000_005);
+        assert_eq!(h.max, 1_000_000);
+        assert_eq!(h.counts[0], 1); // 0 <= 1
+        assert_eq!(h.counts[2], 1); // 5 <= 16
+    }
+
+    #[test]
+    fn bucket_bounds_are_powers_of_four() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(4), 1);
+        assert_eq!(Histogram::bucket_index(5), 2);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS);
+    }
+
+    #[test]
+    fn merge_matches_single_registry_result() {
+        let a = Metrics::enabled();
+        let b = Metrics::enabled();
+        let combined = Metrics::enabled();
+        for (m, values) in [(&a, [1u64, 40]), (&b, [40, 7])] {
+            for v in values {
+                m.observe("x", v);
+                m.incr("n");
+                combined.observe("x", v);
+                combined.incr("n");
+            }
+        }
+        let merged = Metrics::enabled();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.snapshot(), combined.snapshot());
+    }
+
+    #[test]
+    fn table_renders_both_sections() {
+        let m = Metrics::enabled();
+        m.incr("checks");
+        m.observe("dur", 10);
+        let table = m.snapshot().render_table();
+        assert!(table.contains("counters:"), "{table}");
+        assert!(table.contains("histograms:"), "{table}");
+        assert!(table.contains("checks"), "{table}");
+        assert!(Metrics::disabled()
+            .snapshot()
+            .render_table()
+            .contains("no metrics"));
+    }
+}

@@ -1,0 +1,420 @@
+//! Span tracer: enter/exit events with microsecond timestamps, rendered as
+//! JSON-lines.
+//!
+//! A [`Tracer`] is either *enabled* (holds a mutex-guarded event buffer) or
+//! *disabled* (holds nothing). [`Tracer::disabled`] is a `const fn`, so a
+//! `static` disabled tracer exists ([`Tracer::disabled_ref`]) for APIs that
+//! need a `&Tracer` default without threading an argument.
+//!
+//! Spans are RAII guards: [`Tracer::span`] records an `enter` event and
+//! returns a [`Span`] whose drop records the matching `exit`. Exiting with
+//! measured fields (fuel charged, artifact size, cache hit) goes through
+//! [`Span::exit_with`]; early returns via `?` still close the span through
+//! `Drop`, just without fields.
+
+use std::io::{self, Write};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::escape_into;
+
+/// Optional measurements attached to a span's exit event.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanFields {
+    /// Fuel charged against the budget while the span was open.
+    pub fuel: Option<u64>,
+    /// Size of the artifact the span produced (states, rules, nodes...).
+    pub artifact_size: Option<usize>,
+    /// Whether the stage was served from the artifact cache.
+    pub cache_hit: Option<bool>,
+}
+
+impl SpanFields {
+    /// Empty field set; combine with the builder methods below.
+    pub fn new() -> Self {
+        SpanFields::default()
+    }
+
+    /// Records fuel charged while the span was open.
+    pub fn fuel(mut self, fuel: u64) -> Self {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    /// Records the size of the produced artifact.
+    pub fn size(mut self, size: usize) -> Self {
+        self.artifact_size = Some(size);
+        self
+    }
+
+    /// Records whether the artifact cache served this stage.
+    pub fn hit(mut self, hit: bool) -> Self {
+        self.cache_hit = Some(hit);
+        self
+    }
+}
+
+/// One tracer event. Timestamps are microseconds since the tracer was
+/// created, so traces from a single run are mutually comparable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A span opened.
+    Enter {
+        /// Stage name, e.g. `"topdown/schema"`.
+        span: &'static str,
+        /// Id shared by this span's enter and exit events.
+        id: u64,
+        /// Microseconds since tracer creation.
+        t_us: u64,
+    },
+    /// A span closed.
+    Exit {
+        /// Stage name, matching the enter event.
+        span: &'static str,
+        /// Id shared by this span's enter and exit events.
+        id: u64,
+        /// Microseconds since tracer creation at close.
+        t_us: u64,
+        /// Span duration in microseconds.
+        dur_us: u64,
+        /// Measurements attached via [`Span::exit_with`].
+        fields: SpanFields,
+    },
+}
+
+impl TraceEvent {
+    /// The span name this event belongs to.
+    pub fn span(&self) -> &'static str {
+        match self {
+            TraceEvent::Enter { span, .. } | TraceEvent::Exit { span, .. } => span,
+        }
+    }
+
+    /// Whether this is an exit event.
+    pub fn is_exit(&self) -> bool {
+        matches!(self, TraceEvent::Exit { .. })
+    }
+
+    /// Renders the event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        match self {
+            TraceEvent::Enter { span, id, t_us } => {
+                out.push_str("{\"ev\":\"enter\",\"span\":\"");
+                escape_into(&mut out, span);
+                out.push_str(&format!("\",\"id\":{id},\"t_us\":{t_us}}}"));
+            }
+            TraceEvent::Exit {
+                span,
+                id,
+                t_us,
+                dur_us,
+                fields,
+            } => {
+                out.push_str("{\"ev\":\"exit\",\"span\":\"");
+                escape_into(&mut out, span);
+                out.push_str(&format!(
+                    "\",\"id\":{id},\"t_us\":{t_us},\"dur_us\":{dur_us}"
+                ));
+                if let Some(fuel) = fields.fuel {
+                    out.push_str(&format!(",\"fuel\":{fuel}"));
+                }
+                if let Some(size) = fields.artifact_size {
+                    out.push_str(&format!(",\"size\":{size}"));
+                }
+                if let Some(hit) = fields.cache_hit {
+                    out.push_str(&format!(",\"hit\":{hit}"));
+                }
+                out.push('}');
+            }
+        }
+        out
+    }
+}
+
+struct TraceBuf {
+    epoch: Instant,
+    next_id: u64,
+    events: Vec<TraceEvent>,
+}
+
+/// Collects span events. Cheap to share behind an `Arc`; all methods take
+/// `&self`.
+pub struct Tracer {
+    inner: Option<Mutex<TraceBuf>>,
+}
+
+static DISABLED: Tracer = Tracer::disabled();
+
+impl Tracer {
+    /// A tracer that records nothing. `const`, so usable in statics.
+    pub const fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// A shared `&'static` disabled tracer for default arguments.
+    pub fn disabled_ref() -> &'static Tracer {
+        &DISABLED
+    }
+
+    /// A tracer that records events.
+    pub fn enabled() -> Self {
+        Tracer {
+            inner: Some(Mutex::new(TraceBuf {
+                epoch: Instant::now(),
+                next_id: 1,
+                events: Vec::new(),
+            })),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span named `name`, recording its enter event. The returned
+    /// guard records the exit event when dropped or [`Span::exit_with`]n.
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        let id = match &self.inner {
+            None => 0,
+            Some(m) => {
+                let mut buf = m.lock().unwrap();
+                let id = buf.next_id;
+                buf.next_id += 1;
+                let t_us = buf.epoch.elapsed().as_micros() as u64;
+                buf.events.push(TraceEvent::Enter {
+                    span: name,
+                    id,
+                    t_us,
+                });
+                id
+            }
+        };
+        Span {
+            tracer: self,
+            name,
+            id,
+            start: Instant::now(),
+            closed: !self.is_enabled(),
+        }
+    }
+
+    fn record_exit(&self, name: &'static str, id: u64, start: Instant, fields: SpanFields) {
+        if let Some(m) = &self.inner {
+            let dur_us = start.elapsed().as_micros() as u64;
+            let mut buf = m.lock().unwrap();
+            let t_us = buf.epoch.elapsed().as_micros() as u64;
+            buf.events.push(TraceEvent::Exit {
+                span: name,
+                id,
+                t_us,
+                dur_us,
+                fields,
+            });
+        }
+    }
+
+    /// Snapshot of all events recorded so far (empty when disabled).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(m) => m.lock().unwrap().events.clone(),
+        }
+    }
+
+    /// Drains and returns all recorded events.
+    pub fn take_events(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(m) => std::mem::take(&mut m.lock().unwrap().events),
+        }
+    }
+
+    /// Names of all spans that have exited, in completion order.
+    pub fn exit_span_names(&self) -> Vec<&'static str> {
+        self.events()
+            .iter()
+            .filter(|e| e.is_exit())
+            .map(|e| e.span())
+            .collect()
+    }
+
+    /// Renders all events as JSON-lines (one object per line, trailing
+    /// newline). Empty string when disabled or no events.
+    pub fn to_jsonl(&self) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(events.len() * 96);
+        for e in &events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the JSONL rendering to `w`.
+    pub fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(self.to_jsonl().as_bytes())
+    }
+}
+
+impl Default for Tracer {
+    /// The default tracer is disabled: observability is opt-in.
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+/// RAII span guard. Records the exit event on drop; use
+/// [`Span::exit_with`] to attach measurements.
+pub struct Span<'t> {
+    tracer: &'t Tracer,
+    name: &'static str,
+    id: u64,
+    start: Instant,
+    closed: bool,
+}
+
+impl Span<'_> {
+    /// Closes the span with measured fields.
+    pub fn exit_with(mut self, fields: SpanFields) {
+        if !self.closed {
+            self.closed = true;
+            self.tracer
+                .record_exit(self.name, self.id, self.start, fields);
+        }
+    }
+
+    /// Closes the span without fields (same as dropping it).
+    pub fn exit(self) {
+        self.exit_with(SpanFields::default());
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if !self.closed {
+            self.closed = true;
+            self.tracer
+                .record_exit(self.name, self.id, self.start, SpanFields::default());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        {
+            let s = t.span("topdown/schema");
+            s.exit_with(SpanFields::new().fuel(7));
+        }
+        assert!(!t.is_enabled());
+        assert!(t.events().is_empty());
+        assert!(t.to_jsonl().is_empty());
+        assert!(Tracer::disabled_ref().events().is_empty());
+        assert!(!Tracer::default().is_enabled());
+    }
+
+    #[test]
+    fn enabled_tracer_pairs_enter_and_exit() {
+        let t = Tracer::enabled();
+        {
+            let s = t.span("dtl/schema");
+            s.exit_with(SpanFields::new().fuel(42).size(9).hit(false));
+        }
+        {
+            let _s = t.span("dtl/decide");
+            // dropped without exit_with: still closes
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 4);
+        match &events[0] {
+            TraceEvent::Enter { span, id, .. } => {
+                assert_eq!(*span, "dtl/schema");
+                assert_eq!(*id, 1);
+            }
+            e => panic!("expected enter, got {e:?}"),
+        }
+        match &events[1] {
+            TraceEvent::Exit {
+                span, id, fields, ..
+            } => {
+                assert_eq!(*span, "dtl/schema");
+                assert_eq!(*id, 1);
+                assert_eq!(fields.fuel, Some(42));
+                assert_eq!(fields.artifact_size, Some(9));
+                assert_eq!(fields.cache_hit, Some(false));
+            }
+            e => panic!("expected exit, got {e:?}"),
+        }
+        assert_eq!(t.exit_span_names(), vec!["dtl/schema", "dtl/decide"]);
+    }
+
+    #[test]
+    fn nested_spans_share_monotone_timestamps() {
+        let t = Tracer::enabled();
+        {
+            let outer = t.span("topdown/decide");
+            {
+                let inner = t.span("topdown/decide/copying");
+                inner.exit();
+            }
+            outer.exit();
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 4);
+        let ts: Vec<u64> = events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Enter { t_us, .. } | TraceEvent::Exit { t_us, .. } => *t_us,
+            })
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+        // inner closes before outer
+        assert_eq!(
+            t.exit_span_names(),
+            vec!["topdown/decide/copying", "topdown/decide"]
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_reader() {
+        let t = Tracer::enabled();
+        t.span("topdown/schema")
+            .exit_with(SpanFields::new().fuel(3).size(17).hit(true));
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let exit = JsonValue::parse(lines[1]).expect("exit line parses");
+        assert_eq!(exit.get("ev").and_then(|v| v.as_str()), Some("exit"));
+        assert_eq!(
+            exit.get("span").and_then(|v| v.as_str()),
+            Some("topdown/schema")
+        );
+        assert_eq!(exit.get("fuel").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(exit.get("size").and_then(|v| v.as_u64()), Some(17));
+        assert_eq!(exit.get("hit").and_then(|v| v.as_bool()), Some(true));
+        assert!(exit.get("dur_us").and_then(|v| v.as_u64()).is_some());
+    }
+
+    #[test]
+    fn take_events_drains_the_buffer() {
+        let t = Tracer::enabled();
+        t.span("a").exit();
+        assert_eq!(t.take_events().len(), 2);
+        assert!(t.events().is_empty());
+    }
+}

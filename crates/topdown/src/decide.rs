@@ -16,6 +16,7 @@
 use crate::paths::{path_automaton_nta, path_automaton_transducer, PathSym};
 use crate::transducer::{frontier_states, TdState, Transducer};
 use tpx_automata::{Nfa, StateId};
+use tpx_obs::{SpanFields, Tracer};
 use tpx_treeauto::{Nta, State};
 use tpx_trees::budget::{BudgetExceeded, BudgetHandle};
 use tpx_trees::{Symbol, Tree};
@@ -155,9 +156,37 @@ pub fn try_compile_transducer_artifacts(
     t: &Transducer,
     budget: &BudgetHandle,
 ) -> Result<TransducerArtifacts, BudgetExceeded> {
+    try_compile_transducer_artifacts_traced(t, budget, Tracer::disabled_ref())
+}
+
+/// Traced [`try_compile_transducer_artifacts`]: emits one sub-span per
+/// compiled half (`topdown/transducer/copying`,
+/// `topdown/transducer/rearranging`) carrying the fuel charged and the
+/// artifact size. With a disabled tracer this is exactly the untraced call.
+pub fn try_compile_transducer_artifacts_traced(
+    t: &Transducer,
+    budget: &BudgetHandle,
+    tracer: &Tracer,
+) -> Result<TransducerArtifacts, BudgetExceeded> {
+    let span = tracer.span("topdown/transducer/copying");
+    let fuel_before = budget.fuel_spent();
+    let copying = try_compile_copy_artifacts(t, budget)?;
+    span.exit_with(
+        SpanFields::new()
+            .fuel(budget.fuel_spent() - fuel_before)
+            .size(copying.size()),
+    );
+    let span = tracer.span("topdown/transducer/rearranging");
+    let fuel_before = budget.fuel_spent();
+    let rearranging = try_rearranging_nta(t, budget)?;
+    span.exit_with(
+        SpanFields::new()
+            .fuel(budget.fuel_spent() - fuel_before)
+            .size(rearranging.size()),
+    );
     Ok(TransducerArtifacts {
-        copying: try_compile_copy_artifacts(t, budget)?,
-        rearranging: try_rearranging_nta(t, budget)?,
+        copying,
+        rearranging,
     })
 }
 
@@ -228,10 +257,32 @@ pub fn try_is_text_preserving_with(
     nta: &Nta,
     budget: &BudgetHandle,
 ) -> Result<CheckReport, BudgetExceeded> {
-    if let Some(path) = try_copying_witness_with(schema, &transducer.copying, budget)? {
+    try_is_text_preserving_traced(schema, transducer, nta, budget, Tracer::disabled_ref())
+}
+
+/// Traced [`try_is_text_preserving_with`]: emits one sub-span per emptiness
+/// test (`topdown/decide/copying`, `topdown/decide/rearranging`) carrying
+/// the fuel each charged. With a disabled tracer this is exactly the
+/// untraced call.
+pub fn try_is_text_preserving_traced(
+    schema: &SchemaArtifacts,
+    transducer: &TransducerArtifacts,
+    nta: &Nta,
+    budget: &BudgetHandle,
+    tracer: &Tracer,
+) -> Result<CheckReport, BudgetExceeded> {
+    let span = tracer.span("topdown/decide/copying");
+    let fuel_before = budget.fuel_spent();
+    let copying = try_copying_witness_with(schema, &transducer.copying, budget)?;
+    span.exit_with(SpanFields::new().fuel(budget.fuel_spent() - fuel_before));
+    if let Some(path) = copying {
         return Ok(CheckReport::Copying { path });
     }
-    if let Some(witness) = try_rearranging_witness_with(transducer, nta, budget)? {
+    let span = tracer.span("topdown/decide/rearranging");
+    let fuel_before = budget.fuel_spent();
+    let rearranging = try_rearranging_witness_with(transducer, nta, budget)?;
+    span.exit_with(SpanFields::new().fuel(budget.fuel_spent() - fuel_before));
+    if let Some(witness) = rearranging {
         return Ok(CheckReport::Rearranging { witness });
     }
     Ok(CheckReport::TextPreserving)

@@ -32,7 +32,8 @@ pub use decide::{
     compile_copy_artifacts, compile_schema_artifacts, compile_transducer_artifacts,
     copying_witness_with, is_text_preserving, is_text_preserving_with, rearranging_witness_with,
     try_compile_copy_artifacts, try_compile_schema_artifacts, try_compile_transducer_artifacts,
-    try_copying_witness_with, try_is_text_preserving_with, try_rearranging_witness_with,
+    try_compile_transducer_artifacts_traced, try_copying_witness_with,
+    try_is_text_preserving_traced, try_is_text_preserving_with, try_rearranging_witness_with,
     CheckReport, CopyArtifacts, SchemaArtifacts, TransducerArtifacts,
 };
 pub use paths::{path_automaton_nta, path_automaton_transducer, PathSym};

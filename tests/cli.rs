@@ -287,3 +287,94 @@ fn subschema_runs() {
     assert_eq!(code(&out), 0, "{}", String::from_utf8_lossy(&out.stderr));
     assert!(String::from_utf8_lossy(&out.stdout).contains("maximal text-preserving sub-schema"));
 }
+
+#[test]
+fn check_trace_out_writes_jsonl_and_metrics_prints_table() {
+    let f = Fixture::new("trace");
+    let trace = f.path("trace.jsonl");
+    let out = f.run(&[
+        "check",
+        &f.path("schema.txt"),
+        &f.path("good.txt"),
+        "--trace-out",
+        &trace,
+        "--metrics",
+    ]);
+    assert_eq!(code(&out), 0, "{}", String::from_utf8_lossy(&out.stderr));
+
+    let jsonl = std::fs::read_to_string(&trace).expect("trace file written");
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert!(!lines.is_empty(), "trace is empty");
+    for line in &lines {
+        assert!(
+            line.starts_with("{\"ev\":\"") && line.ends_with('}'),
+            "not a JSONL event: {line}"
+        );
+    }
+    // One enter and one exit per span, and the engine-level stages of a
+    // top-down check are all present by name.
+    let enters = lines
+        .iter()
+        .filter(|l| l.contains("\"ev\":\"enter\""))
+        .count();
+    let exits = lines
+        .iter()
+        .filter(|l| l.contains("\"ev\":\"exit\""))
+        .count();
+    assert_eq!(enters, exits);
+    for stage in ["topdown/schema", "topdown/transducer", "topdown/decide"] {
+        assert!(
+            jsonl.contains(&format!("\"span\":\"{stage}\"")),
+            "stage {stage} missing from trace"
+        );
+    }
+
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("counters:"), "no metrics table:\n{stderr}");
+    assert!(stderr.contains("engine/checks"), "{stderr}");
+}
+
+#[test]
+fn trace_is_flushed_on_budget_exhaustion() {
+    let f = Fixture::new("trace-exhaust");
+    let trace = f.path("exhausted.jsonl");
+    let out = f.run(&[
+        "check",
+        &f.path("universal.txt"),
+        &f.path("k2.dtl"),
+        "--fuel",
+        "1000",
+        "--trace-out",
+        &trace,
+    ]);
+    assert_eq!(code(&out), 3, "{}", String::from_utf8_lossy(&out.stderr));
+    // The trace survives the failed run: that is the debugging contract.
+    let jsonl = std::fs::read_to_string(&trace).expect("trace file written on exit 3");
+    assert!(jsonl.contains("\"span\":\"dtl/"), "no dtl span:\n{jsonl}");
+}
+
+#[test]
+fn batch_trace_out_covers_all_tasks() {
+    let f = Fixture::new("batch-trace");
+    let trace = f.path("batch.jsonl");
+    let out = f.run(&[
+        "batch",
+        &f.path("schema.txt"),
+        &f.path("good.txt"),
+        &f.path("bad.txt"),
+        "--jobs",
+        "2",
+        "--trace-out",
+        &trace,
+        "--metrics",
+    ]);
+    assert_eq!(code(&out), 1, "{}", String::from_utf8_lossy(&out.stderr));
+    let jsonl = std::fs::read_to_string(&trace).expect("trace file written");
+    // Two tasks, one shared schema artifact: the decide stage ran twice.
+    let decides = jsonl
+        .lines()
+        .filter(|l| l.contains("\"ev\":\"exit\"") && l.contains("\"span\":\"topdown/decide\""))
+        .count();
+    assert_eq!(decides, 2, "{jsonl}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("engine/checks"));
+}

@@ -1,0 +1,188 @@
+//! Malformed-input panic safety for `textpres::format`.
+//!
+//! Every parser in the module (`parse_case`, `parse_schema`,
+//! `parse_transducer`, `parse_dtl_transducer`) must return a line-numbered
+//! `FormatError` on bad input — never panic — because the CLI feeds them
+//! raw user files and the fuzzer's `--out` reproducers are hand-edited.
+//!
+//! The suite drives each parser with seeded mutations (byte flips,
+//! insertions, deletions, line deletion/duplication, truncation) of the
+//! checked-in `tests/regressions/` corpus plus representative schema,
+//! transducer, and DTL sources. Mutated bytes are lossily re-decoded, so
+//! inputs include U+FFFD replacement characters and arbitrary splices.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One named parser invocation over the current mutated input.
+type ParserCheck<'a> = (&'a str, Box<dyn Fn() + 'a>);
+
+use textpres::format::{parse_case, parse_dtl_transducer, parse_schema, parse_transducer};
+use textpres::prelude::Alphabet;
+use textpres::trees::rng::SplitMix64;
+
+const SCHEMA: &str = "\
+start doc
+elem doc  = (keep | drop)*
+elem keep = text
+elem drop = text
+";
+
+const TRANSDUCER: &str = "\
+initial q0
+rule q0 doc -> doc(q)
+rule q  keep -> keep(qt)
+text qt
+";
+
+const DTL: &str = "\
+dtl
+initial q0
+rule q0 : doc -> doc(q0 / child[keep]/child)
+rule q0 : keep -> (q0 / child)
+text q0
+";
+
+/// Seeds per (input, parser) pair. Each seed applies 1–3 mutations.
+const SEEDS: u64 = 250;
+
+fn corpus() -> Vec<(String, String)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/regressions");
+    let mut inputs = vec![
+        ("inline-schema".to_owned(), SCHEMA.to_owned()),
+        ("inline-transducer".to_owned(), TRANSDUCER.to_owned()),
+        ("inline-dtl".to_owned(), DTL.to_owned()),
+    ];
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("tests/regressions exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "regression corpus is empty");
+    for path in entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let src = std::fs::read_to_string(&path).expect("readable case file");
+        inputs.push((name, src));
+    }
+    inputs
+}
+
+/// Applies one random mutation to `bytes`.
+fn mutate(bytes: &mut Vec<u8>, rng: &mut SplitMix64) {
+    if bytes.is_empty() {
+        bytes.push(rng.below(256) as u8);
+        return;
+    }
+    match rng.below(6) {
+        // Flip one byte.
+        0 => {
+            let i = rng.below(bytes.len());
+            bytes[i] ^= 1u8 << rng.below(8);
+        }
+        // Insert a random byte.
+        1 => {
+            let i = rng.below(bytes.len() + 1);
+            bytes.insert(i, rng.below(256) as u8);
+        }
+        // Delete one byte.
+        2 => {
+            let i = rng.below(bytes.len());
+            bytes.remove(i);
+        }
+        // Delete one line.
+        3 => {
+            let lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+            let i = rng.below(lines.len());
+            let kept: Vec<&[u8]> = lines
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, l)| *l)
+                .collect();
+            *bytes = kept.join(&b'\n');
+        }
+        // Duplicate one line (how `[section]` and directive repeats arise).
+        4 => {
+            let lines: Vec<Vec<u8>> = bytes.split(|&b| b == b'\n').map(<[u8]>::to_vec).collect();
+            let i = rng.below(lines.len());
+            let mut out: Vec<Vec<u8>> = Vec::with_capacity(lines.len() + 1);
+            for (j, l) in lines.into_iter().enumerate() {
+                if j == i {
+                    out.push(l.clone());
+                }
+                out.push(l);
+            }
+            *bytes = out.join(&b'\n');
+        }
+        // Truncate.
+        _ => {
+            let i = rng.below(bytes.len());
+            bytes.truncate(i);
+        }
+    }
+}
+
+#[test]
+fn mutated_inputs_never_panic_the_parsers() {
+    // The parsers use catch_unwind internally for builder errors; silence
+    // the default hook so expected unwinds don't spam the test log, and
+    // restore it afterwards.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = catch_unwind(run_fuzz_sweep);
+    std::panic::set_hook(hook);
+    if let Err(payload) = result {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+fn run_fuzz_sweep() {
+    let alpha = Alphabet::from_labels(["doc", "keep", "drop", "a", "b"]);
+    let mut failures: Vec<String> = Vec::new();
+    for (name, src) in corpus() {
+        for seed in 0..SEEDS {
+            let mut rng = SplitMix64::new(seed.wrapping_mul(0x9e37_79b9) ^ src.len() as u64);
+            let mut bytes = src.clone().into_bytes();
+            for _ in 0..1 + rng.below(3) {
+                mutate(&mut bytes, &mut rng);
+            }
+            let mutated = String::from_utf8_lossy(&bytes).into_owned();
+            let checks: [ParserCheck<'_>; 4] = [
+                ("parse_case", Box::new(|| drop(parse_case(&mutated)))),
+                (
+                    "parse_schema",
+                    Box::new(|| {
+                        let mut a = Alphabet::new();
+                        drop(parse_schema(&mutated, &mut a));
+                    }),
+                ),
+                (
+                    "parse_transducer",
+                    Box::new(|| drop(parse_transducer(&mutated, &alpha))),
+                ),
+                (
+                    "parse_dtl_transducer",
+                    Box::new(|| drop(parse_dtl_transducer(&mutated, &alpha))),
+                ),
+            ];
+            for (parser, check) in checks {
+                if catch_unwind(AssertUnwindSafe(check)).is_err() {
+                    failures.push(format!(
+                        "{parser} panicked on {name} seed {seed}:\n---\n{mutated}\n---"
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} parser panics on mutated inputs; first three:\n{}",
+        failures.len(),
+        failures
+            .iter()
+            .take(3)
+            .cloned()
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
