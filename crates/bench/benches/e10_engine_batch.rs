@@ -24,7 +24,7 @@ use textpres::engine::{
 use textpres::format::{parse_dtl_transducer, parse_schema};
 use textpres::prelude::Alphabet;
 use tpx_bench::{
-    black_box, criterion_group, BenchReport, BenchmarkId, Criterion, Overhead, Throughput,
+    black_box, criterion_group, BenchReport, BenchmarkId, Criterion, Overhead, Scaling, Throughput,
 };
 use tpx_workload::{chain_schema, transducers};
 
@@ -66,12 +66,41 @@ fn engine_batch(c: &mut Criterion) {
         .map(|d| (d as &dyn Decider, &schema))
         .collect();
     g.throughput(Throughput::Elements(tasks.len() as u64));
-    for jobs in [1usize, 4] {
+    for jobs in SCALING_JOBS {
         g.bench_with_input(BenchmarkId::new("check_many", jobs), &jobs, |b, &jobs| {
             b.iter(|| black_box(Engine::with_jobs(jobs).check_many(&tasks)))
         });
     }
     g.finish();
+}
+
+/// The worker counts the batch scaling curve samples (base first).
+const SCALING_JOBS: [usize; 4] = [1, 2, 4, 8];
+
+/// Assembles the `scaling` section from the `check_many/{jobs}` records,
+/// stamping in the host parallelism the curve was measured under — a
+/// 1-core runner structurally cannot show parallel speedup, and the
+/// validator judges the curve against that.
+fn scaling_curve(results: &[tpx_bench::BenchRecord]) -> Option<Scaling> {
+    let medians: Vec<(usize, u64)> = SCALING_JOBS
+        .iter()
+        .filter_map(|&jobs| {
+            results
+                .iter()
+                .find(|r| r.group == "e10_batch" && r.id == format!("check_many/{jobs}"))
+                .map(|r| (jobs, r.median_ns))
+        })
+        .collect();
+    if medians.len() != SCALING_JOBS.len() {
+        return None;
+    }
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    Some(Scaling::from_medians(
+        "check_many",
+        parallelism,
+        1,
+        &medians,
+    ))
 }
 
 /// Interleaved A/B overhead measurement: alternating cold checks with a
@@ -173,10 +202,20 @@ fn main() {
         overhead.disabled_median_ns,
         overhead.traced_median_ns
     );
+    let scaling = scaling_curve(&results);
+    if let Some(s) = &scaling {
+        for p in &s.points {
+            println!(
+                "scaling check_many/{}: {} ns ({:.2}x, host parallelism {})",
+                p.jobs, p.median_ns, p.speedup, s.parallelism
+            );
+        }
+    }
     let report = BenchReport {
         bench: "e10_engine_batch".into(),
         stages: traced_stage_coverage(),
         overhead: Some(overhead),
+        scaling,
         results,
     };
     let path = tpx_bench::default_json_path();

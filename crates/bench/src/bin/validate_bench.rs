@@ -6,11 +6,20 @@
 //! ```
 //!
 //! Exit 0 when the file parses as a [`tpx_bench::BenchReport`], names the
-//! expected bench, has at least one result, and its `stages` list covers
-//! every pipeline stage the engine reports in `Verdict::stats`; exit 1
-//! with a diagnostic otherwise. CI's bench-smoke job runs this after the
-//! bench to catch schema drift between the tracer, the engine's stage
-//! names, and the persisted report.
+//! expected bench, has at least one result, its `stages` list covers
+//! every pipeline stage the engine reports in `Verdict::stats`, and its
+//! `scaling` curve is well-formed and fast enough; exit 1 with a
+//! diagnostic otherwise. CI's bench-smoke job runs this after the bench
+//! to catch schema drift between the tracer, the engine's stage names,
+//! and the persisted report — and to catch batch-scaling regressions.
+//!
+//! The scaling guard is parallelism-aware: on a host with ≥ 4 cores,
+//! `check_many/4` must not be slower than `check_many/1` (speedup ≥ 1.0);
+//! on smaller hosts true parallel speedup is structurally impossible, so
+//! the guard only requires near-parity (speedup ≥ 0.9) — i.e. the
+//! scheduler must not make an over-subscribed batch slower than a
+//! sequential one, which is exactly the regression the old mutex-guarded
+//! cache exhibited.
 
 use std::process::ExitCode;
 
@@ -64,6 +73,51 @@ fn main() -> ExitCode {
             "validate_bench: tracing overhead on {}: {:+.2}%",
             o.benchmark, o.traced_overhead_pct
         ),
+    }
+    match &report.scaling {
+        None => problems.push("no \"scaling\" curve".to_owned()),
+        Some(s) => {
+            if s.benchmark != "check_many" {
+                problems.push(format!("scaling: unexpected benchmark {:?}", s.benchmark));
+            }
+            if s.parallelism == 0 {
+                problems.push("scaling: parallelism must be >= 1".to_owned());
+            }
+            for jobs in [1usize, 2, 4] {
+                if s.speedup_at(jobs).is_none() {
+                    problems.push(format!("scaling: missing point for jobs={jobs}"));
+                }
+            }
+            for p in &s.points {
+                if p.jobs == 0 || p.median_ns == 0 {
+                    problems.push(format!(
+                        "scaling: degenerate point (jobs={}, median_ns={})",
+                        p.jobs, p.median_ns
+                    ));
+                }
+            }
+            // Missing points were already reported above.
+            if let (Some(base), Some(speedup_4)) = (s.speedup_at(1), s.speedup_at(4)) {
+                if (base - 1.0).abs() > 1e-6 {
+                    problems.push(format!("scaling: base point speedup is {base}, not 1.0"));
+                }
+                // The regression guard (see the module doc for the
+                // parallelism-aware threshold).
+                let floor = if s.parallelism >= 4 { 1.0 } else { 0.9 };
+                if speedup_4 < floor {
+                    problems.push(format!(
+                        "scaling regression: check_many/4 speedup {speedup_4:.2}x is below \
+                         the {floor:.1}x floor for a host with parallelism {}",
+                        s.parallelism
+                    ));
+                }
+                println!(
+                    "validate_bench: check_many/4 speedup {speedup_4:.2}x \
+                     (host parallelism {}, floor {floor:.1}x)",
+                    s.parallelism
+                );
+            }
+        }
     }
     if problems.is_empty() {
         println!(

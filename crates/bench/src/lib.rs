@@ -20,4 +20,4 @@ pub use harness::{
     black_box, take_records, BenchRecord, Bencher, BenchmarkGroup, BenchmarkId, Criterion,
     Throughput,
 };
-pub use report::{default_json_path, BenchReport, Overhead};
+pub use report::{default_json_path, BenchReport, Overhead, Scaling, ScalingPoint};

@@ -15,6 +15,15 @@
 //!     "traced_median_ns": 130,
 //!     "traced_overhead_pct": 5.7
 //!   },
+//!   "scaling": {
+//!     "benchmark": "check_many",
+//!     "parallelism": 4,
+//!     "base_jobs": 1,
+//!     "points": [
+//!       {"jobs": 1, "median_ns": 100, "speedup": 1.0},
+//!       {"jobs": 4, "median_ns": 30, "speedup": 3.33}
+//!     ]
+//!   },
 //!   "results": [
 //!     {"group": "e10_single", "id": "oneshot/8", "median_ns": 1,
 //!      "mean_ns": 1, "min_ns": 1, "max_ns": 1, "samples": 20},
@@ -67,6 +76,83 @@ impl Overhead {
     }
 }
 
+/// One point on a worker-scaling curve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScalingPoint {
+    /// The worker count this point ran with.
+    pub jobs: usize,
+    /// Median wall-clock for the whole batch at this worker count.
+    pub median_ns: u64,
+    /// `base median / this median` — above 1.0 means faster than the
+    /// base worker count.
+    pub speedup: f64,
+}
+
+/// A worker-count scaling curve for one batch benchmark, with the host
+/// parallelism it was measured under (speedups beyond the host's core
+/// count are not achievable and must be judged against `parallelism`,
+/// not against the largest `jobs` value tried).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scaling {
+    /// The benchmark the curve scales, e.g. `check_many`.
+    pub benchmark: String,
+    /// `std::thread::available_parallelism()` on the machine that ran the
+    /// bench (1 means the curve *cannot* show parallel speedup).
+    pub parallelism: usize,
+    /// The worker count speedups are relative to (its point has
+    /// `speedup = 1.0`).
+    pub base_jobs: usize,
+    /// One point per worker count tried, in run order.
+    pub points: Vec<ScalingPoint>,
+}
+
+impl Scaling {
+    /// Builds a curve from `(jobs, median_ns)` measurements, computing
+    /// each point's speedup relative to the `base_jobs` measurement.
+    pub fn from_medians(
+        benchmark: impl Into<String>,
+        parallelism: usize,
+        base_jobs: usize,
+        medians: &[(usize, u64)],
+    ) -> Self {
+        let base_ns = medians
+            .iter()
+            .find(|(jobs, _)| *jobs == base_jobs)
+            .map_or(0, |&(_, ns)| ns);
+        let points = medians
+            .iter()
+            .map(|&(jobs, median_ns)| {
+                let speedup = if median_ns == 0 {
+                    0.0
+                } else {
+                    base_ns as f64 / median_ns as f64
+                };
+                ScalingPoint {
+                    jobs,
+                    median_ns,
+                    // Rounded to the 4 decimals the JSON rendering keeps,
+                    // so a report round-trips losslessly.
+                    speedup: (speedup * 10_000.0).round() / 10_000.0,
+                }
+            })
+            .collect();
+        Scaling {
+            benchmark: benchmark.into(),
+            parallelism,
+            base_jobs,
+            points,
+        }
+    }
+
+    /// The speedup recorded for `jobs`, when that point exists.
+    pub fn speedup_at(&self, jobs: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.jobs == jobs)
+            .map(|p| p.speedup)
+    }
+}
+
 /// One bench target's persisted results.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchReport {
@@ -77,6 +163,8 @@ pub struct BenchReport {
     pub stages: Vec<String>,
     /// Tracing-overhead measurement, when the target ran one.
     pub overhead: Option<Overhead>,
+    /// Worker-count scaling curve, when the target measured one.
+    pub scaling: Option<Scaling>,
     /// Every benchmark the target ran, in run order.
     pub results: Vec<BenchRecord>,
 }
@@ -107,6 +195,27 @@ impl BenchReport {
                 o.traced_median_ns,
                 o.traced_overhead_pct
             ));
+        }
+        if let Some(s) = &self.scaling {
+            out.push_str(&format!(
+                "  \"scaling\": {{\"benchmark\": {}, \"parallelism\": {}, \"base_jobs\": {}, \
+                 \"points\": [",
+                quote(&s.benchmark),
+                s.parallelism,
+                s.base_jobs
+            ));
+            let points: Vec<String> = s
+                .points
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{{\"jobs\": {}, \"median_ns\": {}, \"speedup\": {:.4}}}",
+                        p.jobs, p.median_ns, p.speedup
+                    )
+                })
+                .collect();
+            out.push_str(&points.join(", "));
+            out.push_str("]},\n");
         }
         out.push_str("  \"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
@@ -169,6 +278,52 @@ impl BenchReport {
                     .ok_or("overhead: missing \"traced_overhead_pct\"")?,
             }),
         };
+        let scaling = match v.get("scaling") {
+            None | Some(JsonValue::Null) => None,
+            Some(s) => {
+                let points = s
+                    .get("points")
+                    .and_then(|p| p.as_array())
+                    .ok_or("scaling: missing array \"points\"")?
+                    .iter()
+                    .map(|p| {
+                        Ok(ScalingPoint {
+                            jobs: p
+                                .get("jobs")
+                                .and_then(|x| x.as_u64())
+                                .ok_or("scaling point: missing \"jobs\"")?
+                                as usize,
+                            median_ns: p
+                                .get("median_ns")
+                                .and_then(|x| x.as_u64())
+                                .ok_or("scaling point: missing \"median_ns\"")?,
+                            speedup: p
+                                .get("speedup")
+                                .and_then(|x| x.as_f64())
+                                .ok_or("scaling point: missing \"speedup\"")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Some(Scaling {
+                    benchmark: s
+                        .get("benchmark")
+                        .and_then(|x| x.as_str())
+                        .ok_or("scaling: missing \"benchmark\"")?
+                        .to_owned(),
+                    parallelism: s
+                        .get("parallelism")
+                        .and_then(|x| x.as_u64())
+                        .ok_or("scaling: missing \"parallelism\"")?
+                        as usize,
+                    base_jobs: s
+                        .get("base_jobs")
+                        .and_then(|x| x.as_u64())
+                        .ok_or("scaling: missing \"base_jobs\"")?
+                        as usize,
+                    points,
+                })
+            }
+        };
         let results = v
             .get("results")
             .and_then(|r| r.as_array())
@@ -180,6 +335,7 @@ impl BenchReport {
             bench,
             stages,
             overhead,
+            scaling,
             results,
         })
     }
@@ -217,6 +373,12 @@ mod tests {
             bench: "e10_engine_batch".into(),
             stages: vec!["dtl/decide".into(), "topdown/schema".into()],
             overhead: Some(Overhead::from_medians("engine_cold/32", 1000, 1020)),
+            scaling: Some(Scaling::from_medians(
+                "check_many",
+                4,
+                1,
+                &[(1, 1000), (2, 600), (4, 400)],
+            )),
             results: vec![BenchRecord {
                 group: "e10_single".into(),
                 id: "engine_cold/32".into(),
@@ -248,6 +410,22 @@ mod tests {
         assert!(BenchReport::from_json("{}").is_err());
         assert!(BenchReport::from_json(r#"{"bench":"b","stages":[1],"results":[]}"#).is_err());
         let no_overhead = r#"{"bench":"b","stages":[],"results":[]}"#;
-        assert_eq!(BenchReport::from_json(no_overhead).unwrap().overhead, None);
+        let parsed = BenchReport::from_json(no_overhead).unwrap();
+        assert_eq!(parsed.overhead, None);
+        assert_eq!(parsed.scaling, None);
+        let bad_scaling = r#"{"bench":"b","stages":[],"scaling":{"points":[]},"results":[]}"#;
+        assert!(BenchReport::from_json(bad_scaling).is_err());
+    }
+
+    #[test]
+    fn scaling_speedups_are_relative_to_base_jobs() {
+        let s = Scaling::from_medians("check_many", 8, 1, &[(1, 1000), (2, 500), (4, 250)]);
+        assert_eq!(s.speedup_at(1), Some(1.0));
+        assert_eq!(s.speedup_at(2), Some(2.0));
+        assert_eq!(s.speedup_at(4), Some(4.0));
+        assert_eq!(s.speedup_at(8), None);
+        // A zero median (degenerate) never divides by zero.
+        let z = Scaling::from_medians("x", 1, 1, &[(1, 0)]);
+        assert_eq!(z.speedup_at(1), Some(0.0));
     }
 }

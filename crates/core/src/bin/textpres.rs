@@ -16,8 +16,10 @@
 //! is a `DTL_XPath` program, checked with the EXPTIME DTL decider
 //! (Theorem 5.18) instead. `subschema` prints a witness from the maximal
 //! sub-schema on which the transformation IS text-preserving. `batch`
-//! checks many transducer files against one schema on a worker pool,
-//! sharing compiled schema artifacts across all of them. `fuzz` runs the
+//! checks many transducer files against one schema on a work-stealing
+//! worker pool, sharing compiled schema artifacts across all of them;
+//! `--jobs 0` (the default) auto-detects the worker count from
+//! `std::thread::available_parallelism`. `fuzz` runs the
 //! differential checker (`tpx-diffcheck`): random schema/transducer pairs,
 //! symbolic verdicts cross-checked against per-tree semantic oracles and
 //! the bounded-enumeration baseline, with shrunk reproducers written to
@@ -69,6 +71,7 @@ usage: textpres check <schema> <transducer> [document.xml] [--stats]
        textpres batch <schema> <transducer>... [--jobs N] [--stats]
                 [--fuel N] [--timeout-ms N] [--degrade]
                 [--trace-out PATH] [--metrics]
+                (--jobs 0, the default, auto-detects the worker count)
        textpres fuzz [--seeds N] [--budget B] [--base-seed S] [--dtl-symbolic]
                      [--fuel N] [--timeout-ms N] [--out DIR] [--stats]
                      [--trace-out PATH] [--metrics]
@@ -452,9 +455,12 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             }
         }
     }
-    let jobs = flags
-        .jobs
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    // `--jobs 0` (and the default) auto-detects the worker count from the
+    // host's available parallelism.
+    let jobs = match flags.jobs {
+        Some(0) | None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        Some(n) => n,
+    };
     let engine = instrument(Engine::with_jobs(jobs), flags.trace_out, flags.metrics);
     let deciders: Vec<Box<dyn Decider + '_>> = transducers.iter().map(|t| t.decider()).collect();
     let tasks: Vec<Task> = deciders
@@ -501,6 +507,11 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     if flags.stats {
         let verdicts: Vec<&Verdict> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
         print_stats(&engine, &verdicts);
+        let b = engine.batch_stats();
+        eprintln!(
+            "  scheduler: {} stage tasks + {} checks, {} steals",
+            b.stage_tasks, b.checks, b.steals
+        );
     }
     if !all_ok {
         ExitCode::FAILURE

@@ -41,6 +41,19 @@ use tpx_topdown::{
 use tpx_treeauto::Nta;
 use tpx_trees::{stable_hash_debug, stable_hash_of, StableHasher};
 
+/// Identifies one cacheable pipeline stage: the artifact kind (the cache
+/// namespace, e.g. `"topdown/schema"`) plus the content hash it is keyed
+/// by. Two checks that declare the same `StageKey` depend on the same
+/// artifact, so the batch scheduler runs that build once and both checks
+/// hit the cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StageKey {
+    /// The artifact kind / cache namespace.
+    pub kind: &'static str,
+    /// The content hash the artifact is keyed by within `kind`.
+    pub key: u64,
+}
+
 /// A text-preservation decision procedure for one fixed transducer.
 ///
 /// `Sync` so a batch of checks can share one decider across the worker
@@ -48,6 +61,40 @@ use tpx_trees::{stable_hash_debug, stable_hash_of, StableHasher};
 pub trait Decider: Sync {
     /// A short name for reports (`"topdown"`, `"dtl"`).
     fn name(&self) -> &'static str;
+
+    /// The cacheable artifact stages this check will consult, in pipeline
+    /// order. The batch scheduler deduplicates these across a batch and
+    /// prefetches each distinct stage as its own schedulable task, so the
+    /// subsequent [`Decider::check_traced`] call finds every declared
+    /// artifact already built. The default (no declared stages) keeps the
+    /// whole pipeline inside the check task — correct, just unscheduled.
+    fn artifact_stages(&self, schema: &Nta) -> Vec<StageKey> {
+        let _ = schema;
+        Vec::new()
+    }
+
+    /// Builds the single artifact behind `stage` (one of
+    /// [`Decider::artifact_stages`]) into `cache`, under a fresh
+    /// per-stage budget from `options`. Returns the stage's
+    /// [`StageReport`]. Prefetch failures are non-fatal to the batch: the
+    /// finalizing [`Decider::check_traced`] retries the build under its
+    /// own budget, so a budget-starved or panicked prefetch only loses
+    /// the overlap, never the verdict.
+    fn prefetch_stage(
+        &self,
+        stage: StageKey,
+        schema: &Nta,
+        cache: &ArtifactCache,
+        options: &CheckOptions,
+        tracer: &Tracer,
+    ) -> Result<StageReport, DecisionError> {
+        let _ = (schema, cache, options, tracer);
+        Err(DecisionError::Internal(format!(
+            "decider {:?} declares no prefetchable stage {:?}",
+            self.name(),
+            stage.kind
+        )))
+    }
 
     /// Decides text-preservation over `L(schema)` under the fuel/deadline
     /// budget of `options`, memoizing expensive intermediates in `cache`
@@ -202,6 +249,74 @@ impl Decider for TopdownDecider<'_> {
         "topdown"
     }
 
+    fn artifact_stages(&self, schema: &Nta) -> Vec<StageKey> {
+        vec![
+            StageKey {
+                kind: "topdown/schema",
+                key: stable_hash_of(schema),
+            },
+            StageKey {
+                kind: "topdown/transducer",
+                key: self.key,
+            },
+        ]
+    }
+
+    fn prefetch_stage(
+        &self,
+        stage: StageKey,
+        schema: &Nta,
+        cache: &ArtifactCache,
+        options: &CheckOptions,
+        tracer: &Tracer,
+    ) -> Result<StageReport, DecisionError> {
+        let budget = options.budget.start();
+        let mut stats = CheckStats::default();
+        let mut ctx = StageCtx {
+            stats: &mut stats,
+            budget: &budget,
+            tracer,
+        };
+        match stage.kind {
+            "topdown/schema" => {
+                governed_stage(
+                    cache,
+                    "topdown/schema",
+                    stage.key,
+                    SchemaArtifacts::size,
+                    || {
+                        try_compile_schema_artifacts(schema, &budget)
+                            .map_err(|b| DecisionError::exhausted("topdown/schema", b))
+                    },
+                    &mut ctx,
+                )?;
+            }
+            "topdown/transducer" => {
+                governed_stage(
+                    cache,
+                    "topdown/transducer",
+                    stage.key,
+                    TransducerArtifacts::size,
+                    || {
+                        try_compile_transducer_artifacts_traced(self.t, &budget, tracer)
+                            .map_err(|b| DecisionError::exhausted("topdown/transducer", b))
+                    },
+                    &mut ctx,
+                )?;
+            }
+            _ => {
+                return Err(DecisionError::Internal(format!(
+                    "topdown decider has no stage {:?}",
+                    stage.kind
+                )))
+            }
+        }
+        stats
+            .stages
+            .pop()
+            .ok_or_else(|| DecisionError::Internal("prefetched stage left no report".into()))
+    }
+
     fn check_traced(
         &self,
         schema: &Nta,
@@ -322,6 +437,15 @@ where
 }
 
 impl<P: MsoDefinable> DtlDecider<'_, P> {
+    /// The `dtl/counterexample` cache key: the counter-example automaton
+    /// depends on (transducer, `|Σ|`).
+    fn ce_key(&self, n_symbols: usize) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u64(self.key);
+        h.write_usize(n_symbols);
+        h.finish()
+    }
+
     /// The symbolic (exact) pipeline, governed and traced.
     fn symbolic(
         &self,
@@ -347,17 +471,10 @@ impl<P: MsoDefinable> DtlDecider<'_, P> {
                 tracer,
             },
         )?;
-        // The counter-example automaton depends on (transducer, |Σ|).
-        let ce_key = {
-            let mut h = StableHasher::new();
-            h.write_u64(self.key);
-            h.write_usize(n_symbols);
-            h.finish()
-        };
         let ce_art = governed_stage(
             cache,
             "dtl/counterexample",
-            ce_key,
+            self.ce_key(n_symbols),
             DtlTransducerArtifacts::size,
             || {
                 try_compile_counterexample_traced(self.t, n_symbols, budget, tracer)
@@ -399,6 +516,75 @@ where
 {
     fn name(&self) -> &'static str {
         "dtl"
+    }
+
+    fn artifact_stages(&self, schema: &Nta) -> Vec<StageKey> {
+        vec![
+            StageKey {
+                kind: "dtl/schema",
+                key: stable_hash_of(schema),
+            },
+            StageKey {
+                kind: "dtl/counterexample",
+                key: self.ce_key(schema.symbol_count()),
+            },
+        ]
+    }
+
+    fn prefetch_stage(
+        &self,
+        stage: StageKey,
+        schema: &Nta,
+        cache: &ArtifactCache,
+        options: &CheckOptions,
+        tracer: &Tracer,
+    ) -> Result<StageReport, DecisionError> {
+        let budget = options.budget.start();
+        let mut stats = CheckStats::default();
+        let mut ctx = StageCtx {
+            stats: &mut stats,
+            budget: &budget,
+            tracer,
+        };
+        match stage.kind {
+            "dtl/schema" => {
+                governed_stage(
+                    cache,
+                    "dtl/schema",
+                    stage.key,
+                    DtlSchemaArtifacts::size,
+                    || {
+                        try_compile_schema_nbta(schema, &budget)
+                            .map_err(|b| DecisionError::exhausted("dtl/schema", b))
+                    },
+                    &mut ctx,
+                )?;
+            }
+            "dtl/counterexample" => {
+                let n_symbols = schema.symbol_count();
+                governed_stage(
+                    cache,
+                    "dtl/counterexample",
+                    stage.key,
+                    DtlTransducerArtifacts::size,
+                    || {
+                        try_compile_counterexample_traced(self.t, n_symbols, &budget, tracer)
+                            .map_err(|e| dtl_error("dtl/counterexample", e))
+                    },
+                    &mut ctx,
+                )?;
+            }
+            _ => {
+                return Err(DecisionError::Internal(format!(
+                    "dtl decider has no stage {:?}",
+                    stage.kind
+                )))
+            }
+        }
+        stats
+            .stages
+            .pop()
+            .ok_or_else(|| DecisionError::Internal("prefetched stage left no report".into()))
     }
 
     fn check_traced(

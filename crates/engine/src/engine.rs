@@ -1,20 +1,36 @@
 //! The [`Engine`]: a shared artifact cache plus single and batch check
 //! entry points, governed and ungoverned, with opt-in tracing and metrics.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::budget::{CheckOptions, DecisionError};
 use crate::cache::{panic_message, ArtifactCache, CacheStats};
-use crate::decider::Decider;
-use crate::verdict::Verdict;
+use crate::decider::{Decider, StageKey};
+use crate::scheduler::{execute, StageGraph};
+use crate::verdict::{StageReport, Verdict};
 use tpx_obs::{Metrics, Tracer};
 use tpx_treeauto::Nta;
 
 /// One unit of batch work: a decider checked against a schema.
 pub type Task<'a> = (&'a dyn Decider, &'a Nta);
+
+/// Cumulative scheduler-level counters across every batch an [`Engine`]
+/// has run (see [`Engine::batch_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Batches executed.
+    pub batches: u64,
+    /// Distinct artifact-stage tasks scheduled ahead of checks
+    /// (after batch-wide deduplication).
+    pub stage_tasks: u64,
+    /// Check (finalize) tasks executed.
+    pub checks: u64,
+    /// Work-stealing events across all batches (0 on single-worker runs).
+    pub steals: u64,
+}
 
 /// The decision engine: owns the [`ArtifactCache`] shared by every check it
 /// runs, a worker count for [`Engine::check_many`], and the (disabled by
@@ -24,6 +40,7 @@ pub struct Engine {
     jobs: usize,
     tracer: Arc<Tracer>,
     metrics: Arc<Metrics>,
+    batch: Mutex<BatchStats>,
 }
 
 impl Default for Engine {
@@ -44,6 +61,7 @@ impl Engine {
             jobs: 1,
             tracer: Arc::new(Tracer::disabled()),
             metrics: Arc::new(Metrics::disabled()),
+            batch: Mutex::new(BatchStats::default()),
         }
     }
 
@@ -98,6 +116,13 @@ impl Engine {
     /// A snapshot of the cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Cumulative scheduler counters over every batch this engine has run:
+    /// how many batches, how many deduplicated artifact-stage tasks were
+    /// scheduled, how many checks, and how many times a worker stole work.
+    pub fn batch_stats(&self) -> BatchStats {
+        *self.batch.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Runs one check through the shared cache.
@@ -156,12 +181,16 @@ impl Engine {
 
     /// Runs every task, returning verdicts in task order.
     ///
-    /// With `jobs > 1`, tasks are pulled off a shared atomic counter by a
-    /// `std::thread::scope` worker pool; the cache's once-per-key build
-    /// guarantee means racing workers never duplicate a compilation, they
-    /// block on it. Verdicts are identical to a sequential run — all stages
-    /// are deterministic; only the hit/miss attribution in
-    /// [`Verdict::stats`] can differ (which worker built an artifact first).
+    /// Batches run as a *stage graph*: the distinct artifact stages the
+    /// tasks declare (via [`Decider::artifact_stages`]) are deduplicated
+    /// batch-wide and scheduled as their own prefetch tasks, and each
+    /// check becomes a finalize task that starts once its stages are
+    /// built. Two checks sharing a schema therefore contend on exactly
+    /// one compilation — which runs once, as one task — instead of racing
+    /// whole pipelines. The graph is drained by the work-stealing
+    /// executor in [`crate::scheduler`]; with `jobs = 1` it runs inline
+    /// in deterministic FIFO order, so verdicts *and* aggregated metrics
+    /// are identical whatever the worker count.
     ///
     /// # Panics
     ///
@@ -181,49 +210,109 @@ impl Engine {
     /// panicking task cannot take down the batch — the remaining tasks
     /// still produce verdicts, in input order, and the shared cache stays
     /// serviceable (see [`Engine::check_governed`] for the unwind-safety
-    /// argument).
+    /// argument). Stage prefetches are budgeted and isolated the same
+    /// way, and their failures are non-fatal: the owning check retries
+    /// the build under its own budget.
     ///
     /// Observability: spans from all workers land on the engine's shared
     /// tracer (interleaved across tasks, but every span still closes); each
     /// worker records metrics into a private registry that is merged into
-    /// the engine's after its last task, so batch counters never contend on
-    /// one lock mid-run.
+    /// the engine's after the batch, so batch counters never contend on
+    /// one lock mid-run. Scheduler-level counts land in
+    /// [`Engine::batch_stats`] and, when metrics are enabled, as
+    /// `engine/batch/*` metrics (steal counts as a histogram, since they
+    /// are scheduling-dependent).
     pub fn check_many_governed(
         &self,
         tasks: &[Task<'_>],
         options: &CheckOptions,
     ) -> Vec<Result<Verdict, DecisionError>> {
         let jobs = self.jobs().min(tasks.len().max(1));
-        if jobs <= 1 {
-            return tasks
-                .iter()
-                .map(|(d, s)| self.check_governed(*d, s, options))
-                .collect();
+
+        // Deduplicate the declared artifact stages batch-wide. Stage node
+        // `i` prefetches `stage_nodes[i].0` on behalf of the first task
+        // that declared it; every declaring task's finalize node depends
+        // on it.
+        let mut stage_index: HashMap<StageKey, usize> = HashMap::new();
+        let mut stage_nodes: Vec<(StageKey, usize)> = Vec::new();
+        let mut task_deps: Vec<Vec<usize>> = Vec::with_capacity(tasks.len());
+        for (t, (decider, schema)) in tasks.iter().enumerate() {
+            let mut deps = Vec::new();
+            for stage in decider.artifact_stages(schema) {
+                let node = *stage_index.entry(stage).or_insert_with(|| {
+                    stage_nodes.push((stage, t));
+                    stage_nodes.len() - 1
+                });
+                if !deps.contains(&node) {
+                    deps.push(node);
+                }
+            }
+            task_deps.push(deps);
         }
-        let next = AtomicUsize::new(0);
+        let n_stages = stage_nodes.len();
+
+        // Bipartite graph: nodes [0, n_stages) prefetch artifacts, nodes
+        // [n_stages, n_stages + tasks) finalize checks.
+        let mut graph = StageGraph::new(n_stages + tasks.len());
+        for (t, deps) in task_deps.iter().enumerate() {
+            for &s in deps {
+                graph.add_edge(s, n_stages + t);
+            }
+        }
+
         let slots: Vec<Mutex<Option<Result<Verdict, DecisionError>>>> =
             tasks.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..jobs {
-                scope.spawn(|| {
-                    let worker_metrics = if self.metrics.is_enabled() {
-                        Metrics::enabled()
-                    } else {
-                        Metrics::disabled()
-                    };
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some((decider, schema)) = tasks.get(i) else {
-                            break;
-                        };
-                        let result =
-                            self.check_observed(*decider, schema, options, &worker_metrics);
-                        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
-                    }
-                    self.metrics.merge_from(&worker_metrics);
-                });
+        let worker_metrics: Vec<Metrics> = (0..jobs)
+            .map(|_| {
+                if self.metrics.is_enabled() {
+                    Metrics::enabled()
+                } else {
+                    Metrics::disabled()
+                }
+            })
+            .collect();
+
+        let stats = execute(&graph, jobs, |node, worker| {
+            let metrics = &worker_metrics[worker];
+            if node < n_stages {
+                let (stage, owner) = stage_nodes[node];
+                let (decider, schema) = tasks[owner];
+                // Panic-isolated like checks; a lost prefetch only costs
+                // the overlap (the finalize rebuilds under its budget).
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    decider.prefetch_stage(stage, schema, &self.cache, options, &self.tracer)
+                }));
+                match outcome {
+                    Ok(Ok(report)) => record_stage_metrics(metrics, &report),
+                    Ok(Err(_)) | Err(_) => metrics.incr("engine/prefetch/failed"),
+                }
+            } else {
+                let t = node - n_stages;
+                let (decider, schema) = tasks[t];
+                let result = self.check_observed(decider, schema, options, metrics);
+                *slots[t].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
             }
         });
+
+        for m in &worker_metrics {
+            self.metrics.merge_from(m);
+        }
+        // Batch-level counters are scheduling-independent (deterministic
+        // across worker counts); steals are not, so they go in a histogram
+        // — histogram values are explicitly timing/scheduling-dependent.
+        self.metrics.incr("engine/batches");
+        self.metrics
+            .add("engine/batch/stage_tasks", n_stages as u64);
+        self.metrics.add("engine/batch/checks", tasks.len() as u64);
+        self.metrics.observe("engine/batch/steals", stats.steals);
+        {
+            let mut b = self.batch.lock().unwrap_or_else(PoisonError::into_inner);
+            b.batches += 1;
+            b.stage_tasks += n_stages as u64;
+            b.checks += tasks.len() as u64;
+            b.steals += stats.steals;
+        }
+
         slots
             .into_iter()
             .map(|slot| {
@@ -263,23 +352,33 @@ fn record_check_metrics(
                 metrics.incr("engine/verdicts/degraded");
             }
             for s in &v.stats.stages {
-                let base = format!("stage/{}", s.stage);
-                metrics.observe(&format!("{base}/us"), s.duration.as_micros() as u64);
-                match s.cache_hit {
-                    Some(true) => metrics.incr(&format!("{base}/hits")),
-                    Some(false) => metrics.incr(&format!("{base}/misses")),
-                    None => {}
-                }
-                if let Some(fuel) = s.fuel {
-                    metrics.observe(&format!("{base}/fuel"), fuel);
-                }
-                if let Some(size) = s.artifact_size {
-                    metrics.observe(&format!("{base}/size"), size as u64);
-                }
+                record_stage_metrics(metrics, s);
             }
         }
         Err(DecisionError::ResourceExhausted { .. }) => metrics.incr("engine/errors/exhausted"),
         Err(DecisionError::Panicked { .. }) => metrics.incr("engine/errors/panicked"),
         Err(DecisionError::Internal(_)) => metrics.incr("engine/errors/internal"),
+    }
+}
+
+/// Folds one [`StageReport`] into a metrics registry: hit/miss counter
+/// plus duration, fuel and artifact-size histograms. Used both for the
+/// stages inside a verdict and for batch stage prefetches.
+fn record_stage_metrics(metrics: &Metrics, s: &StageReport) {
+    if !metrics.is_enabled() {
+        return;
+    }
+    let base = format!("stage/{}", s.stage);
+    metrics.observe(&format!("{base}/us"), s.duration.as_micros() as u64);
+    match s.cache_hit {
+        Some(true) => metrics.incr(&format!("{base}/hits")),
+        Some(false) => metrics.incr(&format!("{base}/misses")),
+        None => {}
+    }
+    if let Some(fuel) = s.fuel {
+        metrics.observe(&format!("{base}/fuel"), fuel);
+    }
+    if let Some(size) = s.artifact_size {
+        metrics.observe(&format!("{base}/size"), size as u64);
     }
 }

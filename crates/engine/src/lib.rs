@@ -14,9 +14,13 @@
 //! schema side once, and checking one transducer against many schemas
 //! compiles the transducer side once.
 //!
-//! [`Engine::check_many`] fans a batch of `(decider, schema)` tasks over a
-//! `std::thread::scope` worker pool sharing that cache; racing workers
-//! never duplicate a compilation (each cache entry builds exactly once).
+//! [`Engine::check_many`] turns a batch of `(decider, schema)` tasks into a
+//! *stage graph*: the distinct artifacts the batch needs are deduplicated
+//! up front and prefetched as their own tasks, with each check scheduled
+//! once its artifacts exist. A work-stealing `std::thread::scope` pool
+//! ([`scheduler`]) drains the graph over the sharded cache; each cache
+//! entry still builds exactly once, and a single-worker run is fully
+//! deterministic.
 //!
 //! ```
 //! use tpx_engine::{Engine, TopdownDecider};
@@ -35,13 +39,15 @@ pub mod budget;
 pub mod cache;
 pub mod decider;
 mod engine;
+pub mod scheduler;
 pub mod verdict;
 
 pub use budget::{
     Budget, BudgetExceeded, BudgetHandle, CheckOptions, DecisionError, DegradeBound, ExhaustReason,
 };
 pub use cache::{ArtifactCache, CacheError, CacheStats};
-pub use decider::{Decider, DtlDecider, TopdownDecider};
-pub use engine::{Engine, Task};
+pub use decider::{Decider, DtlDecider, StageKey, TopdownDecider};
+pub use engine::{BatchStats, Engine, Task};
+pub use scheduler::{RunStats, StageGraph};
 pub use tpx_obs::{Metrics, MetricsSnapshot, Span, SpanFields, TraceEvent, Tracer};
 pub use verdict::{CheckStats, Outcome, StageReport, Verdict};

@@ -72,6 +72,11 @@ pub struct StageReport {
     pub artifact_size: Option<usize>,
     /// Whether the artifact came out of the cache (`Some(true)`), was built
     /// by this check (`Some(false)`), or the stage is uncached (`None`).
+    ///
+    /// In a batch ([`crate::Engine::check_many`]) the attribution is
+    /// deterministic: the scheduler prefetches every declared stage before
+    /// the check runs, so the miss belongs to the prefetch task and the
+    /// check itself reports a hit — identically on 1 or N workers.
     pub cache_hit: Option<bool>,
     /// Fuel charged by this stage under a governed check (`None` when the
     /// check ran ungoverned). Cache hits report `Some(0)`: the fuel was
@@ -108,6 +113,14 @@ impl CheckStats {
         self.stages
             .iter()
             .filter(|s| s.cache_hit == Some(true))
+            .count()
+    }
+
+    /// How many stages this check had to build itself (cache misses).
+    pub fn cache_misses(&self) -> usize {
+        self.stages
+            .iter()
+            .filter(|s| s.cache_hit == Some(false))
             .count()
     }
 }

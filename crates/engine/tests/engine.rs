@@ -173,7 +173,14 @@ fn check_many_parallel_never_recompiles() {
     assert!(verdicts.iter().all(|v| v.is_preserving()));
     let stats = engine.cache_stats();
     assert_eq!(stats.misses, 3, "2 schemas + 1 transducer, built once each");
-    assert_eq!(stats.hits, 8 * 2 - 3);
+    // The scheduler prefetches the 3 distinct stages (the misses above),
+    // so all 8 checks hit on both of their stages — exactly, on every run,
+    // whatever the interleaving.
+    assert_eq!(stats.hits, 8 * 2);
+    let batch = engine.batch_stats();
+    assert_eq!(batch.batches, 1);
+    assert_eq!(batch.stage_tasks, 3, "deduplicated across the batch");
+    assert_eq!(batch.checks, 8);
 }
 
 #[test]

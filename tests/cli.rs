@@ -166,9 +166,36 @@ fn batch_mixed_exits_1_and_reports_each() {
     assert_eq!(code(&out), 1);
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("1/2 text-preserving"), "{stdout}");
+    assert!(stdout.contains("(2 workers"), "{stdout}");
     // The schema artifact is shared: compiled once, hit once.
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("[cache hit]"), "{stderr}");
+    // --stats surfaces the scheduler's stage-task/steal counters.
+    assert!(stderr.contains("scheduler:"), "{stderr}");
+    assert!(stderr.contains("stage tasks"), "{stderr}");
+}
+
+#[test]
+fn batch_jobs_zero_auto_detects_workers() {
+    let f = Fixture::new("batch-auto");
+    let auto = f.run(&[
+        "batch",
+        &f.path("schema.txt"),
+        &f.path("good.txt"),
+        "--jobs",
+        "0",
+    ]);
+    assert_eq!(code(&auto), 0, "{}", String::from_utf8_lossy(&auto.stderr));
+    let expected = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let stdout = String::from_utf8_lossy(&auto.stdout);
+    assert!(
+        stdout.contains(&format!("({expected} workers")),
+        "--jobs 0 should auto-detect {expected} workers: {stdout}"
+    );
+    // Omitting --jobs entirely gives the same auto-detected default.
+    let default = f.run(&["batch", &f.path("schema.txt"), &f.path("good.txt")]);
+    assert_eq!(code(&default), 0);
+    assert!(String::from_utf8_lossy(&default.stdout).contains(&format!("({expected} workers")));
 }
 
 #[test]
