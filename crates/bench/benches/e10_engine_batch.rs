@@ -55,9 +55,12 @@ fn engine_single(c: &mut Criterion) {
 fn engine_batch(c: &mut Criterion) {
     let mut g = c.benchmark_group("e10_batch");
     g.sample_size(10);
-    let (alpha, schema) = chain_schema(16);
+    // Sized so each task still costs milliseconds: the O(n²) rearranging
+    // construction (DESIGN.md §13) made the old chain-16 suite so cheap
+    // that the scaling curve measured scheduler overhead, not batch work.
+    let (alpha, schema) = chain_schema(32);
     let suite: Vec<_> = (0..4)
-        .flat_map(|_| transducers::suite(&alpha, 8))
+        .flat_map(|_| transducers::suite(&alpha, 16))
         .map(|(_, t)| t)
         .collect();
     let deciders: Vec<TopdownDecider> = suite.iter().map(TopdownDecider::new).collect();
@@ -72,6 +75,50 @@ fn engine_batch(c: &mut Criterion) {
         });
     }
     g.finish();
+}
+
+/// One-shot symbolic DTL checks: identity `DTL_XPath` programs over the
+/// universal n-label schema, cold engine per iteration. This is the
+/// EXPTIME route the lazy antichain layer (DESIGN.md §13) keeps honest —
+/// the `dtl/decide/product` / `dtl/decide/witness` spans in `stages`
+/// attribute where the time goes, and `validate_bench` fails if the
+/// group disappears or the route regresses past its ceiling.
+fn engine_symbolic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_symbolic");
+    g.sample_size(10);
+    for n in [1usize, 2] {
+        let (schema, dtl) = symbolic_instance(n);
+        g.bench_with_input(BenchmarkId::new("oneshot_symbolic", n), &n, |b, _| {
+            b.iter(|| black_box(Engine::new().check(&DtlDecider::new(&dtl), &schema)))
+        });
+    }
+    g.finish();
+}
+
+/// The universal schema over `n` labels and the identity DTL program over
+/// the same alphabet — the smallest family that exercises every stage of
+/// the symbolic pipeline while scaling with the alphabet.
+fn symbolic_instance(
+    n: usize,
+) -> (
+    textpres::treeauto::Nta,
+    textpres::dtl::DtlTransducer<textpres::dtl::XPathPatterns>,
+) {
+    let alpha = Alphabet::from_labels((0..n).map(|i| format!("a{i}")));
+    let mut b = textpres::prelude::NtaBuilder::new(&alpha);
+    b.root("u");
+    for (_, name) in alpha.entries() {
+        b.rule("u", name, "(u | ut)*");
+    }
+    b.text_rule("ut");
+    let schema = b.finish();
+    let mut b = textpres::prelude::DtlBuilder::new(&alpha, "q0");
+    let labels: Vec<String> = alpha.entries().map(|(_, s)| s.to_owned()).collect();
+    for l in &labels {
+        b.rule_simple("q0", l, l, "q0", "child");
+    }
+    b.text_rule("q0");
+    (schema, b.finish())
 }
 
 /// The worker counts the batch scaling curve samples (base first).
@@ -109,15 +156,17 @@ fn scaling_curve(results: &[tpx_bench::BenchRecord]) -> Option<Scaling> {
 /// CPU frequency and allocator drift between two *separate* benchmark
 /// runs dwarfs the cost of the handful of spans a check emits.
 fn measure_overhead() -> Overhead {
-    // The workload is ~10ms per check, so even the floor of 30 pairs costs
-    // well under a second — never scale this *down* with TPX_BENCH_SAMPLES,
-    // or a noisy spike in one pair dominates the median.
+    // The workload must dwarf the cost of the handful of spans a check
+    // emits, or the comparison measures timer noise: chain-32 costs tens
+    // of milliseconds per check even after the §13 speedups (chain-8 fell
+    // to ~0.5ms, far too small). Never scale the pair count *down* with
+    // TPX_BENCH_SAMPLES, or a noisy spike in one pair dominates the median.
     let pairs = std::env::var("TPX_BENCH_SAMPLES")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n > 0)
         .map_or(30, |n| n.max(30));
-    let n = 8usize;
+    let n = 32usize;
     let (alpha, schema) = chain_schema(n);
     let t = transducers::deep_selector(&alpha, n);
     let mut disabled = Vec::with_capacity(pairs);
@@ -140,7 +189,7 @@ fn measure_overhead() -> Overhead {
     )
 }
 
-criterion_group!(benches, engine_single, engine_batch);
+criterion_group!(benches, engine_single, engine_batch, engine_symbolic);
 
 /// The universal one-label schema and an identity `DTL_XPath` program:
 /// the cheapest instances that still drive every DTL pipeline stage.

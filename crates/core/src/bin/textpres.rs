@@ -4,7 +4,7 @@
 //! textpres check <schema> <transducer> [document.xml] [--stats]
 //! textpres subschema <schema> <transducer>
 //! textpres batch <schema> <transducer>... [--jobs N] [--stats]
-//! textpres fuzz [--seeds N] [--budget B] [--base-seed S] [--dtl-symbolic]
+//! textpres fuzz [--seeds N] [--budget B] [--base-seed S] [--no-dtl-symbolic]
 //!               [--out DIR] [--stats]
 //! textpres --version
 //! ```
@@ -23,9 +23,12 @@
 //! differential checker (`tpx-diffcheck`): random schema/transducer pairs,
 //! symbolic verdicts cross-checked against per-tree semantic oracles and
 //! the bounded-enumeration baseline, with shrunk reproducers written to
-//! `--out` as regression case files. `--dtl-symbolic` additionally runs
-//! the symbolic DTL decider on generated DTL programs (off by default:
-//! its MSO→NBTA compilation can take minutes on unlucky seeds).
+//! `--out` as regression case files. The symbolic DTL decider runs on
+//! generated DTL programs by default (the lazy antichain layer of
+//! DESIGN.md §13 keeps it cheap, and the default fuel budget degrades
+//! unlucky seeds); `--no-dtl-symbolic` opts out, and programs larger
+//! than the configured size cap are counted as `dtl-size-skipped` in the
+//! run summary.
 //!
 //! `--fuel N` and `--timeout-ms N` put a resource budget on each check:
 //! fuel is charged at automaton state/transition construction sites (a
@@ -72,9 +75,11 @@ usage: textpres check <schema> <transducer> [document.xml] [--stats]
                 [--fuel N] [--timeout-ms N] [--degrade]
                 [--trace-out PATH] [--metrics]
                 (--jobs 0, the default, auto-detects the worker count)
-       textpres fuzz [--seeds N] [--budget B] [--base-seed S] [--dtl-symbolic]
-                     [--fuel N] [--timeout-ms N] [--out DIR] [--stats]
-                     [--trace-out PATH] [--metrics]
+       textpres fuzz [--seeds N] [--budget B] [--base-seed S]
+                     [--no-dtl-symbolic] [--fuel N] [--timeout-ms N]
+                     [--out DIR] [--stats] [--trace-out PATH] [--metrics]
+                     (symbolic DTL cross-checks run by default;
+                     --no-dtl-symbolic opts out)
        textpres --version
 
 transducer files starting with a `dtl` line are DTL_XPath programs,
@@ -589,6 +594,7 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
             },
             "--metrics" => metrics = true,
             "--dtl-symbolic" => cfg.dtl_symbolic = true,
+            "--no-dtl-symbolic" => cfg.dtl_symbolic = false,
             "--stats" => stats = true,
             other => {
                 eprintln!("error: unknown fuzz argument {other:?}\n{USAGE}");
@@ -603,10 +609,12 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
         return ExitCode::from(2);
     }
     println!(
-        "fuzz: {} seeds, {} cross-checks, {} budget-exhausted, {} divergence(s)",
+        "fuzz: {} seeds, {} cross-checks, {} budget-exhausted, {} dtl-size-skipped, \
+         {} divergence(s)",
         report.seeds_run,
         report.checks,
         report.exhausted,
+        report.dtl_skipped,
         report.divergences.len()
     );
     for d in &report.divergences {

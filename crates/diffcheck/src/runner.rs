@@ -42,11 +42,11 @@ pub struct FuzzConfig {
     /// States in the random transducers / DTL programs.
     pub n_states: usize,
     /// Whether to run the symbolic DTL decider on generated DTL programs.
-    /// Off by default: the MSO→NBTA compilation behind it is heavy-tailed
-    /// (minutes on some two-rule programs, with cost uncorrelated to
-    /// program size), so routine fuzzing relies on the cheap per-tree
-    /// oracles for DTL and reserves the symbolic cross-check for explicit
-    /// opt-in runs.
+    /// On by default since the lazy antichain layer landed: negation
+    /// pushing plus the early-exit product keep typical programs cheap,
+    /// and the default [`FuzzConfig::fuel`] budget degrades the
+    /// heavy-tailed stragglers instead of stalling the run. Opt out with
+    /// `--no-dtl-symbolic`.
     pub dtl_symbolic: bool,
     /// Size cap above which the symbolic DTL decider is skipped even when
     /// [`FuzzConfig::dtl_symbolic`] is set.
@@ -91,15 +91,21 @@ impl Default for FuzzConfig {
             trees_per_seed: 5,
             n_labels: 3,
             n_states: 2,
-            dtl_symbolic: false,
+            dtl_symbolic: true,
             max_dtl_size: 60,
             bounded_max_nodes: 5,
             bounded_limit: 150,
             shrink: true,
             // Every instance runs under a default fuel budget so one
             // heavy-tailed compilation cannot stall a whole fuzz run; fuel
-            // (unlike a deadline) keeps runs deterministic.
-            fuel: Some(100_000_000),
+            // (unlike a deadline) keeps runs deterministic. Sized for the
+            // default-on symbolic DTL route: every symbolic check that
+            // finishes at all on the default workload does so well under
+            // 250k fuel, while the stragglers sit orders of magnitude
+            // higher (2M fuel buys zero extra cross-checks but ~10x the
+            // wall time at ~0.4µs/unit) — so a straggler costs ~0.2s
+            // before it is counted as exhausted and skipped.
+            fuel: Some(500_000),
             timeout_ms: None,
         }
     }
@@ -134,6 +140,11 @@ pub struct FuzzReport {
     /// fuel/deadline budget (not divergences: the instance was simply too
     /// expensive under [`FuzzConfig::fuel`] / [`FuzzConfig::timeout_ms`]).
     pub exhausted: u64,
+    /// Symbolic DTL checks skipped because the generated program exceeded
+    /// [`FuzzConfig::max_dtl_size`] — a coverage gap, not a verdict. Each
+    /// skip also emits a `diffcheck/dtl-skip` span (carrying the program
+    /// size) on the engine's tracer so traced runs make the gap visible.
+    pub dtl_skipped: u64,
     /// Divergences found (after confirmation and shrinking).
     pub divergences: Vec<Divergence>,
 }
@@ -392,9 +403,17 @@ fn fuzz_dtl_seed(engine: &Engine, cfg: &FuzzConfig, seed: u64, report: &mut Fuzz
         report.checks += 1;
     }
 
-    // The symbolic DTL decider (MSO→NBTA) has heavy-tailed cost even on
-    // tiny programs; it only runs when explicitly opted in.
-    if !cfg.dtl_symbolic || prog.size() > cfg.max_dtl_size {
+    if !cfg.dtl_symbolic {
+        return;
+    }
+    // Oversized programs skip the symbolic cross-check; count the gap and
+    // leave a trace event rather than dropping the instance silently.
+    if prog.size() > cfg.max_dtl_size {
+        report.dtl_skipped += 1;
+        engine
+            .tracer()
+            .span("diffcheck/dtl-skip")
+            .exit_with(tpx_engine::SpanFields::new().size(prog.size()));
         return;
     }
     let Some(verdict) = governed_check(

@@ -24,8 +24,8 @@ use std::collections::HashMap;
 
 use tpx_mso::formula::derived;
 use tpx_mso::{
-    compile_cached, lift, project_bit, strip_bits, try_compile_cached, try_project_bit,
-    try_strip_bits, CompileCache, CompileError, Formula, MSym, Var, VarGen, VarKey,
+    lift, try_compile_cached, try_project_bit, try_strip_bits, CompileCache, CompileError,
+    Formula, MSym, Var, VarGen, VarKey,
 };
 use tpx_obs::{SpanFields, Tracer};
 use tpx_treeauto::{nbta_to_nta, nta_to_nbta, EncSym, Nbta, Nta};
@@ -590,9 +590,16 @@ pub fn try_dtl_text_preserving_with(
 }
 
 /// Traced [`try_dtl_text_preserving_with`]: emits `dtl/decide/product`
-/// around the intersection+trim and `dtl/decide/witness` around the
-/// emptiness search, each carrying the fuel charged. With a disabled
+/// around the lazy product exploration and `dtl/decide/witness` around
+/// the witness decoding, each carrying the fuel charged. With a disabled
 /// tracer this is exactly the untraced call.
+///
+/// The product is never materialized: [`Nbta::try_intersect_witness`]
+/// explores only derivable counterexample×schema state pairs and exits at
+/// the first accepting one, so a non-preserving program is reported as
+/// soon as *one* counterexample tree is derivable, and a preserving one
+/// costs only the reachable product — not the full `|Q₁|·|Q₂|` grid plus
+/// a trim that the eager route paid.
 pub fn try_dtl_text_preserving_traced(
     transducer: &DtlTransducerArtifacts,
     schema: &DtlSchemaArtifacts,
@@ -601,20 +608,13 @@ pub fn try_dtl_text_preserving_traced(
 ) -> Result<DtlCheckReport, DtlDecideError> {
     let span = tracer.span("dtl/decide/product");
     let fuel_before = budget.fuel_spent();
-    let product = transducer
+    let witness = transducer
         .counterexample
-        .try_intersect(&schema.schema, budget)?
-        .try_trim(budget)?;
-    span.exit_with(
-        SpanFields::new()
-            .fuel(budget.fuel_spent() - fuel_before)
-            .size(product.state_count()),
-    );
+        .try_intersect_witness(&schema.schema, budget)?;
+    span.exit_with(SpanFields::new().fuel(budget.fuel_spent() - fuel_before));
     let span = tracer.span("dtl/decide/witness");
     let fuel_before = budget.fuel_spent();
-    let witness = product.try_witness(budget)?;
-    span.exit_with(SpanFields::new().fuel(budget.fuel_spent() - fuel_before));
-    match witness {
+    let result = match witness {
         None => Ok(DtlCheckReport::Preserving),
         Some(w) => {
             let witness = tpx_treeauto::convert::decode_witness(&w).ok_or_else(|| {
@@ -624,7 +624,9 @@ pub fn try_dtl_text_preserving_traced(
             })?;
             Ok(DtlCheckReport::NotPreserving { witness })
         }
-    }
+    };
+    span.exit_with(SpanFields::new().fuel(budget.fuel_spent() - fuel_before));
+    result
 }
 
 /// Theorems 5.12 / 5.18: decides whether `t` is text-preserving over
@@ -651,6 +653,19 @@ pub fn dtl_deleted_text_under<P: MsoDefinable>(
     nta: &Nta,
     labels: &[tpx_trees::Symbol],
 ) -> Option<Tree> {
+    try_dtl_deleted_text_under(t, nta, labels, &BudgetHandle::unlimited())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Budgeted [`dtl_deleted_text_under`]: every compile/project stage
+/// charges the shared budget, and the final schema product is explored
+/// lazily with an early exit at the first witness.
+pub fn try_dtl_deleted_text_under<P: MsoDefinable>(
+    t: &DtlTransducer<P>,
+    nta: &Nta,
+    labels: &[tpx_trees::Symbol],
+    budget: &BudgetHandle,
+) -> Result<Option<Tree>, DtlDecideError> {
     let n_symbols = nta.symbol_count();
     let mut b = AutoBuilder::new(t, n_symbols);
     // "Some run outputs the value at vx" at width 1 (vx = the text node).
@@ -674,13 +689,18 @@ pub fn dtl_deleted_text_under<P: MsoDefinable>(
         ))
     };
     let phi = under.and(reached.not());
-    let deleted = compile_cached(&phi, &[VarKey::Fo(vx)], n_symbols, &mut b.cache);
-    let sentence = project_bit(&deleted, n_symbols, 0, true);
-    let schema = nta_to_nbta(nta).trim();
-    let product = strip_bits(&sentence, n_symbols).intersect(&schema).trim();
-    product
-        .witness()
-        .map(|w| tpx_treeauto::convert::decode_witness(&w).expect("schema trees decode"))
+    let deleted = try_compile_cached(&phi, &[VarKey::Fo(vx)], n_symbols, &mut b.cache, budget)?;
+    let sentence = try_project_bit(&deleted, n_symbols, 0, true, budget)?;
+    let schema = nta_to_nbta(nta).try_trim(budget)?;
+    let witness =
+        try_strip_bits(&sentence, n_symbols, budget)?.try_intersect_witness(&schema, budget)?;
+    witness
+        .map(|w| {
+            tpx_treeauto::convert::decode_witness(&w).ok_or_else(|| {
+                DtlDecideError::Internal("schema product witness does not decode".into())
+            })
+        })
+        .transpose()
 }
 
 /// Definition 5.1's determinism restriction, decided statically over a
@@ -691,12 +711,23 @@ pub fn check_determinism<P: MsoDefinable>(
     t: &DtlTransducer<P>,
     nta: &Nta,
 ) -> Option<(usize, usize, Tree)> {
+    try_check_determinism(t, nta, &BudgetHandle::unlimited()).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Budgeted [`check_determinism`]: guard compilations charge the shared
+/// budget and each overlap test is a lazy early-exit product exploration
+/// instead of a materialized intersection.
+pub fn try_check_determinism<P: MsoDefinable>(
+    t: &DtlTransducer<P>,
+    nta: &Nta,
+    budget: &BudgetHandle,
+) -> Result<Option<(usize, usize, Tree)>, DtlDecideError> {
     let n_symbols = nta.symbol_count();
     let mut gen = VarGen::new();
     gen.reserve(Var(MsoPatterns::HOLE_Y.0 + 1));
     let mut cache = CompileCache::new();
     let x = gen.var();
-    let schema = nta_to_nbta(nta).trim();
+    let schema = nta_to_nbta(nta).try_trim(budget)?;
     let guards: Vec<(DtlState, Formula)> = t
         .rules()
         .iter()
@@ -718,16 +749,18 @@ pub fn check_determinism<P: MsoDefinable>(
                 gi.rename_fo(MsoPatterns::HOLE_X, x)
                     .and(gj.rename_fo(MsoPatterns::HOLE_X, x)),
             );
-            let a = compile_cached(&both, &[], n_symbols, &mut cache);
-            let overlap = strip_bits(&a, n_symbols).intersect(&schema).trim();
-            if let Some(w) = overlap.witness() {
-                let witness =
-                    tpx_treeauto::convert::decode_witness(&w).expect("schema trees decode");
-                return Some((i, j, witness));
+            let a = try_compile_cached(&both, &[], n_symbols, &mut cache, budget)?;
+            let overlap = try_strip_bits(&a, n_symbols, budget)?
+                .try_intersect_witness(&schema, budget)?;
+            if let Some(w) = overlap {
+                let witness = tpx_treeauto::convert::decode_witness(&w).ok_or_else(|| {
+                    DtlDecideError::Internal("schema product witness does not decode".into())
+                })?;
+                return Ok(Some((i, j, witness)));
             }
         }
     }
-    None
+    Ok(None)
 }
 
 /// [`dtl_maximal_subschema`] over precompiled artifacts.
@@ -735,16 +768,33 @@ pub fn dtl_maximal_subschema_with(
     transducer: &DtlTransducerArtifacts,
     schema: &DtlSchemaArtifacts,
 ) -> Nta {
+    try_dtl_maximal_subschema_with(transducer, schema, &BudgetHandle::unlimited())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Budgeted [`dtl_maximal_subschema_with`]. This is the one consumer that
+/// genuinely needs the complemented counterexample language *as an
+/// automaton* (the sub-schema is returned to the caller), so the eager
+/// determinize–complement route stays — but every stage now charges the
+/// shared budget instead of bypassing PR 3's governance.
+pub fn try_dtl_maximal_subschema_with(
+    transducer: &DtlTransducerArtifacts,
+    schema: &DtlSchemaArtifacts,
+    budget: &BudgetHandle,
+) -> Result<Nta, DtlDecideError> {
     let not_ce = transducer
         .counterexample
-        .determinize()
+        .try_determinize(budget)?
         .complement()
         .to_nbta()
-        .trim();
-    nbta_to_nta(
-        &schema.schema.intersect(&not_ce).trim(),
+        .try_trim(budget)?;
+    Ok(nbta_to_nta(
+        &schema
+            .schema
+            .try_intersect(&not_ce, budget)?
+            .try_trim(budget)?,
         transducer.n_symbols,
-    )
+    ))
 }
 
 /// The maximal sub-schema on which `t` is text-preserving (conclusion):

@@ -65,8 +65,10 @@ impl Engine {
         }
     }
 
-    /// An engine running batches on `jobs` worker threads (0 is clamped
-    /// to 1).
+    /// An engine running batches on up to `jobs` worker threads (0 is
+    /// clamped to 1; batches additionally clamp to the task count and the
+    /// host parallelism, since oversubscribing a saturated machine only
+    /// adds scheduling overhead).
     pub fn with_jobs(jobs: usize) -> Self {
         Engine {
             jobs: jobs.max(1),
@@ -227,7 +229,13 @@ impl Engine {
         tasks: &[Task<'_>],
         options: &CheckOptions,
     ) -> Vec<Result<Verdict, DecisionError>> {
-        let jobs = self.jobs().min(tasks.len().max(1));
+        // Clamp to the host parallelism: extra workers on a saturated
+        // machine cannot overlap anything, they only add context-switch
+        // and steal-scan cost per node (measured ~2x wall time for an
+        // 8-worker batch on a 1-CPU container). The requested `jobs` is
+        // still an upper bound — a 1-task batch stays inline, etc.
+        let host = std::thread::available_parallelism().map_or(usize::MAX, |n| n.get());
+        let jobs = self.jobs().min(tasks.len().max(1)).min(host);
 
         // Deduplicate the declared artifact stages batch-wide. Stage node
         // `i` prefetches `stage_nodes[i].0` on behalf of the first task

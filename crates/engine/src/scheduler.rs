@@ -25,8 +25,13 @@
 //!
 //! Idle workers park on a condvar with a 1 ms timeout backstop, so a
 //! missed wakeup (pushes and notifies are deliberately not atomic with
-//! each other) costs at most a millisecond, not a deadlock. Termination is
-//! a single atomic countdown of unfinished nodes.
+//! each other) costs at most a millisecond, not a deadlock. A completing
+//! worker wakes at most *one* sibling, and only when its deque holds more
+//! work than it will pop itself on the next iteration — broadcasting on
+//! every node made an over-subscribed single-core batch pay a context
+//! switch per task for wakeups whose work the notifier immediately
+//! reclaimed. Termination is a single atomic countdown of unfinished
+//! nodes (that wake *is* broadcast, so the pool exits promptly).
 //!
 //! The executor makes no fairness or ordering promises beyond the
 //! dependency edges; callers that need deterministic *output* must index
@@ -190,19 +195,31 @@ where
                         continue;
                     };
                     run(node, me);
-                    let mut woke_work = false;
-                    for &d in &graph.dependents[node] {
-                        if pending[d].fetch_sub(1, Ordering::AcqRel) == 1 {
-                            queues[me]
-                                .lock()
-                                .unwrap_or_else(PoisonError::into_inner)
-                                .push_back(d);
-                            woke_work = true;
+                    // Freed dependents go onto our own deque under one
+                    // lock; `surplus` is what we *cannot* run next
+                    // iteration ourselves (we pop one back immediately).
+                    let surplus = {
+                        let mut q = queues[me].lock().unwrap_or_else(PoisonError::into_inner);
+                        for &d in &graph.dependents[node] {
+                            if pending[d].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                q.push_back(d);
+                            }
                         }
-                    }
-                    let last = remaining.fetch_sub(1, Ordering::AcqRel) == 1;
-                    if woke_work || last {
+                        q.len().saturating_sub(1)
+                    };
+                    if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        // Everything is done: wake every parked worker so
+                        // the pool can exit.
                         idle.1.notify_all();
+                    } else if surplus > 0 {
+                        // Only wake a sibling when there is work beyond
+                        // what we consume ourselves — waking the whole
+                        // pool per node turns a single-core run into a
+                        // context-switch storm (the freed child is popped
+                        // LIFO by *this* worker on the very next loop).
+                        // A lost race here costs at most the 1 ms parking
+                        // backstop, never a deadlock.
+                        idle.1.notify_one();
                     }
                 }
                 steals.fetch_add(local_steals, Ordering::Relaxed);

@@ -9,8 +9,10 @@
 //! Recipe (per the classical construction):
 //! * atomic formulas: the hand-coded automata of [`crate::atomic`];
 //! * `∧` / `∨`: product / union (+ trim);
-//! * `¬`: determinize, complement, back to nondeterministic (+ trim) —
-//!   the source of the non-elementary worst case;
+//! * `¬`: pushed toward the atoms first (double negation, De Morgan,
+//!   quantifier duality), so only irreducibly negated subformulas pay the
+//!   determinize–complement–trim route — the source of the non-elementary
+//!   worst case;
 //! * `∃x`: intersect with the singleton guard for `x`, then project the
 //!   bit away; `∃X`: project directly; `∀` is `¬∃¬`.
 
@@ -222,7 +224,14 @@ fn compile_inner(
             let bb = rec(b, ctx, n_symbols, cache, budget)?;
             aa.union(&bb).try_trim(budget)?
         }
-        Formula::Not(a) => complement(&rec(a, ctx, n_symbols, cache, budget)?, budget)?,
+        Formula::Not(a) => match pushed_negation(a) {
+            // Negation stays symbolic where the formula shape allows: De
+            // Morgan / double-negation / quantifier duality move the `¬`
+            // toward the atoms, so only irreducibly negated subformulas
+            // ever pay for the subset construction.
+            Some(simpler) => rec(&simpler, ctx, n_symbols, cache, budget)?,
+            None => complement(&rec(a, ctx, n_symbols, cache, budget)?, budget)?,
+        },
         Formula::ExistsFo(v, a) => {
             let inner = extend_ctx(ctx, VarKey::Fo(*v));
             let body = rec(a, &inner, n_symbols, cache, budget)?;
@@ -248,6 +257,30 @@ fn compile_inner(
             let neg = Formula::ExistsSo(*v, Box::new(a.clone().not()));
             complement(&rec(&neg, ctx, n_symbols, cache, budget)?, budget)?
         }
+    })
+}
+
+/// One step of negation pushing: `¬φ` rewritten to an equivalent formula
+/// with the negation strictly closer to the atoms, or `None` when `φ` is
+/// an atom or an existential (where a single complement is the plan).
+/// The compiler's recursion applies this incrementally, so chains like
+/// `¬¬¬(α ∧ ∀x β)` dissolve without a separate normalization pass.
+fn pushed_negation(phi: &Formula) -> Option<Formula> {
+    Some(match phi {
+        Formula::True => Formula::False,
+        Formula::False => Formula::True,
+        Formula::Not(a) => (**a).clone(),
+        Formula::And(a, b) => Formula::Or(
+            Box::new(Formula::Not(a.clone())),
+            Box::new(Formula::Not(b.clone())),
+        ),
+        Formula::Or(a, b) => Formula::And(
+            Box::new(Formula::Not(a.clone())),
+            Box::new(Formula::Not(b.clone())),
+        ),
+        Formula::ForallFo(v, a) => Formula::ExistsFo(*v, Box::new(Formula::Not(a.clone()))),
+        Formula::ForallSo(v, a) => Formula::ExistsSo(*v, Box::new(Formula::Not(a.clone()))),
+        _ => return None,
     })
 }
 

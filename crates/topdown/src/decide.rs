@@ -489,24 +489,27 @@ pub fn try_rearranging_nta(t: &Transducer, budget: &BudgetHandle) -> Result<Nta,
 
     // Helper building the content NFA `Any* · X · Any*` with X from a set of
     // single states, plus optional split words `Any* B1 Any* B2 Any*`.
+    //
+    // Don't-care positions loop on the single `Any` state rather than on
+    // every state of the space: every schema subtree evaluates to `Any`
+    // (its row below accepts every hedge over `Any`, including the empty
+    // one), so the accepted tree language is unchanged while each row
+    // stays O(|singles| + |splits|) instead of O(n²) transitions.
+    let any = sp.any();
     let content = |singles: &[State], splits: &[(State, State)]| -> Nfa<State> {
         let mut nfa: Nfa<State> = Nfa::new();
         let s0 = nfa.add_state();
         let s1 = nfa.add_state();
         nfa.set_initial(s0);
         nfa.set_final(s1, true);
-        for &a in &all_states {
-            nfa.add_transition(s0, a, s0);
-            nfa.add_transition(s1, a, s1);
-        }
+        nfa.add_transition(s0, any, s0);
+        nfa.add_transition(s1, any, s1);
         for &x in singles {
             nfa.add_transition(s0, x, s1);
         }
         if !splits.is_empty() {
             let mid = nfa.add_state();
-            for &a in &all_states {
-                nfa.add_transition(mid, a, mid);
-            }
+            nfa.add_transition(mid, any, mid);
             for &(x1, x2) in splits {
                 nfa.add_transition(s0, x1, mid);
                 nfa.add_transition(mid, x2, s1);
@@ -517,9 +520,18 @@ pub fn try_rearranging_nta(t: &Transducer, budget: &BudgetHandle) -> Result<Nta,
 
     for sym in 0..t.symbol_count() {
         let s = Symbol(sym as u32);
-        // Any: accepts anything.
+        // Any: accepts any children hedge — crucially including the *empty*
+        // one, so an element leaf in a don't-care position still evaluates
+        // to `Any`. (The previous `Any* · X · Any*`-shaped row demanded at
+        // least one child here, so every witness containing an element leaf
+        // outside the swap paths was silently missed.)
         budget.charge(1)?;
-        m.set_content(sp.any(), s, content(&all_states, &[]));
+        let mut any_nfa: Nfa<State> = Nfa::new();
+        let a0 = any_nfa.add_state();
+        any_nfa.set_initial(a0);
+        any_nfa.set_final(a0, true);
+        any_nfa.add_transition(a0, any, a0);
+        m.set_content(sp.any(), s, any_nfa);
 
         for q in t.states() {
             budget.charge(1)?;
@@ -723,6 +735,41 @@ mod tests {
         assert!(nta.accepts(&w));
         assert!(semantic::rearranging_on(&t, &w));
         assert!(copying_witness(&t, &nta).is_none());
+    }
+
+    #[test]
+    fn swap_with_element_leaf_sibling_is_detected() {
+        // Regression: the `Any` row of the rearranging NTA used to demand
+        // at least one child, so an *element leaf* (a σ-node with no
+        // children) in a don't-care position derived no state at all and
+        // every witness containing one was missed. Here the only schema
+        // tree is root(b(text) c(text) d) — d is an element leaf the
+        // transducer deletes — and the transducer swaps the b/c text.
+        let al = Alphabet::from_labels(["root", "b", "c", "d"]);
+        let mut tb = crate::transducer::TransducerBuilder::new(&al, "q0");
+        tb.state("pb");
+        tb.state("pc");
+        tb.state("q");
+        tb.rule("q0", "root", "root(pc pb)");
+        tb.rule("pb", "b", "b(q)");
+        tb.rule("pc", "c", "c(q)");
+        tb.text_rule("q");
+        let t = tb.finish();
+        let mut nb = tpx_treeauto::NtaBuilder::new(&al);
+        nb.root("s");
+        nb.rule("s", "root", "sb sc sd");
+        nb.rule("sb", "b", "st");
+        nb.rule("sc", "c", "st");
+        nb.rule("sd", "d", "%eps");
+        nb.text_rule("st");
+        let nta = nb.finish();
+        let w = rearranging_witness(&t, &nta).expect("swap next to an element leaf must be found");
+        assert!(nta.accepts(&w));
+        assert!(semantic::rearranging_on(&t, &w));
+        assert!(matches!(
+            is_text_preserving(&t, &nta),
+            CheckReport::Rearranging { .. }
+        ));
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::ranked::RankedTree;
 use std::collections::HashMap;
 
 use tpx_automata::Nfa;
+use tpx_trees::budget::{BudgetExceeded, BudgetHandle};
 use tpx_trees::{BinLabel, Symbol, Tree};
 
 /// Symbols of encoded trees, with text values erased: element labels,
@@ -315,32 +316,73 @@ pub fn nbta_to_nta(nbta: &Nbta<EncSym>, n_symbols: usize) -> Nta {
 
 /// The complement of `L(nta)` within all text trees over the same alphabet:
 /// encode → determinize → flip → decode.
+///
+/// This is the one derived operation that genuinely needs the determinized
+/// complement *as an automaton* (the result is returned to the caller), so
+/// it keeps the eager subset construction; the decision procedures below
+/// avoid it entirely via the lazy layer in [`crate::inclusion`].
 pub fn complement_nta(nta: &Nta) -> Nta {
-    let nbta = nta_to_nbta(nta).trim();
-    let comp = nbta.determinize().complement().to_nbta().trim();
-    nbta_to_nta(&comp, nta.symbol_count())
+    try_complement_nta(nta, &BudgetHandle::unlimited()).expect("unlimited budget")
 }
 
-/// Whether `L(n1) ⊆ L(n2)` (both over the same alphabet size).
-pub fn subset_nta(n1: &Nta, n2: &Nta) -> bool {
-    let a1 = nta_to_nbta(n1).trim();
-    let not2 = nta_to_nbta(n2)
-        .trim()
-        .determinize()
+/// Budgeted [`complement_nta`], charging the shared [`BudgetHandle`]
+/// through every encode/determinize/trim stage.
+pub fn try_complement_nta(nta: &Nta, budget: &BudgetHandle) -> Result<Nta, BudgetExceeded> {
+    let nbta = nta_to_nbta(nta).try_trim(budget)?;
+    let comp = nbta
+        .try_determinize(budget)?
         .complement()
         .to_nbta()
-        .trim();
-    a1.intersect(&not2).is_empty()
+        .try_trim(budget)?;
+    Ok(nbta_to_nta(&comp, nta.symbol_count()))
+}
+
+/// Whether `L(n1) ⊆ L(n2)` (both over the same alphabet size) — decided
+/// lazily by [`Nbta::included_in`], never determinizing `n2`.
+pub fn subset_nta(n1: &Nta, n2: &Nta) -> bool {
+    try_subset_nta(n1, n2, &BudgetHandle::unlimited()).expect("unlimited budget")
+}
+
+/// Budgeted [`subset_nta`].
+pub fn try_subset_nta(n1: &Nta, n2: &Nta, budget: &BudgetHandle) -> Result<bool, BudgetExceeded> {
+    let a1 = nta_to_nbta(n1).try_trim(budget)?;
+    let a2 = nta_to_nbta(n2).try_trim(budget)?;
+    a1.try_included_in(&a2, budget)
 }
 
 /// Whether `L(n1) = L(n2)`.
 pub fn language_equal(n1: &Nta, n2: &Nta) -> bool {
-    subset_nta(n1, n2) && subset_nta(n2, n1)
+    try_language_equal(n1, n2, &BudgetHandle::unlimited()).expect("unlimited budget")
+}
+
+/// Budgeted [`language_equal`]: encodes and trims each automaton exactly
+/// once and runs both antichain inclusion passes over the shared NBTAs
+/// (the old route re-encoded and re-trimmed both sides per direction).
+pub fn try_language_equal(
+    n1: &Nta,
+    n2: &Nta,
+    budget: &BudgetHandle,
+) -> Result<bool, BudgetExceeded> {
+    let a1 = nta_to_nbta(n1).try_trim(budget)?;
+    let a2 = nta_to_nbta(n2).try_trim(budget)?;
+    Ok(a1.try_included_in(&a2, budget)? && a2.try_included_in(&a1, budget)?)
 }
 
 /// The difference `L(n1) ∖ L(n2)`.
 pub fn difference_nta(n1: &Nta, n2: &Nta) -> Nta {
-    n1.intersect(&complement_nta(n2)).trim()
+    try_difference_nta(n1, n2, &BudgetHandle::unlimited()).expect("unlimited budget")
+}
+
+/// Budgeted [`difference_nta`]. Like [`complement_nta`] this returns an
+/// automaton, so the complement stays eager — but every stage charges the
+/// budget.
+pub fn try_difference_nta(
+    n1: &Nta,
+    n2: &Nta,
+    budget: &BudgetHandle,
+) -> Result<Nta, BudgetExceeded> {
+    let not2 = try_complement_nta(n2, budget)?;
+    n1.try_intersect(&not2, budget)?.try_trim(budget)
 }
 
 #[cfg(test)]

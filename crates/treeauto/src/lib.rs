@@ -15,15 +15,21 @@
 //!   over encodings, plus the derived Boolean operations on unranked
 //!   regular tree languages (complement, difference) used for the maximal
 //!   sub-schema constructions (paper conclusion).
+//! * [`inclusion`] — the lazy decision layer: antichain-pruned inclusion
+//!   `Nbta::included_in` and early-exit product witness
+//!   `Nbta::intersect_witness` that never materialize the determinized
+//!   complement (DESIGN.md §13).
 //! * [`ranked`] — a small ranked-tree value type for NBTA witnesses.
 
 pub mod convert;
+pub mod inclusion;
 pub mod nbta;
 pub mod nta;
 pub mod ranked;
 
 pub use convert::{
-    complement_nta, difference_nta, language_equal, nbta_to_nta, nta_to_nbta, subset_nta, EncSym,
+    complement_nta, difference_nta, language_equal, nbta_to_nta, nta_to_nbta, subset_nta,
+    try_complement_nta, try_difference_nta, try_language_equal, try_subset_nta, EncSym,
 };
 pub use nbta::{Dbta, Nbta};
 pub use nta::{Nta, NtaBuilder, Run, State};

@@ -22,12 +22,12 @@ type RulesBySymbol<'a, L> = HashMap<&'a L, Vec<(State, State, &'a Vec<State>)>>;
 pub struct Nbta<L> {
     leaf_alphabet: Vec<L>,
     internal_alphabet: Vec<L>,
-    n_states: usize,
+    pub(crate) n_states: usize,
     finals: Vec<bool>,
     /// `leaf L → q`.
-    leaf_rules: HashMap<L, Vec<State>>,
+    pub(crate) leaf_rules: HashMap<L, Vec<State>>,
     /// `σ(q₁, q₂) → q`.
-    rules: HashMap<(L, State, State), Vec<State>>,
+    pub(crate) rules: HashMap<(L, State, State), Vec<State>>,
 }
 
 impl<L: Clone + Eq + Hash> Nbta<L> {

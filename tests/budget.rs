@@ -9,7 +9,9 @@
 use textpres::engine::{Budget, CheckOptions, Decider, DtlDecider, Engine, TopdownDecider};
 use textpres::format::parse_case;
 use textpres::prelude::{Alphabet, DtlBuilder, NtaBuilder};
-use textpres::treeauto::Nta;
+use textpres::treeauto::{
+    complement_nta, difference_nta, language_equal, try_complement_nta, try_difference_nta, Nta,
+};
 
 fn corpus() -> Vec<(String, String)> {
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/regressions");
@@ -96,6 +98,47 @@ fn generous_budget_is_inert_for_dtl() {
     let options = CheckOptions::with_budget(Budget::default().with_fuel(500_000_000));
     assert_budget_inert(&DtlDecider::new(&identity), &uni, &options, "dtl/identity");
     assert_budget_inert(&DtlDecider::new(&dropping), &uni, &options, "dtl/dropping");
+}
+
+#[test]
+fn generous_budget_is_inert_for_treeauto_set_ops() {
+    // The governed automata-level ops (complement / difference) must be
+    // language-identical to their ungoverned twins under generous fuel,
+    // and exhaust immediately under none. Corpus schemas keep the shapes
+    // honest — these are the automata the lazy decision layer feeds on.
+    let generous = textpres::trees::budget::Budget::default()
+        .with_fuel(200_000_000)
+        .start();
+    let zero = textpres::trees::budget::Budget::default().with_fuel(0).start();
+    let mut schemas: Vec<(String, Nta)> = Vec::new();
+    for (path, src) in corpus() {
+        let rc = parse_case(&src).unwrap_or_else(|e| panic!("{path}: {e}"));
+        schemas.push((path, rc.case.schema_nta()));
+    }
+    for (path, nta) in &schemas {
+        let plain = complement_nta(nta);
+        let governed = try_complement_nta(nta, &generous)
+            .unwrap_or_else(|e| panic!("{path}: generous complement exhausted: {e}"));
+        assert!(
+            language_equal(&plain, &governed),
+            "{path}: budget changed the complement language"
+        );
+        assert!(
+            try_complement_nta(nta, &zero).is_err(),
+            "{path}: zero fuel must exhaust the complement"
+        );
+    }
+    // Difference over a corpus pair: same inertness contract.
+    let (p1, n1) = &schemas[0];
+    let (p2, n2) = &schemas[schemas.len() - 1];
+    let plain = difference_nta(n1, n2);
+    let governed = try_difference_nta(n1, n2, &generous)
+        .unwrap_or_else(|e| panic!("{p1} \\ {p2}: generous difference exhausted: {e}"));
+    assert!(
+        language_equal(&plain, &governed),
+        "{p1} \\ {p2}: budget changed the difference language"
+    );
+    assert!(generous.fuel_spent() > 0, "governed ops must account fuel");
 }
 
 #[test]
