@@ -70,6 +70,59 @@ impl<A: Clone + Eq + Hash> Dfa<A> {
         }
     }
 
+    /// Budgeted [`Self::from_nfa`]: charges one fuel unit per macro-state
+    /// and per macro-transition, so an exponential subset construction
+    /// exhausts its budget instead of the host.
+    pub fn try_from_nfa(
+        nfa: &Nfa<A>,
+        alphabet: &[A],
+        budget: &tpx_trees::budget::BudgetHandle,
+    ) -> Result<Dfa<A>, tpx_trees::budget::BudgetExceeded> {
+        budget.charge(1)?;
+        let sym_index: HashMap<&A, usize> =
+            alphabet.iter().enumerate().map(|(i, a)| (a, i)).collect();
+        let start: BTreeSet<StateId> = nfa.initial_states().iter().copied().collect();
+        let mut ids: HashMap<BTreeSet<StateId>, u32> = HashMap::new();
+        let mut queue = VecDeque::new();
+        let mut trans: Vec<Vec<u32>> = Vec::new();
+        let mut finals: Vec<bool> = Vec::new();
+        ids.insert(start.clone(), 0);
+        queue.push_back(start);
+        while let Some(set) = queue.pop_front() {
+            budget.charge(1)?;
+            let id = ids[&set] as usize;
+            if trans.len() <= id {
+                trans.resize(id + 1, Vec::new());
+                finals.resize(id + 1, false);
+            }
+            finals[id] = set.iter().any(|&q| nfa.is_final(q));
+            let mut row = vec![0u32; alphabet.len()];
+            let mut succ: Vec<BTreeSet<StateId>> = vec![BTreeSet::new(); alphabet.len()];
+            for &q in &set {
+                for (a, r) in nfa.transitions_from(q) {
+                    if let Some(&i) = sym_index.get(a) {
+                        succ[i].insert(*r);
+                    }
+                }
+            }
+            for (i, s) in succ.into_iter().enumerate() {
+                budget.charge(1)?;
+                let next = ids.len() as u32;
+                let next_id = *ids.entry(s.clone()).or_insert_with(|| {
+                    queue.push_back(s);
+                    next
+                });
+                row[i] = next_id;
+            }
+            trans[id] = row;
+        }
+        Ok(Dfa {
+            alphabet: alphabet.to_vec(),
+            trans,
+            finals,
+        })
+    }
+
     /// The alphabet this DFA is complete over.
     pub fn alphabet(&self) -> &[A] {
         &self.alphabet

@@ -11,6 +11,7 @@
 //! Section 4.3.
 
 pub mod dfa;
+pub mod inclusion;
 pub mod nfa;
 pub mod regex;
 pub mod to_regex;

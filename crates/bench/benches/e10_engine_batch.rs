@@ -19,7 +19,8 @@
 use std::sync::Arc;
 
 use textpres::engine::{
-    Budget, CheckOptions, Decider, DegradeBound, DtlDecider, Engine, Task, TopdownDecider, Tracer,
+    Budget, CheckOptions, Decider, DegradeBound, DtlDecider, Engine, OutputConformanceDecider,
+    Task, TextRetentionDecider, TopdownDecider, Tracer,
 };
 use textpres::format::{parse_dtl_transducer, parse_schema};
 use textpres::prelude::Alphabet;
@@ -72,6 +73,37 @@ fn engine_batch(c: &mut Criterion) {
     for jobs in SCALING_JOBS {
         g.bench_with_input(BenchmarkId::new("check_many", jobs), &jobs, |b, &jobs| {
             b.iter(|| black_box(Engine::with_jobs(jobs).check_many(&tasks)))
+        });
+    }
+    g.finish();
+}
+
+/// Per-analysis cold checks over the same chain-schema workload: the
+/// text-retention and output-conformance deciders next to the
+/// text-preservation baseline, so `BENCH_engine.json` records every
+/// analysis the engine fronts and a regression in one shows up as a
+/// divergence from its siblings rather than as ambient noise.
+fn engine_analyses(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_analyses");
+    g.sample_size(10);
+    for n in [8usize, 32] {
+        let (alpha, schema) = chain_schema(n);
+        let t = transducers::deep_selector(&alpha, n);
+        let labels: Vec<_> = alpha.symbols().collect();
+        g.bench_with_input(BenchmarkId::new("text_preservation", n), &n, |b, _| {
+            b.iter(|| black_box(Engine::new().check(&TopdownDecider::new(&t), &schema)))
+        });
+        g.bench_with_input(BenchmarkId::new("text_retention", n), &n, |b, _| {
+            b.iter(|| {
+                let decider = TextRetentionDecider::new(&t, labels.clone());
+                black_box(Engine::new().check(&decider, &schema))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("conformance", n), &n, |b, _| {
+            b.iter(|| {
+                let decider = OutputConformanceDecider::new(&t, &schema);
+                black_box(Engine::new().check(&decider, &schema))
+            })
         });
     }
     g.finish();
@@ -189,15 +221,22 @@ fn measure_overhead() -> Overhead {
     )
 }
 
-criterion_group!(benches, engine_single, engine_batch, engine_symbolic);
+criterion_group!(
+    benches,
+    engine_single,
+    engine_batch,
+    engine_analyses,
+    engine_symbolic
+);
 
 /// The universal one-label schema and an identity `DTL_XPath` program:
 /// the cheapest instances that still drive every DTL pipeline stage.
 const UNIVERSAL_1: &str = "start a\nelem a = (a | text)*\n";
 const DTL_IDENTITY: &str = "dtl\ninitial q0\nrule q0 : a -> a(q0 / child)\ntext q0\n";
 
-/// Replays one traced top-down check, one traced symbolic DTL check, and
-/// one fuel-starved degraded DTL check (cold engines), returning the
+/// Replays one traced check per analysis (text-preservation,
+/// text-retention, output-conformance), one traced symbolic DTL check,
+/// and one fuel-starved degraded DTL check (cold engines), returning the
 /// sorted, deduplicated span names observed — the full pipeline-stage
 /// taxonomy for `BENCH_engine.json`'s `stages` field.
 fn traced_stage_coverage() -> Vec<String> {
@@ -207,6 +246,13 @@ fn traced_stage_coverage() -> Vec<String> {
     Engine::new()
         .with_tracer(tracer.clone())
         .check(&TopdownDecider::new(&t), &schema);
+    let labels: Vec<_> = alpha.symbols().collect();
+    Engine::new()
+        .with_tracer(tracer.clone())
+        .check(&TextRetentionDecider::new(&t, labels), &schema);
+    Engine::new()
+        .with_tracer(tracer.clone())
+        .check(&OutputConformanceDecider::new(&t, &schema), &schema);
 
     let mut dtl_alpha = Alphabet::new();
     let dtd = parse_schema(UNIVERSAL_1, &mut dtl_alpha).expect("bench schema parses");

@@ -44,6 +44,10 @@ const REQUIRED_STAGES: &[&str] = &[
     "dtl/decide/product",
     "dtl/decide/witness",
     "dtl/bounded",
+    "topdown/retention/transducer",
+    "topdown/retention/decide",
+    "conformance/inverse",
+    "conformance/decide",
 ];
 
 /// Latency ceilings (median, nanoseconds) on the one-shot routes. These
@@ -95,6 +99,17 @@ fn main() -> ExitCode {
         .any(|r| r.group == "e10_symbolic" && r.id.starts_with("oneshot_symbolic/"))
     {
         problems.push("no \"e10_symbolic\" / \"oneshot_symbolic/*\" results".to_owned());
+    }
+    // Every analysis the engine fronts must stay benchmarked side by side,
+    // so a regression in one shows up against its siblings.
+    for id in ["text_preservation", "text_retention", "conformance"] {
+        if !report
+            .results
+            .iter()
+            .any(|r| r.group == "e10_analyses" && r.id.starts_with(&format!("{id}/")))
+        {
+            problems.push(format!("no \"e10_analyses\" / \"{id}/*\" results"));
+        }
     }
     for &(group, id, ceiling_ns) in CEILINGS {
         match report

@@ -2,10 +2,12 @@
 //!
 //! ```text
 //! textpres check <schema> <transducer> [document.xml] [--stats]
+//! textpres analyze <schema> <transducer> [--analysis NAME]
+//!                  [--label L]... [--target SCHEMA] [--stats]
 //! textpres subschema <schema> <transducer>
 //! textpres batch <schema> <transducer>... [--jobs N] [--stats]
 //! textpres fuzz [--seeds N] [--budget B] [--base-seed S] [--no-dtl-symbolic]
-//!               [--out DIR] [--stats]
+//!               [--analysis NAME] [--out DIR] [--stats]
 //! textpres --version
 //! ```
 //!
@@ -14,7 +16,23 @@
 //! under the schema; with a document argument it also runs the
 //! transformation. A transducer file whose first meaningful line is `dtl`
 //! is a `DTL_XPath` program, checked with the EXPTIME DTL decider
-//! (Theorem 5.18) instead. `subschema` prints a witness from the maximal
+//! (Theorem 5.18) instead.
+//!
+//! `analyze` runs one of the engine's preservation analyses under the
+//! same governed contract as `check` (`check` is `analyze --analysis
+//! text-preservation`):
+//!
+//! * `--analysis text-preservation` (default) — the Theorem 4.11 / 5.18
+//!   check;
+//! * `--analysis text-retention` — does the transducer ever delete a text
+//!   value below a node carrying one of the `--label` labels, on some
+//!   schema document? (the conclusion's stronger test); needs one or more
+//!   `--label` flags and a top-down transducer;
+//! * `--analysis conformance` — does every output `T(d)`, for `d` valid
+//!   under the schema, validate against the `--target` schema? (inverse
+//!   type inference); needs `--target` and a top-down transducer.
+//!
+//! `subschema` prints a witness from the maximal
 //! sub-schema on which the transformation IS text-preserving. `batch`
 //! checks many transducer files against one schema on a work-stealing
 //! worker pool, sharing compiled schema artifacts across all of them;
@@ -57,8 +75,9 @@
 use std::process::ExitCode;
 use textpres::diffcheck::{run_fuzz, FuzzConfig};
 use textpres::engine::{
-    Budget, CheckOptions, Decider, DegradeBound, DtlDecider, Engine, Metrics, Outcome, Task,
-    TopdownDecider, Tracer, Verdict,
+    analysis_by_name, Budget, CheckOptions, Decider, DegradeBound, DtlDecider, Engine, Metrics,
+    Outcome, OutputConformanceDecider, Task, TextRetentionDecider, TopdownDecider, Tracer, Verdict,
+    ANALYSIS_NAMES, OUTPUT_CONFORMANCE, TEXT_PRESERVATION, TEXT_RETENTION,
 };
 use textpres::format::{
     is_dtl_transducer, parse_dtl_transducer, parse_schema, parse_transducer, render_case,
@@ -70,16 +89,25 @@ const USAGE: &str = "\
 usage: textpres check <schema> <transducer> [document.xml] [--stats]
                 [--fuel N] [--timeout-ms N] [--degrade]
                 [--trace-out PATH] [--metrics]
+       textpres analyze <schema> <transducer> [--analysis NAME]
+                [--label L]... [--target SCHEMA] [--stats]
+                [--fuel N] [--timeout-ms N] [--degrade]
+                [--trace-out PATH] [--metrics]
+                (analyses: text-preservation (default),
+                 text-retention (needs --label, repeatable),
+                 conformance (needs --target, a schema file))
        textpres subschema <schema> <transducer>
        textpres batch <schema> <transducer>... [--jobs N] [--stats]
                 [--fuel N] [--timeout-ms N] [--degrade]
                 [--trace-out PATH] [--metrics]
                 (--jobs 0, the default, auto-detects the worker count)
        textpres fuzz [--seeds N] [--budget B] [--base-seed S]
-                     [--no-dtl-symbolic] [--fuel N] [--timeout-ms N]
+                     [--no-dtl-symbolic] [--analysis NAME]
+                     [--fuel N] [--timeout-ms N]
                      [--out DIR] [--stats] [--trace-out PATH] [--metrics]
                      (symbolic DTL cross-checks run by default;
-                     --no-dtl-symbolic opts out)
+                     --no-dtl-symbolic opts out; --analysis text-retention
+                     adds the retention cross-checks to the sweep)
        textpres --version
 
 transducer files starting with a `dtl` line are DTL_XPath programs,
@@ -88,8 +116,8 @@ checked with the EXPTIME DTL decider instead of the PTIME top-down one
 --trace-out writes a JSONL span trace (one enter/exit pair per pipeline
 stage) and --metrics prints aggregated counters/histograms to stderr
 
-exit codes: 0 = text-preserving, 1 = not text-preserving,
-            2 = usage/IO error, 3 = resource budget exhausted";
+exit codes: 0 = analysis passed, 1 = analysis failed (a witness was
+            found), 2 = usage/IO error, 3 = resource budget exhausted";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -113,6 +141,7 @@ fn main() -> ExitCode {
     let (cmd, rest) = (args[0].as_str(), &args[1..]);
     match cmd {
         "check" => cmd_check(rest),
+        "analyze" => cmd_analyze(rest),
         "subschema" => cmd_subschema(rest),
         "batch" => cmd_batch(rest),
         "fuzz" => cmd_fuzz(rest),
@@ -123,7 +152,7 @@ fn main() -> ExitCode {
     }
 }
 
-/// Flags shared by `check` / `batch` / `subschema`.
+/// Flags shared by `check` / `analyze` / `batch` / `subschema`.
 #[derive(Default)]
 struct Flags<'a> {
     positional: Vec<&'a str>,
@@ -134,6 +163,9 @@ struct Flags<'a> {
     degrade: bool,
     trace_out: Option<&'a str>,
     metrics: bool,
+    analysis: Option<&'a str>,
+    labels: Vec<&'a str>,
+    target: Option<&'a str>,
 }
 
 impl Flags<'_> {
@@ -183,6 +215,24 @@ fn parse_flags(args: &[String]) -> Result<Flags<'_>, String> {
                 flags.trace_out = Some(v.as_str());
             }
             "--metrics" => flags.metrics = true,
+            "--analysis" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--analysis needs a name".to_string())?;
+                flags.analysis = Some(v.as_str());
+            }
+            "--label" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--label needs a label".to_string())?;
+                flags.labels.push(v.as_str());
+            }
+            "--target" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--target needs a schema file".to_string())?;
+                flags.target = Some(v.as_str());
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
             pos => flags.positional.push(pos),
         }
@@ -268,7 +318,13 @@ fn report_verdict(label: &str, verdict: &Verdict, alpha: &Alphabet) -> bool {
     }
     match &verdict.outcome {
         Outcome::Preserving => {
-            println!("✓ {label}: text-preserving over every valid document");
+            if verdict.analysis == TEXT_RETENTION {
+                println!("✓ {label}: [text-retention] retains all text under the selected labels");
+            } else if verdict.analysis == OUTPUT_CONFORMANCE {
+                println!("✓ {label}: [conformance] every output conforms to the target schema");
+            } else {
+                println!("✓ {label}: text-preserving over every valid document");
+            }
             true
         }
         Outcome::Copying { path } => {
@@ -285,6 +341,22 @@ fn report_verdict(label: &str, verdict: &Verdict, alpha: &Alphabet) -> bool {
         }
         Outcome::NotPreserving { witness } => {
             println!("✗ {label}: not text-preserving, e.g. on:");
+            println!("  {}", render_witness(witness, alpha));
+            false
+        }
+        Outcome::DeletesText { path } => {
+            println!(
+                "✗ {label}: [text-retention] DELETES text under a selected label, \
+                 reached via: {}",
+                render_path(path, alpha)
+            );
+            false
+        }
+        Outcome::NonConforming { witness } => {
+            println!(
+                "✗ {label}: [conformance] output does NOT conform to the target, \
+                 e.g. on this valid document:"
+            );
             println!("  {}", render_witness(witness, alpha));
             false
         }
@@ -424,6 +496,159 @@ fn cmd_check(args: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// Loads a transducer file for an analysis that only supports top-down
+/// transducers, with a clear error for DTL files.
+fn load_topdown_for(analysis: &str, path: &str, alpha: &Alphabet) -> Result<Transducer, String> {
+    let src = read(path)?;
+    if is_dtl_transducer(&src) {
+        return Err(format!(
+            "{path}: --analysis {analysis} is only supported for top-down transducers"
+        ));
+    }
+    parse_transducer(&src, alpha).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Runs the analysis check, flushes observability, and reports the
+/// verdict — the shared tail of every `analyze` branch.
+fn finish_analyze(
+    engine: &Engine,
+    decider: &dyn Decider,
+    schema: &Nta,
+    flags: &Flags<'_>,
+    label: &str,
+    alpha: &Alphabet,
+) -> ExitCode {
+    let result = run_check(engine, decider, schema, flags, label);
+    if let Err(e) = flush_obs(engine, flags.trace_out, flags.metrics) {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
+    let verdict = match result {
+        Ok(v) => v,
+        Err(code) => return ExitCode::from(code),
+    };
+    let ok = report_verdict(label, &verdict, alpha);
+    if flags.stats {
+        print_stats(engine, &[&verdict]);
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_analyze(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if flags.jobs.is_some() {
+        eprintln!("error: --jobs only applies to `batch`\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let name = flags.analysis.unwrap_or(TEXT_PRESERVATION.name);
+    let Some(analysis) = analysis_by_name(name) else {
+        eprintln!(
+            "error: unknown analysis {name:?} (expected one of: {})\n{USAGE}",
+            ANALYSIS_NAMES.join(", ")
+        );
+        return ExitCode::from(2);
+    };
+    if analysis != TEXT_RETENTION && !flags.labels.is_empty() {
+        eprintln!("error: --label only applies to --analysis text-retention\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    if analysis != OUTPUT_CONFORMANCE && flags.target.is_some() {
+        eprintln!("error: --target only applies to --analysis conformance\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let [schema_path, transducer_path] = flags.positional.as_slice() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let (mut alpha, schema) = match load_schema(schema_path) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let engine = instrument(Engine::new(), flags.trace_out, flags.metrics);
+    if analysis == TEXT_RETENTION {
+        if flags.labels.is_empty() {
+            eprintln!("error: --analysis text-retention needs at least one --label\n{USAGE}");
+            return ExitCode::from(2);
+        }
+        let mut labels = Vec::new();
+        for l in &flags.labels {
+            match alpha.get(l) {
+                Some(s) => labels.push(s),
+                None => {
+                    eprintln!("error: --label {l:?} is not in the schema alphabet");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        let t = match load_topdown_for(name, transducer_path, &alpha) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let decider = TextRetentionDecider::new(&t, labels);
+        finish_analyze(&engine, &decider, &schema, &flags, transducer_path, &alpha)
+    } else if analysis == OUTPUT_CONFORMANCE {
+        let Some(target_path) = flags.target else {
+            eprintln!("error: --analysis conformance needs --target <schema>\n{USAGE}");
+            return ExitCode::from(2);
+        };
+        let t = match load_topdown_for(name, transducer_path, &alpha) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        // The target schema is parsed into the *same* alphabet so its
+        // symbols line up with the input schema's; new labels extend the
+        // alphabet, and the conformance pipeline pads the narrower
+        // automata up to the common width.
+        let target = match read(target_path)
+            .and_then(|src| parse_schema(&src, &mut alpha).map_err(|e| format!("{target_path}: {e}")))
+        {
+            Ok(dtd) => dtd.to_nta(),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let decider = OutputConformanceDecider::new(&t, &target);
+        finish_analyze(&engine, &decider, &schema, &flags, transducer_path, &alpha)
+    } else {
+        let t = match AnyTransducer::load(transducer_path, &alpha) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let decider = t.decider();
+        finish_analyze(
+            &engine,
+            decider.as_ref(),
+            &schema,
+            &flags,
+            transducer_path,
+            &alpha,
+        )
     }
 }
 
@@ -595,6 +820,23 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
             "--metrics" => metrics = true,
             "--dtl-symbolic" => cfg.dtl_symbolic = true,
             "--no-dtl-symbolic" => cfg.dtl_symbolic = false,
+            "--analysis" => match it.next().map(|s| s.as_str()) {
+                // The text-preservation cross-checks always run; the
+                // retention sweep rides along when asked for.
+                Some("text-preservation") => {}
+                Some("text-retention") => cfg.retention = true,
+                Some(other) => {
+                    eprintln!(
+                        "error: unknown fuzz analysis {other:?} \
+                         (expected text-preservation or text-retention)\n{USAGE}"
+                    );
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("error: --analysis needs a name\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "--stats" => stats = true,
             other => {
                 eprintln!("error: unknown fuzz argument {other:?}\n{USAGE}");

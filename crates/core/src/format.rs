@@ -454,6 +454,12 @@ pub fn render_case(rc: &RegressionCase) -> String {
     for (_, name) in case.alpha.entries() {
         out.push_str(&format!("label {name}\n"));
     }
+    if !case.labels.is_empty() {
+        out.push_str("[labels]\n");
+        for name in &case.labels {
+            out.push_str(&format!("label {name}\n"));
+        }
+    }
     out.push_str("[schema]\n");
     out.push_str(&render_schema(&case.starts, &case.decls));
     if let Some(t) = &case.transducer {
@@ -493,6 +499,7 @@ pub fn parse_case(src: &str) -> Result<RegressionCase, FormatError> {
         if let Some(name) = text.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
             section = match name {
                 "alphabet" => Some("alphabet"),
+                "labels" => Some("labels"),
                 "schema" => Some("schema"),
                 "transducer" => Some("transducer"),
                 "dtl" => Some("dtl"),
@@ -562,6 +569,14 @@ pub fn parse_case(src: &str) -> Result<RegressionCase, FormatError> {
         };
         alpha.intern(name.trim());
     }
+    // The selected labels of a text-retention case (absent otherwise).
+    let mut labels = Vec::new();
+    for line in body("labels").unwrap_or("").lines() {
+        let Some(name) = line.strip_prefix("label ") else {
+            return err(1, format!("bad labels line {line:?}"));
+        };
+        labels.push(name.trim().to_owned());
+    }
     let Some(schema_src) = body("schema") else {
         return err(1, "case needs a [schema] section");
     };
@@ -586,6 +601,7 @@ pub fn parse_case(src: &str) -> Result<RegressionCase, FormatError> {
             transducer,
             dtl,
             tree,
+            labels,
         },
     })
 }
@@ -802,6 +818,7 @@ text qt
                 transducer: Some(t),
                 dtl: None,
                 tree: Some(tree),
+                labels: vec!["keep".to_owned()],
             },
         };
         let rendered = render_case(&rc);
@@ -813,6 +830,8 @@ text qt
         let names: Vec<&str> = parsed.case.alpha.entries().map(|(_, n)| n).collect();
         let orig: Vec<&str> = rc.case.alpha.entries().map(|(_, n)| n).collect();
         assert_eq!(names, orig);
+        // Retention labels survive the round trip.
+        assert_eq!(parsed.case.labels, rc.case.labels);
         // Re-rendering the parse is a fixpoint.
         assert_eq!(rendered, render_case(&parsed));
         // The schema language survives: the embedded tree still validates.
@@ -865,6 +884,7 @@ text qt
                 transducer: None,
                 dtl: Some(spec.clone()),
                 tree: None,
+                labels: Vec::new(),
             },
         };
         let parsed = parse_case(&render_case(&rc)).unwrap();

@@ -90,7 +90,9 @@ pub fn check_topdown(t: &tpx_topdown::Transducer, schema: &Nta) -> tpx_topdown::
         tpx_engine::Outcome::Rearranging { witness } => {
             tpx_topdown::CheckReport::Rearranging { witness }
         }
-        tpx_engine::Outcome::NotPreserving { .. } => {
+        tpx_engine::Outcome::NotPreserving { .. }
+        | tpx_engine::Outcome::DeletesText { .. }
+        | tpx_engine::Outcome::NonConforming { .. } => {
             unreachable!("the topdown decider attributes every witness")
         }
     }

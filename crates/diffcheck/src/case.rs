@@ -62,6 +62,9 @@ pub struct Case {
     pub dtl: Option<DtlSpec>,
     /// The input tree the divergence was observed on, if per-tree.
     pub tree: Option<Tree>,
+    /// The selected labels of a text-retention case (label names, resolved
+    /// against `alpha` at replay time). Empty for every other analysis.
+    pub labels: Vec<String>,
 }
 
 impl Case {
@@ -115,6 +118,11 @@ pub enum DivergenceKind {
     /// than budget exhaustion (a panic, or an internal error) — a bug in
     /// the decider itself, isolated by the engine's `catch_unwind`.
     DeciderError,
+    /// The symbolic text-retention decider disagrees with the bounded
+    /// per-tree semantic oracle: it says *retains* while some schema tree
+    /// has a deleted text value below a selected label, or its deleted-path
+    /// witness does not validate.
+    RetentionDisagrees,
 }
 
 impl DivergenceKind {
@@ -128,11 +136,12 @@ impl DivergenceKind {
             DivergenceKind::DtlLemmaVsOperational => "dtl-lemma-vs-operational",
             DivergenceKind::DtlTransformError => "dtl-transform-error",
             DivergenceKind::DeciderError => "decider-error",
+            DivergenceKind::RetentionDisagrees => "retention-disagrees",
         }
     }
 
     /// Every kind, for iteration and parsing.
-    pub const ALL: [DivergenceKind; 7] = [
+    pub const ALL: [DivergenceKind; 8] = [
         DivergenceKind::PreservingButViolates,
         DivergenceKind::WitnessInvalid,
         DivergenceKind::BoundedContradictsSymbolic,
@@ -140,6 +149,7 @@ impl DivergenceKind {
         DivergenceKind::DtlLemmaVsOperational,
         DivergenceKind::DtlTransformError,
         DivergenceKind::DeciderError,
+        DivergenceKind::RetentionDisagrees,
     ];
 }
 
@@ -198,6 +208,7 @@ mod tests {
             transducer: None,
             dtl: None,
             tree: None,
+            labels: Vec::new(),
         };
         assert!(!case.schema_nta().is_empty());
     }

@@ -15,10 +15,13 @@
 
 use tpx_dtl::pattern::PatternLanguage;
 use tpx_dtl::{DtlTransducer, XPathPatterns};
-use tpx_engine::{Budget, CheckOptions, DtlDecider, Engine, Outcome, TopdownDecider, Verdict};
-use tpx_topdown::Transducer;
+use tpx_engine::{
+    Budget, CheckOptions, DtlDecider, Engine, Outcome, TextRetentionDecider, TopdownDecider,
+    Verdict,
+};
+use tpx_topdown::{PathSym, Transducer};
 use tpx_treeauto::Nta;
-use tpx_trees::{make_value_unique, Tree};
+use tpx_trees::{make_value_unique, NodeLabel, Symbol, Tree};
 use tpx_workload::{random_dtd, random_schema_tree, random_transducer, RandomSchema};
 
 use crate::case::{Case, DivergenceKind, DtlSpec};
@@ -66,6 +69,12 @@ pub struct FuzzConfig {
     /// (`None` = unlimited). Unlike `fuel`, a deadline makes exhaustion
     /// machine-dependent, so it is off by default.
     pub timeout_ms: Option<u64>,
+    /// Whether the top-down seeds additionally sweep the text-retention
+    /// analysis (one symbolic [`TextRetentionDecider`] run per schema
+    /// label, cross-checked against the per-tree deleted-text oracle and
+    /// the bounded enumeration). Off by default; `textpres fuzz
+    /// --analysis text-retention` turns it on.
+    pub retention: bool,
 }
 
 impl FuzzConfig {
@@ -107,6 +116,7 @@ impl Default for FuzzConfig {
             // before it is counted as exhausted and skipped.
             fuel: Some(500_000),
             timeout_ms: None,
+            retention: false,
         }
     }
 }
@@ -361,6 +371,94 @@ fn fuzz_topdown_seed(engine: &Engine, cfg: &FuzzConfig, seed: u64, report: &mut 
         }
         report.checks += 1;
     }
+
+    if cfg.retention {
+        fuzz_retention(engine, cfg, seed, &schema, &t, &nta, &trees, report);
+    }
+}
+
+/// The text-retention sweep of one top-down seed: for each schema label,
+/// the symbolic [`TextRetentionDecider`] verdict is cross-checked against
+/// the per-tree semantic oracle — on the sampled trees and on the bounded
+/// enumeration — and a deleted-path witness is re-validated through the
+/// path automata.
+#[allow(clippy::too_many_arguments)]
+fn fuzz_retention(
+    engine: &Engine,
+    cfg: &FuzzConfig,
+    seed: u64,
+    schema: &RandomSchema,
+    t: &Transducer,
+    nta: &Nta,
+    trees: &[Tree],
+    report: &mut FuzzReport,
+) {
+    let enumerated =
+        tpx_dtl::bounded::enumerate_schema_trees(nta, cfg.bounded_max_nodes, cfg.bounded_limit);
+    for label in schema.alpha.symbols() {
+        let labels = [label];
+        let decider = TextRetentionDecider::new(t, labels.to_vec());
+        let Some(verdict) = governed_check(
+            engine,
+            cfg,
+            seed,
+            &decider,
+            nta,
+            retention_case(schema, t, label, None),
+            report,
+        ) else {
+            continue;
+        };
+        match &verdict.outcome {
+            Outcome::Preserving => {
+                // "Retains everything" must hold on every tree we can lay
+                // hands on: the sampled trees and the bounded enumeration.
+                for tree in trees.iter().chain(&enumerated) {
+                    if semantically_deleted_under(t, tree, &labels) {
+                        record(
+                            engine,
+                            cfg,
+                            seed,
+                            DivergenceKind::RetentionDisagrees,
+                            format!(
+                                "retention decider says retains under {:?}; a schema tree \
+                                 loses a text value there",
+                                schema.alpha.name(label)
+                            ),
+                            retention_case(schema, t, label, Some(tree.clone())),
+                            report,
+                        );
+                        break;
+                    }
+                }
+            }
+            Outcome::DeletesText { path } => {
+                if let Some(detail) = invalid_retention_witness(t, nta, &labels, path) {
+                    record(
+                        engine,
+                        cfg,
+                        seed,
+                        DivergenceKind::RetentionDisagrees,
+                        detail,
+                        retention_case(schema, t, label, None),
+                        report,
+                    );
+                }
+            }
+            other => {
+                record(
+                    engine,
+                    cfg,
+                    seed,
+                    DivergenceKind::RetentionDisagrees,
+                    format!("retention decider produced a foreign outcome: {other:?}"),
+                    retention_case(schema, t, label, None),
+                    report,
+                );
+            }
+        }
+        report.checks += 1;
+    }
 }
 
 /// One DTL seed: random DTD + random DTL program.
@@ -480,6 +578,19 @@ fn topdown_case(schema: &RandomSchema, t: &Transducer, tree: Option<Tree>) -> Ca
         transducer: Some(t.clone()),
         dtl: None,
         tree,
+        labels: Vec::new(),
+    }
+}
+
+fn retention_case(
+    schema: &RandomSchema,
+    t: &Transducer,
+    label: Symbol,
+    tree: Option<Tree>,
+) -> Case {
+    Case {
+        labels: vec![schema.alpha.name(label).to_owned()],
+        ..topdown_case(schema, t, tree)
     }
 }
 
@@ -491,6 +602,7 @@ fn dtl_case(schema: &RandomSchema, spec: &DtlSpec, tree: Option<Tree>) -> Case {
         transducer: None,
         dtl: Some(spec.clone()),
         tree,
+        labels: Vec::new(),
     }
 }
 
@@ -525,6 +637,63 @@ fn invalid_topdown_witness(t: &Transducer, nta: &Nta, outcome: &Outcome) -> Opti
         Outcome::NotPreserving { witness } => {
             (!nta.accepts(witness)).then(|| "witness outside the schema".to_owned())
         }
+        // The text-preservation pipelines never produce these; seeing one
+        // here means a decider mixed up its analysis.
+        Outcome::DeletesText { .. } | Outcome::NonConforming { .. } => {
+            Some("text-preservation check produced a foreign-analysis outcome".to_owned())
+        }
+    }
+}
+
+/// The per-tree semantic oracle for text-retention: does `t` delete some
+/// text value of `tree` that sits strictly below a node carrying one of
+/// the selected labels? Decided by uniquifying the values, transforming,
+/// and checking which unique values survive into the output.
+fn semantically_deleted_under(t: &Transducer, tree: &Tree, labels: &[Symbol]) -> bool {
+    let unique = unique_tree(tree);
+    let out = t.transform(&unique);
+    let kept: std::collections::HashSet<&str> = out.text_content().into_iter().collect();
+    let h = unique.as_hedge();
+    let mut stack: Vec<(tpx_trees::NodeId, bool)> = h
+        .roots()
+        .iter()
+        .map(|&v| (v, false)) // `below` a selected label, so roots start outside
+        .collect();
+    while let Some((v, below)) = stack.pop() {
+        match h.label(v) {
+            NodeLabel::Text(value) => {
+                if below && !kept.contains(value.as_str()) {
+                    return true;
+                }
+            }
+            NodeLabel::Elem(s) => {
+                let below = below || labels.contains(s);
+                stack.extend(h.children(v).iter().map(|&c| (c, below)));
+            }
+        }
+    }
+    false
+}
+
+/// Why a deleted-path witness fails validation, if it does (mirrors the
+/// engine's debug-only assertions as a reportable release-build check).
+fn invalid_retention_witness(
+    t: &Transducer,
+    nta: &Nta,
+    labels: &[Symbol],
+    path: &[PathSym],
+) -> Option<String> {
+    if !tpx_topdown::path_automaton_nta(nta).accepts(path) {
+        Some("retention witness path is not a schema path".to_owned())
+    } else if !path
+        .iter()
+        .any(|p| labels.iter().any(|&l| *p == PathSym::Elem(l)))
+    {
+        Some("retention witness path misses the selected labels".to_owned())
+    } else if tpx_topdown::path_automaton_transducer(t).accepts(path) {
+        Some("transducer keeps the retention witness path's value".to_owned())
+    } else {
+        None
     }
 }
 
@@ -683,6 +852,41 @@ fn recheck_topdown(
             engine.check_governed(&TopdownDecider::new(t), nta, &cfg.check_options()),
             Err(e) if !e.is_resource_exhausted()
         ),
+        DivergenceKind::RetentionDisagrees => {
+            let labels: Vec<Symbol> = case
+                .labels
+                .iter()
+                .filter_map(|l| case.alpha.get(l))
+                .collect();
+            if labels.is_empty() {
+                return false;
+            }
+            let decider = TextRetentionDecider::new(t, labels.clone());
+            match engine.check_governed(&decider, nta, &cfg.check_options()) {
+                Ok(v) => match &v.outcome {
+                    Outcome::Preserving => {
+                        let deleted = |tree: &Tree| {
+                            valid_tree(tree) && semantically_deleted_under(t, tree, &labels)
+                        };
+                        case.tree.as_ref().is_some_and(|tree| deleted(tree))
+                            || tpx_dtl::bounded::enumerate_schema_trees(
+                                nta,
+                                cfg.bounded_max_nodes,
+                                cfg.bounded_limit,
+                            )
+                            .iter()
+                            .any(deleted)
+                    }
+                    Outcome::DeletesText { path } => {
+                        invalid_retention_witness(t, nta, &labels, path).is_some()
+                    }
+                    // A foreign outcome from the retention decider is
+                    // itself the divergence.
+                    _ => true,
+                },
+                Err(_) => false,
+            }
+        }
         DivergenceKind::DtlLemmaVsOperational => false,
     }
 }
@@ -730,7 +934,8 @@ fn recheck_dtl(
             engine.check_governed(&DtlDecider::new(prog), nta, &cfg.check_options()),
             Err(e) if !e.is_resource_exhausted()
         ),
-        DivergenceKind::TranslationDisagrees => false,
+        // The retention analysis only runs on top-down cases.
+        DivergenceKind::TranslationDisagrees | DivergenceKind::RetentionDisagrees => false,
     }
 }
 
@@ -771,6 +976,30 @@ mod tests {
     }
 
     #[test]
+    fn retention_fuzz_run_is_clean_and_deterministic() {
+        let engine = Engine::new();
+        let cfg = FuzzConfig {
+            retention: true,
+            ..quick_cfg()
+        };
+        let a = run_fuzz(&engine, &cfg);
+        let base = run_fuzz(&engine, &quick_cfg());
+        assert!(
+            a.checks > base.checks,
+            "the retention sweep must add per-label checks"
+        );
+        let b = run_fuzz(&engine, &cfg);
+        assert_eq!(a.checks, b.checks, "retention fuzzing must be deterministic");
+        assert_eq!(a.divergences.len(), b.divergences.len());
+        if let Some(d) = a.divergences.first() {
+            panic!(
+                "unexpected divergence at seed {}: {} ({})",
+                d.seed, d.kind, d.detail
+            );
+        }
+    }
+
+    #[test]
     fn recheck_rejects_a_forged_preserving_but_violates_case() {
         // A transducer that copies its children (`a0 → a0(q0 q0)`) is not a
         // translation divergence — from_topdown matches it. Plant a real
@@ -801,6 +1030,7 @@ mod tests {
             transducer: Some(t),
             dtl: None,
             tree: Some(tree),
+            labels: Vec::new(),
         };
         let engine = Engine::new();
         // The decider is *not* fooled: it reports copying, so the
@@ -826,6 +1056,7 @@ mod tests {
             transducer: Some(t),
             dtl: None,
             tree: Some(Tree::text("stray")),
+            labels: Vec::new(),
         };
         let engine = Engine::new();
         let cfg = quick_cfg();

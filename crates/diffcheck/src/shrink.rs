@@ -210,6 +210,7 @@ mod tests {
             transducer: None,
             dtl: None,
             tree: None,
+            labels: Vec::new(),
         }
     }
 

@@ -25,6 +25,7 @@
 
 use std::time::Instant;
 
+use crate::analysis::{Analysis, TEXT_PRESERVATION};
 use crate::budget::{BudgetHandle, CheckOptions, DecisionError};
 use crate::cache::{ArtifactCache, CacheError};
 use crate::verdict::{CheckStats, Outcome, StageReport, Verdict};
@@ -43,15 +44,57 @@ use tpx_trees::{stable_hash_debug, stable_hash_of, StableHasher};
 
 /// Identifies one cacheable pipeline stage: the artifact kind (the cache
 /// namespace, e.g. `"topdown/schema"`) plus the content hash it is keyed
-/// by. Two checks that declare the same `StageKey` depend on the same
-/// artifact, so the batch scheduler runs that build once and both checks
-/// hit the cache.
+/// by, plus the [`Analysis`] the stage belongs to when the artifact is
+/// analysis-specific. Two checks that declare the same `StageKey` depend
+/// on the same artifact, so the batch scheduler runs that build once and
+/// both checks hit the cache; an analysis-free key (`analysis: None`)
+/// marks a *shared* artifact that any analysis over the same input may
+/// reuse, while the analysis of a specific key is folded into the cache
+/// key so distinct analyses never collide even under equal content hashes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct StageKey {
     /// The artifact kind / cache namespace.
     pub kind: &'static str,
     /// The content hash the artifact is keyed by within `kind`.
     pub key: u64,
+    /// `Some` when the artifact is specific to one analysis; `None` for
+    /// artifacts shared across analyses (e.g. schema-side compilations).
+    pub analysis: Option<Analysis>,
+}
+
+impl StageKey {
+    /// A stage building an analysis-independent (shared) artifact.
+    pub fn shared(kind: &'static str, key: u64) -> Self {
+        StageKey {
+            kind,
+            key,
+            analysis: None,
+        }
+    }
+
+    /// A stage building an artifact owned by `analysis`.
+    pub fn of(analysis: Analysis, kind: &'static str, key: u64) -> Self {
+        StageKey {
+            kind,
+            key,
+            analysis: Some(analysis),
+        }
+    }
+
+    /// The `u64` the artifact is actually cached under: the content hash,
+    /// with the owning analysis' discriminant mixed in for
+    /// analysis-specific stages.
+    pub fn cache_key(&self) -> u64 {
+        match self.analysis {
+            None => self.key,
+            Some(a) => {
+                let mut h = StableHasher::new();
+                h.write_u64(self.key);
+                h.write_u64(a.discriminant);
+                h.finish()
+            }
+        }
+    }
 }
 
 /// A text-preservation decision procedure for one fixed transducer.
@@ -61,6 +104,15 @@ pub struct StageKey {
 pub trait Decider: Sync {
     /// A short name for reports (`"topdown"`, `"dtl"`).
     fn name(&self) -> &'static str;
+
+    /// Which preservation analysis this decider runs. Defaults to the
+    /// paper's headline text-preservation question; the retention and
+    /// conformance deciders override it. Carried into every [`Verdict`]
+    /// the decider produces, and folded into the cache keys of
+    /// analysis-specific stages (see [`StageKey::of`]).
+    fn analysis(&self) -> Analysis {
+        TEXT_PRESERVATION
+    }
 
     /// The cacheable artifact stages this check will consult, in pipeline
     /// order. The batch scheduler deduplicates these across a batch and
@@ -137,25 +189,26 @@ pub trait Decider: Sync {
 /// The per-check recording context threaded through the staged helpers:
 /// where stage reports accumulate, the fuel/deadline handle, and the span
 /// sink.
-struct StageCtx<'a> {
-    stats: &'a mut CheckStats,
-    budget: &'a BudgetHandle,
-    tracer: &'a Tracer,
+pub(crate) struct StageCtx<'a> {
+    pub(crate) stats: &'a mut CheckStats,
+    pub(crate) budget: &'a BudgetHandle,
+    pub(crate) tracer: &'a Tracer,
 }
 
-/// Runs a cached stage under a budget: looks `(kind, key)` up, building on
-/// miss, and records duration / artifact size / hit-or-miss / fuel. Fuel is
-/// attributed by sampling the shared handle's counter around the stage, so
-/// a cache hit reports `0` (whoever built the artifact paid for it).
+/// Runs a cached stage under a budget: looks the stage's cache key up,
+/// building on miss, and records duration / artifact size / hit-or-miss /
+/// fuel. Fuel is attributed by sampling the shared handle's counter around
+/// the stage, so a cache hit reports `0` (whoever built the artifact paid
+/// for it). Analysis-specific stages cache under
+/// [`StageKey::cache_key`], which mixes the analysis discriminant in.
 ///
-/// Emits one span named `kind` on the context's tracer, covering lookup and
-/// (on miss) the build; its exit event carries the fuel delta, the artifact
-/// size, and the hit/miss flag. A stage that fails closes its span without
-/// fields.
-fn governed_stage<T, F>(
+/// Emits one span named like the stage on the context's tracer, covering
+/// lookup and (on miss) the build; its exit event carries the fuel delta,
+/// the artifact size, and the hit/miss flag. A stage that fails closes its
+/// span without fields.
+pub(crate) fn governed_stage<T, F>(
     cache: &ArtifactCache,
-    kind: &'static str,
-    key: u64,
+    stage: StageKey,
     size: impl Fn(&T) -> usize,
     build: F,
     ctx: &mut StageCtx<'_>,
@@ -169,10 +222,11 @@ where
         budget,
         tracer,
     } = *ctx;
+    let kind = stage.kind;
     let start = Instant::now();
     let fuel_before = budget.fuel_spent();
     let span = tracer.span(kind);
-    let (artifact, hit) = match cache.try_get_or_build(kind, key, build) {
+    let (artifact, hit) = match cache.try_get_or_build(kind, stage.cache_key(), build) {
         Ok(r) => r,
         Err(CacheError::Build(e)) => return Err(e),
         Err(CacheError::BuilderPanicked { kind, message }) => {
@@ -205,7 +259,7 @@ where
 }
 
 /// Records an uncached stage report with fuel attribution.
-fn uncached_stage(
+pub(crate) fn uncached_stage(
     kind: &'static str,
     start: Instant,
     fuel_before: u64,
@@ -251,14 +305,8 @@ impl Decider for TopdownDecider<'_> {
 
     fn artifact_stages(&self, schema: &Nta) -> Vec<StageKey> {
         vec![
-            StageKey {
-                kind: "topdown/schema",
-                key: stable_hash_of(schema),
-            },
-            StageKey {
-                kind: "topdown/transducer",
-                key: self.key,
-            },
+            StageKey::shared("topdown/schema", stable_hash_of(schema)),
+            StageKey::shared("topdown/transducer", self.key),
         ]
     }
 
@@ -281,8 +329,7 @@ impl Decider for TopdownDecider<'_> {
             "topdown/schema" => {
                 governed_stage(
                     cache,
-                    "topdown/schema",
-                    stage.key,
+                    stage,
                     SchemaArtifacts::size,
                     || {
                         try_compile_schema_artifacts(schema, &budget)
@@ -294,8 +341,7 @@ impl Decider for TopdownDecider<'_> {
             "topdown/transducer" => {
                 governed_stage(
                     cache,
-                    "topdown/transducer",
-                    stage.key,
+                    stage,
                     TransducerArtifacts::size,
                     || {
                         try_compile_transducer_artifacts_traced(self.t, &budget, tracer)
@@ -328,8 +374,7 @@ impl Decider for TopdownDecider<'_> {
         let mut stats = CheckStats::default();
         let schema_art = governed_stage(
             cache,
-            "topdown/schema",
-            stable_hash_of(schema),
+            StageKey::shared("topdown/schema", stable_hash_of(schema)),
             SchemaArtifacts::size,
             || {
                 try_compile_schema_artifacts(schema, &budget)
@@ -343,8 +388,7 @@ impl Decider for TopdownDecider<'_> {
         )?;
         let trans_art = governed_stage(
             cache,
-            "topdown/transducer",
-            self.key,
+            StageKey::shared("topdown/transducer", self.key),
             TransducerArtifacts::size,
             || {
                 try_compile_transducer_artifacts_traced(self.t, &budget, tracer)
@@ -369,6 +413,7 @@ impl Decider for TopdownDecider<'_> {
         validate_topdown_outcome(self.t, schema, &outcome);
         Ok(Verdict {
             decider: self.name(),
+            analysis: self.analysis(),
             outcome,
             stats,
             degraded: None,
@@ -408,6 +453,12 @@ fn validate_topdown_outcome(t: &Transducer, schema: &Nta, outcome: &Outcome) {
             debug_assert!(
                 schema.accepts(witness),
                 "topdown decider: witness outside the schema"
+            );
+        }
+        Outcome::DeletesText { .. } | Outcome::NonConforming { .. } => {
+            debug_assert!(
+                false,
+                "topdown text-preservation decider produced a foreign-analysis outcome"
             );
         }
     }
@@ -458,8 +509,7 @@ impl<P: MsoDefinable> DtlDecider<'_, P> {
         let n_symbols = schema.symbol_count();
         let schema_art = governed_stage(
             cache,
-            "dtl/schema",
-            stable_hash_of(schema),
+            StageKey::shared("dtl/schema", stable_hash_of(schema)),
             DtlSchemaArtifacts::size,
             || {
                 try_compile_schema_nbta(schema, budget)
@@ -473,8 +523,7 @@ impl<P: MsoDefinable> DtlDecider<'_, P> {
         )?;
         let ce_art = governed_stage(
             cache,
-            "dtl/counterexample",
-            self.ce_key(n_symbols),
+            StageKey::shared("dtl/counterexample", self.ce_key(n_symbols)),
             DtlTransducerArtifacts::size,
             || {
                 try_compile_counterexample_traced(self.t, n_symbols, budget, tracer)
@@ -520,14 +569,8 @@ where
 
     fn artifact_stages(&self, schema: &Nta) -> Vec<StageKey> {
         vec![
-            StageKey {
-                kind: "dtl/schema",
-                key: stable_hash_of(schema),
-            },
-            StageKey {
-                kind: "dtl/counterexample",
-                key: self.ce_key(schema.symbol_count()),
-            },
+            StageKey::shared("dtl/schema", stable_hash_of(schema)),
+            StageKey::shared("dtl/counterexample", self.ce_key(schema.symbol_count())),
         ]
     }
 
@@ -550,8 +593,7 @@ where
             "dtl/schema" => {
                 governed_stage(
                     cache,
-                    "dtl/schema",
-                    stage.key,
+                    stage,
                     DtlSchemaArtifacts::size,
                     || {
                         try_compile_schema_nbta(schema, &budget)
@@ -564,8 +606,7 @@ where
                 let n_symbols = schema.symbol_count();
                 governed_stage(
                     cache,
-                    "dtl/counterexample",
-                    stage.key,
+                    stage,
                     DtlTransducerArtifacts::size,
                     || {
                         try_compile_counterexample_traced(self.t, n_symbols, &budget, tracer)
@@ -602,6 +643,7 @@ where
                 validate_dtl_outcome(self.t, schema, &outcome);
                 Ok(Verdict {
                     decider: self.name(),
+                    analysis: self.analysis(),
                     outcome,
                     stats,
                     degraded: None,
@@ -638,6 +680,7 @@ where
                 validate_dtl_outcome(self.t, schema, &outcome);
                 Ok(Verdict {
                     decider: self.name(),
+                    analysis: self.analysis(),
                     outcome,
                     stats,
                     degraded: Some(bound),

@@ -351,6 +351,7 @@ fn record_check_metrics(
     metrics.observe("engine/check_us", elapsed.as_micros() as u64);
     match result {
         Ok(v) => {
+            metrics.incr(&format!("engine/analysis/{}", v.analysis.name));
             if v.is_preserving() {
                 metrics.incr("engine/verdicts/preserving");
             } else {

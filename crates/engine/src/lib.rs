@@ -35,18 +35,27 @@
 //! assert!(verdict.stats.stage("topdown/schema").unwrap().cache_hit == Some(true));
 //! ```
 
+pub mod analysis;
 pub mod budget;
 pub mod cache;
+pub mod conformance;
 pub mod decider;
 mod engine;
+pub mod retention;
 pub mod scheduler;
 pub mod verdict;
 
+pub use analysis::{
+    analysis_by_name, Analysis, WitnessKind, ANALYSIS_NAMES, OUTPUT_CONFORMANCE,
+    TEXT_PRESERVATION, TEXT_RETENTION,
+};
 pub use budget::{
     Budget, BudgetExceeded, BudgetHandle, CheckOptions, DecisionError, DegradeBound, ExhaustReason,
 };
 pub use cache::{ArtifactCache, CacheError, CacheStats};
+pub use conformance::OutputConformanceDecider;
 pub use decider::{Decider, DtlDecider, StageKey, TopdownDecider};
+pub use retention::TextRetentionDecider;
 pub use engine::{BatchStats, Engine, Task};
 pub use scheduler::{RunStats, StageGraph};
 pub use tpx_obs::{Metrics, MetricsSnapshot, Span, SpanFields, TraceEvent, Tracer};

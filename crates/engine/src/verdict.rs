@@ -5,13 +5,16 @@ use std::time::Duration;
 use tpx_topdown::{CheckReport, PathSym};
 use tpx_trees::Tree;
 
+use crate::analysis::Analysis;
 use crate::budget::DegradeBound;
 
 /// What the decider concluded, with the diagnostic witness when the
-/// transformation is not text-preserving.
+/// transformation violates the analysis' property.
 #[derive(Clone, Debug)]
 pub enum Outcome {
-    /// Text-preserving over the schema.
+    /// The analysis passed: text-preserving over the schema (or, for the
+    /// retention/conformance analyses, no deleted text / no conformance
+    /// violation — the verdict's [`Analysis`] names the property).
     Preserving,
     /// Copying (top-down decider, Lemma 4.9): a witness text path of the
     /// schema on which the transducer has two path runs or a doubling rule.
@@ -32,10 +35,24 @@ pub enum Outcome {
         /// The witness tree (text values are placeholders).
         witness: Tree,
     },
+    /// Text-retention analysis: the transducer deletes a text value below
+    /// a node carrying one of the selected labels, on some schema tree.
+    DeletesText {
+        /// A shortest schema text path through a selected label on which
+        /// the transducer has no path run (so the value is deleted).
+        path: Vec<PathSym>,
+    },
+    /// Output-conformance analysis: some schema tree's image under the
+    /// transducer does not validate against the target schema.
+    NonConforming {
+        /// The witness tree (text values are placeholders).
+        witness: Tree,
+    },
 }
 
 impl Outcome {
-    /// Whether the transformation is text-preserving.
+    /// Whether the analysis passed (for text-preservation: whether the
+    /// transformation is text-preserving).
     pub fn is_preserving(&self) -> bool {
         matches!(self, Outcome::Preserving)
     }
@@ -43,7 +60,17 @@ impl Outcome {
     /// The witness tree, when the outcome carries one.
     pub fn witness_tree(&self) -> Option<&Tree> {
         match self {
-            Outcome::Rearranging { witness } | Outcome::NotPreserving { witness } => Some(witness),
+            Outcome::Rearranging { witness }
+            | Outcome::NotPreserving { witness }
+            | Outcome::NonConforming { witness } => Some(witness),
+            _ => None,
+        }
+    }
+
+    /// The witness path, when the outcome carries one.
+    pub fn witness_path(&self) -> Option<&[PathSym]> {
+        match self {
+            Outcome::Copying { path } | Outcome::DeletesText { path } => Some(path),
             _ => None,
         }
     }
@@ -129,8 +156,12 @@ impl CheckStats {
 /// account of how it was computed.
 #[derive(Clone, Debug)]
 pub struct Verdict {
-    /// Which decider produced this verdict (`"topdown"` or `"dtl"`).
+    /// Which decider produced this verdict (`"topdown"`, `"dtl"`,
+    /// `"topdown/retention"`, `"topdown/conformance"`).
     pub decider: &'static str,
+    /// Which analysis the verdict answers (text-preservation,
+    /// text-retention, conformance).
+    pub analysis: Analysis,
     /// The decision and witness.
     pub outcome: Outcome,
     /// Per-stage timings, artifact sizes and cache attribution.

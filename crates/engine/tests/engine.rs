@@ -152,6 +152,10 @@ fn check_many_parallel_matches_sequential() {
             Outcome::NotPreserving { witness } => {
                 format!("not-preserving {}", witness.display(alpha))
             }
+            Outcome::DeletesText { path } => format!("deletes-text {path:?}"),
+            Outcome::NonConforming { witness } => {
+                format!("non-conforming {}", witness.display(alpha))
+            }
         };
         assert_eq!(render(&p.outcome), render(&s.outcome), "task {i}");
     }

@@ -54,12 +54,17 @@ impl CheckReport {
 pub struct SchemaArtifacts {
     /// `A_N`, the path automaton of `L(N)` (Lemma 4.8(1)).
     pub a_n: Nfa<PathSym>,
+    /// The full path-symbol alphabet `Σ ⊎ {text}` of the schema, hoisted
+    /// here so per-analysis pipelines (text-retention's `through-σ`
+    /// automaton, determinization-requiring callers) never rebuild it per
+    /// call.
+    pub path_alphabet: Vec<PathSym>,
 }
 
 impl SchemaArtifacts {
     /// Total size of the compiled artifacts (states + transitions).
     pub fn size(&self) -> usize {
-        self.a_n.size()
+        self.a_n.size() + self.path_alphabet.len()
     }
 }
 
@@ -120,7 +125,12 @@ pub fn try_compile_schema_artifacts(
     budget.charge(1)?;
     let a_n = path_automaton_nta(nta);
     budget.charge(a_n.size() as u64)?;
-    Ok(SchemaArtifacts { a_n })
+    let mut path_alphabet: Vec<PathSym> = (0..nta.symbol_count() as u32)
+        .map(|i| PathSym::Elem(Symbol(i)))
+        .collect();
+    path_alphabet.push(PathSym::Text);
+    budget.charge(path_alphabet.len() as u64)?;
+    Ok(SchemaArtifacts { a_n, path_alphabet })
 }
 
 /// Stage 1b (copy side): `A_T` and the two Lemma 4.5 condition automata.

@@ -6,28 +6,92 @@
 //! `anc-str(v)` — i.e. iff `anc-str(v) ∈ L(A_T)`. So "`T` deletes some text
 //! under a `σ`-node on some schema tree" reduces to non-emptiness of
 //! `L(A_N) ∩ through-σ ∩ complement(L(A_T))`, entirely within the path
-//! automata of Lemma 4.8.
+//! automata of Lemma 4.8. Rather than determinizing and complementing
+//! `A_T` eagerly, the staged pipeline phrases the same question as an
+//! inclusion — is `L(A_N ∩ through-σ) ⊆ L(A_T)`? — and answers it with
+//! the word-level antichain procedure (`Nfa::try_inclusion_counterexample`,
+//! the string twin of DESIGN.md §13's tree layer), whose breadth-first
+//! counterexample is exactly a shortest deleted text path.
+//!
+//! The *text-retention* analysis of the engine layer
+//! (`TextRetentionDecider`) is a thin governed wrapper around
+//! [`try_deleted_text_under_with`]: the schema side reuses the cached
+//! [`SchemaArtifacts`] (which carry the hoisted path alphabet), the
+//! transducer side is just `A_T`.
 
-use crate::paths::{path_automaton_nta, path_automaton_transducer, PathSym};
+use crate::decide::SchemaArtifacts;
+use crate::paths::{path_automaton_transducer, PathSym};
 use crate::transducer::Transducer;
 use tpx_automata::Nfa;
 use tpx_treeauto::Nta;
+use tpx_trees::budget::{BudgetExceeded, BudgetHandle};
 use tpx_trees::Symbol;
+
+/// The transducer-side artifact of the text-retention analysis: the path
+/// automaton `A_T` (Lemma 4.8(2)). Independent of the schema *and* of the
+/// selected labels, so the engine layer caches it per transducer and
+/// shares it across every retention query.
+#[derive(Clone, Debug)]
+pub struct RetentionArtifacts {
+    /// `A_T`, the transducer path automaton.
+    pub a_t: Nfa<PathSym>,
+}
+
+impl RetentionArtifacts {
+    /// Total size of the compiled artifact (states + transitions).
+    pub fn size(&self) -> usize {
+        self.a_t.size()
+    }
+}
+
+/// Compiles the transducer-side retention artifact.
+pub fn compile_retention_artifacts(t: &Transducer) -> RetentionArtifacts {
+    try_compile_retention_artifacts(t, &BudgetHandle::unlimited()).expect("unlimited budget")
+}
+
+/// Budgeted [`compile_retention_artifacts`]: charges one fuel unit per
+/// state and transition of `A_T`.
+pub fn try_compile_retention_artifacts(
+    t: &Transducer,
+    budget: &BudgetHandle,
+) -> Result<RetentionArtifacts, BudgetExceeded> {
+    budget.charge(1)?;
+    let a_t = path_automaton_transducer(t);
+    budget.charge(a_t.size() as u64)?;
+    Ok(RetentionArtifacts { a_t })
+}
+
+/// The decision stage of the text-retention analysis, over precompiled
+/// artifacts: a shortest text path of the schema passing through one of
+/// `labels` whose value `T` deletes, or `None` when `T` keeps every such
+/// value. The product and the antichain inclusion search both run under
+/// the caller's budget.
+pub fn try_deleted_text_under_with(
+    schema: &SchemaArtifacts,
+    retention: &RetentionArtifacts,
+    labels: &[Symbol],
+    budget: &BudgetHandle,
+) -> Result<Option<Vec<PathSym>>, BudgetExceeded> {
+    budget.charge(1)?;
+    let through = through_labels(labels, &schema.path_alphabet);
+    budget.charge(through.size() as u64)?;
+    let constrained = schema.a_n.try_intersect(&through, budget)?;
+    constrained.try_inclusion_counterexample(&retention.a_t, budget)
+}
 
 /// If some schema tree has a text node below a node labelled with one of
 /// `labels` whose value `t` deletes, returns that text path as a witness.
 /// `None` means `t` never deletes text under those labels, over `L(nta)`.
+///
+/// Convenience wrapper compiling both artifact sides eagerly; the engine's
+/// `TextRetentionDecider` caches them instead.
 pub fn deleted_text_under(t: &Transducer, nta: &Nta, labels: &[Symbol]) -> Option<Vec<PathSym>> {
-    let a_n = path_automaton_nta(nta);
-    let a_t = path_automaton_transducer(t);
-    // Alphabet of path symbols for determinizing A_T.
-    let mut alphabet: Vec<PathSym> = (0..nta.symbol_count() as u32)
-        .map(|i| PathSym::Elem(Symbol(i)))
-        .collect();
-    alphabet.push(PathSym::Text);
-    let not_a_t = a_t.determinize(&alphabet).complement().to_nfa();
-    let through = through_labels(labels, &alphabet);
-    a_n.intersect(&through).intersect(&not_a_t).shortest_word()
+    let unlimited = BudgetHandle::unlimited();
+    let schema =
+        crate::decide::try_compile_schema_artifacts(nta, &unlimited).expect("unlimited budget");
+    let retention = compile_retention_artifacts(t);
+    try_deleted_text_under_with(&schema, &retention, labels, &unlimited)
+        .expect("unlimited budget")
 }
 
 /// Whether `t` both is text-preserving over `L(nta)` and never deletes text
@@ -57,8 +121,10 @@ fn through_labels(labels: &[Symbol], alphabet: &[PathSym]) -> Nfa<PathSym> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::paths::path_automaton_nta;
     use crate::samples;
     use tpx_schema::samples::recipe_dtd;
+    use tpx_trees::budget::{Budget, ExhaustReason};
     use tpx_trees::samples::recipe_alphabet;
 
     #[test]
@@ -90,5 +156,33 @@ mod tests {
         let w = deleted_text_under(&t, &nta, &[al.sym("comments")]).unwrap();
         assert!(path_automaton_nta(&nta).accepts(&w));
         assert!(!path_automaton_transducer(&t).accepts(&w));
+    }
+
+    #[test]
+    fn staged_pipeline_matches_wrapper_and_respects_budget() {
+        let al = recipe_alphabet();
+        let nta = recipe_dtd(&al).to_nta();
+        let t = samples::example_4_2(&al);
+        let unlimited = BudgetHandle::unlimited();
+        let schema = crate::decide::try_compile_schema_artifacts(&nta, &unlimited).unwrap();
+        let retention = compile_retention_artifacts(&t);
+        for label in ["instructions", "ingredients", "comments"] {
+            let labels = [al.sym(label)];
+            let staged =
+                try_deleted_text_under_with(&schema, &retention, &labels, &unlimited).unwrap();
+            let eager = deleted_text_under(&t, &nta, &labels);
+            assert_eq!(staged.is_some(), eager.is_some(), "{label}");
+        }
+        // Fuel is actually charged, and a zero budget fails fast.
+        let gen = Budget::default().with_fuel(1_000_000).start();
+        try_deleted_text_under_with(&schema, &retention, &[al.sym("comments")], &gen).unwrap();
+        assert!(gen.fuel_spent() > 0);
+        let z = Budget::default().with_fuel(0).start();
+        let err = try_deleted_text_under_with(&schema, &retention, &[al.sym("comments")], &z)
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err.reason, ExhaustReason::Fuel);
+        let err = try_compile_retention_artifacts(&t, &z).map(|_| ()).unwrap_err();
+        assert_eq!(err.reason, ExhaustReason::Fuel);
     }
 }

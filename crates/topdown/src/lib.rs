@@ -20,6 +20,7 @@
 //! * [`extensions`] — the conclusion's stronger tests ("never deletes text
 //!   below a node labelled σ").
 
+pub mod conformance;
 pub mod decide;
 pub mod extensions;
 pub mod paths;
@@ -28,6 +29,11 @@ pub mod semantic;
 pub mod subschema;
 pub mod transducer;
 
+pub use conformance::{
+    compile_conformance_artifacts, conformance_witness, conforms_on, hedge_conforms,
+    output_conforms, try_compile_conformance_artifacts, try_conformance_witness_with,
+    ConformanceArtifacts,
+};
 pub use decide::{
     compile_copy_artifacts, compile_schema_artifacts, compile_transducer_artifacts,
     copying_witness_with, is_text_preserving, is_text_preserving_with, rearranging_witness_with,

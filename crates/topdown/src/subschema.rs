@@ -64,25 +64,40 @@ pub fn copying_nta(t: &Transducer) -> Nta {
         m.add_state();
     }
     let all_states: Vec<State> = (0..sp.size() as u32).map(State).collect();
+    // `Any* · X · Any*` rows: don't-care siblings derive `Any` (every tree
+    // does, see the `Any` row below), the one event child derives one of
+    // `singles`. Looping on `Any` alone keeps each row O(|singles|), not
+    // O(|Q|²) — the same shape the rearranging NTA rows use.
     let content = |singles: &[State]| -> Nfa<State> {
         let mut nfa: Nfa<State> = Nfa::new();
         let s0 = nfa.add_state();
         let s1 = nfa.add_state();
         nfa.set_initial(s0);
         nfa.set_final(s1, true);
-        for &a in &all_states {
-            nfa.add_transition(s0, a, s0);
-            nfa.add_transition(s1, a, s1);
-        }
+        nfa.add_transition(s0, sp.any(), s0);
+        nfa.add_transition(s1, sp.any(), s1);
         for &x in singles {
             nfa.add_transition(s0, x, s1);
         }
         nfa
     };
+    // The `Any` row must accept ε so element *leaves* derive `Any` too —
+    // otherwise counterexample trees with element leaves in don't-care
+    // positions are missed and the "maximal" sub-schema keeps
+    // non-preserving trees (the same ≥1-child bug the rearranging NTA had
+    // before DESIGN.md §13).
+    let any_row = || -> Nfa<State> {
+        let mut nfa: Nfa<State> = Nfa::new();
+        let s = nfa.add_state();
+        nfa.set_initial(s);
+        nfa.set_final(s, true);
+        nfa.add_transition(s, sp.any(), s);
+        nfa
+    };
 
     for sym in 0..t.symbol_count() {
         let s = Symbol(sym as u32);
-        m.set_content(sp.any(), s, content(&all_states));
+        m.set_content(sp.any(), s, any_row());
         for q in t.states() {
             let Some(rhs) = t.rhs(q, s) else { continue };
             let ls = frontier_states(rhs);
@@ -237,6 +252,40 @@ mod tests {
         let cex = outside_lang.witness().unwrap();
         let cex_unique = Tree::from_hedge(tpx_trees::make_value_unique(cex.as_hedge())).unwrap();
         assert!(!semantic::text_preserving_on(&t, &cex_unique));
+    }
+
+    #[test]
+    fn copying_with_element_leaf_sibling_is_detected() {
+        // Regression: the `Any` row used to demand ≥1 child, so an element
+        // leaf in a don't-care position could not derive `Any` and the
+        // copying NTA missed counterexamples containing one.
+        let al = Alphabet::from_labels(["a", "b", "c"]);
+        let mut tb = crate::transducer::TransducerBuilder::new(&al, "q0");
+        tb.state("qc");
+        tb.rule("q0", "a", "a(q0)");
+        tb.rule("q0", "b", "b(qc qc)");
+        tb.rule("q0", "c", "c");
+        tb.text_rule("q0");
+        tb.text_rule("qc");
+        let t = tb.finish();
+        let mut nb = tpx_treeauto::NtaBuilder::new(&al);
+        nb.root("s");
+        nb.rule("s", "a", "(sc | sb)*");
+        nb.rule("sb", "b", "st*");
+        nb.rule("sc", "c", "st*");
+        nb.text_rule("st");
+        let nta = nb.finish();
+        let mut al2 = al.clone();
+        let cex = tpx_trees::term::parse_tree(r#"a(c b("y"))"#, &mut al2).unwrap();
+        assert!(nta.accepts(&cex));
+        // T copies "y" under b; the element-leaf sibling c must not hide it.
+        assert!(semantic::copying_on(&t, &cex));
+        assert!(copying_nta(&t).accepts(&cex));
+        let max = maximal_subschema(&t, &nta);
+        assert!(!max.accepts(&cex));
+        // a(c) alone is preserved, so it stays inside the sub-schema.
+        let inside = tpx_trees::term::parse_tree("a(c)", &mut al2).unwrap();
+        assert!(max.accepts(&inside));
     }
 
     #[test]

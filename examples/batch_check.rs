@@ -62,6 +62,8 @@ fn main() {
             Outcome::Copying { path } => format!("copying({})", path.len()),
             Outcome::Rearranging { .. } => "rearranging".to_owned(),
             Outcome::NotPreserving { .. } => "not-preserving".to_owned(),
+            Outcome::DeletesText { path } => format!("deletes-text({})", path.len()),
+            Outcome::NonConforming { .. } => "non-conforming".to_owned(),
         };
         let artifacts: usize = v.stats.stages.iter().filter_map(|s| s.artifact_size).sum();
         println!(

@@ -6,7 +6,10 @@
 //! suite uses, so every schema/transducer pair here once mattered enough
 //! to be a shrunk fuzzer reproducer.
 
-use textpres::engine::{Budget, CheckOptions, Decider, DtlDecider, Engine, TopdownDecider};
+use textpres::engine::{
+    Budget, CheckOptions, Decider, DtlDecider, Engine, OutputConformanceDecider,
+    TextRetentionDecider, TopdownDecider,
+};
 use textpres::format::parse_case;
 use textpres::prelude::{Alphabet, DtlBuilder, NtaBuilder};
 use textpres::treeauto::{
@@ -67,6 +70,55 @@ fn generous_budget_changes_no_corpus_verdict() {
         let nta = rc.case.schema_nta();
         if let Some(t) = &rc.case.transducer {
             assert_budget_inert(&TopdownDecider::new(t), &nta, &options, &path);
+        }
+    }
+}
+
+#[test]
+fn generous_budget_is_inert_for_retention_and_conformance() {
+    // The two new analyses obey the same governance contract as
+    // text-preservation, over the same corpus pairs: retention over the
+    // full alphabet (the strictest label set) and conformance against the
+    // case's own schema.
+    let options = CheckOptions::with_budget(Budget::default().with_fuel(500_000_000));
+    for (path, src) in corpus() {
+        let rc = parse_case(&src).unwrap_or_else(|e| panic!("{path}: {e}"));
+        let nta = rc.case.schema_nta();
+        if let Some(t) = &rc.case.transducer {
+            let labels: Vec<_> = rc.case.alpha.symbols().collect();
+            assert_budget_inert(
+                &TextRetentionDecider::new(t, labels),
+                &nta,
+                &options,
+                &path,
+            );
+            assert_budget_inert(
+                &OutputConformanceDecider::new(t, &nta),
+                &nta,
+                &options,
+                &path,
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_fuel_exhausts_retention_and_conformance() {
+    let options = CheckOptions::with_budget(Budget::default().with_fuel(0));
+    for (path, src) in corpus() {
+        let rc = parse_case(&src).unwrap_or_else(|e| panic!("{path}: {e}"));
+        let nta = rc.case.schema_nta();
+        let engine = Engine::new();
+        if let Some(t) = &rc.case.transducer {
+            let labels: Vec<_> = rc.case.alpha.symbols().collect();
+            let err = engine
+                .check_governed(&TextRetentionDecider::new(t, labels), &nta, &options)
+                .expect_err("zero fuel cannot complete a retention check");
+            assert!(err.is_resource_exhausted(), "{path}: {err}");
+            let err = engine
+                .check_governed(&OutputConformanceDecider::new(t, &nta), &nta, &options)
+                .expect_err("zero fuel cannot complete a conformance check");
+            assert!(err.is_resource_exhausted(), "{path}: {err}");
         }
     }
 }
