@@ -151,8 +151,14 @@ impl<A: Clone + Eq + Hash> Nfa<A> {
         }
         for &p in self.initial_states() {
             budget.charge(1)?;
-            if let Some(id) = intern(p, seed.clone(), None, &mut pairs, &mut antichain, &mut queue)
-            {
+            if let Some(id) = intern(
+                p,
+                seed.clone(),
+                None,
+                &mut pairs,
+                &mut antichain,
+                &mut queue,
+            ) {
                 if self.is_final(p) && rejects(&pairs[id].set) {
                     return Ok(Some(decode(&pairs, id)));
                 }
@@ -373,7 +379,9 @@ mod tests {
         let z = Budget::default().with_fuel(0).start();
         for err in [
             a.try_included_in(&u, &z).map(|_| ()).unwrap_err(),
-            a.try_inclusion_counterexample(&u, &z).map(|_| ()).unwrap_err(),
+            a.try_inclusion_counterexample(&u, &z)
+                .map(|_| ())
+                .unwrap_err(),
             a.try_intersect(&u, &z).map(|_| ()).unwrap_err(),
             a.try_determinize(&['a', 'b'], &z).map(|_| ()).unwrap_err(),
         ] {

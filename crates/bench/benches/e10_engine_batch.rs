@@ -16,14 +16,16 @@
 //! `TPX_BENCH_JSON`; sample counts via `TPX_BENCH_SAMPLES`). CI's
 //! bench-smoke job parses that file back with `validate_bench`.
 
+use std::io::{BufRead, BufReader, Write};
 use std::sync::Arc;
 
 use textpres::engine::{
     Budget, CheckOptions, Decider, DegradeBound, DtlDecider, Engine, OutputConformanceDecider,
     Task, TextRetentionDecider, TopdownDecider, Tracer,
 };
-use textpres::format::{parse_dtl_transducer, parse_schema};
+use textpres::format::{parse_dtl_transducer, parse_schema, render_schema, render_transducer};
 use textpres::prelude::Alphabet;
+use textpres::serve::{ServeConfig, Server};
 use tpx_bench::{
     black_box, criterion_group, BenchReport, BenchmarkId, Criterion, Overhead, Scaling, Throughput,
 };
@@ -153,6 +155,78 @@ fn symbolic_instance(
     (schema, b.finish())
 }
 
+/// Warm served-request latency: the `engine_warm/32` workload driven
+/// through a live `textpres serve` daemon over loopback TCP, one frame
+/// per iteration on a persistent registered-ref connection. The delta
+/// over `engine_warm/32` is the full service tax — frame parse, memo
+/// lookup, admission gate, response render, two socket hops — and
+/// `validate_bench` holds the median to at most 2× the in-process
+/// figure from the same report.
+fn engine_serve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_serve");
+    g.sample_size(20);
+    let n = 32usize;
+    let (alpha, _) = chain_schema(n);
+    // The daemon speaks the DTD text format, so re-render the chain-n
+    // workload as source: l0 → l1 → … → l{n-1} → text.
+    let decls: Vec<(String, String)> = (0..n)
+        .map(|i| {
+            let content = if i + 1 < n {
+                format!("l{}", i + 1)
+            } else {
+                "text".to_owned()
+            };
+            (format!("l{i}"), content)
+        })
+        .collect();
+    let schema_src = render_schema(&["l0".to_owned()], &decls);
+    let t_src = render_transducer(&transducers::deep_selector(&alpha, n), &alpha);
+
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(cfg).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let daemon = std::thread::spawn(move || server.run());
+
+    let stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut stream = stream;
+    let mut roundtrip = |frame: &str| -> String {
+        stream.write_all(frame.as_bytes()).expect("send frame");
+        stream.write_all(b"\n").expect("send newline");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read response");
+        assert!(line.contains("\"ok\":true"), "daemon error: {line}");
+        line
+    };
+    roundtrip(&format!(
+        "{{\"type\":\"register\",\"name\":\"s\",\"kind\":\"schema\",\"text\":{}}}",
+        tpx_obs::quote(&schema_src)
+    ));
+    roundtrip(&format!(
+        "{{\"type\":\"register\",\"name\":\"t\",\"kind\":\"transducer\",\"text\":{}}}",
+        tpx_obs::quote(&t_src)
+    ));
+    // Warm the parse memo and the engine's artifact cache before timing.
+    let check = "{\"type\":\"check\",\"schema_ref\":\"s\",\"transducer_ref\":\"t\"}";
+    for _ in 0..3 {
+        roundtrip(check);
+    }
+    g.bench_with_input(BenchmarkId::new("warm_request", n), &n, |b, _| {
+        b.iter(|| black_box(roundtrip(check)))
+    });
+    roundtrip("{\"type\":\"shutdown\"}");
+    drop((reader, stream));
+    daemon
+        .join()
+        .expect("daemon thread")
+        .expect("daemon drained cleanly");
+    g.finish();
+}
+
 /// The worker counts the batch scaling curve samples (base first).
 const SCALING_JOBS: [usize; 4] = [1, 2, 4, 8];
 
@@ -226,7 +300,8 @@ criterion_group!(
     engine_single,
     engine_batch,
     engine_analyses,
-    engine_symbolic
+    engine_symbolic,
+    engine_serve
 );
 
 /// The universal one-label schema and an identity `DTL_XPath` program:

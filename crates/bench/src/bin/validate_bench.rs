@@ -27,6 +27,12 @@
 //! latency ceilings (`CEILINGS`) and requires the `e10_symbolic`
 //! (`oneshot_symbolic/*`) group — the canary that the symbolic DTL
 //! route stays benchmarked now that it is on by default.
+//!
+//! The `e10_serve` group carries the serve-mode latency contract: a warm
+//! `warm_request/32` round trip through the daemon must stay within 2×
+//! the in-process `engine_warm/32` median from the same report, so the
+//! service tax (framing, memo, admission, loopback TCP) can never
+//! silently swallow the warm-engine payoff the daemon exists to serve.
 
 use std::process::ExitCode;
 
@@ -100,6 +106,42 @@ fn main() -> ExitCode {
     {
         problems.push("no \"e10_symbolic\" / \"oneshot_symbolic/*\" results".to_owned());
     }
+    // The served-request group must exist, and the warm daemon round trip
+    // (frame parse + memo + admission + render + two loopback hops) must
+    // stay within 2× the in-process warm check measured in the SAME
+    // report — the serve-mode latency contract from DESIGN.md §15.
+    let warm_request = report
+        .results
+        .iter()
+        .find(|r| r.group == "e10_serve" && r.id == "warm_request/32");
+    let engine_warm = report
+        .results
+        .iter()
+        .find(|r| r.group == "e10_single" && r.id == "engine_warm/32");
+    match (warm_request, engine_warm) {
+        (None, _) => problems.push("no \"e10_serve\" / \"warm_request/32\" result".to_owned()),
+        (_, None) => problems.push(
+            "no \"e10_single\" / \"engine_warm/32\" result to bound warm_request against"
+                .to_owned(),
+        ),
+        (Some(served), Some(warm)) => {
+            if served.median_ns > warm.median_ns.saturating_mul(2) {
+                problems.push(format!(
+                    "serve latency regression: warm_request/32 median {} ns exceeds 2x the \
+                     in-process engine_warm/32 median {} ns",
+                    served.median_ns, warm.median_ns
+                ));
+            } else {
+                println!(
+                    "validate_bench: warm_request/32 median {} ns vs engine_warm/32 {} ns \
+                     ({:.2}x, bound 2x)",
+                    served.median_ns,
+                    warm.median_ns,
+                    served.median_ns as f64 / warm.median_ns.max(1) as f64
+                );
+            }
+        }
+    }
     // Every analysis the engine fronts must stay benchmarked side by side,
     // so a regression in one shows up against its siblings.
     for id in ["text_preservation", "text_retention", "conformance"] {
@@ -117,7 +159,9 @@ fn main() -> ExitCode {
             .iter()
             .find(|r| r.group == group && r.id == id)
         {
-            None => problems.push(format!("no {group:?} / {id:?} result to hold to its ceiling")),
+            None => problems.push(format!(
+                "no {group:?} / {id:?} result to hold to its ceiling"
+            )),
             Some(r) if r.median_ns > ceiling_ns => problems.push(format!(
                 "latency regression: {group}/{id} median {} ns exceeds the {ceiling_ns} ns ceiling",
                 r.median_ns

@@ -101,6 +101,21 @@ usage: textpres check <schema> <transducer> [document.xml] [--stats]
                 [--fuel N] [--timeout-ms N] [--degrade]
                 [--trace-out PATH] [--metrics]
                 (--jobs 0, the default, auto-detects the worker count)
+       textpres serve [--addr HOST:PORT] [--slots N] [--queue N]
+                [--max-connections N] [--max-frame-bytes N]
+                [--max-fuel N] [--max-timeout-ms N] [--drain-ms N]
+                [--idle-timeout-ms N] [--trace-out PATH] [--metrics]
+                (long-running daemon with a persistent warm engine;
+                newline-delimited JSON frames over TCP, graceful drain
+                on SIGTERM/SIGINT or a shutdown frame; --slots 0, the
+                default, admits one concurrent check per host core)
+       textpres client <addr> check <schema> <transducer>
+                [--analysis NAME] [--label L]... [--target SCHEMA]
+                [--fuel N] [--timeout-ms N] [--degrade]
+       textpres client <addr> (health | stats | shutdown)
+       textpres client <addr> raw '<json-frame>'
+                (one-shot client for the serve protocol; prints the
+                response frame and maps it onto the exit codes below)
        textpres fuzz [--seeds N] [--budget B] [--base-seed S]
                      [--no-dtl-symbolic] [--analysis NAME]
                      [--fuel N] [--timeout-ms N]
@@ -145,6 +160,8 @@ fn main() -> ExitCode {
         "subschema" => cmd_subschema(rest),
         "batch" => cmd_batch(rest),
         "fuzz" => cmd_fuzz(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         unknown => {
             eprintln!("error: unknown command {unknown:?}\n{USAGE}");
             ExitCode::from(2)
@@ -621,9 +638,9 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
         // symbols line up with the input schema's; new labels extend the
         // alphabet, and the conformance pipeline pads the narrower
         // automata up to the common width.
-        let target = match read(target_path)
-            .and_then(|src| parse_schema(&src, &mut alpha).map_err(|e| format!("{target_path}: {e}")))
-        {
+        let target = match read(target_path).and_then(|src| {
+            parse_schema(&src, &mut alpha).map_err(|e| format!("{target_path}: {e}"))
+        }) {
             Ok(dtd) => dtd.to_nta(),
             Err(e) => {
                 eprintln!("error: {e}");
@@ -950,4 +967,262 @@ fn cmd_subschema(args: &[String]) -> ExitCode {
         None => println!("(the transformation is text-preserving on the whole schema)"),
     }
     ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// serve / client
+// ---------------------------------------------------------------------------
+
+/// `textpres serve`: bind, announce, install signal handlers, run until
+/// drained. Exit 0 after a clean drain (signal or shutdown frame);
+/// exit 2 when the listener cannot bind or dies (the drain + flush
+/// still ran).
+fn cmd_serve(args: &[String]) -> ExitCode {
+    use textpres::serve::{ServeConfig, Server};
+
+    let mut cfg = ServeConfig::default();
+    let mut it = args.iter();
+    let next_val = |flag: &str, it: &mut std::slice::Iter<'_, String>| {
+        it.next()
+            .map(|s| s.to_owned())
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let parse_num = |flag: &str, v: String| {
+        v.parse::<u64>()
+            .map_err(|_| format!("{flag} needs a non-negative integer, got {v:?}"))
+    };
+    while let Some(a) = it.next() {
+        let r: Result<(), String> = (|| {
+            match a.as_str() {
+                "--addr" => cfg.addr = next_val("--addr", &mut it)?,
+                "--slots" => {
+                    cfg.slots = parse_num("--slots", next_val("--slots", &mut it)?)? as usize
+                }
+                "--queue" => {
+                    cfg.queue = parse_num("--queue", next_val("--queue", &mut it)?)? as usize
+                }
+                "--max-connections" => {
+                    cfg.max_connections =
+                        parse_num("--max-connections", next_val("--max-connections", &mut it)?)?
+                            as usize
+                }
+                "--max-frame-bytes" => {
+                    cfg.max_frame_bytes =
+                        parse_num("--max-frame-bytes", next_val("--max-frame-bytes", &mut it)?)?
+                            as usize
+                }
+                "--max-fuel" => {
+                    cfg.max_fuel = Some(parse_num("--max-fuel", next_val("--max-fuel", &mut it)?)?)
+                }
+                "--max-timeout-ms" => {
+                    cfg.max_timeout = std::time::Duration::from_millis(parse_num(
+                        "--max-timeout-ms",
+                        next_val("--max-timeout-ms", &mut it)?,
+                    )?)
+                }
+                "--drain-ms" => {
+                    cfg.drain_deadline = std::time::Duration::from_millis(parse_num(
+                        "--drain-ms",
+                        next_val("--drain-ms", &mut it)?,
+                    )?)
+                }
+                "--idle-timeout-ms" => {
+                    cfg.idle_timeout = std::time::Duration::from_millis(parse_num(
+                        "--idle-timeout-ms",
+                        next_val("--idle-timeout-ms", &mut it)?,
+                    )?)
+                }
+                "--trace-out" => cfg.trace_out = Some(next_val("--trace-out", &mut it)?.into()),
+                "--metrics" => cfg.metrics_dump = true,
+                other => return Err(format!("unknown serve flag {other:?}")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: serve: cannot bind: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Announced on stdout (and flushed) so wrappers can scrape the
+    // resolved port when binding with port 0.
+    println!("textpres serve: listening on {}", server.local_addr());
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    Server::install_signal_handlers();
+    match server.run() {
+        Ok(r) => {
+            eprintln!(
+                "textpres serve: drained cleanly (served {}, shed {}, rejected {}{})",
+                r.served,
+                r.shed,
+                r.rejected,
+                if r.forced_drain {
+                    ", drain deadline forced"
+                } else {
+                    ""
+                }
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: serve: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Maps a response frame onto the CLI exit-code contract: 0 = verdict
+/// pass (or a non-verdict success like health/stats), 1 = verdict fail,
+/// 3 = retryable resource condition (exhausted / overloaded /
+/// shutting-down), 2 = anything else.
+fn client_exit(line: &str) -> ExitCode {
+    use textpres::obs::JsonValue;
+    let Ok(v) = JsonValue::parse(line) else {
+        return ExitCode::from(2);
+    };
+    if v.get("ok").and_then(|b| b.as_bool()) == Some(true) {
+        return match v.get("verdict").and_then(|s| s.as_str()) {
+            Some("pass") | None => ExitCode::SUCCESS,
+            Some(_) => ExitCode::FAILURE,
+        };
+    }
+    match v.get("error").and_then(|s| s.as_str()) {
+        Some("exhausted") | Some("overloaded") | Some("shutting-down") => ExitCode::from(3),
+        _ => ExitCode::from(2),
+    }
+}
+
+/// `textpres client`: one request frame, one response line on stdout.
+fn cmd_client(args: &[String]) -> ExitCode {
+    use std::io::{BufRead, BufReader, Write};
+    use textpres::obs::quote;
+
+    let (addr, sub, rest) = match args {
+        [addr, sub, rest @ ..] => (addr.as_str(), sub.as_str(), rest),
+        _ => {
+            eprintln!("error: client needs <addr> and a subcommand\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let frame: String = match sub {
+        "health" | "stats" | "shutdown" => {
+            if !rest.is_empty() {
+                eprintln!("error: client {sub} takes no further arguments\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            format!("{{\"id\":1,\"type\":{}}}", quote(sub))
+        }
+        "raw" => match rest {
+            [line] => line.clone(),
+            _ => {
+                eprintln!("error: client raw needs exactly one frame argument\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        },
+        "check" => {
+            let flags = match parse_flags(rest) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("error: {e}\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            };
+            let [schema_path, transducer_path] = flags.positional.as_slice() else {
+                eprintln!("error: client check needs <schema> <transducer>\n{USAGE}");
+                return ExitCode::from(2);
+            };
+            let sources = read(schema_path)
+                .and_then(|schema| read(transducer_path).map(|transducer| (schema, transducer)));
+            let (schema_src, t_src) = match sources {
+                Ok(x) => x,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let mut frame = format!(
+                "{{\"id\":1,\"type\":\"check\",\"schema\":{},\"transducer\":{}",
+                quote(&schema_src),
+                quote(&t_src)
+            );
+            if let Some(name) = flags.analysis {
+                frame.push_str(&format!(",\"analysis\":{}", quote(name)));
+            }
+            if !flags.labels.is_empty() {
+                frame.push_str(",\"labels\":[");
+                for (i, l) in flags.labels.iter().enumerate() {
+                    if i > 0 {
+                        frame.push(',');
+                    }
+                    frame.push_str(&quote(l));
+                }
+                frame.push(']');
+            }
+            if let Some(target_path) = flags.target {
+                match read(target_path) {
+                    Ok(target) => frame.push_str(&format!(",\"target\":{}", quote(&target))),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            if let Some(fuel) = flags.fuel {
+                frame.push_str(&format!(",\"fuel\":{fuel}"));
+            }
+            if let Some(ms) = flags.timeout_ms {
+                frame.push_str(&format!(",\"timeout_ms\":{ms}"));
+            }
+            if flags.degrade {
+                frame.push_str(",\"degrade\":true");
+            }
+            frame.push('}');
+            frame
+        }
+        other => {
+            eprintln!("error: unknown client subcommand {other:?}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let stream = std::net::TcpStream::connect(addr);
+    let mut stream = match stream {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: client: cannot connect to {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(60)));
+    let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(10)));
+    if let Err(e) = stream
+        .write_all(frame.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+    {
+        eprintln!("error: client: cannot send to {addr}: {e}");
+        return ExitCode::from(2);
+    }
+    let mut line = String::new();
+    match BufReader::new(stream).read_line(&mut line) {
+        Ok(0) => {
+            eprintln!("error: client: {addr} closed the connection without answering");
+            ExitCode::from(2)
+        }
+        Ok(_) => {
+            let line = line.trim_end();
+            println!("{line}");
+            client_exit(line)
+        }
+        Err(e) => {
+            eprintln!("error: client: cannot read from {addr}: {e}");
+            ExitCode::from(2)
+        }
+    }
 }

@@ -55,6 +55,7 @@ pub use tpx_diffcheck as diffcheck;
 pub use tpx_dtl as dtl;
 pub use tpx_engine as engine;
 pub use tpx_mso as mso;
+pub use tpx_obs as obs;
 pub use tpx_schema as schema;
 pub use tpx_topdown as topdown;
 pub use tpx_treeauto as treeauto;
@@ -64,6 +65,7 @@ pub use tpx_xpath as xpath;
 use tpx_treeauto::Nta;
 
 pub mod format;
+pub mod serve;
 
 /// Frequently used types, re-exported for `use textpres::prelude::*`.
 pub mod prelude {

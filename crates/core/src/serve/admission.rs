@@ -1,0 +1,199 @@
+//! Admission control for `textpres serve`: a counting gate with a
+//! bounded wait queue and load shedding.
+//!
+//! The server bounds work in two layers: at most `slots` checks execute
+//! concurrently (one [`Permit`] each), and at most `queue` further
+//! requests may *wait* for a slot. A request arriving beyond both bounds
+//! is shed immediately with [`AdmitError::Overloaded`] — the 429-style
+//! response — so memory stays bounded no matter how fast clients push
+//! frames. Connection threads execute their own admitted requests (no
+//! cross-thread handoff on the hot path; the warm-latency budget in
+//! `validate_bench` is why), so "in-flight" equals "connection threads
+//! holding a permit".
+//!
+//! Drain interacts with the gate in two phases: a *soft* drain simply
+//! stops new acquisitions upstream (the server answers `shutting-down`
+//! before ever touching the gate), while [`Gate::begin_hard_drain`] is
+//! the deadline backstop that wakes every parked waiter and fails its
+//! acquisition with [`AdmitError::Draining`], so a drain can always
+//! terminate even if in-flight work refuses to finish.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Why an acquisition was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// All slots busy and the wait queue full: shed.
+    Overloaded,
+    /// The hard-drain backstop fired while waiting.
+    Draining,
+}
+
+#[derive(Debug)]
+struct GateState {
+    available: usize,
+    waiting: usize,
+    hard_drain: bool,
+}
+
+/// The counting gate (see the module docs).
+#[derive(Debug)]
+pub struct Gate {
+    state: Mutex<GateState>,
+    freed: Condvar,
+    slots: usize,
+    queue: usize,
+    shed: AtomicU64,
+}
+
+impl Gate {
+    /// A gate with `slots` concurrent permits and a wait queue of
+    /// `queue` (both clamped to be at least one slot, zero queue ok).
+    pub fn new(slots: usize, queue: usize) -> Gate {
+        Gate {
+            state: Mutex::new(GateState {
+                available: slots.max(1),
+                waiting: 0,
+                hard_drain: false,
+            }),
+            freed: Condvar::new(),
+            slots: slots.max(1),
+            queue,
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, GateState> {
+        // A poisoned gate would deadlock every connection; the state is
+        // three plain integers, always consistent, so recover.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires an execution slot, parking in the bounded wait queue if
+    /// none is free. Sheds with [`AdmitError::Overloaded`] when the
+    /// queue is full, fails with [`AdmitError::Draining`] if the
+    /// hard-drain backstop fires while parked.
+    pub fn acquire(&self) -> Result<Permit<'_>, AdmitError> {
+        let mut state = self.lock();
+        if state.hard_drain {
+            return Err(AdmitError::Draining);
+        }
+        if state.available == 0 {
+            if state.waiting >= self.queue {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(AdmitError::Overloaded);
+            }
+            state.waiting += 1;
+            loop {
+                state = self.freed.wait(state).unwrap_or_else(|e| e.into_inner());
+                if state.hard_drain {
+                    state.waiting -= 1;
+                    return Err(AdmitError::Draining);
+                }
+                if state.available > 0 {
+                    state.waiting -= 1;
+                    break;
+                }
+            }
+        }
+        state.available -= 1;
+        Ok(Permit { gate: self })
+    }
+
+    /// Wakes every parked waiter and fails its acquisition; new
+    /// acquisitions fail immediately. In-flight permits are unaffected
+    /// (their checks finish under their own clamped budgets).
+    pub fn begin_hard_drain(&self) {
+        self.lock().hard_drain = true;
+        self.freed.notify_all();
+    }
+
+    /// Whether no permit is out and nobody waits — the drain-complete
+    /// condition.
+    pub fn idle(&self) -> bool {
+        let state = self.lock();
+        state.available == self.slots && state.waiting == 0
+    }
+
+    /// Checks currently executing (permits out).
+    pub fn inflight(&self) -> u64 {
+        (self.slots - self.lock().available) as u64
+    }
+
+    /// Requests currently parked waiting for a slot.
+    pub fn depth(&self) -> u64 {
+        self.lock().waiting as u64
+    }
+
+    /// Requests shed since startup.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+}
+
+/// An execution slot; dropping it frees the slot and wakes one waiter.
+#[derive(Debug)]
+pub struct Permit<'g> {
+    gate: &'g Gate,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut state = self.gate.lock();
+        state.available += 1;
+        drop(state);
+        self.gate.freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_beyond_slots_plus_queue() {
+        let gate = Gate::new(1, 0);
+        let permit = gate.acquire().expect("first acquisition");
+        assert_eq!(gate.acquire().unwrap_err(), AdmitError::Overloaded);
+        assert_eq!(gate.shed_total(), 1);
+        drop(permit);
+        let reacquired = gate.acquire().expect("slot freed by drop");
+        assert!(!gate.idle());
+        drop(reacquired);
+        assert!(gate.idle());
+    }
+
+    #[test]
+    fn waiter_is_woken_by_release() {
+        let gate = Arc::new(Gate::new(1, 1));
+        let permit = gate.acquire().unwrap();
+        let g2 = Arc::clone(&gate);
+        let waiter = std::thread::spawn(move || g2.acquire().map(|_| ()).is_ok());
+        // Wait until the thread has actually parked, then release.
+        while gate.depth() == 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(gate.inflight(), 1);
+        drop(permit);
+        assert!(waiter.join().unwrap());
+        assert!(gate.idle());
+    }
+
+    #[test]
+    fn hard_drain_fails_waiters_and_new_arrivals() {
+        let gate = Arc::new(Gate::new(1, 4));
+        let permit = gate.acquire().unwrap();
+        let g2 = Arc::clone(&gate);
+        let waiter = std::thread::spawn(move || g2.acquire().map(|_| ()).unwrap_err());
+        while gate.depth() == 0 {
+            std::thread::yield_now();
+        }
+        gate.begin_hard_drain();
+        assert_eq!(waiter.join().unwrap(), AdmitError::Draining);
+        assert_eq!(gate.acquire().unwrap_err(), AdmitError::Draining);
+        drop(permit);
+        assert!(gate.idle());
+    }
+}

@@ -868,7 +868,7 @@ fn recheck_topdown(
                         let deleted = |tree: &Tree| {
                             valid_tree(tree) && semantically_deleted_under(t, tree, &labels)
                         };
-                        case.tree.as_ref().is_some_and(|tree| deleted(tree))
+                        case.tree.as_ref().is_some_and(&deleted)
                             || tpx_dtl::bounded::enumerate_schema_trees(
                                 nta,
                                 cfg.bounded_max_nodes,
@@ -989,7 +989,10 @@ mod tests {
             "the retention sweep must add per-label checks"
         );
         let b = run_fuzz(&engine, &cfg);
-        assert_eq!(a.checks, b.checks, "retention fuzzing must be deterministic");
+        assert_eq!(
+            a.checks, b.checks,
+            "retention fuzzing must be deterministic"
+        );
         assert_eq!(a.divergences.len(), b.divergences.len());
         if let Some(d) = a.divergences.first() {
             panic!(

@@ -24,8 +24,8 @@ use std::collections::HashMap;
 
 use tpx_mso::formula::derived;
 use tpx_mso::{
-    lift, try_compile_cached, try_project_bit, try_strip_bits, CompileCache, CompileError,
-    Formula, MSym, Var, VarGen, VarKey,
+    lift, try_compile_cached, try_project_bit, try_strip_bits, CompileCache, CompileError, Formula,
+    MSym, Var, VarGen, VarKey,
 };
 use tpx_obs::{SpanFields, Tracer};
 use tpx_treeauto::{nbta_to_nta, nta_to_nbta, EncSym, Nbta, Nta};
@@ -750,8 +750,8 @@ pub fn try_check_determinism<P: MsoDefinable>(
                     .and(gj.rename_fo(MsoPatterns::HOLE_X, x)),
             );
             let a = try_compile_cached(&both, &[], n_symbols, &mut cache, budget)?;
-            let overlap = try_strip_bits(&a, n_symbols, budget)?
-                .try_intersect_witness(&schema, budget)?;
+            let overlap =
+                try_strip_bits(&a, n_symbols, budget)?.try_intersect_witness(&schema, budget)?;
             if let Some(w) = overlap {
                 let witness = tpx_treeauto::convert::decode_witness(&w).ok_or_else(|| {
                     DtlDecideError::Internal("schema product witness does not decode".into())

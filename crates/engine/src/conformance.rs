@@ -168,7 +168,13 @@ impl Decider for OutputConformanceDecider<'_> {
         let witness = try_conformance_witness_with(&inverse, schema, &budget)
             .map_err(|b| DecisionError::exhausted("conformance/decide", b))?;
         span.exit_with(SpanFields::new().fuel(budget.fuel_spent() - fuel_before));
-        uncached_stage("conformance/decide", start, fuel_before, &mut stats, &budget);
+        uncached_stage(
+            "conformance/decide",
+            start,
+            fuel_before,
+            &mut stats,
+            &budget,
+        );
         let outcome = match witness {
             None => Outcome::Preserving,
             Some(witness) => Outcome::NonConforming { witness },

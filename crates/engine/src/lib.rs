@@ -46,8 +46,8 @@ pub mod scheduler;
 pub mod verdict;
 
 pub use analysis::{
-    analysis_by_name, Analysis, WitnessKind, ANALYSIS_NAMES, OUTPUT_CONFORMANCE,
-    TEXT_PRESERVATION, TEXT_RETENTION,
+    analysis_by_name, Analysis, WitnessKind, ANALYSIS_NAMES, OUTPUT_CONFORMANCE, TEXT_PRESERVATION,
+    TEXT_RETENTION,
 };
 pub use budget::{
     Budget, BudgetExceeded, BudgetHandle, CheckOptions, DecisionError, DegradeBound, ExhaustReason,
@@ -55,8 +55,8 @@ pub use budget::{
 pub use cache::{ArtifactCache, CacheError, CacheStats};
 pub use conformance::OutputConformanceDecider;
 pub use decider::{Decider, DtlDecider, StageKey, TopdownDecider};
-pub use retention::TextRetentionDecider;
 pub use engine::{BatchStats, Engine, Task};
+pub use retention::TextRetentionDecider;
 pub use scheduler::{RunStats, StageGraph};
 pub use tpx_obs::{Metrics, MetricsSnapshot, Span, SpanFields, TraceEvent, Tracer};
 pub use verdict::{CheckStats, Outcome, StageReport, Verdict};

@@ -200,12 +200,7 @@ impl Decider for TextRetentionDecider<'_> {
 /// text path, pass through a selected label, and have no transducer path
 /// run (i.e. its value really is deleted).
 #[cfg(debug_assertions)]
-fn validate_retention_outcome(
-    t: &Transducer,
-    schema: &Nta,
-    labels: &[Symbol],
-    outcome: &Outcome,
-) {
+fn validate_retention_outcome(t: &Transducer, schema: &Nta, labels: &[Symbol], outcome: &Outcome) {
     use tpx_topdown::PathSym;
     if let Outcome::DeletesText { path } = outcome {
         debug_assert!(

@@ -430,3 +430,23 @@ fn stats_report_every_stage() {
         }
     }
 }
+
+#[test]
+fn engine_types_are_send_and_sync() {
+    // Compile-time guarantees the serve daemon relies on: one shared
+    // `Engine` (and its cache) is used from every connection thread, and
+    // verdicts/errors cross thread boundaries in batch mode. A regression
+    // here (say, an `Rc` or a bare `*mut` slipping into a cached
+    // artifact) should fail this test at compile time, not deadlock a
+    // daemon at runtime.
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<ArtifactCache>();
+    assert_send_sync::<Budget>();
+    assert_send_sync::<CheckOptions>();
+    assert_send_sync::<Verdict>();
+    assert_send_sync::<DecisionError>();
+    assert_send_sync::<tpx_engine::BudgetHandle>();
+    assert_send_sync::<tpx_engine::Tracer>();
+    assert_send_sync::<tpx_engine::Metrics>();
+}

@@ -13,6 +13,22 @@
 //! `topdown/decide`, `dtl/schema`, `dtl/counterexample`, `dtl/decide`, and
 //! the degradation fallback `dtl/bounded`, with finer-grained sub-spans
 //! (e.g. `topdown/decide/copying`) nested inside. See DESIGN.md §11.
+//!
+//! The serve daemon (`textpres serve`) layers a `serve/` namespace on top,
+//! one level above the engine stages (DESIGN.md §15):
+//!
+//! - span `serve/request` — wraps one admitted check/batch execution; the
+//!   engine's stage spans nest inside it, so a daemon trace attributes
+//!   wire-to-wire latency to pipeline stages.
+//! - counter `serve/requests` — check/batch frames that reached admission
+//!   (including those subsequently shed).
+//! - counter `serve/shed` — requests refused by the admission gate.
+//! - counters `serve/errors/<code>` — structured error responses by
+//!   protocol code (`bad-frame`, `bad-request`, `exhausted`, `panicked`,
+//!   `overloaded`, `shutting-down`, `frame-too-large`, `registry-full`,
+//!   `internal`).
+//! - histogram `serve/request_us` — wall-clock per served request, the
+//!   daemon-side counterpart of the `e10_serve` bench's client-side RTT.
 
 pub mod json;
 pub mod metrics;

@@ -227,8 +227,8 @@ impl TargetIndex {
     fn single_tree(&self, derivable: &[bool]) -> Behavior {
         let mut rel = vec![0u64; self.u * self.wpr];
         let mut conforms = false;
-        for d in 0..self.n_target_states {
-            if derivable[d] {
+        for (d, &ok) in derivable.iter().enumerate() {
+            if ok {
                 rel_union_into(&mut rel, &self.step[d]);
                 conforms |= self.root_set[d];
             }
@@ -240,12 +240,14 @@ impl TargetIndex {
     /// relation `inner_rel`.
     fn elem(&self, b: Symbol, inner_rel: &[u64]) -> Behavior {
         let mut derivable = vec![false; self.n_target_states];
-        for d in 0..self.n_target_states {
+        for (d, slot) in derivable.iter_mut().enumerate() {
             if let Some(block) = self.blocks[d].get(b.index()).and_then(Option::as_ref) {
-                derivable[d] = block
-                    .init
-                    .iter()
-                    .any(|&x| block.fin.iter().any(|&y| rel_get(inner_rel, x, y, self.wpr)));
+                *slot = block.init.iter().any(|&x| {
+                    block
+                        .fin
+                        .iter()
+                        .any(|&y| rel_get(inner_rel, x, y, self.wpr))
+                });
             }
         }
         self.single_tree(&derivable)

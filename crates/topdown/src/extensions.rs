@@ -90,8 +90,7 @@ pub fn deleted_text_under(t: &Transducer, nta: &Nta, labels: &[Symbol]) -> Optio
     let schema =
         crate::decide::try_compile_schema_artifacts(nta, &unlimited).expect("unlimited budget");
     let retention = compile_retention_artifacts(t);
-    try_deleted_text_under_with(&schema, &retention, labels, &unlimited)
-        .expect("unlimited budget")
+    try_deleted_text_under_with(&schema, &retention, labels, &unlimited).expect("unlimited budget")
 }
 
 /// Whether `t` both is text-preserving over `L(nta)` and never deletes text
@@ -182,7 +181,9 @@ mod tests {
             .map(|_| ())
             .unwrap_err();
         assert_eq!(err.reason, ExhaustReason::Fuel);
-        let err = try_compile_retention_artifacts(&t, &z).map(|_| ()).unwrap_err();
+        let err = try_compile_retention_artifacts(&t, &z)
+            .map(|_| ())
+            .unwrap_err();
         assert_eq!(err.reason, ExhaustReason::Fuel);
     }
 }

@@ -115,7 +115,8 @@ impl<L: Clone + Eq + Hash> Nbta<L> {
             }
         }
         // `other`'s rules grouped by symbol, for the macro-successor step.
-        let mut b_by_symbol: HashMap<&L, Vec<(State, State, &Vec<State>)>> = HashMap::new();
+        type BySymbol<'x, L> = HashMap<&'x L, Vec<(State, State, &'x Vec<State>)>>;
+        let mut b_by_symbol: BySymbol<'_, L> = HashMap::new();
         for ((l, b1, b2), outs) in &other.rules {
             b_by_symbol.entry(l).or_default().push((*b1, *b2, outs));
         }
@@ -300,30 +301,33 @@ impl<L: Clone + Eq + Hash> Nbta<L> {
             queue.push_back(id);
             (id, true)
         };
-        let accepting =
-            |arena: &[PairAb<L>], id: usize| -> Option<RankedTree<L>> {
-                let p = &arena[id];
-                (self.is_final(p.a) && other.is_final(p.b)).then(|| {
-                    fn build<L: Clone>(arena: &[PairAb<L>], id: usize) -> RankedTree<L> {
-                        match &arena[id].prov {
-                            Prov::Leaf(l) => RankedTree::Leaf(l.clone()),
-                            Prov::Node(l, p1, p2) => RankedTree::node(
-                                l.clone(),
-                                build(arena, *p1),
-                                build(arena, *p2),
-                            ),
+        let accepting = |arena: &[PairAb<L>], id: usize| -> Option<RankedTree<L>> {
+            let p = &arena[id];
+            (self.is_final(p.a) && other.is_final(p.b)).then(|| {
+                fn build<L: Clone>(arena: &[PairAb<L>], id: usize) -> RankedTree<L> {
+                    match &arena[id].prov {
+                        Prov::Leaf(l) => RankedTree::Leaf(l.clone()),
+                        Prov::Node(l, p1, p2) => {
+                            RankedTree::node(l.clone(), build(arena, *p1), build(arena, *p2))
                         }
                     }
-                    build(arena, id)
-                })
-            };
+                }
+                build(arena, id)
+            })
+        };
         for l in self.leaf_alphabet().to_vec() {
             let bs = other.leaf_states(&l).to_vec();
             for &a in &self.leaf_states(&l).to_vec() {
                 for &b in &bs {
                     budget.charge(1)?;
-                    let (id, fresh) =
-                        intern(a, b, Prov::Leaf(l.clone()), &mut arena, &mut ids, &mut queue);
+                    let (id, fresh) = intern(
+                        a,
+                        b,
+                        Prov::Leaf(l.clone()),
+                        &mut arena,
+                        &mut ids,
+                        &mut queue,
+                    );
                     if fresh {
                         if let Some(w) = accepting(&arena, id) {
                             return Ok(Some(w));
@@ -517,7 +521,9 @@ mod tests {
         let z = Budget::default().with_fuel(0).start();
         for err in [
             a.try_included_in(&u, &z).map(|_| ()).unwrap_err(),
-            a.try_inclusion_counterexample(&u, &z).map(|_| ()).unwrap_err(),
+            a.try_inclusion_counterexample(&u, &z)
+                .map(|_| ())
+                .unwrap_err(),
             a.try_intersect_witness(&u, &z).map(|_| ()).unwrap_err(),
         ] {
             assert_eq!(err.reason, ExhaustReason::Fuel);

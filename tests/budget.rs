@@ -86,12 +86,7 @@ fn generous_budget_is_inert_for_retention_and_conformance() {
         let nta = rc.case.schema_nta();
         if let Some(t) = &rc.case.transducer {
             let labels: Vec<_> = rc.case.alpha.symbols().collect();
-            assert_budget_inert(
-                &TextRetentionDecider::new(t, labels),
-                &nta,
-                &options,
-                &path,
-            );
+            assert_budget_inert(&TextRetentionDecider::new(t, labels), &nta, &options, &path);
             assert_budget_inert(
                 &OutputConformanceDecider::new(t, &nta),
                 &nta,
@@ -161,7 +156,9 @@ fn generous_budget_is_inert_for_treeauto_set_ops() {
     let generous = textpres::trees::budget::Budget::default()
         .with_fuel(200_000_000)
         .start();
-    let zero = textpres::trees::budget::Budget::default().with_fuel(0).start();
+    let zero = textpres::trees::budget::Budget::default()
+        .with_fuel(0)
+        .start();
     let mut schemas: Vec<(String, Nta)> = Vec::new();
     for (path, src) in corpus() {
         let rc = parse_case(&src).unwrap_or_else(|e| panic!("{path}: {e}"));

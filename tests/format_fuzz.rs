@@ -1,9 +1,14 @@
-//! Malformed-input panic safety for `textpres::format`.
+//! Malformed-input panic safety for `textpres::format` and the serve
+//! frame parser.
 //!
-//! Every parser in the module (`parse_case`, `parse_schema`,
+//! Every parser in the format module (`parse_case`, `parse_schema`,
 //! `parse_transducer`, `parse_dtl_transducer`) must return a line-numbered
 //! `FormatError` on bad input — never panic — because the CLI feeds them
 //! raw user files and the fuzzer's `--out` reproducers are hand-edited.
+//! The serve protocol's `parse_request_line` faces something harsher
+//! still: arbitrary bytes from any TCP client, where a panic would take a
+//! connection thread (and a `Permit`) with it — so it is swept with the
+//! same mutations plus a JSON-frame corpus.
 //!
 //! The suite drives each parser with seeded mutations (byte flips,
 //! insertions, deletions, line deletion/duplication, truncation) of the
@@ -18,6 +23,7 @@ type ParserCheck<'a> = (&'a str, Box<dyn Fn() + 'a>);
 
 use textpres::format::{parse_case, parse_dtl_transducer, parse_schema, parse_transducer};
 use textpres::prelude::Alphabet;
+use textpres::serve::protocol::{parse_request_line, recover_id};
 use textpres::trees::rng::SplitMix64;
 
 const SCHEMA: &str = "\
@@ -42,6 +48,20 @@ rule q0 : keep -> (q0 / child)
 text q0
 ";
 
+/// Well-formed serve frames, as a client would send them: mutations of
+/// these exercise truncated frames, duplicated fields (via the
+/// line-duplication and splice mutations), and unknown/garbled keys.
+const FRAMES: &[&str] = &[
+    r#"{"id":1,"type":"check","schema":"start doc\nelem doc = text","transducer":"initial q0\nrule q0 doc -> doc(qt)\ntext qt","fuel":1000,"timeout_ms":50,"degrade":true}"#,
+    r#"{"id":"b-7","type":"batch","schema":"start a\nelem a = text","transducers":["initial q\nrule q a -> a(qt)\ntext qt",{"ref":"t1"}]}"#,
+    r#"{"id":2,"type":"check","schema_ref":"s","transducer_ref":"t","analysis":"retention","labels":["keep"]}"#,
+    r#"{"type":"check","schema_ref":"s","transducer_ref":"t","analysis":"conformance","target_ref":"out"}"#,
+    r#"{"id":3,"type":"register","name":"s","kind":"schema","text":"start doc\nelem doc = text"}"#,
+    r#"{"id":4,"type":"health"}"#,
+    r#"{"id":5,"type":"stats"}"#,
+    r#"{"id":6,"type":"shutdown"}"#,
+];
+
 /// Seeds per (input, parser) pair. Each seed applies 1–3 mutations.
 const SEEDS: u64 = 250;
 
@@ -52,6 +72,9 @@ fn corpus() -> Vec<(String, String)> {
         ("inline-transducer".to_owned(), TRANSDUCER.to_owned()),
         ("inline-dtl".to_owned(), DTL.to_owned()),
     ];
+    for (i, frame) in FRAMES.iter().enumerate() {
+        inputs.push((format!("inline-frame-{i}"), (*frame).to_owned()));
+    }
     let mut entries: Vec<_> = std::fs::read_dir(dir)
         .expect("tests/regressions exists")
         .map(|e| e.expect("readable dir entry").path())
@@ -147,7 +170,7 @@ fn run_fuzz_sweep() {
                 mutate(&mut bytes, &mut rng);
             }
             let mutated = String::from_utf8_lossy(&bytes).into_owned();
-            let checks: [ParserCheck<'_>; 4] = [
+            let checks: [ParserCheck<'_>; 5] = [
                 ("parse_case", Box::new(|| drop(parse_case(&mutated)))),
                 (
                     "parse_schema",
@@ -163,6 +186,19 @@ fn run_fuzz_sweep() {
                 (
                     "parse_dtl_transducer",
                     Box::new(|| drop(parse_dtl_transducer(&mutated, &alpha))),
+                ),
+                (
+                    // The daemon frames per newline, so feed each mutated
+                    // line (as the server would) and the raw splice too.
+                    "parse_request_line",
+                    Box::new(|| {
+                        for line in mutated.lines() {
+                            drop(parse_request_line(line));
+                            drop(recover_id(line));
+                        }
+                        drop(parse_request_line(&mutated));
+                        drop(recover_id(&mutated));
+                    }),
                 ),
             ];
             for (parser, check) in checks {
