@@ -387,7 +387,7 @@ impl<'a> ReParser<'a> {
 
     fn ident(&mut self) -> Result<&'a str, RegexParseError> {
         let start = self.pos;
-        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '#')
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '#' || c == ':')
         {
             self.bump();
         }

@@ -29,7 +29,7 @@ use textpres::serve::{ServeConfig, Server};
 use tpx_bench::{
     black_box, criterion_group, BenchReport, BenchmarkId, Criterion, Overhead, Scaling, Throughput,
 };
-use tpx_workload::{chain_schema, transducers};
+use tpx_workload::{chain_schema, transducers, xslt_corpus};
 
 fn engine_single(c: &mut Criterion) {
     let mut g = c.benchmark_group("e10_single");
@@ -154,6 +154,74 @@ fn symbolic_instance(
     b.text_rule("q0");
     (schema, b.finish())
 }
+
+/// E11 — XSLT corpus throughput: thousands of generated TEI/BPMN-like
+/// schema×stylesheet pairs through the frontend.
+///
+/// `compile/N` drives [`textpres::frontend::compile_stylesheet`] end to
+/// end (schema parse, fragment translation, alphabet reconciliation,
+/// schema rebuild) over the whole corpus; `check_many/N` batch-checks
+/// the pre-compiled artifacts through [`Engine::check_many_governed`]
+/// with the default worker count, the way `textpres batch` would. The
+/// corpus carries ground-truth verdicts, so the check pass doubles as a
+/// correctness sweep: a frontend or decider regression that flips a
+/// verdict panics here before `validate_bench` ever sees the numbers.
+fn corpus_e11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_corpus");
+    g.sample_size(10);
+    let cases = xslt_corpus(E11_CORPUS_SIZE, 0xE11);
+    g.throughput(Throughput::Elements(cases.len() as u64));
+    g.bench_with_input(
+        BenchmarkId::new("compile", cases.len()),
+        &cases,
+        |b, cases| {
+            b.iter(|| {
+                for case in cases {
+                    black_box(
+                        textpres::frontend::compile_stylesheet(&case.schema_src, &case.xslt_src)
+                            .unwrap_or_else(|e| panic!("{} does not compile: {e}", case.name)),
+                    );
+                }
+            })
+        },
+    );
+    let artifacts: Vec<_> = cases
+        .iter()
+        .map(|case| {
+            textpres::frontend::compile_stylesheet(&case.schema_src, &case.xslt_src)
+                .unwrap_or_else(|e| panic!("{} does not compile: {e}", case.name))
+        })
+        .collect();
+    let deciders: Vec<TopdownDecider> = artifacts
+        .iter()
+        .map(|a| TopdownDecider::new(&a.transducer))
+        .collect();
+    let tasks: Vec<Task> = deciders
+        .iter()
+        .zip(&artifacts)
+        .map(|(d, a)| (d as &dyn Decider, &a.schema))
+        .collect();
+    g.bench_with_input(BenchmarkId::new("check_many", tasks.len()), &(), |b, _| {
+        b.iter(|| {
+            let verdicts = Engine::new().check_many_governed(&tasks, &CheckOptions::unlimited());
+            for ((v, case), _) in verdicts.iter().zip(&cases).zip(&tasks) {
+                let v = v.as_ref().unwrap_or_else(|e| panic!("{}: {e}", case.name));
+                assert_eq!(
+                    v.is_preserving(),
+                    case.expect_preserving,
+                    "verdict flipped on {}",
+                    case.name
+                );
+            }
+            black_box(verdicts)
+        })
+    });
+    g.finish();
+}
+
+/// The E11 corpus size: thousands of pairs, per the experiment plan, yet
+/// still cheap enough that a 10-sample run finishes in seconds.
+const E11_CORPUS_SIZE: usize = 2000;
 
 /// Warm served-request latency: the `engine_warm/32` workload driven
 /// through a live `textpres serve` daemon over loopback TCP, one frame
@@ -301,6 +369,7 @@ criterion_group!(
     engine_batch,
     engine_analyses,
     engine_symbolic,
+    corpus_e11,
     engine_serve
 );
 
@@ -349,6 +418,12 @@ fn traced_stage_coverage() -> Vec<String> {
         .with_tracer(tracer.clone())
         .check_governed(&DtlDecider::new(&dtl), &dtl_schema, &starved)
         .expect("degraded DTL check produces a verdict");
+    // The XSLT frontend's compile stage, on a corpus case so the bench
+    // and the taxonomy exercise the same generator.
+    let case = &xslt_corpus(1, 0xE11)[0];
+    let traced_engine = Engine::new().with_tracer(tracer.clone());
+    textpres::frontend::compile_stylesheet_cached(&traced_engine, &case.schema_src, &case.xslt_src)
+        .expect("corpus stylesheet compiles");
 
     let mut names: Vec<String> = tracer
         .exit_span_names()

@@ -28,6 +28,12 @@
 //! (`oneshot_symbolic/*`) group — the canary that the symbolic DTL
 //! route stays benchmarked now that it is on by default.
 //!
+//! The `e11_corpus` group (in the same bench target) must persist both
+//! its `compile/*` corpus-compile pass and its `check_many/*` governed
+//! batch over the compiled artifacts, and the stage taxonomy must
+//! include the frontend's `xslt/compile` span — together the guard that
+//! the XSLT frontend stays benchmarked and traced.
+//!
 //! The `e10_serve` group carries the serve-mode latency contract: a warm
 //! `warm_request/32` round trip through the daemon must stay within 2×
 //! the in-process `engine_warm/32` median from the same report, so the
@@ -54,6 +60,7 @@ const REQUIRED_STAGES: &[&str] = &[
     "topdown/retention/decide",
     "conformance/inverse",
     "conformance/decide",
+    "xslt/compile",
 ];
 
 /// Latency ceilings (median, nanoseconds) on the one-shot routes. These
@@ -151,6 +158,19 @@ fn main() -> ExitCode {
             .any(|r| r.group == "e10_analyses" && r.id.starts_with(&format!("{id}/")))
         {
             problems.push(format!("no \"e10_analyses\" / \"{id}/*\" results"));
+        }
+    }
+    // The E11 XSLT-corpus group must persist both halves of the frontend
+    // story: the corpus-wide compile pass and the governed batch check
+    // over the compiled artifacts. Losing either silently drops the only
+    // throughput numbers the stylesheet frontend has.
+    for id in ["compile", "check_many"] {
+        if !report
+            .results
+            .iter()
+            .any(|r| r.group == "e11_corpus" && r.id.starts_with(&format!("{id}/")))
+        {
+            problems.push(format!("no \"e11_corpus\" / \"{id}/*\" results"));
         }
     }
     for &(group, id, ceiling_ns) in CEILINGS {

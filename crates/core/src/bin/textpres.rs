@@ -7,7 +7,7 @@
 //! textpres subschema <schema> <transducer>
 //! textpres batch <schema> <transducer>... [--jobs N] [--stats]
 //! textpres fuzz [--seeds N] [--budget B] [--base-seed S] [--no-dtl-symbolic]
-//!               [--analysis NAME] [--out DIR] [--stats]
+//!               [--xslt] [--analysis NAME] [--out DIR] [--stats]
 //! textpres --version
 //! ```
 //!
@@ -81,7 +81,7 @@ use textpres::engine::{
 };
 use textpres::format::{
     is_dtl_transducer, parse_dtl_transducer, parse_schema, parse_transducer, render_case,
-    render_path, render_witness, RegressionCase,
+    render_path, render_transducer, render_witness, RegressionCase,
 };
 use textpres::prelude::*;
 
@@ -97,6 +97,11 @@ usage: textpres check <schema> <transducer> [document.xml] [--stats]
                  text-retention (needs --label, repeatable),
                  conformance (needs --target, a schema file))
        textpres subschema <schema> <transducer>
+       textpres compile-xslt <schema> <stylesheet> [--dtl] [--out PATH]
+                (compile a restricted XSLT 1.0 stylesheet to the top-down
+                transducer format; --dtl emits the equivalent DTL_XPath
+                program instead when the stylesheet is expressible; exits 1
+                listing every unsupported construct with its source line)
        textpres batch <schema> <transducer>... [--jobs N] [--stats]
                 [--fuel N] [--timeout-ms N] [--degrade]
                 [--trace-out PATH] [--metrics]
@@ -117,16 +122,22 @@ usage: textpres check <schema> <transducer> [document.xml] [--stats]
                 (one-shot client for the serve protocol; prints the
                 response frame and maps it onto the exit codes below)
        textpres fuzz [--seeds N] [--budget B] [--base-seed S]
-                     [--no-dtl-symbolic] [--analysis NAME]
+                     [--no-dtl-symbolic] [--xslt] [--analysis NAME]
                      [--fuel N] [--timeout-ms N]
                      [--out DIR] [--stats] [--trace-out PATH] [--metrics]
                      (symbolic DTL cross-checks run by default;
                      --no-dtl-symbolic opts out; --analysis text-retention
-                     adds the retention cross-checks to the sweep)
+                     adds the retention cross-checks to the sweep; --xslt
+                     adds the stylesheet-frontend cross-checks: a seeded
+                     fragment stylesheet per seed, compiled and diffed
+                     against its ground-truth direct translation)
        textpres --version
 
 transducer files starting with a `dtl` line are DTL_XPath programs,
-checked with the EXPTIME DTL decider instead of the PTIME top-down one
+checked with the EXPTIME DTL decider instead of the PTIME top-down one;
+transducer files starting with `<` are XSLT stylesheets, compiled with
+the restricted-fragment frontend before checking (check/analyze/batch
+refuse stylesheets with untranslatable constructs)
 
 --trace-out writes a JSONL span trace (one enter/exit pair per pipeline
 stage) and --metrics prints aggregated counters/histograms to stderr
@@ -158,6 +169,7 @@ fn main() -> ExitCode {
         "check" => cmd_check(rest),
         "analyze" => cmd_analyze(rest),
         "subschema" => cmd_subschema(rest),
+        "compile-xslt" => cmd_compile_xslt(rest),
         "batch" => cmd_batch(rest),
         "fuzz" => cmd_fuzz(rest),
         "serve" => cmd_serve(rest),
@@ -183,6 +195,8 @@ struct Flags<'a> {
     analysis: Option<&'a str>,
     labels: Vec<&'a str>,
     target: Option<&'a str>,
+    dtl: bool,
+    out: Option<&'a str>,
 }
 
 impl Flags<'_> {
@@ -249,6 +263,11 @@ fn parse_flags(args: &[String]) -> Result<Flags<'_>, String> {
                     .next()
                     .ok_or_else(|| "--target needs a schema file".to_string())?;
                 flags.target = Some(v.as_str());
+            }
+            "--dtl" => flags.dtl = true,
+            "--out" => {
+                let v = it.next().ok_or_else(|| "--out needs a path".to_string())?;
+                flags.out = Some(v.as_str());
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
             pos => flags.positional.push(pos),
@@ -387,19 +406,6 @@ enum AnyTransducer {
 }
 
 impl AnyTransducer {
-    fn load(path: &str, alpha: &Alphabet) -> Result<Self, String> {
-        let src = read(path)?;
-        if is_dtl_transducer(&src) {
-            parse_dtl_transducer(&src, alpha)
-                .map(AnyTransducer::Dtl)
-                .map_err(|e| format!("{path}: {e}"))
-        } else {
-            parse_transducer(&src, alpha)
-                .map(AnyTransducer::Topdown)
-                .map_err(|e| format!("{path}: {e}"))
-        }
-    }
-
     /// A decider for this transducer, borrowing it.
     fn decider(&self) -> Box<dyn Decider + '_> {
         match self {
@@ -407,6 +413,56 @@ impl AnyTransducer {
             AnyTransducer::Dtl(t) => Box::new(DtlDecider::new(t)),
         }
     }
+}
+
+/// Loads the schema and every transducer file together. Stylesheet files
+/// (sniffed by a leading `<`) compile through the XSLT frontend, which may
+/// extend the alphabet with literal result labels — so stylesheets compile
+/// in a first pass that interns every label, everything is built in a
+/// second pass at the final alphabet width, and the schema NTA is parsed
+/// last so its width matches.
+fn load_inputs(
+    schema_path: &str,
+    transducer_paths: &[&str],
+) -> Result<(Alphabet, Nta, Vec<AnyTransducer>), String> {
+    let schema_src = read(schema_path)?;
+    let mut alpha = Alphabet::new();
+    parse_schema(&schema_src, &mut alpha).map_err(|e| format!("{schema_path}: {e}"))?;
+    let mut sources = Vec::new();
+    for path in transducer_paths {
+        sources.push((*path, read(path)?));
+    }
+    for (path, src) in &sources {
+        if textpres::xslt::is_stylesheet(src) {
+            textpres::xslt::compile(src, &mut alpha).map_err(|e| format!("{path}: {e}"))?;
+        }
+    }
+    let mut transducers = Vec::new();
+    for (path, src) in &sources {
+        let t = if textpres::xslt::is_stylesheet(src) {
+            let c = textpres::xslt::compile(src, &mut alpha).map_err(|e| format!("{path}: {e}"))?;
+            if !c.diagnostics.is_empty() {
+                return Err(format!(
+                    "{path}: {}",
+                    textpres::frontend::untranslatable(&c.diagnostics)
+                ));
+            }
+            AnyTransducer::Topdown(c.transducer)
+        } else if is_dtl_transducer(src) {
+            AnyTransducer::Dtl(
+                parse_dtl_transducer(src, &alpha).map_err(|e| format!("{path}: {e}"))?,
+            )
+        } else {
+            AnyTransducer::Topdown(
+                parse_transducer(src, &alpha).map_err(|e| format!("{path}: {e}"))?,
+            )
+        };
+        transducers.push(t);
+    }
+    let schema = parse_schema(&schema_src, &mut alpha)
+        .expect("schema parsed once already")
+        .to_nta();
+    Ok((alpha, schema, transducers))
 }
 
 /// Runs one (possibly governed) check, reporting any failure. The `Err`
@@ -446,6 +502,10 @@ fn cmd_check(args: &[String]) -> ExitCode {
         eprintln!("error: --jobs only applies to `batch`\n{USAGE}");
         return ExitCode::from(2);
     }
+    if flags.dtl || flags.out.is_some() {
+        eprintln!("error: --dtl/--out only apply to `compile-xslt`\n{USAGE}");
+        return ExitCode::from(2);
+    }
     let (schema_path, transducer_path, doc) = match flags.positional.as_slice() {
         [s, t] => (*s, *t, None),
         [s, t, d] => (*s, *t, Some(*d)),
@@ -454,20 +514,14 @@ fn cmd_check(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let (mut alpha, schema) = match load_schema(schema_path) {
+    let (mut alpha, schema, mut loaded) = match load_inputs(schema_path, &[transducer_path]) {
         Ok(x) => x,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
-    let t = match AnyTransducer::load(transducer_path, &alpha) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(2);
-        }
-    };
+    let t = loaded.pop().expect("one transducer loaded");
     if let Some(doc_path) = doc {
         let AnyTransducer::Topdown(t) = &t else {
             eprintln!("error: transforming a document is only supported for top-down transducers");
@@ -516,16 +570,15 @@ fn cmd_check(args: &[String]) -> ExitCode {
     }
 }
 
-/// Loads a transducer file for an analysis that only supports top-down
-/// transducers, with a clear error for DTL files.
-fn load_topdown_for(analysis: &str, path: &str, alpha: &Alphabet) -> Result<Transducer, String> {
-    let src = read(path)?;
-    if is_dtl_transducer(&src) {
-        return Err(format!(
+/// Unwraps a loaded transducer for an analysis that only supports
+/// top-down transducers, with a clear error for DTL files.
+fn topdown_for(analysis: &str, path: &str, t: AnyTransducer) -> Result<Transducer, String> {
+    match t {
+        AnyTransducer::Topdown(t) => Ok(t),
+        AnyTransducer::Dtl(_) => Err(format!(
             "{path}: --analysis {analysis} is only supported for top-down transducers"
-        ));
+        )),
     }
-    parse_transducer(&src, alpha).map_err(|e| format!("{path}: {e}"))
 }
 
 /// Runs the analysis check, flushes observability, and reports the
@@ -570,6 +623,10 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
         eprintln!("error: --jobs only applies to `batch`\n{USAGE}");
         return ExitCode::from(2);
     }
+    if flags.dtl || flags.out.is_some() {
+        eprintln!("error: --dtl/--out only apply to `compile-xslt`\n{USAGE}");
+        return ExitCode::from(2);
+    }
     let name = flags.analysis.unwrap_or(TEXT_PRESERVATION.name);
     let Some(analysis) = analysis_by_name(name) else {
         eprintln!(
@@ -590,13 +647,14 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    let (mut alpha, schema) = match load_schema(schema_path) {
+    let (mut alpha, schema, mut loaded) = match load_inputs(schema_path, &[transducer_path]) {
         Ok(x) => x,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
+    let any = loaded.pop().expect("one transducer loaded");
     let engine = instrument(Engine::new(), flags.trace_out, flags.metrics);
     if analysis == TEXT_RETENTION {
         if flags.labels.is_empty() {
@@ -613,7 +671,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                 }
             }
         }
-        let t = match load_topdown_for(name, transducer_path, &alpha) {
+        let t = match topdown_for(name, transducer_path, any) {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -627,7 +685,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             eprintln!("error: --analysis conformance needs --target <schema>\n{USAGE}");
             return ExitCode::from(2);
         };
-        let t = match load_topdown_for(name, transducer_path, &alpha) {
+        let t = match topdown_for(name, transducer_path, any) {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -650,14 +708,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
         let decider = OutputConformanceDecider::new(&t, &target);
         finish_analyze(&engine, &decider, &schema, &flags, transducer_path, &alpha)
     } else {
-        let t = match AnyTransducer::load(transducer_path, &alpha) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::from(2);
-            }
-        };
-        let decider = t.decider();
+        let decider = any.decider();
         finish_analyze(
             &engine,
             decider.as_ref(),
@@ -685,23 +736,13 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         eprintln!("error: batch needs at least one transducer file\n{USAGE}");
         return ExitCode::from(2);
     }
-    let (alpha, schema) = match load_schema(schema_path) {
+    let (alpha, schema, transducers) = match load_inputs(schema_path, transducer_paths) {
         Ok(x) => x,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
-    let mut transducers = Vec::new();
-    for path in transducer_paths {
-        match AnyTransducer::load(path, &alpha) {
-            Ok(t) => transducers.push(t),
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::from(2);
-            }
-        }
-    }
     // `--jobs 0` (and the default) auto-detects the worker count from the
     // host's available parallelism.
     let jobs = match flags.jobs {
@@ -837,6 +878,7 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
             "--metrics" => metrics = true,
             "--dtl-symbolic" => cfg.dtl_symbolic = true,
             "--no-dtl-symbolic" => cfg.dtl_symbolic = false,
+            "--xslt" => cfg.xslt = true,
             "--analysis" => match it.next().map(|s| s.as_str()) {
                 // The text-preservation cross-checks always run; the
                 // retention sweep rides along when asked for.
@@ -919,6 +961,82 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// `textpres compile-xslt`: translate a stylesheet against a schema and
+/// print the transducer (or, with `--dtl`, the equivalent `DTL_XPath`
+/// program). Untranslatable constructs are listed with their source lines
+/// and exit 1; a file that is not a stylesheet at all exits 2.
+fn cmd_compile_xslt(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let [schema_path, xslt_path] = flags.positional.as_slice() else {
+        eprintln!("error: compile-xslt needs <schema> <stylesheet>\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let sources = read(schema_path).and_then(|s| read(xslt_path).map(|x| (s, x)));
+    let (schema_src, xslt_src) = match sources {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut alpha = Alphabet::new();
+    if let Err(e) = parse_schema(&schema_src, &mut alpha) {
+        eprintln!("error: {schema_path}: {e}");
+        return ExitCode::from(2);
+    }
+    let compiled = match textpres::xslt::compile(&xslt_src, &mut alpha) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {xslt_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !compiled.diagnostics.is_empty() {
+        eprintln!(
+            "error: {xslt_path}: {}",
+            textpres::frontend::untranslatable(&compiled.diagnostics)
+        );
+        return ExitCode::FAILURE;
+    }
+    let output = if flags.dtl {
+        match compiled.dtl {
+            Some(d) => d,
+            None => {
+                eprintln!(
+                    "error: {xslt_path}: stylesheet is not DTL_XPath-expressible \
+                     (it uses element-only or text-only selections, constant output, \
+                     or rules emitting more than one element)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let mut s = String::new();
+        for state in &compiled.states {
+            s.push_str(&format!("# {state}\n"));
+        }
+        s.push_str(&render_transducer(&compiled.transducer, &alpha));
+        s
+    };
+    match flags.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &output) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            println!("wrote {path}");
+        }
+        None => print!("{output}"),
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_subschema(args: &[String]) -> ExitCode {

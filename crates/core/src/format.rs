@@ -48,7 +48,7 @@
 //! element wrapping one call) or `(state / pattern)` (a bare call).
 
 use std::fmt;
-use tpx_diffcheck::{Case, DivergenceKind, DtlSpec};
+use tpx_diffcheck::{Case, DivergenceKind, DtlSpec, XsltSpec};
 use tpx_dtl::{DtlBuilder, DtlTransducer, XPathPatterns};
 use tpx_schema::{Dtd, DtdBuilder};
 use tpx_topdown::{PathSym, RhsNode, Transducer, TransducerBuilder};
@@ -110,9 +110,12 @@ pub fn parse_schema(src: &str, alpha: &mut Alphabet) -> Result<Dtd, FormatError>
             return err(line, format!("unrecognized directive {text:?}"));
         }
     }
-    // Intern labels mentioned only inside content models.
+    // Intern labels mentioned only inside content models. `:` is a name
+    // character so namespace-prefixed labels (`bpmn:task`) stay whole.
     for (_, _, content) in &decls {
-        for token in content.split(|c: char| !(c.is_alphanumeric() || c == '_' || c == '-')) {
+        for token in
+            content.split(|c: char| !(c.is_alphanumeric() || c == '_' || c == '-' || c == ':'))
+        {
             if !token.is_empty() && token != "text" && !token.starts_with('%') {
                 alpha.intern(token);
             }
@@ -475,6 +478,10 @@ pub fn render_case(rc: &RegressionCase) -> String {
             out.push_str(&format!("drops {}\n", drops.join(",")));
         }
     }
+    if let Some(spec) = &case.xslt {
+        out.push_str("[xslt]\n");
+        out.push_str(&format!("xsltseed {}\n", spec.seed));
+    }
     if let Some(tree) = &case.tree {
         out.push_str("[tree]\n");
         out.push_str(&render_witness(tree, &case.alpha));
@@ -494,7 +501,7 @@ pub fn parse_case(src: &str) -> Result<RegressionCase, FormatError> {
     let mut seed: Option<u64> = None;
     let mut detail: Option<String> = None;
     let mut section: Option<&str> = None;
-    let mut bodies: Vec<(&str, String)> = Vec::new();
+    let mut bodies: Vec<(&str, usize, String)> = Vec::new();
     for (line, text) in meaningful(src) {
         if let Some(name) = text.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
             section = match name {
@@ -503,13 +510,14 @@ pub fn parse_case(src: &str) -> Result<RegressionCase, FormatError> {
                 "schema" => Some("schema"),
                 "transducer" => Some("transducer"),
                 "dtl" => Some("dtl"),
+                "xslt" => Some("xslt"),
                 "tree" => Some("tree"),
                 _ => return err(line, format!("unknown section [{name}]")),
             };
-            if bodies.iter().any(|(n, _)| Some(*n) == section) {
+            if bodies.iter().any(|(n, _, _)| Some(*n) == section) {
                 return err(line, format!("duplicate section [{name}]"));
             }
-            bodies.push((section.unwrap(), String::new()));
+            bodies.push((section.unwrap(), line, String::new()));
             continue;
         }
         match section {
@@ -541,7 +549,7 @@ pub fn parse_case(src: &str) -> Result<RegressionCase, FormatError> {
                 }
             }
             Some(_) => {
-                let body = &mut bodies.last_mut().expect("section pushed").1;
+                let body = &mut bodies.last_mut().expect("section pushed").2;
                 body.push_str(text);
                 body.push('\n');
             }
@@ -557,9 +565,21 @@ pub fn parse_case(src: &str) -> Result<RegressionCase, FormatError> {
     let body = |name: &str| {
         bodies
             .iter()
-            .find(|(n, _)| *n == name)
-            .map(|(_, b)| b.as_str())
+            .find(|(n, _, _)| *n == name)
+            .map(|(_, _, b)| b.as_str())
     };
+    // An empty [labels] section is a trap, not a no-op: `render_case`
+    // omits the section when no label is selected, so an empty one means
+    // the file was hand-truncated — and a retention recheck over zero
+    // labels would panic downstream. Reject it at its header line.
+    if let Some((_, header_line, body)) = bodies.iter().find(|(n, _, _)| *n == "labels") {
+        if body.trim().is_empty() {
+            return err(
+                *header_line,
+                "[labels] section has no entries (delete the section or add `label <name>` lines)",
+            );
+        }
+    }
     // The alphabet section pins interning order; schema parsing then
     // re-interns the same labels idempotently.
     let mut alpha = Alphabet::new();
@@ -587,6 +607,7 @@ pub fn parse_case(src: &str) -> Result<RegressionCase, FormatError> {
         .map(|src| parse_transducer(src, &alpha))
         .transpose()?;
     let dtl = body("dtl").map(parse_dtl_spec).transpose()?;
+    let xslt = body("xslt").map(parse_xslt_spec).transpose()?;
     let tree = body("tree")
         .map(|src| parse_witness(src.trim(), &mut alpha))
         .transpose()?;
@@ -600,6 +621,7 @@ pub fn parse_case(src: &str) -> Result<RegressionCase, FormatError> {
             decls,
             transducer,
             dtl,
+            xslt,
             tree,
             labels,
         },
@@ -656,6 +678,27 @@ fn parse_dtl_spec(src: &str) -> Result<DtlSpec, FormatError> {
         return err(1, "[dtl] section needs `states`");
     }
     Ok(spec)
+}
+
+fn parse_xslt_spec(src: &str) -> Result<XsltSpec, FormatError> {
+    let mut seed: Option<u64> = None;
+    for (line, text) in meaningful(src) {
+        if let Some(rest) = text.strip_prefix("xsltseed ") {
+            if seed.is_some() {
+                return err(line, "duplicate `xsltseed` directive");
+            }
+            seed = Some(rest.trim().parse().map_err(|_| FormatError {
+                line,
+                message: format!("bad xsltseed {rest:?}"),
+            })?);
+        } else {
+            return err(line, format!("unrecognized xslt directive {text:?}"));
+        }
+    }
+    match seed {
+        Some(seed) => Ok(XsltSpec { seed }),
+        None => err(1, "[xslt] section needs `xsltseed`"),
+    }
 }
 
 #[cfg(test)]
@@ -817,6 +860,7 @@ text qt
                 ],
                 transducer: Some(t),
                 dtl: None,
+                xslt: None,
                 tree: Some(tree),
                 labels: vec!["keep".to_owned()],
             },
@@ -866,6 +910,24 @@ text qt
     }
 
     #[test]
+    fn empty_labels_section_is_a_line_numbered_error() {
+        // A trailing `[labels]` with no entries used to parse as "no
+        // selected labels" and then panic the retention recheck; it is now
+        // rejected at the section header's line.
+        let src = "kind retention-disagrees\nseed 7\n[alphabet]\nlabel doc\n\
+                   [schema]\nstart doc\nelem doc = text\n[labels]\n";
+        let e = parse_case(src).unwrap_err();
+        assert_eq!(e.line, 8, "{e}");
+        assert!(e.message.contains("[labels]"), "{e}");
+        // Comment-only bodies count as empty too.
+        let commented = format!("{src}# nothing selected\n");
+        assert_eq!(parse_case(&commented).unwrap_err().line, 8);
+        // A populated section still parses.
+        let ok = format!("{src}label doc\n");
+        assert_eq!(parse_case(&ok).unwrap().case.labels, vec!["doc"]);
+    }
+
+    #[test]
     fn dtl_case_round_trips_to_the_same_program() {
         let schema = tpx_workload::random_dtd(2, 5);
         let spec = DtlSpec {
@@ -883,6 +945,7 @@ text qt
                 decls: schema.decls.clone(),
                 transducer: None,
                 dtl: Some(spec.clone()),
+                xslt: None,
                 tree: None,
                 labels: Vec::new(),
             },
@@ -892,5 +955,49 @@ text qt
         let a = rc.case.dtl_program().unwrap();
         let b = parsed.case.dtl_program().unwrap();
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn xslt_case_round_trips_to_the_same_stylesheet() {
+        let schema = tpx_workload::random_dtd(2, 5);
+        let spec = XsltSpec { seed: 23 };
+        let rc = RegressionCase {
+            kind: DivergenceKind::XsltCompileDisagrees,
+            seed: 5,
+            detail: String::new(),
+            case: Case {
+                alpha: schema.alpha.clone(),
+                starts: schema.starts.clone(),
+                decls: schema.decls.clone(),
+                transducer: None,
+                dtl: None,
+                xslt: Some(spec.clone()),
+                tree: None,
+                labels: Vec::new(),
+            },
+        };
+        let rendered = render_case(&rc);
+        assert!(rendered.contains("[xslt]\nxsltseed 23\n"), "{rendered}");
+        let parsed = parse_case(&rendered).unwrap();
+        assert_eq!(parsed.case.xslt, Some(spec.clone()));
+        assert_eq!(
+            parsed.case.xslt.unwrap().stylesheet(&parsed.case.alpha),
+            spec.stylesheet(&rc.case.alpha)
+        );
+        // Malformed / missing / duplicate seeds are errors (line numbers
+        // are body-relative, matching the [dtl] section's parser).
+        let base = "kind xslt-compile-disagrees\nseed 7\n[alphabet]\nlabel doc\n\
+                    [schema]\nstart doc\nelem doc = text\n[xslt]\n";
+        let e = parse_case(base).unwrap_err();
+        assert!(e.message.contains("xsltseed"), "{e}");
+        let bad = format!("{base}xsltseed nope\n");
+        assert!(parse_case(&bad)
+            .unwrap_err()
+            .message
+            .contains("bad xsltseed"));
+        let dup = format!("{base}xsltseed 1\nxsltseed 2\n");
+        let e = parse_case(&dup).unwrap_err();
+        assert_eq!(e.line, 2, "{e}");
+        assert!(e.message.contains("duplicate"), "{e}");
     }
 }

@@ -61,10 +61,12 @@ pub use tpx_topdown as topdown;
 pub use tpx_treeauto as treeauto;
 pub use tpx_trees as trees;
 pub use tpx_xpath as xpath;
+pub use tpx_xslt as xslt;
 
 use tpx_treeauto::Nta;
 
 pub mod format;
+pub mod frontend;
 pub mod serve;
 
 /// Frequently used types, re-exported for `use textpres::prelude::*`.

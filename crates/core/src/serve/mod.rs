@@ -261,6 +261,62 @@ impl Shared {
         // sources may both compile, the second insert wins — the same
         // "duplicate work beats a held lock" tradeoff the ArtifactCache
         // shards make.
+        //
+        // A transducer source that sniffs as XSLT goes through the
+        // frontend instead of the text-format parsers, compiled once per
+        // (schema, stylesheet) pair into the engine's artifact cache
+        // under the shared `xslt/compile` stage — the memo above only
+        // shortcuts re-requests of the identical (analysis, sources)
+        // triple, the artifact survives memo resets and is shared across
+        // analyses.
+        if tpx_xslt::is_stylesheet(&t_src) {
+            let artifact =
+                crate::frontend::compile_stylesheet_cached(&self.engine, &schema_src, &t_src)
+                    .map_err(|e| self.bad_request(format!("transducer: {e}")))?;
+            let mut alpha = artifact.alpha.clone();
+            let kind = match &req.analysis {
+                AnalysisRequest::TextPreservation => {
+                    PreparedKind::Topdown(artifact.transducer.clone())
+                }
+                AnalysisRequest::TextRetention { labels } => {
+                    let labels = labels
+                        .iter()
+                        .map(|l| {
+                            alpha.get(l).ok_or_else(|| {
+                                self.bad_request(format!(
+                                    "label {l:?} is not in the schema alphabet"
+                                ))
+                            })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    PreparedKind::Retention {
+                        t: artifact.transducer.clone(),
+                        labels,
+                    }
+                }
+                AnalysisRequest::Conformance { .. } => {
+                    let target =
+                        parse_schema(target_src.as_ref().expect("resolved above"), &mut alpha)
+                            .map_err(|e| self.bad_request(format!("target: {e}")))?
+                            .to_nta();
+                    PreparedKind::Conformance {
+                        t: artifact.transducer.clone(),
+                        target,
+                    }
+                }
+            };
+            let prepared = Arc::new(Prepared {
+                alpha,
+                schema: artifact.schema.clone(),
+                kind,
+            });
+            let mut memo = lock(&self.memo);
+            if memo.len() >= self.cfg.memo_cap && !memo.contains_key(&key) {
+                memo.clear();
+            }
+            memo.insert(key, Arc::clone(&prepared));
+            return Ok(prepared);
+        }
         let mut alpha = Alphabet::new();
         let dtd = parse_schema(&schema_src, &mut alpha)
             .map_err(|e| self.bad_request(format!("schema: {e}")))?;

@@ -43,11 +43,35 @@ impl DtlSpec {
     }
 }
 
+/// A replayable description of a random fragment stylesheet: just the
+/// generator seed. Regenerating through
+/// [`tpx_workload::fragment_stylesheet`] over the case's alphabet
+/// reproduces both the stylesheet source and the ground-truth transducer
+/// the XSLT frontend is checked against, so a case file never has to
+/// serialize stylesheet text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XsltSpec {
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl XsltSpec {
+    /// Regenerates the stylesheet source over `alpha`.
+    pub fn stylesheet(&self, alpha: &Alphabet) -> String {
+        tpx_workload::fragment_stylesheet(alpha, self.seed).0
+    }
+
+    /// Regenerates the ground-truth direct translation over `alpha`.
+    pub fn expected(&self, alpha: &Alphabet) -> Transducer {
+        tpx_workload::fragment_stylesheet(alpha, self.seed).1
+    }
+}
+
 /// One differential check, fully materialized for replay.
 ///
-/// Exactly one of `transducer` / `dtl` is expected to be set (a case pins
-/// one decision pipeline); `tree` is present for the per-tree divergence
-/// kinds and absent for purely symbolic ones.
+/// Exactly one of `transducer` / `dtl` / `xslt` is expected to be set (a
+/// case pins one decision pipeline); `tree` is present for the per-tree
+/// divergence kinds and absent for purely symbolic ones.
 #[derive(Clone, Debug)]
 pub struct Case {
     /// The label alphabet shared by the schema, transducer, and tree.
@@ -60,6 +84,10 @@ pub struct Case {
     pub transducer: Option<Transducer>,
     /// The DTL program under test, if this is a DTL case.
     pub dtl: Option<DtlSpec>,
+    /// The fragment stylesheet under test, if this is an XSLT-frontend
+    /// case (the transducer under test is the *compiled* stylesheet,
+    /// cross-checked against [`XsltSpec::expected`]).
+    pub xslt: Option<XsltSpec>,
     /// The input tree the divergence was observed on, if per-tree.
     pub tree: Option<Tree>,
     /// The selected labels of a text-retention case (label names, resolved
@@ -123,6 +151,13 @@ pub enum DivergenceKind {
     /// has a deleted text value below a selected label, or its deleted-path
     /// witness does not validate.
     RetentionDisagrees,
+    /// The XSLT frontend disagrees with the ground-truth direct translation
+    /// of a generated fragment stylesheet: the compile fails (or reports
+    /// diagnostics, or widens the alphabet) on a stylesheet that is inside
+    /// the fragment by construction, the compiled transducer transforms a
+    /// schema tree differently than the expected one, or the two
+    /// transducers get different symbolic text-preservation verdicts.
+    XsltCompileDisagrees,
 }
 
 impl DivergenceKind {
@@ -137,11 +172,12 @@ impl DivergenceKind {
             DivergenceKind::DtlTransformError => "dtl-transform-error",
             DivergenceKind::DeciderError => "decider-error",
             DivergenceKind::RetentionDisagrees => "retention-disagrees",
+            DivergenceKind::XsltCompileDisagrees => "xslt-compile-disagrees",
         }
     }
 
     /// Every kind, for iteration and parsing.
-    pub const ALL: [DivergenceKind; 8] = [
+    pub const ALL: [DivergenceKind; 9] = [
         DivergenceKind::PreservingButViolates,
         DivergenceKind::WitnessInvalid,
         DivergenceKind::BoundedContradictsSymbolic,
@@ -150,6 +186,7 @@ impl DivergenceKind {
         DivergenceKind::DtlTransformError,
         DivergenceKind::DeciderError,
         DivergenceKind::RetentionDisagrees,
+        DivergenceKind::XsltCompileDisagrees,
     ];
 }
 
@@ -207,6 +244,7 @@ mod tests {
             ],
             transducer: None,
             dtl: None,
+            xslt: None,
             tree: None,
             labels: Vec::new(),
         };

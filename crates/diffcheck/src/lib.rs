@@ -24,6 +24,6 @@ pub mod case;
 pub mod runner;
 pub mod shrink;
 
-pub use case::{Case, DivergenceKind, DtlSpec};
+pub use case::{Case, DivergenceKind, DtlSpec, XsltSpec};
 pub use runner::{recheck, run_fuzz, Divergence, FuzzConfig, FuzzReport};
 pub use shrink::shrink_case;

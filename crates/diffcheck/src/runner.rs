@@ -24,7 +24,7 @@ use tpx_treeauto::Nta;
 use tpx_trees::{make_value_unique, NodeLabel, Symbol, Tree};
 use tpx_workload::{random_dtd, random_schema_tree, random_transducer, RandomSchema};
 
-use crate::case::{Case, DivergenceKind, DtlSpec};
+use crate::case::{Case, DivergenceKind, DtlSpec, XsltSpec};
 use crate::shrink::shrink_case;
 
 /// Knobs of one fuzz run. The bounded-enumeration bounds are part of the
@@ -75,6 +75,14 @@ pub struct FuzzConfig {
     /// the bounded enumeration). Off by default; `textpres fuzz
     /// --analysis text-retention` turns it on.
     pub retention: bool,
+    /// Whether each seed additionally sweeps the XSLT frontend: a seeded
+    /// fragment stylesheet over the seed's schema alphabet is compiled
+    /// through `tpx-xslt` and cross-checked — transform-for-transform on
+    /// the sampled trees and verdict-for-verdict through the engine —
+    /// against its ground-truth direct translation from
+    /// [`tpx_workload::fragment_stylesheet`]. Off by default; `textpres
+    /// fuzz --xslt` turns it on.
+    pub xslt: bool,
 }
 
 impl FuzzConfig {
@@ -117,6 +125,7 @@ impl Default for FuzzConfig {
             fuel: Some(500_000),
             timeout_ms: None,
             retention: false,
+            xslt: false,
         }
     }
 }
@@ -177,6 +186,9 @@ pub fn run_fuzz(engine: &Engine, cfg: &FuzzConfig) -> FuzzReport {
             fuzz_topdown_seed(engine, cfg, seed, &mut report);
         } else {
             fuzz_dtl_seed(engine, cfg, seed, &mut report);
+        }
+        if cfg.xslt {
+            fuzz_xslt_seed(engine, cfg, seed, &mut report);
         }
         report.seeds_run += 1;
     }
@@ -570,6 +582,124 @@ fn fuzz_dtl_seed(engine: &Engine, cfg: &FuzzConfig, seed: u64, report: &mut Fuzz
     report.checks += 1;
 }
 
+/// The XSLT-frontend sweep of one seed: a seeded fragment stylesheet over
+/// the seed's schema alphabet is compiled through `tpx-xslt` and
+/// cross-checked against its ground-truth direct translation — a clean
+/// compile (no diagnostics, no alphabet growth), identical transforms on
+/// every sampled tree, and agreeing symbolic verdicts through the engine.
+fn fuzz_xslt_seed(engine: &Engine, cfg: &FuzzConfig, seed: u64, report: &mut FuzzReport) {
+    let schema = random_dtd(cfg.n_labels, seed);
+    let nta = schema.nta();
+    let spec = XsltSpec {
+        seed: transducer_seed(seed),
+    };
+    let case = |tree: Option<Tree>| xslt_case(&schema, &spec, tree);
+
+    report.checks += 1;
+    let Some((compiled, expected)) = compile_against_expected(&schema.alpha, &spec) else {
+        record(
+            engine,
+            cfg,
+            seed,
+            DivergenceKind::XsltCompileDisagrees,
+            compile_failure_detail(&schema.alpha, &spec),
+            case(None),
+            report,
+        );
+        return;
+    };
+
+    for tree in sample_trees(&nta, cfg, seed) {
+        if compiled.transform(&tree) != expected.transform(&tree) {
+            record(
+                engine,
+                cfg,
+                seed,
+                DivergenceKind::XsltCompileDisagrees,
+                "compiled stylesheet and expected transducer transform a tree differently"
+                    .to_owned(),
+                case(Some(tree.clone())),
+                report,
+            );
+        }
+        report.checks += 1;
+    }
+
+    let got = governed_check(
+        engine,
+        cfg,
+        seed,
+        &TopdownDecider::new(&compiled),
+        &nta,
+        case(None),
+        report,
+    );
+    let want = governed_check(
+        engine,
+        cfg,
+        seed,
+        &TopdownDecider::new(&expected),
+        &nta,
+        case(None),
+        report,
+    );
+    if let (Some(got), Some(want)) = (got, want) {
+        if got.is_preserving() != want.is_preserving() {
+            record(
+                engine,
+                cfg,
+                seed,
+                DivergenceKind::XsltCompileDisagrees,
+                format!(
+                    "verdicts disagree: compiled stylesheet preserving = {}, \
+                     expected transducer preserving = {}",
+                    got.is_preserving(),
+                    want.is_preserving()
+                ),
+                case(None),
+                report,
+            );
+        }
+        report.checks += 1;
+    }
+}
+
+/// Compiles the spec's stylesheet and returns `(compiled, expected)` when
+/// the compile is *clean*: no parse error, no diagnostics, and no new
+/// labels interned (the generator only uses schema labels, so growth
+/// means the frontend misread one). `None` otherwise.
+fn compile_against_expected(
+    alpha: &tpx_trees::Alphabet,
+    spec: &XsltSpec,
+) -> Option<(Transducer, Transducer)> {
+    let src = spec.stylesheet(alpha);
+    let mut compile_alpha = alpha.clone();
+    let compiled = tpx_xslt::compile(&src, &mut compile_alpha).ok()?;
+    (compiled.diagnostics.is_empty() && compile_alpha.len() == alpha.len())
+        .then(|| (compiled.transducer, spec.expected(alpha)))
+}
+
+/// The account of why [`compile_against_expected`] rejected the compile.
+fn compile_failure_detail(alpha: &tpx_trees::Alphabet, spec: &XsltSpec) -> String {
+    let src = spec.stylesheet(alpha);
+    let mut compile_alpha = alpha.clone();
+    match tpx_xslt::compile(&src, &mut compile_alpha) {
+        Err(e) => format!("generated fragment stylesheet fails to compile: {e}"),
+        Ok(c) if !c.diagnostics.is_empty() => format!(
+            "generated fragment stylesheet reported {} diagnostic(s), first: line {}: \
+             unsupported {}",
+            c.diagnostics.len(),
+            c.diagnostics[0].line,
+            c.diagnostics[0].construct
+        ),
+        Ok(_) => format!(
+            "compiling widened the alphabet from {} to {} labels",
+            alpha.len(),
+            compile_alpha.len()
+        ),
+    }
+}
+
 fn topdown_case(schema: &RandomSchema, t: &Transducer, tree: Option<Tree>) -> Case {
     Case {
         alpha: schema.alpha.clone(),
@@ -577,6 +707,7 @@ fn topdown_case(schema: &RandomSchema, t: &Transducer, tree: Option<Tree>) -> Ca
         decls: schema.decls.clone(),
         transducer: Some(t.clone()),
         dtl: None,
+        xslt: None,
         tree,
         labels: Vec::new(),
     }
@@ -601,6 +732,20 @@ fn dtl_case(schema: &RandomSchema, spec: &DtlSpec, tree: Option<Tree>) -> Case {
         decls: schema.decls.clone(),
         transducer: None,
         dtl: Some(spec.clone()),
+        xslt: None,
+        tree,
+        labels: Vec::new(),
+    }
+}
+
+fn xslt_case(schema: &RandomSchema, spec: &XsltSpec, tree: Option<Tree>) -> Case {
+    Case {
+        alpha: schema.alpha.clone(),
+        starts: schema.starts.clone(),
+        decls: schema.decls.clone(),
+        transducer: None,
+        dtl: None,
+        xslt: Some(spec.clone()),
         tree,
         labels: Vec::new(),
     }
@@ -792,6 +937,8 @@ pub fn recheck(engine: &Engine, case: &Case, kind: DivergenceKind, cfg: &FuzzCon
         recheck_topdown(engine, case, t, &nta, kind, cfg)
     } else if let Some(prog) = case.dtl_program() {
         recheck_dtl(engine, case, &prog, &nta, kind, cfg)
+    } else if let Some(spec) = &case.xslt {
+        recheck_xslt(engine, case, spec, &nta, kind, cfg)
     } else {
         false
     }
@@ -887,7 +1034,41 @@ fn recheck_topdown(
                 Err(_) => false,
             }
         }
-        DivergenceKind::DtlLemmaVsOperational => false,
+        // These kinds pin the other pipelines; a top-down case cannot
+        // carry them.
+        DivergenceKind::DtlLemmaVsOperational | DivergenceKind::XsltCompileDisagrees => false,
+    }
+}
+
+/// Replays an XSLT-frontend case: regenerate the stylesheet and its
+/// ground truth from the spec, recompile, and re-run the exact
+/// cross-check that flagged the divergence (tree-bearing → transform
+/// mismatch on that tree; symbolic → compile failure or verdict
+/// disagreement).
+fn recheck_xslt(
+    engine: &Engine,
+    case: &Case,
+    spec: &XsltSpec,
+    nta: &Nta,
+    kind: DivergenceKind,
+    cfg: &FuzzConfig,
+) -> bool {
+    if kind != DivergenceKind::XsltCompileDisagrees {
+        return false;
+    }
+    let Some((compiled, expected)) = compile_against_expected(&case.alpha, spec) else {
+        // An unclean compile reproduces regardless of the tree.
+        return true;
+    };
+    if let Some(tree) = &case.tree {
+        return nta.accepts(tree) && compiled.transform(tree) != expected.transform(tree);
+    }
+    match (
+        governed_preserving(engine, &TopdownDecider::new(&compiled), nta, cfg),
+        governed_preserving(engine, &TopdownDecider::new(&expected), nta, cfg),
+    ) {
+        (Some(got), Some(want)) => got != want,
+        _ => false,
     }
 }
 
@@ -934,8 +1115,11 @@ fn recheck_dtl(
             engine.check_governed(&DtlDecider::new(prog), nta, &cfg.check_options()),
             Err(e) if !e.is_resource_exhausted()
         ),
-        // The retention analysis only runs on top-down cases.
-        DivergenceKind::TranslationDisagrees | DivergenceKind::RetentionDisagrees => false,
+        // The retention analysis and the XSLT frontend only run on
+        // top-down / stylesheet cases.
+        DivergenceKind::TranslationDisagrees
+        | DivergenceKind::RetentionDisagrees
+        | DivergenceKind::XsltCompileDisagrees => false,
     }
 }
 
@@ -1003,6 +1187,63 @@ mod tests {
     }
 
     #[test]
+    fn xslt_fuzz_run_is_clean_and_deterministic() {
+        let engine = Engine::new();
+        let cfg = FuzzConfig {
+            xslt: true,
+            ..quick_cfg()
+        };
+        let a = run_fuzz(&engine, &cfg);
+        let base = run_fuzz(&engine, &quick_cfg());
+        assert!(
+            a.checks > base.checks,
+            "the xslt sweep must add frontend cross-checks"
+        );
+        let b = run_fuzz(&engine, &cfg);
+        assert_eq!(a.checks, b.checks, "xslt fuzzing must be deterministic");
+        assert_eq!(a.divergences.len(), b.divergences.len());
+        if let Some(d) = a.divergences.first() {
+            panic!(
+                "unexpected divergence at seed {}: {} ({})",
+                d.seed, d.kind, d.detail
+            );
+        }
+    }
+
+    #[test]
+    fn recheck_reproduces_a_planted_xslt_transform_mismatch() {
+        // A forged xslt case whose tree is outside the schema must not
+        // reproduce; with a schema tree and an honest spec the compile is
+        // clean and the transforms agree, so the kind must not reproduce
+        // either — recheck answers false both ways.
+        let schema = random_dtd(2, 5);
+        let nta = schema.nta();
+        let spec = XsltSpec { seed: 17 };
+        let engine = Engine::new();
+        let cfg = quick_cfg();
+        let honest = xslt_case(&schema, &spec, nta.witness());
+        assert!(!recheck(
+            &engine,
+            &honest,
+            DivergenceKind::XsltCompileDisagrees,
+            &cfg
+        ));
+        let stray = xslt_case(&schema, &spec, Some(Tree::text("stray")));
+        assert!(!recheck(
+            &engine,
+            &stray,
+            DivergenceKind::XsltCompileDisagrees,
+            &cfg
+        ));
+        // And no other kind fires on an xslt case.
+        for kind in DivergenceKind::ALL {
+            if kind != DivergenceKind::XsltCompileDisagrees {
+                assert!(!recheck(&engine, &honest, kind, &cfg), "{kind}");
+            }
+        }
+    }
+
+    #[test]
     fn recheck_rejects_a_forged_preserving_but_violates_case() {
         // A transducer that copies its children (`a0 → a0(q0 q0)`) is not a
         // translation divergence — from_topdown matches it. Plant a real
@@ -1032,6 +1273,7 @@ mod tests {
             decls: schema.decls.clone(),
             transducer: Some(t),
             dtl: None,
+            xslt: None,
             tree: Some(tree),
             labels: Vec::new(),
         };
@@ -1058,6 +1300,7 @@ mod tests {
             decls: schema.decls.clone(),
             transducer: Some(t),
             dtl: None,
+            xslt: None,
             tree: Some(Tree::text("stray")),
             labels: Vec::new(),
         };

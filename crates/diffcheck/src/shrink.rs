@@ -209,6 +209,7 @@ mod tests {
             ],
             transducer: None,
             dtl: None,
+            xslt: None,
             tree: None,
             labels: Vec::new(),
         }

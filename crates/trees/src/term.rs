@@ -58,7 +58,8 @@ impl<'a> Parser<'a> {
 
     fn ident(&mut self) -> Result<&'a str, ParseError> {
         let start = self.pos;
-        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-') {
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == ':')
+        {
             self.bump();
         }
         if self.pos == start {

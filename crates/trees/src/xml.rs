@@ -2,9 +2,18 @@
 //!
 //! Supported: elements, text content, self-closing tags, comments, an
 //! optional XML declaration, character entities (`&lt; &gt; &amp; &quot;
-//! &apos;`), and attributes (parsed and *ignored*, since the paper's model
-//! has none). Whitespace-only text between elements is dropped; other text
-//! is kept verbatim (leading/trailing whitespace trimmed).
+//! &apos;`), and attributes. Whitespace-only text between elements is
+//! dropped; other text is kept verbatim (leading/trailing whitespace
+//! trimmed).
+//!
+//! Two views of a document are offered. [`parse_document`] lowers into the
+//! paper's attribute-free [`Tree`] model (attributes are parsed and
+//! dropped, since the model has none). [`parse_document_raw`] keeps the
+//! full surface — element names with their namespace prefixes, attributes
+//! in document order, and the 1-based source line of every open tag — for
+//! consumers that need the document verbatim, such as the XSLT frontend
+//! and round-trip tooling. [`raw_to_xml`] serializes the raw view back
+//! without reordering or dropping anything.
 
 use crate::alphabet::Alphabet;
 use crate::hedge::{Hedge, HedgeBuilder, NodeId, NodeLabel, Tree};
@@ -86,15 +95,19 @@ impl<'a> Reader<'a> {
         })
     }
 
-    /// Skips attributes up to (but not including) `>` or `/>`.
-    fn skip_attributes(&mut self) -> Result<(), XmlError> {
+    /// Parses attributes up to (but not including) `>` or `/>`, in
+    /// document order. Entities in values are decoded; a valueless
+    /// attribute (`checked`) becomes an empty-string value.
+    fn attributes(&mut self) -> Result<Vec<(String, String)>, XmlError> {
+        let mut attrs = Vec::new();
         loop {
             self.skip_ws();
             match self.peek() {
-                Some(b'>') | Some(b'/') | None => return Ok(()),
+                Some(b'>') | Some(b'/') | None => return Ok(attrs),
                 _ => {
-                    self.name()?;
+                    let key = self.name()?.to_owned();
                     self.skip_ws();
+                    let mut value = String::new();
                     if self.peek() == Some(b'=') {
                         self.skip(1);
                         self.skip_ws();
@@ -103,17 +116,44 @@ impl<'a> Reader<'a> {
                             _ => return self.err("expected quoted attribute value"),
                         };
                         self.skip(1);
-                        while self.peek().is_some_and(|c| c != quote) {
-                            self.skip(1);
+                        while let Some(c) = self.peek() {
+                            if c == quote {
+                                break;
+                            }
+                            if c == b'&' {
+                                value.push(self.entity()?);
+                            } else {
+                                let start = self.pos;
+                                while matches!(self.peek(), Some(c) if c != quote && c != b'&') {
+                                    self.pos += 1;
+                                }
+                                value.push_str(
+                                    std::str::from_utf8(&self.src[start..self.pos]).map_err(
+                                        |_| XmlError {
+                                            offset: start,
+                                            message: "invalid UTF-8 in attribute value".into(),
+                                        },
+                                    )?,
+                                );
+                            }
                         }
                         if self.peek().is_none() {
                             return self.err("unterminated attribute value");
                         }
                         self.skip(1);
                     }
+                    attrs.push((key, value));
                 }
             }
         }
+    }
+
+    /// The 1-based line number of byte offset `pos`.
+    fn line_at(&self, pos: usize) -> usize {
+        1 + self.src[..pos.min(self.src.len())]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count()
     }
 
     fn text_run(&mut self) -> Result<String, XmlError> {
@@ -190,7 +230,7 @@ impl<'a> Reader<'a> {
         self.skip(1);
         let name = self.name()?.to_owned();
         let sym = alpha.intern(&name);
-        self.skip_attributes()?;
+        self.attributes()?;
         if self.starts_with("/>") {
             self.skip(2);
             b.leaf(sym);
@@ -254,6 +294,132 @@ impl<'a> Reader<'a> {
             }
         }
     }
+
+    fn raw_element(&mut self) -> Result<RawElement, XmlError> {
+        debug_assert_eq!(self.peek(), Some(b'<'));
+        let line = self.line_at(self.pos);
+        self.skip(1);
+        let name = self.name()?.to_owned();
+        let attrs = self.attributes()?;
+        if self.starts_with("/>") {
+            self.skip(2);
+            return Ok(RawElement {
+                name,
+                attrs,
+                children: Vec::new(),
+                line,
+            });
+        }
+        if self.peek() != Some(b'>') {
+            return self.err("expected '>'");
+        }
+        self.skip(1);
+        let children = self.raw_content()?;
+        if !self.starts_with("</") {
+            return self.err(format!("missing closing tag for <{name}>"));
+        }
+        self.skip(2);
+        let close = self.name()?;
+        if close != name {
+            return self.err(format!("mismatched closing tag </{close}> for <{name}>"));
+        }
+        self.skip_ws();
+        if self.peek() != Some(b'>') {
+            return self.err("expected '>' after closing tag name");
+        }
+        self.skip(1);
+        Ok(RawElement {
+            name,
+            attrs,
+            children,
+            line,
+        })
+    }
+
+    fn raw_content(&mut self) -> Result<Vec<RawNode>, XmlError> {
+        let mut out = Vec::new();
+        loop {
+            if self.starts_with("</") || self.peek().is_none() {
+                return Ok(out);
+            }
+            if self.starts_with("<!--") {
+                self.skip(4);
+                self.skip_until("-->")?;
+                continue;
+            }
+            if self.starts_with("<![CDATA[") {
+                self.skip(9);
+                let start = self.pos;
+                self.skip_until("]]>")?;
+                let raw =
+                    std::str::from_utf8(&self.src[start..self.pos - 3]).map_err(|_| XmlError {
+                        offset: start,
+                        message: "invalid UTF-8 in CDATA".into(),
+                    })?;
+                if !raw.is_empty() {
+                    out.push(RawNode::Text(raw.to_owned()));
+                }
+                continue;
+            }
+            if self.peek() == Some(b'<') {
+                out.push(RawNode::Elem(self.raw_element()?));
+            } else {
+                let text = self.text_run()?;
+                let trimmed = text.trim();
+                if !trimmed.is_empty() {
+                    out.push(RawNode::Text(trimmed.to_owned()));
+                }
+            }
+        }
+    }
+}
+
+/// A node of the attribute-preserving raw document view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RawNode {
+    /// An element with its full surface syntax.
+    Elem(RawElement),
+    /// A text run (whitespace-only runs between elements are dropped,
+    /// matching [`parse_document`]; CDATA is kept verbatim).
+    Text(String),
+}
+
+/// An element as written: name with any namespace prefix intact,
+/// attributes in document order, and the source line of the open tag.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawElement {
+    /// The element name, prefix and all (e.g. `bpmn:text`).
+    pub name: String,
+    /// Attributes in document order; entities in values are decoded.
+    pub attrs: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<RawNode>,
+    /// 1-based line of the element's open tag in the source.
+    pub line: usize,
+}
+
+impl RawElement {
+    /// The value of attribute `key`, if present.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The element's local name (after the last `:`), e.g. `text` for
+    /// `bpmn:text`.
+    pub fn local_name(&self) -> &str {
+        self.name.rsplit(':').next().unwrap_or(&self.name)
+    }
+
+    /// Child elements in document order (text runs skipped).
+    pub fn child_elements(&self) -> impl Iterator<Item = &RawElement> {
+        self.children.iter().filter_map(|c| match c {
+            RawNode::Elem(e) => Some(e),
+            RawNode::Text(_) => None,
+        })
+    }
 }
 
 /// Parses an XML document into a [`Tree`], interning element names into
@@ -299,6 +465,97 @@ pub fn parse_document(src: &str, alpha: &mut Alphabet) -> Result<Tree, XmlError>
         offset: 0,
         message: "document is not a single tree".into(),
     })
+}
+
+/// Parses an XML document into the attribute-preserving raw view.
+///
+/// Unlike [`parse_document`], nothing about the surface is lost: element
+/// names keep their namespace prefixes, attributes keep their document
+/// order (including on self-closing tags), and every element records its
+/// source line. The declaration, top-level comments, and a DOCTYPE are
+/// still skipped.
+///
+/// ```
+/// use tpx_trees::xml;
+/// let e = xml::parse_document_raw(r#"<bpmn:task id="t" name="Review"/>"#).unwrap();
+/// assert_eq!(e.name, "bpmn:task");
+/// assert_eq!(e.attrs, vec![("id".into(), "t".into()), ("name".into(), "Review".into())]);
+/// ```
+pub fn parse_document_raw(src: &str) -> Result<RawElement, XmlError> {
+    let mut r = Reader {
+        src: src.as_bytes(),
+        pos: 0,
+    };
+    r.skip_ws();
+    if r.starts_with("<?") {
+        r.skip(2);
+        r.skip_until("?>")?;
+        r.skip_ws();
+    }
+    while r.starts_with("<!--") {
+        r.skip(4);
+        r.skip_until("-->")?;
+        r.skip_ws();
+    }
+    if r.starts_with("<!DOCTYPE") {
+        r.skip_until(">")?;
+        r.skip_ws();
+    }
+    if r.peek() != Some(b'<') {
+        return r.err("expected root element");
+    }
+    let root = r.raw_element()?;
+    r.skip_ws();
+    if r.pos != r.src.len() {
+        return r.err("trailing content after root element");
+    }
+    Ok(root)
+}
+
+/// Serializes the raw view back to XML, preserving attribute order and
+/// self-closing empty elements. Round-trips with [`parse_document_raw`].
+pub fn raw_to_xml(e: &RawElement) -> String {
+    let mut out = String::new();
+    write_raw(e, &mut out);
+    out
+}
+
+fn write_raw(e: &RawElement, out: &mut String) {
+    out.push('<');
+    out.push_str(&e.name);
+    for (k, v) in &e.attrs {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_attr_into(v, out);
+        out.push('"');
+    }
+    if e.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for c in &e.children {
+        match c {
+            RawNode::Text(t) => escape_into(t, out),
+            RawNode::Elem(child) => write_raw(child, out),
+        }
+    }
+    out.push_str("</");
+    out.push_str(&e.name);
+    out.push('>');
+}
+
+fn escape_attr_into(v: &str, out: &mut String) {
+    for c in v.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
 }
 
 /// Serializes a hedge as XML (text nodes escaped; no declaration).
@@ -405,6 +662,66 @@ mod tests {
         let ser = to_xml(t.as_hedge(), &al);
         let back = parse_document(&ser, &mut al).unwrap();
         assert_eq!(*t.as_hedge(), *back.as_hedge());
+    }
+
+    #[test]
+    fn prefixed_names_round_trip_with_prefix_intact() {
+        // `bpmn:text`-style labels must survive parse -> serialize ->
+        // parse without the prefix being dropped or garbled.
+        let mut al = Alphabet::new();
+        let src = "<bpmn:definitions><bpmn:task><bpmn:text>note</bpmn:text></bpmn:task></bpmn:definitions>";
+        let t = parse_document(src, &mut al).unwrap();
+        let names: Vec<&str> = al.entries().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["bpmn:definitions", "bpmn:task", "bpmn:text"]);
+        let ser = to_xml(t.as_hedge(), &al);
+        assert_eq!(ser, src);
+        let back = parse_document(&ser, &mut al).unwrap();
+        assert_eq!(*t.as_hedge(), *back.as_hedge());
+    }
+
+    #[test]
+    fn raw_view_preserves_attribute_order_on_self_closing_elements() {
+        let src = r#"<proc><bpmn:task id="t1" name="Review" bpmn:kind="user"/></proc>"#;
+        let root = parse_document_raw(src).unwrap();
+        let task = root.child_elements().next().unwrap();
+        assert_eq!(task.name, "bpmn:task");
+        assert_eq!(
+            task.attrs,
+            vec![
+                ("id".to_owned(), "t1".to_owned()),
+                ("name".to_owned(), "Review".to_owned()),
+                ("bpmn:kind".to_owned(), "user".to_owned()),
+            ]
+        );
+        // Serialize and reparse: attributes must come back identical and
+        // in the same order, not silently reordered.
+        let ser = raw_to_xml(&root);
+        assert_eq!(ser, src);
+        let back = parse_document_raw(&ser).unwrap();
+        let back_task = back.child_elements().next().unwrap();
+        assert_eq!(back_task.attrs, task.attrs);
+    }
+
+    #[test]
+    fn raw_view_decodes_and_reencodes_attribute_entities() {
+        let src = r#"<x select="concat('&lt;', name(), '&gt;') &amp; &quot;q&quot;"/>"#;
+        let e = parse_document_raw(src).unwrap();
+        assert_eq!(e.attr("select"), Some("concat('<', name(), '>') & \"q\""));
+        let ser = raw_to_xml(&e);
+        let back = parse_document_raw(&ser).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn raw_view_records_source_lines_and_local_names() {
+        let src = "<a>\n  <b:c/>\n  <d>\n    <e/>\n  </d>\n</a>";
+        let root = parse_document_raw(src).unwrap();
+        assert_eq!(root.line, 1);
+        let kids: Vec<&RawElement> = root.child_elements().collect();
+        assert_eq!(kids[0].line, 2);
+        assert_eq!(kids[0].local_name(), "c");
+        assert_eq!(kids[1].line, 3);
+        assert_eq!(kids[1].child_elements().next().unwrap().line, 4);
     }
 
     #[test]

@@ -1,0 +1,418 @@
+//! E11 corpus: TEI/BPMN-flavoured schema families paired with generated
+//! fragment-XSLT stylesheets, emitted as **source text**.
+//!
+//! The generator deliberately produces *sources*, not parsed artifacts:
+//! the whole point of the corpus is to drive the XSLT frontend
+//! (`textpres::frontend::compile_stylesheet`) end to end — schema parse,
+//! stylesheet translation, alphabet reconciliation — the way a batch of
+//! real-world inputs would. This crate therefore needs no dependency on
+//! the XSLT compiler; it only writes strings.
+//!
+//! Every stylesheet is inside the translatable fragment (identity,
+//! label renaming, mode-based markup stripping, subtree deletion,
+//! child duplication, label-selective reordering), and each case carries
+//! its ground-truth text-preservation verdict so a bench or test can
+//! assert the compiled pipeline agrees. Note the paper's definition
+//! (Theorem 3.3): text-preserving = neither copying nor rearranging, so
+//! a subtree-*deleting* stylesheet is still preserving — only the
+//! duplicating and reordering shapes flip the verdict.
+
+use tpx_topdown::{RhsNode, TdState, Transducer};
+use tpx_trees::rng::SplitMix64;
+use tpx_trees::{Alphabet, Symbol};
+
+/// One corpus entry: a schema and a stylesheet as source text, plus the
+/// known text-preservation verdict of the pair.
+#[derive(Clone, Debug)]
+pub struct CorpusCase {
+    /// `{family}{param}-{kind}-{index}`, e.g. `tei2-strip-17`.
+    pub name: String,
+    /// DTD text-format schema source.
+    pub schema_src: String,
+    /// Restricted-fragment XSLT 1.0 source.
+    pub xslt_src: String,
+    /// Ground truth: is the transformation text-preserving over the schema?
+    pub expect_preserving: bool,
+}
+
+/// Generates `cases` schema×stylesheet pairs, deterministic in `seed`.
+///
+/// Families alternate between TEI-drama-like division trees (depth 1–3)
+/// and BPMN-like process/documentation trees (1–3 task kinds); each pair
+/// gets one of six stylesheet shapes — identity, renamer, markup
+/// stripper, subtree deleter (all text-preserving: deletion is neither
+/// copying nor rearranging), child duplicator (copying) and selective
+/// reorderer (rearranging).
+pub fn xslt_corpus(cases: usize, seed: u64) -> Vec<CorpusCase> {
+    let mut rng = SplitMix64::new(seed);
+    (0..cases)
+        .map(|i| {
+            if rng.below(2) == 0 {
+                tei_case(i, &mut rng)
+            } else {
+                bpmn_case(i, &mut rng)
+            }
+        })
+        .collect()
+}
+
+/// The six stylesheet shapes, with their ground-truth verdicts.
+const KINDS: [(&str, bool); 6] = [
+    ("identity", true),
+    ("rename", true),
+    ("strip", true),
+    ("delete", true),
+    ("duplicate", false),
+    ("reorder", false),
+];
+
+fn tei_case(index: usize, rng: &mut SplitMix64) -> CorpusCase {
+    let depth = 1 + rng.below(3);
+    let (kind, expect) = KINDS[rng.below(KINDS.len())];
+    let body = match kind {
+        "identity" => String::new(),
+        // Normalize one numbered division level to the plain tei:div.
+        "rename" => rename_template(&format!("tei:div{}", 1 + rng.below(depth)), "tei:div"),
+        // Strip speaker/line markup under speeches, keeping their text.
+        "strip" => strip_templates("tei:sp"),
+        // Drop speaker names entirely — erases text, yet still preserving
+        // (deletion is neither copying nor rearranging).
+        "delete" => delete_template("tei:speaker"),
+        // Emit every speech child twice — copying, hence not preserving.
+        "duplicate" => duplicate_template("tei:sp"),
+        // Verse lines before speakers — rearranging, hence not preserving.
+        _ => reorder_template("tei:sp", "tei:l", "tei:speaker"),
+    };
+    CorpusCase {
+        name: format!("tei{depth}-{kind}-{index}"),
+        schema_src: tei_schema(depth),
+        xslt_src: stylesheet(TEI_NS, &body),
+        expect_preserving: expect,
+    }
+}
+
+fn bpmn_case(index: usize, rng: &mut SplitMix64) -> CorpusCase {
+    let width = 1 + rng.below(3);
+    let (kind, expect) = KINDS[rng.below(KINDS.len())];
+    let body = match kind {
+        "identity" => String::new(),
+        // Collapse one task kind onto a common label (a stylesheet
+        // literal: the label is not in the schema's alphabet).
+        "rename" => rename_template(&format!("bpmn:task{}", rng.below(width)), "bpmn:task"),
+        // Strip inline markup inside documentation, keeping its text.
+        "strip" => strip_templates("bpmn:text"),
+        // Drop bold spans wholesale — erases text, yet still preserving
+        // (deletion is neither copying nor rearranging).
+        "delete" => delete_template("bpmn:b"),
+        // Emit documentation children twice — copying, not preserving.
+        "duplicate" => duplicate_template("bpmn:text"),
+        // Loose task text before the documentation block — rearranging.
+        _ => reorder_template(
+            &format!("bpmn:task{}", rng.below(width)),
+            "text()",
+            "bpmn:text",
+        ),
+    };
+    CorpusCase {
+        name: format!("bpmn{width}-{kind}-{index}"),
+        schema_src: bpmn_schema(width),
+        xslt_src: stylesheet(BPMN_NS, &body),
+        expect_preserving: expect,
+    }
+}
+
+/// TEI-like schema: a play with `depth` numbered division levels (each
+/// nesting the next), an unnumbered recursive `tei:div`, and speeches
+/// holding speakers, verse lines and mixed text.
+fn tei_schema(depth: usize) -> String {
+    let mut s =
+        String::from("start tei:TEI\nelem tei:TEI = tei:text*\nelem tei:text = tei:body*\n");
+    let tops: Vec<String> = (1..=depth)
+        .map(|k| format!("tei:div{k}"))
+        .chain(["tei:div".to_owned()])
+        .collect();
+    s.push_str(&format!("elem tei:body = ({})*\n", tops.join(" | ")));
+    for k in 1..=depth {
+        let next = if k < depth {
+            format!("tei:div{} | ", k + 1)
+        } else {
+            String::new()
+        };
+        s.push_str(&format!("elem tei:div{k} = ({next}tei:sp | text)*\n"));
+    }
+    s.push_str(
+        "elem tei:div = (tei:div | tei:sp | text)*\n\
+         elem tei:sp = (tei:speaker | tei:l | text)*\n\
+         elem tei:speaker = text*\n\
+         elem tei:l = text*\n",
+    );
+    s
+}
+
+/// BPMN-like schema: processes over `width` task kinds, each task carrying
+/// rich-text documentation under `bpmn:text`.
+fn bpmn_schema(width: usize) -> String {
+    let mut s = String::from("start bpmn:definitions\nelem bpmn:definitions = bpmn:process*\n");
+    let kinds: Vec<String> = (0..width)
+        .map(|i| format!("bpmn:task{i}"))
+        .chain(["bpmn:sequenceFlow".to_owned()])
+        .collect();
+    s.push_str(&format!("elem bpmn:process = ({})*\n", kinds.join(" | ")));
+    for i in 0..width {
+        s.push_str(&format!("elem bpmn:task{i} = (bpmn:text | text)*\n"));
+    }
+    s.push_str(
+        "elem bpmn:text = (bpmn:b | text)*\n\
+         elem bpmn:b = text*\n\
+         elem bpmn:sequenceFlow = text*\n",
+    );
+    s
+}
+
+const TEI_NS: &str = "xmlns:tei=\"http://www.tei-c.org/ns/1.0\"";
+const BPMN_NS: &str = "xmlns:bpmn=\"http://www.omg.org/spec/BPMN/20100524/MODEL\"";
+
+/// Wraps template bodies in a stylesheet whose last template is the
+/// identity default (specific templates go first; XSLT conflict
+/// resolution prefers the higher-priority label match anyway).
+fn stylesheet(ns: &str, templates: &str) -> String {
+    format!(
+        "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
+         <xsl:stylesheet version=\"1.0\"\n    \
+             xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\"\n    {ns}>\n\
+         {templates}  <xsl:template match=\"@*|node()\">\n    \
+             <xsl:copy><xsl:apply-templates select=\"@*|node()\"/></xsl:copy>\n  \
+         </xsl:template>\n\
+         </xsl:stylesheet>\n"
+    )
+}
+
+fn rename_template(from: &str, to: &str) -> String {
+    format!(
+        "  <xsl:template match=\"{from}\">\n    \
+             <{to}><xsl:apply-templates select=\"@*|node()\"/></{to}>\n  \
+         </xsl:template>\n"
+    )
+}
+
+fn strip_templates(under: &str) -> String {
+    format!(
+        "  <xsl:template match=\"{under}\">\n    \
+             <xsl:copy><xsl:apply-templates select=\"@*|node()\" mode=\"flat\"/></xsl:copy>\n  \
+         </xsl:template>\n  \
+         <xsl:template match=\"@*|text()\" mode=\"flat\"><xsl:copy/></xsl:template>\n  \
+         <xsl:template match=\"*\" mode=\"flat\">\n    \
+             <xsl:apply-templates select=\"@*|node()\" mode=\"flat\"/>\n  \
+         </xsl:template>\n"
+    )
+}
+
+fn delete_template(victim: &str) -> String {
+    format!("  <xsl:template match=\"{victim}\"/>\n")
+}
+
+fn duplicate_template(label: &str) -> String {
+    format!(
+        "  <xsl:template match=\"{label}\">\n    \
+             <xsl:copy>\n      \
+                 <xsl:apply-templates select=\"@*|node()\"/>\n      \
+                 <xsl:apply-templates select=\"@*|node()\"/>\n    \
+             </xsl:copy>\n  \
+         </xsl:template>\n"
+    )
+}
+
+fn reorder_template(label: &str, first: &str, second: &str) -> String {
+    format!(
+        "  <xsl:template match=\"{label}\">\n    \
+             <xsl:copy>\n      \
+                 <xsl:apply-templates select=\"{first}\"/>\n      \
+                 <xsl:apply-templates select=\"{second}\"/>\n    \
+             </xsl:copy>\n  \
+         </xsl:template>\n"
+    )
+}
+
+/// A random fragment stylesheet over an *arbitrary* alphabet, paired with
+/// its ground-truth direct translation — the differential-testing
+/// counterpart of [`xslt_corpus`]. Deterministic in `seed`.
+///
+/// The stylesheet only uses schema labels (no literal result elements
+/// outside `alpha`), so compiling it never widens the alphabet, and the
+/// returned transducer is exactly what a correct fragment compiler must
+/// produce — up to state numbering, which is why differential checks
+/// should compare *transforms* and *verdicts*, not rule tables.
+pub fn fragment_stylesheet(alpha: &Alphabet, seed: u64) -> (String, Transducer) {
+    let n = alpha.len();
+    assert!(n >= 1, "fragment_stylesheet needs a non-empty alphabet");
+    let mut rng = SplitMix64::new(seed);
+    let pick = |rng: &mut SplitMix64| Symbol(rng.below(n) as u32);
+    // Identity over every label in one state, text copied — the built-in
+    // XSLT rules materialized; the specific shapes below override per label.
+    let identity = |states: usize| {
+        let mut t = Transducer::new(n, states, TdState(0));
+        for (s, _) in alpha.entries() {
+            t.set_rule(
+                TdState(0),
+                s,
+                vec![RhsNode::Elem(s, vec![RhsNode::State(TdState(0))])],
+            );
+        }
+        t.set_text_rule(TdState(0), true);
+        t
+    };
+    match rng.below(5) {
+        0 => (stylesheet("", ""), identity(1)),
+        1 => {
+            // Rename i → j (both schema labels, so the alphabet is stable).
+            let (i, j) = (pick(&mut rng), pick(&mut rng));
+            let body = rename_template(alpha.name(i), alpha.name(j));
+            let mut t = identity(1);
+            t.set_rule(
+                TdState(0),
+                i,
+                vec![RhsNode::Elem(j, vec![RhsNode::State(TdState(0))])],
+            );
+            (stylesheet("", &body), t)
+        }
+        2 => {
+            // Delete the subtree under i: an empty template body is a
+            // missing rule (`T^q(t) = ε`).
+            let i = pick(&mut rng);
+            let body = delete_template(alpha.name(i));
+            let mut t = Transducer::new(n, 1, TdState(0));
+            for (s, _) in alpha.entries() {
+                if s != i {
+                    t.set_rule(
+                        TdState(0),
+                        s,
+                        vec![RhsNode::Elem(s, vec![RhsNode::State(TdState(0))])],
+                    );
+                }
+            }
+            t.set_text_rule(TdState(0), true);
+            (stylesheet("", &body), t)
+        }
+        3 => {
+            // Duplicate the children of i — copying, by Lemma 4.5.
+            let i = pick(&mut rng);
+            let body = duplicate_template(alpha.name(i));
+            let mut t = identity(1);
+            t.set_rule(
+                TdState(0),
+                i,
+                vec![RhsNode::Elem(
+                    i,
+                    vec![RhsNode::State(TdState(0)), RhsNode::State(TdState(0))],
+                )],
+            );
+            (stylesheet("", &body), t)
+        }
+        _ => {
+            // Reorder under i: the j-labelled children first, then the text
+            // children. State 1 is the default mode filtered to label j,
+            // state 2 the default mode filtered to text (so it copies text
+            // and deletes elements).
+            let (i, j) = (pick(&mut rng), pick(&mut rng));
+            let body = reorder_template(alpha.name(i), alpha.name(j), "text()");
+            let mut t = identity(3);
+            let reordered = vec![RhsNode::Elem(
+                i,
+                vec![RhsNode::State(TdState(1)), RhsNode::State(TdState(2))],
+            )];
+            t.set_rule(TdState(0), i, reordered.clone());
+            // The filtered state re-enters the *default-mode* rule for j —
+            // which is the reordering rule itself when j = i.
+            let j_rhs = if j == i {
+                reordered
+            } else {
+                vec![RhsNode::Elem(j, vec![RhsNode::State(TdState(0))])]
+            };
+            t.set_rule(TdState(1), j, j_rhs);
+            t.set_text_rule(TdState(2), true);
+            (stylesheet("", &body), t)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_in_the_seed() {
+        let a = xslt_corpus(64, 7);
+        let b = xslt_corpus(64, 7);
+        assert_eq!(a.len(), 64);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.schema_src, y.schema_src);
+            assert_eq!(x.xslt_src, y.xslt_src);
+            assert_eq!(x.expect_preserving, y.expect_preserving);
+        }
+    }
+
+    #[test]
+    fn corpus_mixes_families_kinds_and_verdicts() {
+        let cases = xslt_corpus(128, 1);
+        for family in ["tei", "bpmn"] {
+            for (kind, _) in KINDS {
+                assert!(
+                    cases
+                        .iter()
+                        .any(|c| c.name.starts_with(family) && c.name.contains(kind)),
+                    "no {family}/{kind} case in 128 draws"
+                );
+            }
+        }
+        assert!(cases.iter().any(|c| c.expect_preserving));
+        assert!(cases.iter().any(|c| !c.expect_preserving));
+    }
+
+    #[test]
+    fn fragment_stylesheets_are_deterministic_and_cover_every_kind() {
+        let mut alpha = Alphabet::new();
+        for l in ["a0", "a1", "a2"] {
+            alpha.intern(l);
+        }
+        let mut sources = std::collections::BTreeSet::new();
+        for seed in 0..64u64 {
+            let (src, t) = fragment_stylesheet(&alpha, seed);
+            let (src2, t2) = fragment_stylesheet(&alpha, seed);
+            assert_eq!(src, src2);
+            assert_eq!(format!("{t:?}"), format!("{t2:?}"));
+            assert!(t.initial_rules_output_trees(), "{src}");
+            sources.insert(src);
+        }
+        // 5 kinds × up to 3×3 label choices: 64 seeds must show real
+        // diversity, including the single-source identity kind.
+        assert!(
+            sources.len() >= 8,
+            "only {} distinct sources",
+            sources.len()
+        );
+        assert!(sources
+            .iter()
+            .any(|s| !s.contains("<xsl:template match=\"a")));
+    }
+
+    #[test]
+    fn only_duplicators_and_reorderers_expect_a_failing_verdict() {
+        // Deletion is text-preserving under the paper's definition, so
+        // the false ground truths must all come from the copying
+        // (duplicate) or rearranging (reorder) shapes — both of which
+        // need a second apply-templates pass over the same children.
+        for c in xslt_corpus(128, 3) {
+            let flips = c.name.contains("duplicate") || c.name.contains("reorder");
+            assert_eq!(!c.expect_preserving, flips, "{}", c.name);
+            if flips {
+                assert!(
+                    c.xslt_src.matches("<xsl:apply-templates").count() >= 3,
+                    "{}:\n{}",
+                    c.name,
+                    c.xslt_src
+                );
+            }
+        }
+    }
+}

@@ -7,15 +7,19 @@
 //!   DTD-shaped schemas,
 //! * scalable transducer families (selectors, copiers, swappers) with known
 //!   ground truth for the text-preservation question, plus random top-down
-//!   transducers and random DTL programs for differential testing.
+//!   transducers and random DTL programs for differential testing,
+//! * a TEI/BPMN-flavoured schema×stylesheet corpus (source text) for the
+//!   XSLT frontend (E11).
 //!
 //! Everything is seeded so experiments are reproducible run to run.
 
+pub mod corpus;
 pub mod dtl_programs;
 pub mod schemas;
 pub mod transducers;
 pub mod trees;
 
+pub use corpus::{fragment_stylesheet, xslt_corpus, CorpusCase};
 pub use dtl_programs::{random_dtl, random_dtl_with_drops};
 pub use schemas::{chain_schema, comb_schema, random_dtd, recipe_schema, RandomSchema};
 pub use transducers::{

@@ -56,7 +56,8 @@ impl<'a> P<'a> {
 
     fn ident(&mut self) -> Result<&'a str, XPathParseError> {
         let start = self.pos;
-        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-') {
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == ':')
+        {
             self.bump();
         }
         if self.pos == start {

@@ -1,0 +1,852 @@
+//! # `tpx-xslt`: a restricted XSLT 1.0 frontend
+//!
+//! Compiles stylesheets written in a restricted XSLT 1.0 fragment into the
+//! top-down uniform tree transducers of [`tpx_topdown`] (Definition 4.1 of
+//! the paper), so the text-preservation deciders can run against *real*
+//! transformations instead of synthetic ones. Janssen, Korlyukov and
+//! Van den Bussche ("On the tree-transformation power of XSLT") showed the
+//! structural core of XSLT is exactly tree-transducer-shaped; this crate
+//! implements that correspondence for the fragment below.
+//!
+//! ## The supported fragment
+//!
+//! | construct | translation |
+//! |---|---|
+//! | `xsl:template match="label"` (incl. prefixed names) | rule source for that label |
+//! | `xsl:template match="*"` / `node()` / `text()` / `@*\|…` unions | wildcard rules (instantiated per label), text rules; `@*` alternatives are dropped (the text-tree model has no attributes) |
+//! | `mode="m"` on templates and `apply-templates` | one transducer state per (mode, selection) pair |
+//! | `xsl:apply-templates` with `select` on `node()`, `*`, `text()`, a child label, or `@*\|…` unions of these | a state leaf in the rule's right-hand side |
+//! | `xsl:copy` | an output element carrying the matched label |
+//! | literal result elements | output elements (labels interned into the alphabet) |
+//! | built-in template rules | synthesized: unmatched elements recurse in the same mode, unmatched text copies through |
+//!
+//! Everything else — `xsl:value-of`, `xsl:text`, literal text content
+//! (transducer rules cannot output `Text` values), `xsl:choose`/`xsl:if`,
+//! multi-step or absolute `select` paths, `match="/"`, named templates,
+//! `xsl:output`, … — is reported as a [`Diagnostic`] carrying the
+//! construct's **source line**, instead of failing opaquely. Compilation
+//! still produces a transducer (the unsupported construct contributes
+//! nothing), so callers can decide whether diagnostics are fatal; the CLI
+//! treats any diagnostic as a refusal to run a check.
+//!
+//! When every rule stays within `DTL_XPath` shape — each right-hand side
+//! one output element wrapping one child-axis call, or a bare call — the
+//! compiler also emits the equivalent DTL program source
+//! ([`Compiled::dtl`]), checkable with the symbolic EXPTIME route.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use tpx_topdown::{RhsNode, TdState, Transducer};
+use tpx_trees::xml::{parse_document_raw, RawElement, RawNode};
+use tpx_trees::{Alphabet, Symbol};
+
+/// An unsupported construct, reported with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// 1-based source line of the construct.
+    pub line: usize,
+    /// The construct, e.g. `xsl:value-of` or `match pattern "/"`.
+    pub construct: String,
+    /// Why the fragment cannot express it.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {}: unsupported {}: {}",
+            self.line, self.construct, self.message
+        )
+    }
+}
+
+/// A fatal error: the input is not a stylesheet at all (bad XML, or the
+/// root element is not `xsl:stylesheet`/`xsl:transform`).
+#[derive(Clone, Debug)]
+pub struct XsltError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for XsltError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for XsltError {}
+
+/// The result of compiling a stylesheet.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// The top-down transducer (over the alphabet passed to [`compile`],
+    /// extended with the stylesheet's literal result element labels).
+    pub transducer: Transducer,
+    /// The equivalent `DTL_XPath` program source, when every rule stays
+    /// DTL-expressible (see the crate docs).
+    pub dtl: Option<String>,
+    /// Unsupported constructs, sorted by source line. Empty means the
+    /// stylesheet was translated exactly.
+    pub diagnostics: Vec<Diagnostic>,
+    /// One human-readable description per transducer state, e.g.
+    /// `q1 = mode "textOnly", select node()`.
+    pub states: Vec<String>,
+}
+
+/// Whether `src` looks like an XSLT stylesheet rather than one of the
+/// plain-text transducer formats: the text formats never start with `<`.
+pub fn is_stylesheet(src: &str) -> bool {
+    src.trim_start().starts_with('<')
+}
+
+fn line_of(src: &str, offset: usize) -> usize {
+    1 + src
+        .as_bytes()
+        .iter()
+        .take(offset.min(src.len()))
+        .filter(|&&b| b == b'\n')
+        .count()
+}
+
+/// A `match` pattern alternative.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Pat {
+    Label(String),
+    Star,
+    Node,
+    Text,
+}
+
+impl Pat {
+    /// The XSLT 1.0 default priority, coarsened to the fragment: explicit
+    /// labels beat wildcards.
+    fn priority(&self) -> i32 {
+        match self {
+            Pat::Label(_) => 1,
+            Pat::Star | Pat::Node | Pat::Text => 0,
+        }
+    }
+
+    fn matches_label(&self, name: &str) -> bool {
+        match self {
+            Pat::Label(l) => l == name,
+            Pat::Star | Pat::Node => true,
+            Pat::Text => false,
+        }
+    }
+
+    fn matches_text(&self) -> bool {
+        matches!(self, Pat::Node | Pat::Text)
+    }
+}
+
+/// What an `apply-templates` selects: the child axis restricted to all
+/// nodes, elements only, one label, or text only.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Filter {
+    All,
+    Star,
+    Label(String),
+    Text,
+}
+
+impl Filter {
+    fn admits_label(&self, name: &str) -> bool {
+        match self {
+            Filter::All | Filter::Star => true,
+            Filter::Label(l) => l == name,
+            Filter::Text => false,
+        }
+    }
+
+    fn admits_text(&self) -> bool {
+        matches!(self, Filter::All | Filter::Text)
+    }
+
+    fn display(&self) -> String {
+        match self {
+            Filter::All => "node()".to_owned(),
+            Filter::Star => "*".to_owned(),
+            Filter::Label(l) => l.clone(),
+            Filter::Text => "text()".to_owned(),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Template {
+    line: usize,
+    mode: String,
+    pats: Vec<Pat>,
+    body: Vec<RawNode>,
+}
+
+fn is_xsl(e: &RawElement) -> bool {
+    e.name.starts_with("xsl:")
+}
+
+fn is_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '-' || c == '.' || c == ':')
+        && !s.contains("()")
+}
+
+fn parse_match(src: &str, line: usize, diags: &mut Vec<Diagnostic>) -> Vec<Pat> {
+    let mut pats = Vec::new();
+    for alt in src.split('|') {
+        match alt.trim() {
+            // Attributes do not exist in the text-tree model; an @*
+            // alternative is vacuous, not an error.
+            "@*" => {}
+            "*" => pats.push(Pat::Star),
+            "node()" => pats.push(Pat::Node),
+            "text()" => pats.push(Pat::Text),
+            "/" => diags.push(Diagnostic {
+                line,
+                construct: "match pattern \"/\"".to_owned(),
+                message: "document-root templates are outside the fragment \
+                          (the transducer starts at the root element)"
+                    .to_owned(),
+            }),
+            name if is_name(name) => pats.push(Pat::Label(name.to_owned())),
+            other => diags.push(Diagnostic {
+                line,
+                construct: format!("match pattern {other:?}"),
+                message: "only label, *, node(), text(), and @* alternatives are supported"
+                    .to_owned(),
+            }),
+        }
+    }
+    pats
+}
+
+fn parse_select(src: Option<&str>, line: usize, diags: &mut Vec<Diagnostic>) -> Option<Filter> {
+    let Some(src) = src else {
+        return Some(Filter::All);
+    };
+    let parts: Vec<&str> = src
+        .split('|')
+        .map(str::trim)
+        .filter(|p| *p != "@*")
+        .collect();
+    match parts.as_slice() {
+        // Only attributes selected: nothing to do in the text-tree model.
+        [] => None,
+        ["node()"] => Some(Filter::All),
+        ["*"] => Some(Filter::Star),
+        ["text()"] => Some(Filter::Text),
+        [name] if is_name(name) => Some(Filter::Label((*name).to_owned())),
+        _ => {
+            diags.push(Diagnostic {
+                line,
+                construct: format!("select expression {src:?}"),
+                message: "only the child axis is supported: node(), *, text(), \
+                          one child label, or @*-unions of these"
+                    .to_owned(),
+            });
+            None
+        }
+    }
+}
+
+fn intern_literals(nodes: &[RawNode], alpha: &mut Alphabet) {
+    for n in nodes {
+        if let RawNode::Elem(e) = n {
+            if !is_xsl(e) {
+                alpha.intern(&e.name);
+            }
+            intern_literals(&e.children, alpha);
+        }
+    }
+}
+
+/// The state-synthesis worklist: one transducer state per discovered
+/// (mode, filter) pair; rule right-hand sides are cached per (mode, label)
+/// since they do not depend on the filter.
+struct Synth<'a> {
+    alpha: &'a Alphabet,
+    templates: Vec<Template>,
+    states: Vec<(String, Filter)>,
+    ids: HashMap<(String, Filter), TdState>,
+    rules: HashMap<(String, u32), Option<Vec<RhsNode>>>,
+    text: HashMap<String, bool>,
+    diags: Vec<Diagnostic>,
+}
+
+impl<'a> Synth<'a> {
+    fn state_id(&mut self, mode: &str, filter: Filter) -> TdState {
+        let key = (mode.to_owned(), filter);
+        if let Some(&q) = self.ids.get(&key) {
+            return q;
+        }
+        let q = TdState(self.states.len() as u32);
+        self.states.push(key.clone());
+        self.ids.insert(key, q);
+        q
+    }
+
+    /// The best template for an element labelled `name` in `mode`:
+    /// highest pattern priority, document order breaking ties (the XSLT
+    /// 1.0 recovery for conflicting templates: last wins).
+    fn best_element_template(&self, mode: &str, name: &str) -> Option<usize> {
+        let mut best: Option<(i32, usize)> = None;
+        for (i, t) in self.templates.iter().enumerate() {
+            if t.mode != mode {
+                continue;
+            }
+            let Some(prio) = t
+                .pats
+                .iter()
+                .filter(|p| p.matches_label(name))
+                .map(Pat::priority)
+                .max()
+            else {
+                continue;
+            };
+            if best.is_none_or(|(bp, _)| prio >= bp) {
+                best = Some((prio, i));
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    fn best_text_template(&self, mode: &str) -> Option<usize> {
+        let mut best = None;
+        for (i, t) in self.templates.iter().enumerate() {
+            if t.mode == mode && t.pats.iter().any(Pat::matches_text) {
+                best = Some(i);
+            }
+        }
+        best
+    }
+
+    /// The rule right-hand side for an element labelled `sym` in `mode`:
+    /// the best template's translated body, or the built-in rule
+    /// (recurse over all children in the same mode). `None` means no rule
+    /// — the subtree is deleted.
+    fn rule_for(&mut self, mode: &str, sym: Symbol) -> Option<Vec<RhsNode>> {
+        let key = (mode.to_owned(), sym.0);
+        if let Some(cached) = self.rules.get(&key) {
+            return cached.clone();
+        }
+        let name = self.alpha.name(sym).to_owned();
+        let rhs = match self.best_element_template(mode, &name) {
+            Some(i) => {
+                let t = self.templates[i].clone();
+                let mut out = Vec::new();
+                self.translate_body(&t.body, sym, t.line, &mut out);
+                (!out.is_empty()).then_some(out)
+            }
+            // Built-in rule: apply-templates to all children, same mode,
+            // no wrapper element (the markup is dropped).
+            None => Some(vec![RhsNode::State(self.state_id(mode, Filter::All))]),
+        };
+        self.rules.insert(key, rhs.clone());
+        rhs
+    }
+
+    /// Whether text nodes reaching `mode` are copied through: the
+    /// built-in text rule copies; an explicit text template must be an
+    /// empty body (delete) or a bare `xsl:copy` (copy).
+    fn text_for(&mut self, mode: &str) -> bool {
+        if let Some(&b) = self.text.get(mode) {
+            return b;
+        }
+        let b = match self.best_text_template(mode) {
+            None => true,
+            Some(i) => {
+                let t = self.templates[i].clone();
+                self.classify_text_body(&t)
+            }
+        };
+        self.text.insert(mode.to_owned(), b);
+        b
+    }
+
+    fn classify_text_body(&mut self, t: &Template) -> bool {
+        let elems: Vec<&RawElement> = t
+            .body
+            .iter()
+            .filter_map(|n| match n {
+                RawNode::Elem(e) => Some(e),
+                RawNode::Text(_) => None,
+            })
+            .collect();
+        let has_text = t.body.iter().any(|n| matches!(n, RawNode::Text(_)));
+        match elems.as_slice() {
+            [] if !has_text => false,
+            // `<xsl:copy>` of a text node is the text itself; nested
+            // apply-templates are no-ops (text has no children).
+            [e] if !has_text
+                && is_xsl(e)
+                && e.local_name() == "copy"
+                && e.child_elements()
+                    .all(|c| is_xsl(c) && c.local_name() == "apply-templates") =>
+            {
+                true
+            }
+            // A body of apply-templates alone selects among the text
+            // node's children — there are none, so the text is deleted.
+            elems
+                if !has_text
+                    && elems
+                        .iter()
+                        .all(|e| is_xsl(e) && e.local_name() == "apply-templates") =>
+            {
+                false
+            }
+            _ => {
+                self.diags.push(Diagnostic {
+                    line: t.line,
+                    construct: "text template body".to_owned(),
+                    message: "a template matching text() must have an empty body or a \
+                              bare <xsl:copy>; rules cannot compute Text values"
+                        .to_owned(),
+                });
+                false
+            }
+        }
+    }
+
+    fn translate_body(
+        &mut self,
+        nodes: &[RawNode],
+        current: Symbol,
+        encl_line: usize,
+        out: &mut Vec<RhsNode>,
+    ) {
+        for n in nodes {
+            match n {
+                RawNode::Text(_) => self.diags.push(Diagnostic {
+                    line: encl_line,
+                    construct: "literal text content".to_owned(),
+                    message: "transducer rules cannot output Text values".to_owned(),
+                }),
+                RawNode::Elem(e) if is_xsl(e) => match e.local_name() {
+                    "copy" => {
+                        let mut kids = Vec::new();
+                        self.translate_body(&e.children, current, e.line, &mut kids);
+                        out.push(RhsNode::Elem(current, kids));
+                    }
+                    "apply-templates" => {
+                        for child in e.child_elements() {
+                            self.diags.push(Diagnostic {
+                                line: child.line,
+                                construct: child.name.clone(),
+                                message: "apply-templates content (sort/with-param) is \
+                                          outside the fragment"
+                                    .to_owned(),
+                            });
+                        }
+                        let mode = e.attr("mode").unwrap_or("").to_owned();
+                        if let Some(f) = parse_select(e.attr("select"), e.line, &mut self.diags) {
+                            out.push(RhsNode::State(self.state_id(&mode, f)));
+                        }
+                    }
+                    local => {
+                        let message = match local {
+                            "value-of" => {
+                                "computes a string; transducer rules cannot output Text values"
+                            }
+                            "text" => {
+                                "emits literal text; transducer rules cannot output Text values"
+                            }
+                            "choose" | "if" | "when" | "otherwise" => {
+                                "conditional output is outside the fragment"
+                            }
+                            "copy-of" => {
+                                "deep copy-of is outside the fragment; use \
+                                          xsl:copy with apply-templates"
+                            }
+                            "call-template" => "named-template calls are outside the fragment",
+                            _ => "construct is outside the supported fragment",
+                        };
+                        self.diags.push(Diagnostic {
+                            line: e.line,
+                            construct: e.name.clone(),
+                            message: message.to_owned(),
+                        });
+                    }
+                },
+                RawNode::Elem(e) => {
+                    // Literal result element; its label was pre-interned.
+                    let sym = self
+                        .alpha
+                        .get(&e.name)
+                        .expect("literal labels interned before synthesis");
+                    let mut kids = Vec::new();
+                    self.translate_body(&e.children, current, e.line, &mut kids);
+                    out.push(RhsNode::Elem(sym, kids));
+                }
+            }
+        }
+    }
+
+    /// Runs the worklist to a fixpoint and installs the rule table.
+    fn run(&mut self) -> Transducer {
+        // A state's resolved rules plus its text-rule flag.
+        type StateRules = (TdState, Vec<(Symbol, Vec<RhsNode>)>, bool);
+        self.state_id("", Filter::All);
+        let mut done = 0;
+        // Resolve every (state, label) rule; `state_id` grows the list.
+        let mut resolved: Vec<StateRules> = Vec::new();
+        while done < self.states.len() {
+            let (mode, filter) = self.states[done].clone();
+            let q = TdState(done as u32);
+            let mut rules = Vec::new();
+            for sym in self.alpha.symbols() {
+                if !filter.admits_label(self.alpha.name(sym)) {
+                    continue;
+                }
+                if let Some(rhs) = self.rule_for(&mode, sym) {
+                    rules.push((sym, rhs));
+                }
+            }
+            let text = filter.admits_text() && self.text_for(&mode);
+            resolved.push((q, rules, text));
+            done += 1;
+        }
+        let mut t = Transducer::new(self.alpha.len(), self.states.len(), TdState(0));
+        for (q, rules, text) in resolved {
+            for (sym, rhs) in rules {
+                t.set_rule(q, sym, rhs);
+            }
+            t.set_text_rule(q, text);
+        }
+        t
+    }
+
+    /// Renders the equivalent `DTL_XPath` program, when expressible: every
+    /// rule is one output element wrapping one child-axis call or a bare
+    /// call, and every selection is `node()` or a single label.
+    fn to_dtl(&self, t: &Transducer) -> Option<String> {
+        let mut modes: Vec<String> = Vec::new();
+        for (m, _) in &self.states {
+            if !modes.contains(m) {
+                modes.push(m.clone());
+            }
+        }
+        let qname = |mode: &str| format!("q{}", modes.iter().position(|m| m == mode).unwrap());
+        let call = |q: &TdState| -> Option<String> {
+            let (mode, filter) = &self.states[q.index()];
+            let pattern = match filter {
+                Filter::All => "child".to_owned(),
+                Filter::Label(l) => format!("child[{l}]"),
+                Filter::Star | Filter::Text => return None,
+            };
+            Some(format!("({} / {})", qname(mode), pattern))
+        };
+        let mut out = String::from("dtl\ninitial q0\n");
+        for mode in &modes {
+            for (key, rhs) in self.sorted_rules(mode) {
+                let Some(rhs) = rhs else { continue };
+                let guard = self.alpha.name(Symbol(key));
+                let rendered = match rhs.as_slice() {
+                    [RhsNode::State(q)] => {
+                        format!("rule {} : {} -> {}", qname(mode), guard, call(q)?)
+                    }
+                    [RhsNode::Elem(s, kids)] => match kids.as_slice() {
+                        [RhsNode::State(q)] => format!(
+                            "rule {} : {} -> {}{}",
+                            qname(mode),
+                            guard,
+                            self.alpha.name(*s),
+                            call(q)?
+                        ),
+                        _ => return None,
+                    },
+                    _ => return None,
+                };
+                out.push_str(&rendered);
+                out.push('\n');
+            }
+        }
+        let _ = t;
+        for mode in &modes {
+            if self.text.get(mode).copied().unwrap_or(false) {
+                out.push_str(&format!("text {}\n", qname(mode)));
+            }
+        }
+        Some(out)
+    }
+
+    /// The cached rules of `mode`, in symbol order (deterministic output).
+    fn sorted_rules(&self, mode: &str) -> Vec<(u32, Option<Vec<RhsNode>>)> {
+        let mut rules: Vec<(u32, Option<Vec<RhsNode>>)> = self
+            .rules
+            .iter()
+            .filter(|((m, _), _)| m == mode)
+            .map(|((_, s), rhs)| (*s, rhs.clone()))
+            .collect();
+        rules.sort_by_key(|(s, _)| *s);
+        rules
+    }
+}
+
+/// Compiles an XSLT stylesheet against `alpha` (the schema alphabet; the
+/// stylesheet's literal result element labels are interned into it).
+///
+/// Fatal errors ([`XsltError`]) mean the input is not a stylesheet.
+/// Unsupported constructs are *not* fatal: they land in
+/// [`Compiled::diagnostics`] with their source lines and contribute
+/// nothing to the transducer.
+///
+/// ```
+/// use tpx_trees::Alphabet;
+/// let mut alpha = Alphabet::from_labels(["doc", "keep"]);
+/// let c = tpx_xslt::compile(
+///     r#"<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+///          <xsl:template match="@*|node()">
+///            <xsl:copy><xsl:apply-templates select="@*|node()"/></xsl:copy>
+///          </xsl:template>
+///        </xsl:stylesheet>"#,
+///     &mut alpha,
+/// )
+/// .unwrap();
+/// assert!(c.diagnostics.is_empty());
+/// assert!(c.dtl.is_some());
+/// ```
+pub fn compile(src: &str, alpha: &mut Alphabet) -> Result<Compiled, XsltError> {
+    let root = parse_document_raw(src).map_err(|e| XsltError {
+        line: line_of(src, e.offset),
+        message: e.message,
+    })?;
+    if !(is_xsl(&root) && matches!(root.local_name(), "stylesheet" | "transform")) {
+        return Err(XsltError {
+            line: root.line,
+            message: format!(
+                "root element <{}> is not xsl:stylesheet or xsl:transform",
+                root.name
+            ),
+        });
+    }
+    let mut diags = Vec::new();
+    let mut templates = Vec::new();
+    for child in root.child_elements() {
+        if is_xsl(child) && child.local_name() == "template" {
+            match child.attr("match") {
+                Some(m) => {
+                    let pats = parse_match(m, child.line, &mut diags);
+                    if !pats.is_empty() {
+                        templates.push(Template {
+                            line: child.line,
+                            mode: child.attr("mode").unwrap_or("").to_owned(),
+                            pats,
+                            body: child.children.clone(),
+                        });
+                    }
+                }
+                None => diags.push(Diagnostic {
+                    line: child.line,
+                    construct: "xsl:template without match".to_owned(),
+                    message: "named templates are outside the fragment".to_owned(),
+                }),
+            }
+        } else {
+            diags.push(Diagnostic {
+                line: child.line,
+                construct: child.name.clone(),
+                message: "top-level construct outside the fragment \
+                          (only xsl:template is translated)"
+                    .to_owned(),
+            });
+        }
+    }
+    for t in &templates {
+        intern_literals(&t.body, alpha);
+    }
+    let mut synth = Synth {
+        alpha,
+        templates,
+        states: Vec::new(),
+        ids: HashMap::new(),
+        rules: HashMap::new(),
+        text: HashMap::new(),
+        diags,
+    };
+    let transducer = synth.run();
+    let dtl = synth.to_dtl(&transducer);
+    let states = synth
+        .states
+        .iter()
+        .enumerate()
+        .map(|(i, (m, f))| {
+            let mode = if m.is_empty() {
+                "#default".to_owned()
+            } else {
+                format!("{m:?}")
+            };
+            format!("q{i} = mode {mode}, select {}", f.display())
+        })
+        .collect();
+    let mut diagnostics = synth.diags;
+    // Wildcard templates translate once per matched label; the same
+    // unsupported construct must still be reported once.
+    diagnostics.sort_by(|a, b| {
+        (a.line, &a.construct, &a.message).cmp(&(b.line, &b.construct, &b.message))
+    });
+    diagnostics.dedup();
+    Ok(Compiled {
+        transducer,
+        dtl,
+        diagnostics,
+        states,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpx_trees::term::parse_tree;
+
+    const XSL_NS: &str = "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\"";
+
+    fn sheet(body: &str) -> String {
+        format!("<xsl:stylesheet version=\"1.0\" {XSL_NS}>\n{body}\n</xsl:stylesheet>")
+    }
+
+    #[test]
+    fn identity_stylesheet_is_the_identity_transducer() {
+        let mut alpha = Alphabet::from_labels(["doc", "keep", "drop"]);
+        let src = sheet(
+            "<xsl:template match=\"@*|node()\">\n\
+               <xsl:copy><xsl:apply-templates select=\"@*|node()\"/></xsl:copy>\n\
+             </xsl:template>",
+        );
+        let c = compile(&src, &mut alpha).unwrap();
+        assert!(c.diagnostics.is_empty(), "{:?}", c.diagnostics);
+        let input = parse_tree(r#"doc(keep("x") drop("y" keep))"#, &mut alpha).unwrap();
+        assert_eq!(c.transducer.transform(&input), *input.as_hedge());
+        // Identity is DTL-expressible: one copy rule per label.
+        let dtl = c.dtl.expect("identity is DTL-expressible");
+        assert!(dtl.contains("rule q0 : doc -> doc(q0 / child)"), "{dtl}");
+        assert!(dtl.contains("text q0"), "{dtl}");
+    }
+
+    #[test]
+    fn filtered_apply_templates_deletes_unselected_children() {
+        let mut alpha = Alphabet::from_labels(["doc", "keep", "drop"]);
+        let src = sheet(
+            "<xsl:template match=\"doc\">\n\
+               <xsl:copy><xsl:apply-templates select=\"keep\"/></xsl:copy>\n\
+             </xsl:template>\n\
+             <xsl:template match=\"keep\">\n\
+               <xsl:copy><xsl:apply-templates/></xsl:copy>\n\
+             </xsl:template>",
+        );
+        let c = compile(&src, &mut alpha).unwrap();
+        assert!(c.diagnostics.is_empty(), "{:?}", c.diagnostics);
+        let input = parse_tree(r#"doc(keep("x") drop("y") "top")"#, &mut alpha).unwrap();
+        let expect = parse_tree(r#"doc(keep("x"))"#, &mut alpha).unwrap();
+        assert_eq!(c.transducer.transform(&input), *expect.as_hedge());
+    }
+
+    #[test]
+    fn modes_become_states_and_built_ins_recurse_in_mode() {
+        let mut alpha = Alphabet::from_labels(["a", "b"]);
+        let src = sheet(
+            "<xsl:template match=\"a\">\n\
+               <wrapped><xsl:apply-templates mode=\"inner\"/></wrapped>\n\
+             </xsl:template>\n\
+             <xsl:template match=\"b\" mode=\"inner\">\n\
+               <xsl:copy><xsl:apply-templates mode=\"inner\"/></xsl:copy>\n\
+             </xsl:template>",
+        );
+        let c = compile(&src, &mut alpha).unwrap();
+        assert!(c.diagnostics.is_empty(), "{:?}", c.diagnostics);
+        // `a` inside mode inner hits the built-in: markup dropped, text kept.
+        let input = parse_tree(r#"a(b("x") a(b("y") "z"))"#, &mut alpha).unwrap();
+        let expect = parse_tree(r#"wrapped(b("x") b("y") "z")"#, &mut alpha).unwrap();
+        assert_eq!(c.transducer.transform(&input), *expect.as_hedge());
+        assert_eq!(c.states.len(), 2, "{:?}", c.states);
+    }
+
+    #[test]
+    fn specific_label_beats_wildcard_and_last_tie_wins() {
+        let mut alpha = Alphabet::from_labels(["a", "b"]);
+        let src = sheet(
+            "<xsl:template match=\"*\"><one/></xsl:template>\n\
+             <xsl:template match=\"a\"><specific/></xsl:template>\n\
+             <xsl:template match=\"node()\"><two/></xsl:template>",
+        );
+        let c = compile(&src, &mut alpha).unwrap();
+        let input = parse_tree("a", &mut alpha).unwrap();
+        let expect = parse_tree("specific", &mut alpha).unwrap();
+        assert_eq!(c.transducer.transform(&input), *expect.as_hedge());
+        let input = parse_tree("b", &mut alpha).unwrap();
+        let expect = parse_tree("two", &mut alpha).unwrap();
+        assert_eq!(c.transducer.transform(&input), *expect.as_hedge());
+    }
+
+    #[test]
+    fn prefixed_labels_translate_intact() {
+        let mut alpha = Alphabet::from_labels(["bpmn:task", "bpmn:text"]);
+        let src = sheet(
+            "<xsl:template match=\"bpmn:text\">\n\
+               <xsl:copy><xsl:apply-templates select=\"text()\"/></xsl:copy>\n\
+             </xsl:template>\n\
+             <xsl:template match=\"@*|node()\">\n\
+               <xsl:copy><xsl:apply-templates select=\"@*|node()\"/></xsl:copy>\n\
+             </xsl:template>",
+        );
+        let c = compile(&src, &mut alpha).unwrap();
+        assert!(c.diagnostics.is_empty(), "{:?}", c.diagnostics);
+        let input = parse_tree(r#"bpmn:task(bpmn:text("x" bpmn:task))"#, &mut alpha).unwrap();
+        // Inside bpmn:text only text children survive.
+        let expect = parse_tree(r#"bpmn:task(bpmn:text("x"))"#, &mut alpha).unwrap();
+        assert_eq!(c.transducer.transform(&input), *expect.as_hedge());
+    }
+
+    #[test]
+    fn unsupported_constructs_carry_source_lines() {
+        let mut alpha = Alphabet::from_labels(["a"]);
+        let src = "<xsl:stylesheet version=\"1.0\">\n\
+                   <xsl:output method=\"text\"/>\n\
+                   <xsl:template match=\"a\">\n\
+                   <xsl:value-of select=\"name()\"/>\n\
+                   <xsl:text>boom</xsl:text>\n\
+                   </xsl:template>\n\
+                   </xsl:stylesheet>";
+        let c = compile(src, &mut alpha).unwrap();
+        let got: Vec<(usize, &str)> = c
+            .diagnostics
+            .iter()
+            .map(|d| (d.line, d.construct.as_str()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![(2, "xsl:output"), (4, "xsl:value-of"), (5, "xsl:text"),]
+        );
+        // The transducer still exists: `a` maps to nothing (empty body
+        // after dropping the unsupported constructs deletes the subtree).
+        let input = parse_tree(r#"a("x")"#, &mut alpha).unwrap();
+        assert!(c.transducer.transform(&input).is_empty());
+    }
+
+    #[test]
+    fn literal_text_and_star_filters_block_dtl_export() {
+        let mut alpha = Alphabet::from_labels(["a"]);
+        let src = sheet(
+            "<xsl:template match=\"a\">\n\
+               <xsl:copy><xsl:apply-templates select=\"*\"/></xsl:copy>\n\
+             </xsl:template>",
+        );
+        let c = compile(&src, &mut alpha).unwrap();
+        assert!(c.diagnostics.is_empty());
+        assert!(c.dtl.is_none(), "element-only selection has no DTL pattern");
+    }
+
+    #[test]
+    fn not_a_stylesheet_is_fatal() {
+        let mut alpha = Alphabet::new();
+        assert!(compile("<html><body/></html>", &mut alpha).is_err());
+        assert!(compile("initial q0\n", &mut alpha).is_err());
+        assert!(!is_stylesheet("initial q0\n"));
+        assert!(is_stylesheet("  <?xml version=\"1.0\"?><xsl:stylesheet/>"));
+    }
+}

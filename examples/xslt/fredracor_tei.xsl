@@ -1,0 +1,23 @@
+<?xml version="1.0" encoding="UTF-8"?>
+<!-- A fragment-XSLT rendering of the fredracor transform: numbered
+     division elements (tei:div1, tei:div2) are normalized to plain
+     tei:div, everything else passes through unchanged. Fully
+     translatable and DTL_XPath-expressible; the transformation is
+     text-preserving over tei.schema (it neither copies nor reorders
+     text), so `textpres check examples/xslt/tei.schema
+     examples/xslt/fredracor_tei.xsl` exits 0. -->
+<xsl:stylesheet version="1.0"
+                xmlns:xsl="http://www.w3.org/1999/XSL/Transform"
+                xmlns:tei="http://www.tei-c.org/ns/1.0">
+  <xsl:template match="tei:div1">
+    <tei:div><xsl:apply-templates select="@*|node()"/></tei:div>
+  </xsl:template>
+  <xsl:template match="tei:div2">
+    <tei:div><xsl:apply-templates select="@*|node()"/></tei:div>
+  </xsl:template>
+  <xsl:template match="@*|node()">
+    <xsl:copy>
+      <xsl:apply-templates select="@*|node()"/>
+    </xsl:copy>
+  </xsl:template>
+</xsl:stylesheet>

@@ -1,0 +1,28 @@
+<?xml version="1.0" encoding="UTF-8"?>
+<!-- Sanitizes BPMN documentation: inside bpmn:text, child markup is
+     flattened to escaped tag text. The two xsl:value-of calls compute
+     strings, which the transducer fragment cannot express - `textpres
+     compile-xslt` reports both with their source lines and exits 1.
+     See sanitize_bpmn_fragment.xsl for the translatable variant. -->
+<xsl:stylesheet version="1.0"
+                xmlns:xsl="http://www.w3.org/1999/XSL/Transform"
+                xmlns:bpmn="http://www.omg.org/spec/BPMN/20100524/MODEL">
+  <xsl:template match="bpmn:text">
+    <xsl:copy>
+      <xsl:apply-templates select="@*|node()" mode="textOnly"/>
+    </xsl:copy>
+  </xsl:template>
+  <xsl:template match="@*|node()">
+    <xsl:copy>
+      <xsl:apply-templates select="@*|node()"/>
+    </xsl:copy>
+  </xsl:template>
+  <xsl:template match="@*|text()" mode="textOnly">
+    <xsl:copy/>
+  </xsl:template>
+  <xsl:template match="*" mode="textOnly">
+    <xsl:value-of select="concat('&lt;', name(), '&gt;')"/>
+    <xsl:apply-templates select="@*|node()" mode="textOnly"/>
+    <xsl:value-of select="concat('&lt;/', name(), '&gt;')"/>
+  </xsl:template>
+</xsl:stylesheet>

@@ -1,0 +1,26 @@
+<?xml version="1.0" encoding="UTF-8"?>
+<!-- The fragment-expressible variant of sanitize_bpmn.xsl: instead of
+     rendering stripped markup as escaped tag text, child elements inside
+     bpmn:text are simply dropped (their text content is kept). This is
+     fully translatable AND DTL_XPath-expressible, so both
+     `compile-xslt` and `compile-xslt --dtl` succeed on it. -->
+<xsl:stylesheet version="1.0"
+                xmlns:xsl="http://www.w3.org/1999/XSL/Transform"
+                xmlns:bpmn="http://www.omg.org/spec/BPMN/20100524/MODEL">
+  <xsl:template match="bpmn:text">
+    <xsl:copy>
+      <xsl:apply-templates select="@*|node()" mode="textOnly"/>
+    </xsl:copy>
+  </xsl:template>
+  <xsl:template match="@*|node()">
+    <xsl:copy>
+      <xsl:apply-templates select="@*|node()"/>
+    </xsl:copy>
+  </xsl:template>
+  <xsl:template match="@*|text()" mode="textOnly">
+    <xsl:copy/>
+  </xsl:template>
+  <xsl:template match="*" mode="textOnly">
+    <xsl:apply-templates select="@*|node()" mode="textOnly"/>
+  </xsl:template>
+</xsl:stylesheet>

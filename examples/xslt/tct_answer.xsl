@@ -1,0 +1,27 @@
+<?xml version="1.0" encoding="UTF-8"?>
+<!-- The TcT answer-extraction stylesheet: renders a termination-prover
+     certificate as a one-word text answer. Almost nothing here is in
+     the fragment - text output mode, a document-root template,
+     conditionals, literal text - so `textpres compile-xslt` lists every
+     unsupported construct with its source line and exits 1. Committed
+     as the diagnostics showcase. -->
+<xsl:stylesheet version="1.0"
+                xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+  <xsl:output method="text"/>
+  <xsl:template match="/">
+    <xsl:apply-templates select="certificationProblem/proof/certificate/answer"/>
+  </xsl:template>
+  <xsl:template match="answer">
+    <xsl:choose>
+      <xsl:when test="no"><span class="no">NO</span></xsl:when>
+      <xsl:otherwise><span class="maybe">MAYBE</span></xsl:otherwise>
+    </xsl:choose>
+  </xsl:template>
+  <xsl:template match="polynomial">
+    <xsl:text>POLY</xsl:text>
+    <xsl:value-of select="text()"/>
+  </xsl:template>
+  <xsl:template match="unknown">
+    <xsl:text>MAYBE</xsl:text>
+  </xsl:template>
+</xsl:stylesheet>

@@ -48,6 +48,20 @@ rule q0 : keep -> (q0 / child)
 text q0
 ";
 
+/// A case file whose trailing `[labels]` section is empty — must be a
+/// line-numbered `FormatError`, never a panic in a later sweep (the
+/// empty retention label set used to slip through `parse_case`).
+const CASE_EMPTY_LABELS: &str = "\
+kind retention-disagrees
+seed 7
+[alphabet]
+label doc
+[schema]
+start doc
+elem doc = text
+[labels]
+";
+
 /// Well-formed serve frames, as a client would send them: mutations of
 /// these exercise truncated frames, duplicated fields (via the
 /// line-duplication and splice mutations), and unknown/garbled keys.
@@ -71,6 +85,10 @@ fn corpus() -> Vec<(String, String)> {
         ("inline-schema".to_owned(), SCHEMA.to_owned()),
         ("inline-transducer".to_owned(), TRANSDUCER.to_owned()),
         ("inline-dtl".to_owned(), DTL.to_owned()),
+        (
+            "inline-empty-labels-case".to_owned(),
+            CASE_EMPTY_LABELS.to_owned(),
+        ),
     ];
     for (i, frame) in FRAMES.iter().enumerate() {
         inputs.push((format!("inline-frame-{i}"), (*frame).to_owned()));
@@ -143,6 +161,13 @@ fn mutate(bytes: &mut Vec<u8>, rng: &mut SplitMix64) {
             bytes.truncate(i);
         }
     }
+}
+
+#[test]
+fn empty_labels_case_is_rejected_with_a_line_number() {
+    let e = parse_case(CASE_EMPTY_LABELS).expect_err("empty [labels] must not parse");
+    assert_eq!(e.line, 8, "{e}");
+    assert!(e.message.contains("[labels]"), "{e}");
 }
 
 #[test]

@@ -317,6 +317,59 @@ fn overload_sheds_with_a_structured_response() {
 }
 
 #[test]
+fn client_check_maps_overloaded_to_retryable_exit_3() {
+    // The CLI exit contract: 3 is "retryable resource condition", 2 is
+    // "malformed input". A shed (`overloaded`) answer is retryable — the
+    // client binary must exit 3, not 2, so wrappers can back off and
+    // retry instead of treating the input as bad.
+    let dir = std::env::temp_dir().join(format!("tpx-serve-exit3-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("schema.txt"), SCHEMA).unwrap();
+    std::fs::write(dir.join("good.txt"), GOOD).unwrap();
+    let (addr, _handle, join) = start(|cfg| {
+        cfg.slots = 1;
+        cfg.queue = 0;
+    });
+    // Hold the single slot with an expensive check bounded by a timeout.
+    let slow = std::thread::spawn(move || {
+        let mut c = Client::connect(addr);
+        c.roundtrip(&check_frame(UNIVERSAL, DTL_K2, ",\"timeout_ms\":2000"))
+    });
+    let mut c = Client::connect(addr);
+    let t0 = Instant::now();
+    loop {
+        let stats = c.roundtrip("{\"type\":\"stats\"}");
+        let inflight = stats
+            .get("serve")
+            .and_then(|s| s.get("inflight"))
+            .and_then(|n| n.as_u64());
+        if inflight == Some(1) {
+            break;
+        }
+        assert!(t0.elapsed() < Duration::from_secs(5), "slot never held");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_textpres"))
+        .arg("client")
+        .arg(addr.to_string())
+        .arg("check")
+        .arg(dir.join("schema.txt"))
+        .arg(dir.join("good.txt"))
+        .output()
+        .expect("run textpres client check");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"overloaded\""), "{stdout}");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "overloaded must be exit 3 (retryable), stdout: {stdout}"
+    );
+    let _ = slow.join().expect("slow client");
+    let report = shutdown_and_join(&mut c, join);
+    assert_eq!(report.shed, 1);
+}
+
+#[test]
 fn client_disconnect_mid_request_frees_the_slot() {
     let (addr, _handle, join) = start(|cfg| {
         cfg.slots = 1;
